@@ -1,0 +1,24 @@
+//! End-to-end benchmarks: full policy runs on test-scale workloads (wall
+//! time of the simulator itself, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tahoe_core::prelude::*;
+use tahoe_workloads::{all_workloads, Scale};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+    for app in all_workloads(Scale::Test) {
+        let rt = Runtime::new(
+            Platform::emulated_bw(0.5, (app.footprint() / 4).max(1 << 20), 4 * app.footprint()),
+            RuntimeConfig::default(),
+        );
+        g.bench_with_input(BenchmarkId::new("tahoe", &app.name), &app, |b, app| {
+            b.iter(|| rt.run(std::hint::black_box(app), &PolicyKind::tahoe()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

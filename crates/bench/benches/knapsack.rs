@@ -1,0 +1,46 @@
+//! Knapsack-solver microbenchmarks: the per-plan decision cost the paper
+//! bounds with its O((log n)^2) empirical-complexity claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tahoe_hms::ObjectId;
+use tahoe_placement::{knapsack, Item};
+
+fn items(n: u32, seed: u64) -> Vec<Item> {
+    // Deterministic pseudo-random sizes/values (xorshift).
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|i| Item {
+            id: ObjectId(i),
+            size: (next() % (8 << 20)) + 4096,
+            value: (next() % 1_000_000) as f64,
+        })
+        .collect()
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knapsack");
+    for n in [16u32, 64, 256, 1024] {
+        let its = items(n, 0xfeed);
+        let cap: u64 = its.iter().map(|i| i.size).sum::<u64>() / 3;
+        g.bench_with_input(BenchmarkId::new("exact", n), &its, |b, its| {
+            b.iter(|| knapsack::solve_exact(std::hint::black_box(its), cap))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &its, |b, its| {
+            b.iter(|| knapsack::solve_greedy(std::hint::black_box(its), cap))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_knapsack
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Sampling-profiler microbenchmarks: per-observation cost (what the
+//! paper's "pure runtime cost" pays during profiling windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tahoe_hms::{presets, AccessProfile};
+use tahoe_memprof::{ProfileDb, Sampler, SamplerConfig};
+use tahoe_taskrt::TaskClassId;
+
+fn bench_profiler(c: &mut Criterion) {
+    let dram = presets::dram(1 << 30);
+    c.bench_function("observe", |b| {
+        let mut s = Sampler::new(SamplerConfig::default());
+        let p = AccessProfile::streaming(120_000, 60_000);
+        b.iter(|| s.observe(std::hint::black_box(&p), 1.0e6, &dram))
+    });
+    c.bench_function("record+get", |b| {
+        let mut s = Sampler::new(SamplerConfig::default());
+        let p = AccessProfile::streaming(120_000, 60_000);
+        let obs = s.observe(&p, 1.0e6, &dram);
+        let mut db = ProfileDb::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let class = TaskClassId(i % 8);
+            let obj = tahoe_hms::ObjectId(i % 64);
+            db.record(class, obj, std::hint::black_box(&obs));
+            i = i.wrapping_add(1);
+            db.get(class, obj)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_profiler
+}
+criterion_main!(benches);

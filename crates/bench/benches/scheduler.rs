@@ -1,0 +1,36 @@
+//! Scheduler microbenchmarks: dependence derivation and virtual-time
+//! dispatch throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tahoe_taskrt::{NullHooks, SimScheduler};
+use tahoe_workloads::{cholesky, gemm, Scale};
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph-build");
+    g.bench_function("cholesky-bench-scale", |b| {
+        b.iter(|| cholesky::app(std::hint::black_box(Scale::Bench)))
+    });
+    g.bench_function("gemm-bench-scale", |b| {
+        b.iter(|| gemm::app(std::hint::black_box(Scale::Bench)))
+    });
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let app = cholesky::app(Scale::Bench);
+    let mut g = c.benchmark_group("sim-dispatch");
+    for workers in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("cholesky", workers), &workers, |b, &w| {
+            let sched = SimScheduler::new(w);
+            b.iter(|| sched.run(std::hint::black_box(&app.graph), &mut NullHooks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_graph_build, bench_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment driver: regenerate any table/figure of the reproduction.
+//!
+//! ```sh
+//! cargo run -p tahoe-bench --release --bin exp -- all
+//! cargo run -p tahoe-bench --release --bin exp -- e4 e7
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: exp <all|e1|e2|...|e13> [more experiments]");
+        return ExitCode::FAILURE;
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "all" => tahoe_bench::all(),
+            "e1" => tahoe_bench::e1(),
+            "e2" => tahoe_bench::e2(),
+            "e3" => tahoe_bench::e3(),
+            "e4" => tahoe_bench::e4(),
+            "e5" => tahoe_bench::e5(),
+            "e6" => tahoe_bench::e6(),
+            "e7" => tahoe_bench::e7(),
+            "e8" => tahoe_bench::e8(),
+            "e9" => tahoe_bench::e9(),
+            "e10" => tahoe_bench::e10(),
+            "e11" => tahoe_bench::e11(),
+            "e12" => tahoe_bench::e12(),
+            "e13" => tahoe_bench::e13(),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

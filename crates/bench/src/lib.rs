@@ -1,0 +1,481 @@
+//! Experiment harness: regenerates every table and figure of the
+//! reproduction (E1–E12 in `DESIGN.md` / `EXPERIMENTS.md`).
+//!
+//! Each `eN()` function prints the same rows/series the paper's
+//! corresponding table or figure reports, against the simulated platform.
+//! Run them through the `exp` binary:
+//!
+//! ```sh
+//! cargo run -p tahoe-bench --release --bin exp -- all
+//! cargo run -p tahoe-bench --release --bin exp -- e4
+//! ```
+
+use tahoe_core::prelude::*;
+use tahoe_core::TahoeOptions;
+use tahoe_hms::ObjectId;
+use tahoe_workloads::{all_workloads, cg, Scale};
+
+/// DRAM budget used throughout the main experiments: a quarter of the
+/// application footprint (the paper's DRAM ≪ footprint regime).
+pub fn dram_budget(app: &App) -> u64 {
+    (app.footprint() / 4).max(1 << 20)
+}
+
+/// Platform with bandwidth-limited NVM (`frac` of DRAM bandwidth).
+pub fn platform_bw(app: &App, frac: f64) -> Platform {
+    Platform::emulated_bw(frac, dram_budget(app), 4 * app.footprint())
+}
+
+/// Platform with latency-limited NVM (`mult` × DRAM latency).
+pub fn platform_lat(app: &App, mult: f64) -> Platform {
+    Platform::emulated_lat(mult, dram_budget(app), 4 * app.footprint())
+}
+
+/// Optane-PMM-like platform.
+pub fn platform_optane(app: &App) -> Platform {
+    Platform::optane(dram_budget(app), 4 * app.footprint())
+}
+
+fn rt(platform: Platform) -> Runtime {
+    Runtime::new(platform, RuntimeConfig::default())
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// E1 — NVM-only slowdown vs DRAM-only under bandwidth-limited NVM
+/// (paper's "performance on NVM with various bandwidth" figure).
+pub fn e1() {
+    banner("E1  NVM-only slowdown, bandwidth-limited NVM (vs DRAM-only)");
+    println!("{:<10} {:>8} {:>8} {:>8}", "workload", "1/2 BW", "1/4 BW", "1/8 BW");
+    for app in all_workloads(Scale::Bench) {
+        print!("{:<10}", app.name);
+        for frac in [0.5, 0.25, 0.125] {
+            let r = rt(platform_bw(&app, frac));
+            let d = r.run(&app, &PolicyKind::DramOnly);
+            let n = r.run(&app, &PolicyKind::NvmOnly);
+            print!(" {:>7.2}x", n.slowdown_vs(d.makespan_ns));
+        }
+        println!();
+    }
+}
+
+/// E2 — NVM-only slowdown under latency-limited NVM.
+pub fn e2() {
+    banner("E2  NVM-only slowdown, latency-limited NVM (vs DRAM-only)");
+    println!("{:<10} {:>8} {:>8} {:>8}", "workload", "2x LAT", "4x LAT", "8x LAT");
+    for app in all_workloads(Scale::Bench) {
+        print!("{:<10}", app.name);
+        for mult in [2.0, 4.0, 8.0] {
+            let r = rt(platform_lat(&app, mult));
+            let d = r.run(&app, &PolicyKind::DramOnly);
+            let n = r.run(&app, &PolicyKind::NvmOnly);
+            print!(" {:>7.2}x", n.slowdown_vs(d.makespan_ns));
+        }
+        println!();
+    }
+}
+
+/// E3 — per-object placement motivation on CG: which single object group
+/// in DRAM bridges how much of the gap, under bandwidth- vs
+/// latency-limited NVM (the paper's lhs/rhs/in_buffer study).
+pub fn e3() {
+    banner("E3  Which object in DRAM? (CG, normalized to DRAM-only)");
+    let app = cg::app(Scale::Bench);
+    let groups: Vec<(&str, Vec<ObjectId>)> = {
+        let by_prefix = |p: &str| {
+            app.objects
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.name.starts_with(p))
+                .map(|(i, _)| ObjectId(i as u32))
+                .collect::<Vec<_>>()
+        };
+        vec![
+            ("A (matrix)", by_prefix("A")),
+            ("p (gathered)", by_prefix("p")),
+            ("x+q+r", {
+                let mut v = by_prefix("x");
+                v.extend(by_prefix("q"));
+                v.extend(by_prefix("r"));
+                v
+            }),
+        ]
+    };
+    println!(
+        "{:<14} {:>10} {:>10}",
+        "in DRAM", "1/2 BW", "4x LAT"
+    );
+    for make in [
+        ("NVM-only", None),
+        ("A (matrix)", Some(0)),
+        ("p (gathered)", Some(1)),
+        ("x+q+r", Some(2)),
+    ] {
+        print!("{:<14}", make.0);
+        for plat in [platform_bw(&app, 0.5), platform_lat(&app, 4.0)] {
+            // The pinned platform must hold the group: give DRAM exactly
+            // the group's bytes (the paper pins one object at a time).
+            let policy = match make.1 {
+                None => PolicyKind::NvmOnly,
+                Some(g) => PolicyKind::Pinned(groups[g].1.clone()),
+            };
+            let sized = match make.1 {
+                None => plat.clone(),
+                Some(g) => {
+                    let bytes: u64 = groups[g]
+                        .1
+                        .iter()
+                        .map(|o| app.objects[o.index()].size)
+                        .sum();
+                    plat.with_dram_capacity(bytes.max(1 << 20))
+                }
+            };
+            let r = rt(sized);
+            let d = r.run(&app, &PolicyKind::DramOnly);
+            let x = r.run(&app, &policy);
+            print!(" {:>9.2}x", x.slowdown_vs(d.makespan_ns));
+        }
+        println!();
+    }
+}
+
+/// All-policy comparison on one platform (core of E4/E5/E10).
+fn policy_table(title: &str, mk: impl Fn(&App) -> Platform, extra_tahoe: &[(String, PolicyKind)]) {
+    banner(title);
+    print!(
+        "{:<10} {:>8} {:>9} {:>9} {:>8} {:>7}",
+        "workload", "NVM-only", "1st-touch", "hw-cache", "static", "tahoe"
+    );
+    for (name, _) in extra_tahoe {
+        print!(" {:>12}", name);
+    }
+    println!("   (slowdown vs DRAM-only)");
+    let mut geo = vec![1.0f64; 5 + extra_tahoe.len()];
+    let mut napps = 0u32;
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(mk(&app));
+        let d = r.run(&app, &PolicyKind::DramOnly);
+        print!("{:<10}", app.name);
+        let mut policies: Vec<PolicyKind> = vec![
+            PolicyKind::NvmOnly,
+            PolicyKind::FirstTouch,
+            PolicyKind::HwCache,
+            PolicyKind::StaticOffline,
+            PolicyKind::tahoe(),
+        ];
+        policies.extend(extra_tahoe.iter().map(|(_, p)| p.clone()));
+        for (i, p) in policies.iter().enumerate() {
+            let rep = r.run(&app, p);
+            let s = rep.slowdown_vs(d.makespan_ns);
+            geo[i] *= s;
+            let w = [8, 9, 9, 8, 7][i.min(4)].max(if i >= 5 { 12 } else { 0 });
+            print!(" {:>w$.2}", s, w = w);
+        }
+        println!();
+        napps += 1;
+    }
+    print!("{:<10}", "geomean");
+    for (i, g) in geo.iter().enumerate() {
+        let w = [8, 9, 9, 8, 7][i.min(4)].max(if i >= 5 { 12 } else { 0 });
+        print!(" {:>w$.2}", g.powf(1.0 / napps as f64), w = w);
+    }
+    println!();
+}
+
+/// E4 — the main comparison under bandwidth-limited NVM (1/2 DRAM BW).
+pub fn e4() {
+    policy_table(
+        "E4  Main comparison, NVM = 1/2 DRAM bandwidth",
+        |app| platform_bw(app, 0.5),
+        &[],
+    );
+}
+
+/// E5 — the main comparison under latency-limited NVM (4x DRAM latency).
+pub fn e5() {
+    policy_table(
+        "E5  Main comparison, NVM = 4x DRAM latency",
+        |app| platform_lat(app, 4.0),
+        &[],
+    );
+}
+
+/// E6 — contribution of the four techniques (global search, +local,
+/// +chunking, +initial placement), cumulative, bandwidth-limited NVM.
+pub fn e6() {
+    banner("E6  Technique contributions (cumulative makespan reduction, 1/2 BW)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "none", "+global", "+local", "+chunk", "+initial"
+    );
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(platform_bw(&app, 0.5));
+        let d = r.run(&app, &PolicyKind::DramOnly).makespan_ns;
+        let stages: Vec<TahoeOptions> = {
+            let base = TahoeOptions {
+                local_search: false,
+                global_search: false,
+                chunking: false,
+                initial_placement: false,
+                proactive: true,
+                distinguish_rw: true,
+                adaptive: true,
+                lookahead: 16,
+            };
+            let mut v = vec![base.clone()];
+            let mut s = base;
+            s.global_search = true;
+            v.push(s.clone());
+            s.local_search = true;
+            v.push(s.clone());
+            s.chunking = true;
+            v.push(s.clone());
+            s.initial_placement = true;
+            v.push(s);
+            v
+        };
+        print!("{:<10}", app.name);
+        for o in stages {
+            let rep = r.run(&app, &PolicyKind::Tahoe(o));
+            print!(" {:>9.2}x", rep.makespan_ns / d);
+        }
+        println!();
+    }
+}
+
+/// E7 — migration statistics table (count, MB, pure runtime %, %overlap),
+/// bandwidth-limited NVM. Shown twice: with the paper's initial placement
+/// (which the paper itself observes usually matches the global plan, so
+/// few migrations remain) and without it (all data starts in NVM, so the
+/// migrations the planner *would* do become visible).
+pub fn e7() {
+    banner("E7  Migration details under Tahoe (NVM = 1/2 DRAM bandwidth)");
+    println!(
+        "{:<10} | {:^31} | {:^40}",
+        "workload", "with initial placement", "all data starts in NVM"
+    );
+    println!(
+        "{:<10} | {:>5} {:>10} {:>6} {:>6} | {:>5} {:>10} {:>6} {:>6} {:>7}",
+        "", "migr", "moved(MB)", "cost%", "ovlp%", "migr", "moved(MB)", "cost%", "ovlp%", "replans"
+    );
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(platform_bw(&app, 0.5));
+        let a = r.run(&app, &PolicyKind::tahoe());
+        let o = TahoeOptions {
+            initial_placement: false,
+            ..TahoeOptions::default()
+        };
+        let b = r.run(&app, &PolicyKind::Tahoe(o));
+        println!(
+            "{:<10} | {:>5} {:>10.1} {:>6.2} {:>6.1} | {:>5} {:>10.1} {:>6.2} {:>6.1} {:>7}",
+            app.name,
+            a.migrations.count,
+            a.migrations.megabytes(),
+            a.overhead_pct(),
+            a.pct_overlap(),
+            b.migrations.count,
+            b.migrations.megabytes(),
+            b.overhead_pct(),
+            b.pct_overlap(),
+            b.replans
+        );
+    }
+}
+
+/// E8 — DRAM-size sensitivity: Tahoe vs bounds as the DRAM budget shrinks.
+pub fn e8() {
+    banner("E8  DRAM-size sensitivity (slowdown vs DRAM-only, 1/2 BW NVM)");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "NVM-only", "1/16", "1/8", "1/4", "1/2"
+    );
+    for app in all_workloads(Scale::Bench) {
+        let foot = app.footprint();
+        print!("{:<10}", app.name);
+        let base = rt(platform_bw(&app, 0.5));
+        let d = base.run(&app, &PolicyKind::DramOnly);
+        let n = base.run(&app, &PolicyKind::NvmOnly);
+        print!(" {:>8.2}x", n.slowdown_vs(d.makespan_ns));
+        for denom in [16u64, 8, 4, 2] {
+            let plat = platform_bw(&app, 0.5).with_dram_capacity((foot / denom).max(1 << 20));
+            let rep = rt(plat).run(&app, &PolicyKind::tahoe());
+            print!(" {:>8.2}x", rep.slowdown_vs(d.makespan_ns));
+        }
+        println!();
+    }
+}
+
+/// E9 — scaling with worker count on CG (the paper's strong-scaling
+/// figure, reinterpreted for a shared-memory task runtime).
+pub fn e9() {
+    banner("E9  Worker scaling on CG (NUMA-remote-style NVM)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "workers", "DRAM-only", "tahoe", "NVM-only", "tahoe/DRAM"
+    );
+    let app = cg::app(Scale::Bench);
+    for workers in [1usize, 2, 4, 8, 16, 32] {
+        let plat = Platform::new(
+            tahoe_hms::presets::dram(dram_budget(&app)),
+            tahoe_hms::presets::numa_remote(4 * app.footprint()),
+            5.0,
+        );
+        let r = Runtime::new(plat, RuntimeConfig::default().with_workers(workers));
+        let d = r.run(&app, &PolicyKind::DramOnly);
+        let t = r.run(&app, &PolicyKind::tahoe());
+        let n = r.run(&app, &PolicyKind::NvmOnly);
+        println!(
+            "{:<8} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>9.2}x",
+            workers,
+            d.makespan_ns / 1e6,
+            t.makespan_ns / 1e6,
+            n.makespan_ns / 1e6,
+            t.slowdown_vs(d.makespan_ns)
+        );
+    }
+}
+
+/// E10 — Optane-PMM platform with the read/write-distinction ablation
+/// (the journal paper's "w. drw vs w.o drw" figure). Both ablation
+/// columns start all data in NVM so the *model's* decisions — not the
+/// model-free initial placement — determine the outcome.
+pub fn e10() {
+    let w_rw = PolicyKind::Tahoe(TahoeOptions {
+        initial_placement: false,
+        ..TahoeOptions::default()
+    });
+    let wo_rw = PolicyKind::Tahoe(TahoeOptions {
+        initial_placement: false,
+        distinguish_rw: false,
+        ..TahoeOptions::default()
+    });
+    policy_table(
+        "E10  Optane PMM platform, read/write-distinction ablation (no-init variants)",
+        platform_optane,
+        &[
+            ("tahoe-ni w.rw".to_string(), w_rw),
+            ("tahoe-ni wo.rw".to_string(), wo_rw),
+        ],
+    );
+}
+
+/// E11 — proactive-migration ablation: overlapped vs synchronous copies.
+pub fn e11() {
+    banner("E11  Proactive vs synchronous migration (1/2 BW NVM, no initial placement)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "proactive", "synchronous", "pro ovlp%", "sync ovlp%"
+    );
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(platform_bw(&app, 0.5));
+        let pro = TahoeOptions {
+            initial_placement: false, // force migrations to exist
+            ..TahoeOptions::default()
+        };
+        let sync = TahoeOptions {
+            proactive: false,
+            ..pro.clone()
+        };
+        let a = r.run(&app, &PolicyKind::Tahoe(pro));
+        let b = r.run(&app, &PolicyKind::Tahoe(sync));
+        println!(
+            "{:<10} {:>10.2}ms {:>10.2}ms {:>10.1} {:>10.1}",
+            app.name,
+            a.makespan_ns / 1e6,
+            b.makespan_ns / 1e6,
+            a.pct_overlap(),
+            b.pct_overlap()
+        );
+    }
+}
+
+/// E12 — look-ahead depth sensitivity.
+pub fn e12() {
+    banner("E12  Look-ahead depth sensitivity (makespan, 1/2 BW NVM, no initial placement)");
+    print!("{:<10}", "workload");
+    for d in [1usize, 4, 16, 64] {
+        print!(" {:>9}", format!("depth {d}"));
+    }
+    println!();
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(platform_bw(&app, 0.5));
+        print!("{:<10}", app.name);
+        for depth in [1usize, 4, 16, 64] {
+            let o = TahoeOptions {
+                initial_placement: false,
+                lookahead: depth,
+                ..TahoeOptions::default()
+            };
+            let rep = r.run(&app, &PolicyKind::Tahoe(o));
+            print!(" {:>7.2}ms", rep.makespan_ns / 1e6);
+        }
+        println!();
+    }
+}
+
+/// E13 — NVM write-endurance extension: store traffic shielded from the
+/// NVM and write amplification per policy (Optane platform). Not a paper
+/// figure; an extension natural to PCM-class endurance budgets.
+pub fn e13() {
+    banner("E13  NVM write traffic and shielding (Optane platform)");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "NVM MB (1st)", "NVM MB (tahoe)", "shield(1st)", "shield(tahoe)"
+    );
+    for app in all_workloads(Scale::Bench) {
+        let r = rt(platform_optane(&app));
+        let ft = r.run(&app, &PolicyKind::FirstTouch);
+        let th = r.run(&app, &PolicyKind::tahoe());
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>11.0}% {:>11.0}%",
+            app.name,
+            ft.wear.nvm_written_bytes() as f64 / 1e6,
+            th.wear.nvm_written_bytes() as f64 / 1e6,
+            100.0 * ft.write_shielding(),
+            100.0 * th.write_shielding(),
+        );
+    }
+}
+
+/// Run every experiment in order.
+pub fn all() {
+    e1();
+    e2();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    e9();
+    e10();
+    e11();
+    e12();
+    e13();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_workloads::stream;
+
+    #[test]
+    fn platform_builders_scale_with_app() {
+        let app = stream::app(Scale::Test);
+        let p = platform_bw(&app, 0.5);
+        assert!(p.dram.capacity >= 1 << 20);
+        assert!(p.nvm.capacity >= app.footprint());
+        let q = platform_lat(&app, 4.0);
+        assert!(q.nvm.read_lat_ns > q.dram.read_lat_ns);
+    }
+
+    #[test]
+    fn dram_budget_is_quarter_footprint() {
+        let app = stream::app(Scale::Bench);
+        assert_eq!(dram_budget(&app), app.footprint() / 4);
+    }
+}

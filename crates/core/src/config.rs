@@ -1,0 +1,135 @@
+//! Platform and runtime configuration.
+
+use tahoe_hms::{presets, HmsConfig, TierSpec};
+use tahoe_memprof::SamplerConfig;
+use tahoe_perfmodel::ModelParams;
+
+/// The simulated hardware platform: the two tiers plus the copy engine.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// DRAM tier spec (capacity = the scarce fast-tier budget).
+    pub dram: TierSpec,
+    /// NVM tier spec.
+    pub nvm: TierSpec,
+    /// Copy-channel (helper thread) bandwidth in GB/s. The paper's
+    /// migrations run over ordinary memcpy; a mid-range value between the
+    /// two tiers' bandwidths is the realistic default.
+    pub copy_bw_gbps: f64,
+}
+
+impl Platform {
+    /// A platform from explicit tier specs.
+    pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Self {
+        Platform {
+            dram,
+            nvm,
+            copy_bw_gbps,
+        }
+    }
+
+    /// Quartz-style bandwidth-limited NVM: `bw_frac` of DRAM bandwidth.
+    pub fn emulated_bw(bw_frac: f64, dram_capacity: u64, nvm_capacity: u64) -> Self {
+        let dram = presets::dram(dram_capacity);
+        let nvm = presets::emulated_bw(bw_frac, nvm_capacity);
+        let copy = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
+        Platform::new(dram, nvm, copy)
+    }
+
+    /// Quartz-style latency-limited NVM: `lat_mult` × DRAM latency.
+    pub fn emulated_lat(lat_mult: f64, dram_capacity: u64, nvm_capacity: u64) -> Self {
+        let dram = presets::dram(dram_capacity);
+        let nvm = presets::emulated_lat(lat_mult, nvm_capacity);
+        let copy = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
+        Platform::new(dram, nvm, copy)
+    }
+
+    /// Optane-PMM-like platform.
+    pub fn optane(dram_capacity: u64, nvm_capacity: u64) -> Self {
+        let dram = presets::dram(dram_capacity);
+        let nvm = presets::optane_pmm(nvm_capacity);
+        let copy = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
+        Platform::new(dram, nvm, copy)
+    }
+
+    /// The HMS configuration for this platform.
+    pub fn hms_config(&self) -> HmsConfig {
+        HmsConfig::new(self.dram.clone(), self.nvm.clone(), self.copy_bw_gbps)
+    }
+
+    /// A copy with a different DRAM capacity (sensitivity sweeps).
+    pub fn with_dram_capacity(&self, capacity: u64) -> Self {
+        let mut p = self.clone();
+        p.dram = p.dram.with_capacity(capacity);
+        p
+    }
+}
+
+/// Runtime configuration shared by all policies.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of simulated workers.
+    pub workers: usize,
+    /// Windows spent profiling before the plan is computed (the paper
+    /// profiles the first two iterations).
+    pub profile_windows: u32,
+    /// Minimum profiled instances per task class before its profile is
+    /// trusted.
+    pub min_class_instances: u32,
+    /// Model thresholds/knobs.
+    pub model: ModelParams,
+    /// Sampling profiler configuration.
+    pub sampler: SamplerConfig,
+    /// Chunk size for large-object decomposition, bytes.
+    pub chunk_size: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 4,
+            profile_windows: 2,
+            min_class_instances: 1,
+            model: ModelParams::default(),
+            sampler: SamplerConfig::default(),
+            chunk_size: 512 << 10,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emulated_platforms_have_sane_copy_bandwidth() {
+        let p = Platform::emulated_bw(0.5, 1 << 20, 1 << 30);
+        assert!(p.copy_bw_gbps > 0.0);
+        assert!(p.copy_bw_gbps <= p.dram.read_bw_gbps);
+        let q = Platform::emulated_lat(4.0, 1 << 20, 1 << 30);
+        assert!(q.copy_bw_gbps > 0.0);
+    }
+
+    #[test]
+    fn with_dram_capacity_only_changes_capacity() {
+        let p = Platform::optane(1 << 20, 1 << 30);
+        let q = p.with_dram_capacity(1 << 22);
+        assert_eq!(q.dram.capacity, 1 << 22);
+        assert_eq!(q.dram.read_lat_ns, p.dram.read_lat_ns);
+        assert_eq!(q.nvm.capacity, p.nvm.capacity);
+    }
+
+    #[test]
+    fn default_config_matches_paper_choices() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.profile_windows, 2);
+        assert_eq!(c.sampler.interval, 1000);
+    }
+}

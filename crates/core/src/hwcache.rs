@@ -1,0 +1,95 @@
+//! The hardware-DRAM-cache baseline (Optane Memory Mode / DRAM-cache).
+//!
+//! In Memory Mode the DRAM is a direct-mapped, write-back cache in front
+//! of NVM, invisible to software. We model it at object granularity with
+//! a uniform hit ratio: with `footprint` bytes of hot data competing for
+//! `dram` bytes of cache, a fraction `h = dram / footprint` of traffic
+//! hits DRAM; misses pay the NVM access plus a DRAM fill, and a dirty
+//! fraction of evictions pays an NVM write-back. This is the standard
+//! analytical treatment of a big direct-mapped cache under uniform
+//! pressure; it deliberately ignores object-level locality differences —
+//! exactly the blindness that makes Memory Mode lose to software
+//! placement in the paper's comparison.
+
+use tahoe_hms::{AccessProfile, Ns, TierSpec, CACHELINE};
+
+/// Fraction of evicted lines assumed dirty (write-back traffic).
+const DIRTY_FRACTION: f64 = 0.5;
+
+/// Effective memory time of `profile` under a DRAM cache of `dram_bytes`
+/// in front of NVM, with `footprint` bytes of live data.
+pub fn cached_mem_time_ns(
+    profile: &AccessProfile,
+    dram: &TierSpec,
+    nvm: &TierSpec,
+    dram_bytes: u64,
+    footprint: u64,
+) -> Ns {
+    let h = if footprint == 0 {
+        1.0
+    } else {
+        (dram_bytes as f64 / footprint as f64).min(1.0)
+    };
+    let hit_time = profile.mem_time_ns(dram);
+    // A miss pays the NVM access; the DRAM fill overlaps it (DRAM write
+    // bandwidth far exceeds NVM read bandwidth). Dirty evictions push
+    // lines back to NVM at its write bandwidth — the traffic that makes
+    // Memory Mode lose to managed placement on write-heavy streams.
+    let miss_time = profile.mem_time_ns(nvm)
+        + DIRTY_FRACTION * profile.accesses() as f64 * CACHELINE as f64 / nvm.write_bw_gbps;
+    h * hit_time + (1.0 - h) * miss_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::presets;
+
+    #[test]
+    fn full_cache_equals_dram() {
+        let dram = presets::dram(1 << 30);
+        let nvm = presets::optane_pmm(1 << 34);
+        let p = AccessProfile::streaming(100_000, 50_000);
+        let t = cached_mem_time_ns(&p, &dram, &nvm, 1 << 30, 1 << 30);
+        assert!((t - p.mem_time_ns(&dram)).abs() < 1e-9);
+        // Zero footprint behaves like all-hit.
+        let t0 = cached_mem_time_ns(&p, &dram, &nvm, 1 << 30, 0);
+        assert!((t0 - p.mem_time_ns(&dram)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_cache_is_worse_than_nvm_raw() {
+        // With h≈0 every access pays NVM plus fill plus write-back: the
+        // cache *hurts* (the well-known Memory-Mode pathology for
+        // streaming-over-capacity workloads).
+        let dram = presets::dram(1 << 30);
+        let nvm = presets::optane_pmm(1 << 34);
+        let p = AccessProfile::streaming(1_000_000, 0);
+        let cached = cached_mem_time_ns(&p, &dram, &nvm, 1, u64::MAX);
+        assert!(cached > p.mem_time_ns(&nvm));
+    }
+
+    #[test]
+    fn time_decreases_monotonically_with_cache_size() {
+        let dram = presets::dram(1 << 30);
+        let nvm = presets::emulated_bw(0.25, 1 << 34);
+        let p = AccessProfile::streaming(500_000, 250_000);
+        let foot = 1 << 30;
+        let mut last = f64::INFINITY;
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = cached_mem_time_ns(&p, &dram, &nvm, (foot as f64 * frac) as u64, foot);
+            assert!(t <= last + 1e-9, "not monotone at {frac}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn halfway_cache_is_between_bounds() {
+        let dram = presets::dram(1 << 30);
+        let nvm = presets::optane_pmm(1 << 34);
+        let p = AccessProfile::streaming(500_000, 100_000);
+        let t = cached_mem_time_ns(&p, &dram, &nvm, 1 << 29, 1 << 30);
+        assert!(t > p.mem_time_ns(&dram));
+        assert!(t < cached_mem_time_ns(&p, &dram, &nvm, 0, 1 << 30));
+    }
+}

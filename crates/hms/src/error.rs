@@ -1,0 +1,69 @@
+//! Error type for heterogeneous-memory operations.
+
+use crate::object::ObjectId;
+use crate::tier::TierKind;
+use std::fmt;
+
+/// Errors produced by the HMS object manager and allocator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HmsError {
+    /// The requested tier cannot hold the allocation (and fallback was not
+    /// permitted or also failed).
+    OutOfMemory {
+        /// Tier that was asked for the bytes.
+        tier: TierKind,
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous free block currently available in that tier.
+        largest_free: u64,
+    },
+    /// An operation referenced an object id that is not live.
+    NoSuchObject(ObjectId),
+    /// The object is already resident on the requested tier.
+    AlreadyResident(ObjectId, TierKind),
+    /// An allocation of zero bytes was requested.
+    ZeroSizeAllocation,
+    /// The object is pinned (tasks using it are in flight) and cannot be
+    /// migrated or freed.
+    Pinned(ObjectId),
+}
+
+impl fmt::Display for HmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmsError::OutOfMemory {
+                tier,
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of memory on {tier}: requested {requested} B, largest free block {largest_free} B"
+            ),
+            HmsError::NoSuchObject(id) => write!(f, "no such object: {id:?}"),
+            HmsError::AlreadyResident(id, tier) => {
+                write!(f, "object {id:?} already resident on {tier}")
+            }
+            HmsError::ZeroSizeAllocation => write!(f, "zero-size allocation"),
+            HmsError::Pinned(id) => write!(f, "object {id:?} is pinned by in-flight tasks"),
+        }
+    }
+}
+
+impl std::error::Error for HmsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HmsError::OutOfMemory {
+            tier: TierKind::Dram,
+            requested: 128,
+            largest_free: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("DRAM") && s.contains("128") && s.contains("64"));
+        assert!(HmsError::ZeroSizeAllocation.to_string().contains("zero"));
+    }
+}

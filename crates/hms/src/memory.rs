@@ -1,0 +1,523 @@
+//! The heterogeneous memory manager: object-granularity placement over a
+//! DRAM tier and an NVM tier, each backed by a real allocator.
+
+use std::collections::HashMap;
+
+use crate::alloc::TierAllocator;
+use crate::error::HmsError;
+use crate::object::{ObjectId, ObjectMeta};
+use crate::tier::{TierKind, TierSpec};
+
+/// Configuration of the two-tier memory system.
+#[derive(Debug, Clone)]
+pub struct HmsConfig {
+    /// Fast-tier device model.
+    pub dram: TierSpec,
+    /// Slow-tier device model.
+    pub nvm: TierSpec,
+    /// Bandwidth of the inter-tier copy engine (helper thread), GB/s.
+    pub copy_bw_gbps: f64,
+}
+
+impl HmsConfig {
+    /// Convenience constructor validating both tiers.
+    pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Self {
+        dram.validate().expect("invalid DRAM spec");
+        nvm.validate().expect("invalid NVM spec");
+        assert!(copy_bw_gbps > 0.0);
+        HmsConfig {
+            dram,
+            nvm,
+            copy_bw_gbps,
+        }
+    }
+
+    /// The spec of one tier.
+    pub fn tier(&self, kind: TierKind) -> &TierSpec {
+        match kind {
+            TierKind::Dram => &self.dram,
+            TierKind::Nvm => &self.nvm,
+        }
+    }
+}
+
+/// Where each live object currently resides, with allocator state.
+#[derive(Debug)]
+struct ObjectRecord {
+    meta: ObjectMeta,
+    tier: TierKind,
+    addr: u64,
+    /// Number of in-flight tasks touching the object (pins block moves).
+    pins: u32,
+}
+
+/// Snapshot of tier residency, for assertions and reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidencySnapshot {
+    /// Objects currently in DRAM.
+    pub dram: Vec<ObjectId>,
+    /// Objects currently in NVM.
+    pub nvm: Vec<ObjectId>,
+    /// Bytes used in DRAM.
+    pub dram_used: u64,
+    /// Bytes used in NVM.
+    pub nvm_used: u64,
+}
+
+/// The heterogeneous memory system: object table plus one allocator per
+/// tier.
+///
+/// This is the paper's user-level DRAM management service generalized to
+/// both tiers. All placement changes go through [`Hms::move_object`], which
+/// enforces pinning (never move an object while a task that declared it is
+/// in flight) and capacity (allocation in the destination must succeed
+/// before the source copy is released).
+#[derive(Debug)]
+pub struct Hms {
+    config: HmsConfig,
+    dram: TierAllocator,
+    nvm: TierAllocator,
+    objects: HashMap<ObjectId, ObjectRecord>,
+    next_id: u32,
+    /// Count of failed DRAM allocations that fell back to NVM.
+    pub dram_fallbacks: u64,
+}
+
+impl Hms {
+    /// Create an empty memory system.
+    pub fn new(config: HmsConfig) -> Self {
+        let dram = TierAllocator::new(config.dram.capacity);
+        let nvm = TierAllocator::new(config.nvm.capacity);
+        Hms {
+            config,
+            dram,
+            nvm,
+            objects: HashMap::new(),
+            next_id: 0,
+            dram_fallbacks: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &HmsConfig {
+        &self.config
+    }
+
+    /// The device spec of `kind`.
+    pub fn tier_spec(&self, kind: TierKind) -> &TierSpec {
+        self.config.tier(kind)
+    }
+
+    fn allocator(&mut self, kind: TierKind) -> &mut TierAllocator {
+        match kind {
+            TierKind::Dram => &mut self.dram,
+            TierKind::Nvm => &mut self.nvm,
+        }
+    }
+
+    fn allocator_ref(&self, kind: TierKind) -> &TierAllocator {
+        match kind {
+            TierKind::Dram => &self.dram,
+            TierKind::Nvm => &self.nvm,
+        }
+    }
+
+    /// Allocate a new data object on `preferred`, falling back to the
+    /// other tier if `fallback` is set and the preferred tier is full
+    /// (the paper's default: everything that does not fit in DRAM starts
+    /// in NVM).
+    pub fn alloc_object(
+        &mut self,
+        name: &str,
+        size: u64,
+        preferred: TierKind,
+        fallback: bool,
+    ) -> Result<ObjectId, HmsError> {
+        if size == 0 {
+            return Err(HmsError::ZeroSizeAllocation);
+        }
+        let (tier, addr) = match self.allocator(preferred).alloc(size) {
+            Some(addr) => (preferred, addr),
+            None if fallback => {
+                if preferred == TierKind::Dram {
+                    self.dram_fallbacks += 1;
+                }
+                let other = preferred.other();
+                match self.allocator(other).alloc(size) {
+                    Some(addr) => (other, addr),
+                    None => {
+                        return Err(HmsError::OutOfMemory {
+                            tier: other,
+                            requested: size,
+                            largest_free: self.allocator_ref(other).largest_free_block(),
+                        })
+                    }
+                }
+            }
+            None => {
+                return Err(HmsError::OutOfMemory {
+                    tier: preferred,
+                    requested: size,
+                    largest_free: self.allocator_ref(preferred).largest_free_block(),
+                })
+            }
+        };
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(
+            id,
+            ObjectRecord {
+                meta: ObjectMeta {
+                    id,
+                    name: name.to_string(),
+                    size,
+                    chunk_of: None,
+                },
+                tier,
+                addr,
+                pins: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Register a chunk object (metadata bookkeeping for large-object
+    /// decomposition). The chunk is allocated like a normal object.
+    pub fn alloc_chunk(
+        &mut self,
+        parent: ObjectId,
+        index: u32,
+        name: &str,
+        size: u64,
+        preferred: TierKind,
+        fallback: bool,
+    ) -> Result<ObjectId, HmsError> {
+        let id = self.alloc_object(name, size, preferred, fallback)?;
+        if let Some(rec) = self.objects.get_mut(&id) {
+            rec.meta.chunk_of = Some((parent, index));
+        }
+        Ok(id)
+    }
+
+    /// Free an object. Fails if pinned.
+    pub fn free_object(&mut self, id: ObjectId) -> Result<(), HmsError> {
+        let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
+        if rec.pins > 0 {
+            return Err(HmsError::Pinned(id));
+        }
+        let rec = self.objects.remove(&id).expect("checked above");
+        self.allocator(rec.tier)
+            .free(rec.addr)
+            .expect("object address must be live in its tier allocator");
+        Ok(())
+    }
+
+    /// Current tier of an object.
+    pub fn tier_of(&self, id: ObjectId) -> Result<TierKind, HmsError> {
+        self.objects
+            .get(&id)
+            .map(|r| r.tier)
+            .ok_or(HmsError::NoSuchObject(id))
+    }
+
+    /// Metadata of an object.
+    pub fn meta(&self, id: ObjectId) -> Result<&ObjectMeta, HmsError> {
+        self.objects
+            .get(&id)
+            .map(|r| &r.meta)
+            .ok_or(HmsError::NoSuchObject(id))
+    }
+
+    /// Size of an object in bytes.
+    pub fn size_of(&self, id: ObjectId) -> Result<u64, HmsError> {
+        self.meta(id).map(|m| m.size)
+    }
+
+    /// Pin an object against migration (a task that declared it started).
+    pub fn pin(&mut self, id: ObjectId) -> Result<(), HmsError> {
+        let rec = self.objects.get_mut(&id).ok_or(HmsError::NoSuchObject(id))?;
+        rec.pins += 1;
+        Ok(())
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, id: ObjectId) -> Result<(), HmsError> {
+        let rec = self.objects.get_mut(&id).ok_or(HmsError::NoSuchObject(id))?;
+        debug_assert!(rec.pins > 0, "unbalanced unpin of {id:?}");
+        rec.pins = rec.pins.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Number of pins currently held on `id`.
+    pub fn pin_count(&self, id: ObjectId) -> Result<u32, HmsError> {
+        self.objects
+            .get(&id)
+            .map(|r| r.pins)
+            .ok_or(HmsError::NoSuchObject(id))
+    }
+
+    /// Move an object to `to`. Returns the number of bytes moved.
+    ///
+    /// The destination allocation is obtained before the source is freed,
+    /// as a real runtime must (the copy needs both resident). Fails if the
+    /// object is pinned, missing, already there, or the destination can't
+    /// hold it.
+    pub fn move_object(&mut self, id: ObjectId, to: TierKind) -> Result<u64, HmsError> {
+        let (size, from, old_addr, pins) = {
+            let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
+            (rec.meta.size, rec.tier, rec.addr, rec.pins)
+        };
+        if from == to {
+            return Err(HmsError::AlreadyResident(id, to));
+        }
+        if pins > 0 {
+            return Err(HmsError::Pinned(id));
+        }
+        let new_addr = self
+            .allocator(to)
+            .alloc(size)
+            .ok_or_else(|| HmsError::OutOfMemory {
+                tier: to,
+                requested: size,
+                largest_free: self.allocator_ref(to).largest_free_block(),
+            })?;
+        self.allocator(from)
+            .free(old_addr)
+            .expect("source address must be live");
+        let rec = self.objects.get_mut(&id).expect("checked above");
+        rec.tier = to;
+        rec.addr = new_addr;
+        Ok(size)
+    }
+
+    /// Whether `bytes` more would fit on `tier` right now.
+    pub fn can_fit(&self, tier: TierKind, bytes: u64) -> bool {
+        self.allocator_ref(tier).can_fit(bytes)
+    }
+
+    /// Bytes used on `tier`.
+    pub fn used(&self, tier: TierKind) -> u64 {
+        self.allocator_ref(tier).used()
+    }
+
+    /// Bytes free on `tier`.
+    pub fn free_bytes(&self, tier: TierKind) -> u64 {
+        self.allocator_ref(tier).free_bytes()
+    }
+
+    /// External fragmentation of `tier`.
+    pub fn fragmentation(&self, tier: TierKind) -> f64 {
+        self.allocator_ref(tier).fragmentation()
+    }
+
+    /// Ids of all live objects, ascending.
+    pub fn live_objects(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.objects.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Ids of objects resident on `tier`, ascending.
+    pub fn objects_on(&self, tier: TierKind) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, r)| r.tier == tier)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Residency snapshot for reporting.
+    pub fn snapshot(&self) -> ResidencySnapshot {
+        ResidencySnapshot {
+            dram: self.objects_on(TierKind::Dram),
+            nvm: self.objects_on(TierKind::Nvm),
+            dram_used: self.used(TierKind::Dram),
+            nvm_used: self.used(TierKind::Nvm),
+        }
+    }
+
+    /// Total footprint of live objects.
+    pub fn footprint(&self) -> u64 {
+        self.objects.values().map(|r| r.meta.size).sum()
+    }
+
+    /// Check cross-structure invariants (object table vs allocators).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.dram.check_invariants()?;
+        self.nvm.check_invariants()?;
+        let mut dram_bytes = 0;
+        let mut nvm_bytes = 0;
+        for rec in self.objects.values() {
+            match rec.tier {
+                TierKind::Dram => dram_bytes += rec.meta.size,
+                TierKind::Nvm => nvm_bytes += rec.meta.size,
+            }
+        }
+        if dram_bytes != self.dram.used() {
+            return Err(format!(
+                "DRAM object bytes {dram_bytes} != allocator used {}",
+                self.dram.used()
+            ));
+        }
+        if nvm_bytes != self.nvm.used() {
+            return Err(format!(
+                "NVM object bytes {nvm_bytes} != allocator used {}",
+                self.nvm.used()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn small_hms(dram_cap: u64, nvm_cap: u64) -> Hms {
+        Hms::new(HmsConfig::new(
+            presets::dram(dram_cap),
+            presets::optane_pmm(nvm_cap),
+            5.0,
+        ))
+    }
+
+    #[test]
+    fn alloc_prefers_requested_tier() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 512, TierKind::Dram, true).unwrap();
+        assert_eq!(h.tier_of(a).unwrap(), TierKind::Dram);
+        assert_eq!(h.used(TierKind::Dram), 512);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dram_overflow_falls_back_to_nvm() {
+        let mut h = small_hms(1024, 4096);
+        let _a = h.alloc_object("a", 1000, TierKind::Dram, true).unwrap();
+        let b = h.alloc_object("b", 512, TierKind::Dram, true).unwrap();
+        assert_eq!(h.tier_of(b).unwrap(), TierKind::Nvm);
+        assert_eq!(h.dram_fallbacks, 1);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn no_fallback_errors_out() {
+        let mut h = small_hms(1024, 4096);
+        let _a = h.alloc_object("a", 1000, TierKind::Dram, false).unwrap();
+        let err = h.alloc_object("b", 512, TierKind::Dram, false).unwrap_err();
+        assert!(matches!(err, HmsError::OutOfMemory { tier: TierKind::Dram, .. }));
+    }
+
+    #[test]
+    fn both_tiers_full_is_oom() {
+        let mut h = small_hms(64, 64);
+        let _ = h.alloc_object("a", 64, TierKind::Dram, true).unwrap();
+        let _ = h.alloc_object("b", 64, TierKind::Nvm, true).unwrap();
+        assert!(h.alloc_object("c", 1, TierKind::Dram, true).is_err());
+    }
+
+    #[test]
+    fn move_object_updates_residency_and_accounting() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 256, TierKind::Nvm, false).unwrap();
+        let moved = h.move_object(a, TierKind::Dram).unwrap();
+        assert_eq!(moved, 256);
+        assert_eq!(h.tier_of(a).unwrap(), TierKind::Dram);
+        assert_eq!(h.used(TierKind::Nvm), 0);
+        assert_eq!(h.used(TierKind::Dram), 256);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn move_to_same_tier_is_error() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 64, TierKind::Dram, false).unwrap();
+        assert_eq!(
+            h.move_object(a, TierKind::Dram),
+            Err(HmsError::AlreadyResident(a, TierKind::Dram))
+        );
+    }
+
+    #[test]
+    fn move_respects_destination_capacity() {
+        let mut h = small_hms(100, 4096);
+        let big = h.alloc_object("big", 512, TierKind::Nvm, false).unwrap();
+        let err = h.move_object(big, TierKind::Dram).unwrap_err();
+        assert!(matches!(err, HmsError::OutOfMemory { tier: TierKind::Dram, .. }));
+        // Object must still be intact in NVM after the failed move.
+        assert_eq!(h.tier_of(big).unwrap(), TierKind::Nvm);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pinned_object_cannot_move_or_free() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 64, TierKind::Nvm, false).unwrap();
+        h.pin(a).unwrap();
+        assert_eq!(h.move_object(a, TierKind::Dram), Err(HmsError::Pinned(a)));
+        assert_eq!(h.free_object(a), Err(HmsError::Pinned(a)));
+        h.unpin(a).unwrap();
+        assert!(h.move_object(a, TierKind::Dram).is_ok());
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn pin_is_counted() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 64, TierKind::Nvm, false).unwrap();
+        h.pin(a).unwrap();
+        h.pin(a).unwrap();
+        assert_eq!(h.pin_count(a).unwrap(), 2);
+        h.unpin(a).unwrap();
+        assert_eq!(h.pin_count(a).unwrap(), 1);
+        // Still pinned by one task.
+        assert_eq!(h.move_object(a, TierKind::Dram), Err(HmsError::Pinned(a)));
+    }
+
+    #[test]
+    fn free_returns_bytes_to_tier() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 300, TierKind::Dram, false).unwrap();
+        h.free_object(a).unwrap();
+        assert_eq!(h.used(TierKind::Dram), 0);
+        assert!(matches!(h.tier_of(a), Err(HmsError::NoSuchObject(_))));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn snapshot_partitions_objects() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 100, TierKind::Dram, false).unwrap();
+        let b = h.alloc_object("b", 200, TierKind::Nvm, false).unwrap();
+        let snap = h.snapshot();
+        assert_eq!(snap.dram, vec![a]);
+        assert_eq!(snap.nvm, vec![b]);
+        assert_eq!(snap.dram_used, 100);
+        assert_eq!(snap.nvm_used, 200);
+        assert_eq!(h.footprint(), 300);
+    }
+
+    #[test]
+    fn chunk_allocation_links_parent() {
+        let mut h = small_hms(1024, 4096);
+        let parent = h.alloc_object("p", 512, TierKind::Nvm, false).unwrap();
+        let c = h
+            .alloc_chunk(parent, 3, "p[3]", 128, TierKind::Nvm, false)
+            .unwrap();
+        assert_eq!(h.meta(c).unwrap().chunk_of, Some((parent, 3)));
+        assert!(h.meta(c).unwrap().is_chunk());
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let mut h = small_hms(1024, 4096);
+        assert_eq!(
+            h.alloc_object("z", 0, TierKind::Dram, true),
+            Err(HmsError::ZeroSizeAllocation)
+        );
+    }
+}

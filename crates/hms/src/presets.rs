@@ -1,0 +1,181 @@
+//! Device presets for the memory technologies the paper family tabulates.
+//!
+//! The numbers come from the published NVM characteristics table that both
+//! the SC paper and its journal sibling reproduce (NVMDB survey for
+//! STT-RAM/PCRAM/ReRAM; the UCSD Optane PMM characterization for Optane):
+//!
+//! | Device   | read lat | write lat | read BW    | write BW  |
+//! |----------|---------:|----------:|-----------:|----------:|
+//! | DRAM     | 10 ns    | 10 ns     | 10 GB/s    | 9 GB/s    |
+//! | STT-RAM  | 60 ns    | 80 ns     | 0.8 GB/s   | 0.6 GB/s  |
+//! | PCRAM    | 100 ns   | 1000 ns   | 0.5 GB/s   | 0.3 GB/s  |
+//! | ReRAM    | 300 ns   | 3000 ns   | 0.06 GB/s  | 0.005 GB/s|
+//! | Optane   | 250 ns   | 150 ns    | 3.9 GB/s   | 1.3 GB/s  |
+//!
+//! PCRAM/ReRAM latencies are midpoints of the published ranges. Presets
+//! take an explicit capacity because the capacity ratio between DRAM and
+//! NVM is an experimental variable, not a device property.
+
+use crate::tier::TierSpec;
+
+/// DDR4-class DRAM: the fast tier reference point.
+pub fn dram(capacity: u64) -> TierSpec {
+    TierSpec {
+        name: "DRAM".into(),
+        read_lat_ns: 10.0,
+        write_lat_ns: 10.0,
+        read_bw_gbps: 10.0,
+        write_bw_gbps: 9.0,
+        capacity,
+    }
+}
+
+/// STT-RAM per the ITRS'13 projection used in the paper's table.
+pub fn stt_ram(capacity: u64) -> TierSpec {
+    TierSpec {
+        name: "STT-RAM".into(),
+        read_lat_ns: 60.0,
+        write_lat_ns: 80.0,
+        read_bw_gbps: 0.8,
+        write_bw_gbps: 0.6,
+        capacity,
+    }
+}
+
+/// Phase-change memory (PCRAM); write latency is strongly asymmetric.
+pub fn pcram(capacity: u64) -> TierSpec {
+    TierSpec {
+        name: "PCRAM".into(),
+        read_lat_ns: 100.0,
+        write_lat_ns: 1000.0,
+        read_bw_gbps: 0.5,
+        write_bw_gbps: 0.3,
+        capacity,
+    }
+}
+
+/// Resistive RAM (ReRAM); the most bandwidth-starved candidate.
+pub fn reram(capacity: u64) -> TierSpec {
+    TierSpec {
+        name: "ReRAM".into(),
+        read_lat_ns: 300.0,
+        write_lat_ns: 3000.0,
+        read_bw_gbps: 0.06,
+        write_bw_gbps: 0.005,
+        capacity,
+    }
+}
+
+/// Intel Optane DC PMM (App-Direct-mode NUMA-node view).
+///
+/// Note the *reversed* latency asymmetry (writes appear faster than reads
+/// because of the iMC write buffering) and the read/write bandwidth gap —
+/// this preset is what makes the read/write-distinction ablation (E10)
+/// meaningful.
+pub fn optane_pmm(capacity: u64) -> TierSpec {
+    TierSpec {
+        name: "Optane PMM".into(),
+        read_lat_ns: 250.0,
+        write_lat_ns: 150.0,
+        read_bw_gbps: 3.9,
+        write_bw_gbps: 1.3,
+        capacity,
+    }
+}
+
+/// Quartz-style emulated NVM: DRAM with bandwidth scaled to `bw_frac` of
+/// DRAM's (latency unchanged). `emulated_bw(0.5, c)` is the paper's
+/// "1/2 DRAM BW" configuration.
+pub fn emulated_bw(bw_frac: f64, capacity: u64) -> TierSpec {
+    let mut t = dram(capacity).scale_bandwidth(bw_frac);
+    t.name = format!("NVM({}x BW)", bw_frac);
+    t
+}
+
+/// Quartz-style emulated NVM: DRAM with latency scaled by `lat_mult`
+/// (bandwidth unchanged). `emulated_lat(4.0, c)` is "4x DRAM latency".
+pub fn emulated_lat(lat_mult: f64, capacity: u64) -> TierSpec {
+    let mut t = dram(capacity).scale_latency(lat_mult);
+    t.name = format!("NVM({}x LAT)", lat_mult);
+    t
+}
+
+/// NUMA-remote-node emulation as used for the paper's strong-scaling runs:
+/// 60% of DRAM bandwidth and 1.89x DRAM latency.
+pub fn numa_remote(capacity: u64) -> TierSpec {
+    let mut t = dram(capacity).scale_bandwidth(0.6).scale_latency(1.89);
+    t.name = "NVM(NUMA-remote)".into();
+    t
+}
+
+/// Every named device preset, for table-driven tests and sweeps.
+pub fn all_nvm_presets(capacity: u64) -> Vec<TierSpec> {
+    vec![
+        stt_ram(capacity),
+        pcram(capacity),
+        reram(capacity),
+        optane_pmm(capacity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        let cap = 1 << 30;
+        for spec in all_nvm_presets(cap).iter().chain([&dram(cap)]) {
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(spec.capacity, cap);
+        }
+    }
+
+    #[test]
+    fn nvm_presets_are_slower_than_dram() {
+        let cap = 1 << 30;
+        let d = dram(cap);
+        for spec in all_nvm_presets(cap) {
+            assert!(
+                spec.read_lat_ns > d.read_lat_ns,
+                "{} read latency should exceed DRAM",
+                spec.name
+            );
+            assert!(
+                spec.read_bw_gbps < d.read_bw_gbps,
+                "{} read bandwidth should be below DRAM",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn optane_write_latency_is_below_read() {
+        let o = optane_pmm(1);
+        assert!(o.write_lat_ns < o.read_lat_ns);
+        assert!(o.write_bw_gbps < o.read_bw_gbps);
+    }
+
+    #[test]
+    fn emulated_bw_halves_only_bandwidth() {
+        let e = emulated_bw(0.5, 1 << 20);
+        let d = dram(1 << 20);
+        assert!((e.read_bw_gbps - d.read_bw_gbps / 2.0).abs() < 1e-12);
+        assert!((e.read_lat_ns - d.read_lat_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emulated_lat_scales_only_latency() {
+        let e = emulated_lat(8.0, 1 << 20);
+        let d = dram(1 << 20);
+        assert!((e.read_lat_ns - 80.0).abs() < 1e-12);
+        assert!((e.write_bw_gbps - d.write_bw_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numa_remote_matches_published_point() {
+        let e = numa_remote(1 << 20);
+        assert!((e.read_bw_gbps - 6.0).abs() < 1e-9);
+        assert!((e.read_lat_ns - 18.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Memory tier identities and device specifications.
+
+use std::fmt;
+
+/// Which of the two tiers of the heterogeneous memory system a byte lives
+/// in.
+///
+/// The paper's HMS pairs a small, fast DRAM with a large, slow NVM in a
+/// single physical address space; allocation between them is managed at
+/// user level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TierKind {
+    /// The fast, small tier (DRAM).
+    Dram,
+    /// The slow, large tier (non-volatile memory).
+    Nvm,
+}
+
+impl TierKind {
+    /// The other tier.
+    #[inline]
+    pub fn other(self) -> TierKind {
+        match self {
+            TierKind::Dram => TierKind::Nvm,
+            TierKind::Nvm => TierKind::Dram,
+        }
+    }
+
+    /// All tiers, DRAM first.
+    pub const ALL: [TierKind; 2] = [TierKind::Dram, TierKind::Nvm];
+}
+
+impl fmt::Display for TierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierKind::Dram => write!(f, "DRAM"),
+            TierKind::Nvm => write!(f, "NVM"),
+        }
+    }
+}
+
+/// Performance and capacity specification of one memory tier.
+///
+/// Latencies are per *dependent* cache-line access; bandwidths are the
+/// sustainable sequential rates. Read and write are kept separate because
+/// every candidate NVM technology is read/write-asymmetric — the paper's
+/// models split `#load` and `#store` terms for exactly this reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSpec {
+    /// Human-readable device name (e.g. `"DRAM"`, `"Optane PMM"`).
+    pub name: String,
+    /// Latency of a dependent read, in nanoseconds.
+    pub read_lat_ns: f64,
+    /// Latency of a dependent write, in nanoseconds.
+    pub write_lat_ns: f64,
+    /// Sustained read bandwidth, in GB/s (== bytes/ns).
+    pub read_bw_gbps: f64,
+    /// Sustained write bandwidth, in GB/s (== bytes/ns).
+    pub write_bw_gbps: f64,
+    /// Usable capacity in bytes.
+    pub capacity: u64,
+}
+
+impl TierSpec {
+    /// Create a spec with symmetric read/write behaviour.
+    pub fn symmetric(name: &str, lat_ns: f64, bw_gbps: f64, capacity: u64) -> Self {
+        TierSpec {
+            name: name.to_string(),
+            read_lat_ns: lat_ns,
+            write_lat_ns: lat_ns,
+            read_bw_gbps: bw_gbps,
+            write_bw_gbps: bw_gbps,
+            capacity,
+        }
+    }
+
+    /// Return a copy with a different capacity.
+    pub fn with_capacity(&self, capacity: u64) -> Self {
+        TierSpec {
+            capacity,
+            ..self.clone()
+        }
+    }
+
+    /// Return a copy with bandwidth scaled by `frac` (Quartz-style
+    /// bandwidth throttling, e.g. `frac = 0.5` models "1/2 DRAM BW").
+    pub fn scale_bandwidth(&self, frac: f64) -> Self {
+        assert!(frac > 0.0, "bandwidth fraction must be positive");
+        TierSpec {
+            name: format!("{} x{:.3}BW", self.name, frac),
+            read_bw_gbps: self.read_bw_gbps * frac,
+            write_bw_gbps: self.write_bw_gbps * frac,
+            ..self.clone()
+        }
+    }
+
+    /// Return a copy with latency scaled by `mult` (Quartz-style latency
+    /// injection, e.g. `mult = 4.0` models "4x DRAM latency").
+    pub fn scale_latency(&self, mult: f64) -> Self {
+        assert!(mult > 0.0, "latency multiplier must be positive");
+        TierSpec {
+            name: format!("{} x{:.3}LAT", self.name, mult),
+            read_lat_ns: self.read_lat_ns * mult,
+            write_lat_ns: self.write_lat_ns * mult,
+            ..self.clone()
+        }
+    }
+
+    /// Geometric-mean bandwidth across reads and writes, used as the
+    /// single-number "peak bandwidth" in sensitivity thresholds.
+    pub fn mean_bw_gbps(&self) -> f64 {
+        (self.read_bw_gbps * self.write_bw_gbps).sqrt()
+    }
+
+    /// Ratio of write latency to read latency (1.0 for symmetric devices).
+    pub fn write_read_lat_ratio(&self) -> f64 {
+        self.write_lat_ns / self.read_lat_ns
+    }
+
+    /// Validate that the spec is physically sensible.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.read_lat_ns > 0.0 && self.write_lat_ns > 0.0) {
+            return Err(format!("{}: latencies must be positive", self.name));
+        }
+        if !(self.read_bw_gbps > 0.0 && self.write_bw_gbps > 0.0) {
+            return Err(format!("{}: bandwidths must be positive", self.name));
+        }
+        if self.capacity == 0 {
+            return Err(format!("{}: capacity must be nonzero", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_flips() {
+        assert_eq!(TierKind::Dram.other(), TierKind::Nvm);
+        assert_eq!(TierKind::Nvm.other(), TierKind::Dram);
+        assert_eq!(TierKind::Dram.other().other(), TierKind::Dram);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TierKind::Dram.to_string(), "DRAM");
+        assert_eq!(TierKind::Nvm.to_string(), "NVM");
+    }
+
+    #[test]
+    fn symmetric_spec_round_trip() {
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30);
+        assert_eq!(s.read_lat_ns, s.write_lat_ns);
+        assert_eq!(s.read_bw_gbps, s.write_bw_gbps);
+        assert!((s.write_read_lat_ratio() - 1.0).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn bandwidth_scaling_halves_both_directions() {
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30).scale_bandwidth(0.5);
+        assert!((s.read_bw_gbps - 5.0).abs() < 1e-12);
+        assert!((s.write_bw_gbps - 5.0).abs() < 1e-12);
+        // Latency untouched.
+        assert!((s.read_lat_ns - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_scaling_multiplies_both_directions() {
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30).scale_latency(4.0);
+        assert!((s.read_lat_ns - 40.0).abs() < 1e-12);
+        assert!((s.write_lat_ns - 40.0).abs() < 1e-12);
+        assert!((s.read_bw_gbps - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_bw_is_geometric() {
+        let s = TierSpec {
+            name: "x".into(),
+            read_lat_ns: 1.0,
+            write_lat_ns: 1.0,
+            read_bw_gbps: 4.0,
+            write_bw_gbps: 1.0,
+            capacity: 1,
+        };
+        assert!((s.mean_bw_gbps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 20);
+        s.capacity = 0;
+        assert!(s.validate().is_err());
+        let mut s2 = TierSpec::symmetric("t", 0.0, 10.0, 1);
+        s2.read_lat_ns = 0.0;
+        assert!(s2.validate().is_err());
+    }
+}

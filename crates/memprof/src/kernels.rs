@@ -1,0 +1,57 @@
+//! Calibration kernels: STREAM triad and pointer chase.
+//!
+//! The paper measures its model-correction constants against two
+//! microbenchmarks with known behaviour: STREAM (pure bandwidth, maximal
+//! memory concurrency) and pChase (pure latency, a single dependent
+//! chain). Here the kernels are expressed as ground-truth access profiles
+//! fed through the same sampling and timing paths as application tasks.
+
+use tahoe_hms::AccessProfile;
+
+/// Memory-level parallelism of a hardware-prefetched streaming loop.
+pub const STREAM_MLP: f64 = 16.0;
+
+/// STREAM triad over `n` elements-per-array of 64-byte lines:
+/// `a[i] = b[i] + s * c[i]` reads two arrays and writes one.
+pub fn stream_triad(lines_per_array: u64) -> AccessProfile {
+    AccessProfile::new(2 * lines_per_array, lines_per_array, STREAM_MLP)
+}
+
+/// Pointer chase over `n` nodes: `n` fully dependent loads, no stores,
+/// no memory-level parallelism.
+pub fn pchase(nodes: u64) -> AccessProfile {
+    AccessProfile::pointer_chase(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::presets;
+
+    #[test]
+    fn stream_shape() {
+        let p = stream_triad(1000);
+        assert_eq!(p.loads, 2000);
+        assert_eq!(p.stores, 1000);
+        assert!(p.mlp >= 8.0);
+    }
+
+    #[test]
+    fn stream_saturates_bandwidth_on_dram() {
+        let dram = presets::dram(1 << 30);
+        let p = stream_triad(1_000_000);
+        // STREAM must be bandwidth-limited and achieve a large fraction of
+        // peak (it is the benchmark that *defines* achievable peak).
+        assert!(p.bandwidth_limited_on(&dram));
+        assert!(p.achieved_bw_gbps(&dram) > 0.9 * dram.write_bw_gbps);
+    }
+
+    #[test]
+    fn pchase_is_latency_bound_on_slow_memory() {
+        let optane = presets::optane_pmm(1 << 30);
+        let p = pchase(1_000_000);
+        assert!(!p.bandwidth_limited_on(&optane));
+        // Achieved bandwidth of a dependent chain is far below peak.
+        assert!(p.achieved_bw_gbps(&optane) < 0.2 * optane.read_bw_gbps);
+    }
+}

@@ -1,0 +1,34 @@
+//! Sampling-based memory profiling for the Tahoe reproduction.
+//!
+//! The paper's runtime learns memory behaviour from *hardware performance
+//! counters in sampling mode* (Intel PEBS / AMD IBS): every N-th
+//! load/store event is captured with the memory address it touched, and
+//! addresses are mapped back to the data objects they fall in. Sampling is
+//! cheap but lossy — it undercounts, it is noisy, and its duty-cycle view
+//! of time is approximate. The paper compensates with per-platform
+//! constant factors (`CF_bw`, `CF_lat`) calibrated once against STREAM and
+//! a pointer-chasing benchmark.
+//!
+//! This crate reproduces that pipeline against the simulated memory
+//! system:
+//!
+//! * [`sampler`] — turns a task's *ground-truth* access profile into the
+//!   noisy, undercounted view a sampling counter would deliver.
+//! * [`aggregate`] — the profile database keyed by (task class × data
+//!   object); task-parallel programs have too many task instances to
+//!   profile each one, so profiles are learned from the first few
+//!   instances of a class and reused (the paper's task-classification
+//!   idea).
+//! * [`kernels`] — the STREAM-triad and pointer-chase calibration kernels
+//!   as ground-truth profiles.
+//! * [`calibrate`] — derives `CF_bw`, `CF_lat` and the peak NVM bandwidth
+//!   from the kernels, once per (simulated) platform.
+
+pub mod aggregate;
+pub mod calibrate;
+pub mod kernels;
+pub mod sampler;
+
+pub use aggregate::{ObjClassStats, ProfileDb};
+pub use calibrate::Calibration;
+pub use sampler::{SampledObservation, Sampler, SamplerConfig};

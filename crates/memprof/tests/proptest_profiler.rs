@@ -1,0 +1,108 @@
+//! Property tests for the sampling profiler: statistical soundness of the
+//! estimates the whole decision pipeline depends on.
+
+use proptest::prelude::*;
+
+use tahoe_hms::{presets, AccessProfile};
+use tahoe_memprof::{ProfileDb, Sampler, SamplerConfig};
+use tahoe_taskrt::TaskClassId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn estimates_track_truth_within_sampling_error(
+        loads in 100_000u64..50_000_000,
+        stores in 100_000u64..50_000_000,
+        interval in 100u64..5_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = Sampler::new(SamplerConfig {
+            interval,
+            capture_ratio: 1.0,
+            time_jitter: 0.0,
+            seed,
+        });
+        let truth = AccessProfile::streaming(loads, stores);
+        let dram = presets::dram(1 << 30);
+        let obs = s.observe(&truth, 1.0e6, &dram);
+        // The mean-plus-Bernoulli sampler is within one interval of truth.
+        prop_assert!((obs.est_loads - loads as f64).abs() <= interval as f64);
+        prop_assert!((obs.est_stores - stores as f64).abs() <= interval as f64);
+    }
+
+    #[test]
+    fn capture_ratio_scales_estimates(
+        loads in 1_000_000u64..50_000_000,
+        capture in 0.5f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut s = Sampler::new(SamplerConfig {
+            interval: 1000,
+            capture_ratio: capture,
+            time_jitter: 0.0,
+            seed,
+        });
+        let truth = AccessProfile::streaming(loads, 0);
+        let dram = presets::dram(1 << 30);
+        let obs = s.observe(&truth, 1.0e6, &dram);
+        let expected = loads as f64 * capture;
+        prop_assert!(
+            (obs.est_loads - expected).abs() <= 1000.0,
+            "estimate {} vs expected {}",
+            obs.est_loads,
+            expected
+        );
+    }
+
+    #[test]
+    fn concurrency_estimate_is_at_least_one_and_finite(
+        loads in 0u64..10_000_000,
+        stores in 0u64..10_000_000,
+        active in 1.0f64..1e9,
+        seed in 0u64..100_000,
+    ) {
+        let mut s = Sampler::new(SamplerConfig {
+            interval: 1000,
+            capture_ratio: 0.9,
+            time_jitter: 0.05,
+            seed,
+        });
+        let truth = AccessProfile::new(loads, stores, 4.0);
+        let optane = presets::optane_pmm(1 << 30);
+        let obs = s.observe(&truth, active, &optane);
+        prop_assert!(obs.est_concurrency >= 1.0);
+        prop_assert!(obs.est_concurrency.is_finite());
+    }
+
+    #[test]
+    fn profile_db_mean_is_within_observation_range(
+        observations in proptest::collection::vec(
+            (0u64..1_000_000, 0u64..1_000_000, 1.0f64..1e6),
+            1..20
+        ),
+    ) {
+        let mut s = Sampler::new(SamplerConfig {
+            interval: 1,
+            capture_ratio: 1.0,
+            time_jitter: 0.0,
+            seed: 1,
+        });
+        let dram = presets::dram(1 << 30);
+        let mut db = ProfileDb::new();
+        let class = TaskClassId(0);
+        let obj = tahoe_hms::ObjectId(0);
+        let mut min_l = f64::INFINITY;
+        let mut max_l = 0.0f64;
+        for &(l, st, active) in &observations {
+            let obs = s.observe(&AccessProfile::streaming(l, st), active, &dram);
+            min_l = min_l.min(obs.est_loads);
+            max_l = max_l.max(obs.est_loads);
+            db.record(class, obj, &obs);
+        }
+        let stats = db.get(class, obj).expect("recorded");
+        prop_assert!(stats.mean_loads >= min_l - 1e-9);
+        prop_assert!(stats.mean_loads <= max_l + 1e-9);
+        prop_assert_eq!(stats.instances as usize, observations.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! Migration cost: the paper's Eq. 6.
+
+use tahoe_hms::Ns;
+
+/// Cost charged against a migration decision: the copy time not hidden
+/// behind execution, `max(bytes/copy_bw − overlap, 0)`.
+pub fn migration_cost_ns(bytes: u64, copy_bw_gbps: f64, overlap_ns: Ns) -> Ns {
+    assert!(copy_bw_gbps > 0.0, "copy bandwidth must be positive");
+    (bytes as f64 / copy_bw_gbps - overlap_ns).max(0.0)
+}
+
+/// Cost of evicting `victim_bytes` from DRAM to make room, plus moving
+/// the incoming object (the paper's `extra_COST` term). Evictions share
+/// the same copy channel, so their cost adds; overlap credit applies to
+/// the combined transfer.
+pub fn migration_cost_with_eviction_ns(
+    incoming_bytes: u64,
+    victim_bytes: u64,
+    copy_bw_gbps: f64,
+    overlap_ns: Ns,
+) -> Ns {
+    migration_cost_ns(incoming_bytes + victim_bytes, copy_bw_gbps, overlap_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unoverlapped_cost_is_copy_time() {
+        // 5 GB/s = 5 bytes/ns; 1000 bytes → 200 ns.
+        assert!((migration_cost_ns(1000, 5.0, 0.0) - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_overlap_makes_cost_zero() {
+        assert_eq!(migration_cost_ns(1000, 5.0, 200.0), 0.0);
+        assert_eq!(migration_cost_ns(1000, 5.0, 1.0e9), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_subtracts() {
+        assert!((migration_cost_ns(1000, 5.0, 150.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_adds_victim_bytes() {
+        let plain = migration_cost_ns(1000, 5.0, 0.0);
+        let with = migration_cost_with_eviction_ns(1000, 500, 5.0, 0.0);
+        assert!((with - plain - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_bytes_zero_cost() {
+        assert_eq!(migration_cost_ns(0, 5.0, 0.0), 0.0);
+    }
+}

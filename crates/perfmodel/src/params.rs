@@ -1,0 +1,60 @@
+//! Tunable parameters of the models.
+
+/// Model thresholds and knobs, with the paper's published defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Fraction of NVM peak bandwidth above which an object's traffic is
+    /// classified bandwidth-sensitive (the paper's `t1 = 80%`).
+    pub t_high: f64,
+    /// Fraction below which it is latency-sensitive (`t2 = 10%`).
+    pub t_low: f64,
+    /// Relative per-window performance drift that re-arms profiling
+    /// (the paper re-profiles on >10% variation).
+    pub variation_threshold: f64,
+    /// Whether the benefit model distinguishes loads from stores
+    /// (Eqs. 4–5) or treats all accesses as reads (Eqs. 2–3). The
+    /// read/write-distinction ablation flips this off.
+    pub distinguish_rw: bool,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            t_high: 0.8,
+            t_low: 0.1,
+            variation_threshold: 0.10,
+            distinguish_rw: true,
+        }
+    }
+}
+
+impl ModelParams {
+    /// The ablation variant that ignores read/write asymmetry.
+    pub fn without_rw_distinction(self) -> Self {
+        ModelParams {
+            distinguish_rw: false,
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ModelParams::default();
+        assert_eq!(p.t_high, 0.8);
+        assert_eq!(p.t_low, 0.1);
+        assert_eq!(p.variation_threshold, 0.10);
+        assert!(p.distinguish_rw);
+    }
+
+    #[test]
+    fn ablation_flag() {
+        let p = ModelParams::default().without_rw_distinction();
+        assert!(!p.distinguish_rw);
+        assert_eq!(p.t_high, 0.8);
+    }
+}

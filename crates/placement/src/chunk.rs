@@ -1,0 +1,143 @@
+//! Large-object decomposition (chunking).
+//!
+//! An object larger than DRAM can never be chosen by the knapsack. The
+//! paper partitions such objects (conservatively: only flat, regularly
+//! accessed arrays) into chunks smaller than DRAM and lets the solver
+//! place chunks individually, scaling the object's demand by the chunk's
+//! share of its bytes.
+
+use tahoe_hms::ObjectId;
+use tahoe_perfmodel::Demand;
+
+use crate::weight::ObjectCandidate;
+
+/// A chunk descriptor produced by [`split_candidate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkCandidate {
+    /// The parent object.
+    pub parent: ObjectId,
+    /// Chunk index within the parent.
+    pub index: u32,
+    /// The candidate (sized and demand-scaled) for the solver. Its `id`
+    /// is a *chunk id* assigned by the caller when the chunk objects are
+    /// materialized.
+    pub candidate: ObjectCandidate,
+}
+
+/// Split a candidate into `ceil(size / chunk_size)` chunks with demand
+/// scaled pro rata (regular access assumption). Chunk ids are assigned by
+/// `id_of(parent, index)` — the runtime materializes chunk objects in the
+/// HMS and provides real ids.
+///
+/// Returns `None` when chunking is pointless (object already fits in
+/// `chunk_size` or sizes are degenerate).
+pub fn split_candidate<F>(
+    cand: &ObjectCandidate,
+    chunk_size: u64,
+    mut id_of: F,
+) -> Option<Vec<ChunkCandidate>>
+where
+    F: FnMut(ObjectId, u32) -> ObjectId,
+{
+    if chunk_size == 0 || cand.size <= chunk_size {
+        return None;
+    }
+    let n = cand.size.div_ceil(chunk_size);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut remaining = cand.size;
+    for i in 0..n {
+        let this = remaining.min(chunk_size);
+        remaining -= this;
+        let frac = this as f64 / cand.size as f64;
+        out.push(ChunkCandidate {
+            parent: cand.id,
+            index: i as u32,
+            candidate: ObjectCandidate {
+                id: id_of(cand.id, i as u32),
+                size: this,
+                demand: cand.demand.scale(frac),
+                resident: cand.resident,
+            },
+        });
+    }
+    Some(out)
+}
+
+/// Sum of the chunks' demand must equal the parent's (up to rounding):
+/// helper for tests and invariant checks.
+pub fn total_demand(chunks: &[ChunkCandidate]) -> Demand {
+    chunks
+        .iter()
+        .fold(Demand::ZERO, |acc, c| acc.add(&c.candidate.demand))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(size: u64) -> ObjectCandidate {
+        ObjectCandidate {
+            id: ObjectId(5),
+            size,
+            demand: Demand {
+                loads: 1000.0,
+                stores: 500.0,
+                active_ns: 2000.0,
+                concurrency: 8.0,
+            },
+            resident: false,
+        }
+    }
+
+    fn ids(parent: ObjectId, index: u32) -> ObjectId {
+        ObjectId(1000 + parent.0 * 100 + index)
+    }
+
+    #[test]
+    fn small_objects_are_not_split() {
+        assert!(split_candidate(&cand(100), 100, ids).is_none());
+        assert!(split_candidate(&cand(100), 0, ids).is_none());
+    }
+
+    #[test]
+    fn split_covers_all_bytes() {
+        let chunks = split_candidate(&cand(1050), 256, ids).unwrap();
+        assert_eq!(chunks.len(), 5);
+        let total: u64 = chunks.iter().map(|c| c.candidate.size).sum();
+        assert_eq!(total, 1050);
+        // Last chunk carries the remainder.
+        assert_eq!(chunks[4].candidate.size, 1050 - 4 * 256);
+        // Indices are dense.
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.index, i as u32);
+            assert_eq!(c.parent, ObjectId(5));
+        }
+    }
+
+    #[test]
+    fn demand_is_conserved() {
+        let c = cand(1050);
+        let chunks = split_candidate(&c, 256, ids).unwrap();
+        let t = total_demand(&chunks);
+        assert!((t.loads - c.demand.loads).abs() < 1e-9);
+        assert!((t.stores - c.demand.stores).abs() < 1e-9);
+        assert!((t.active_ns - c.demand.active_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_ids_come_from_callback() {
+        let chunks = split_candidate(&cand(512), 256, ids).unwrap();
+        assert_eq!(chunks[0].candidate.id, ObjectId(1500));
+        assert_eq!(chunks[1].candidate.id, ObjectId(1501));
+    }
+
+    #[test]
+    fn even_split_demand_is_proportional() {
+        let c = cand(1024);
+        let chunks = split_candidate(&c, 256, ids).unwrap();
+        assert_eq!(chunks.len(), 4);
+        for ch in &chunks {
+            assert!((ch.candidate.demand.loads - 250.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! 0/1 knapsack solvers.
+//!
+//! Sizes are bytes (u64), values are predicted nanoseconds saved (f64).
+//! The exact solver scales sizes *up* to a grain so the DP table stays
+//! small; rounding up can only under-fill the knapsack, never overflow
+//! DRAM — an admissible approximation for a memory budget.
+
+use tahoe_hms::ObjectId;
+
+/// One candidate object (or chunk) for DRAM residence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Object this item stands for.
+    pub id: ObjectId,
+    /// Bytes it would occupy in DRAM.
+    pub size: u64,
+    /// Net predicted value of keeping it in DRAM, in ns saved.
+    pub value: f64,
+}
+
+/// Result of a solve: which ids were chosen and the totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Chosen ids, ascending.
+    pub chosen: Vec<ObjectId>,
+    /// Sum of chosen values.
+    pub total_value: f64,
+    /// Sum of chosen (true, unscaled) sizes.
+    pub total_size: u64,
+}
+
+impl Solution {
+    /// The empty solution.
+    pub fn empty() -> Self {
+        Solution {
+            chosen: Vec::new(),
+            total_value: 0.0,
+            total_size: 0,
+        }
+    }
+
+    /// Whether `id` was chosen.
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.chosen.binary_search(&id).is_ok()
+    }
+}
+
+/// Maximum number of DP columns the exact solver will allocate; above
+/// this, sizes are scaled to a coarser grain.
+const MAX_DP_WIDTH: u64 = 8192;
+
+/// Exact 0/1 knapsack by dynamic programming over scaled capacity.
+///
+/// Items with non-positive value or zero size are never chosen; items
+/// larger than the capacity are skipped. `grain` is chosen so the DP
+/// width is at most [`MAX_DP_WIDTH`]; item sizes round *up* to the grain.
+pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
+    let eligible: Vec<&Item> = items
+        .iter()
+        .filter(|it| it.value > 0.0 && it.size > 0 && it.size <= capacity)
+        .collect();
+    if eligible.is_empty() || capacity == 0 {
+        return Solution::empty();
+    }
+    let grain = (capacity / MAX_DP_WIDTH).max(1);
+    let width = (capacity / grain) as usize; // floor: stay within capacity
+    // dp[w] = best value using scaled budget w; parent bit per (item, w).
+    let mut dp = vec![0.0f64; width + 1];
+    let mut take = vec![false; (width + 1) * eligible.len()];
+    for (i, it) in eligible.iter().enumerate() {
+        let need = it.size.div_ceil(grain) as usize;
+        if need > width {
+            continue;
+        }
+        // Classic reverse scan so each item is used at most once.
+        for w in (need..=width).rev() {
+            let cand = dp[w - need] + it.value;
+            if cand > dp[w] {
+                dp[w] = cand;
+                take[i * (width + 1) + w] = true;
+            }
+        }
+    }
+    // Best budget is the full width (dp is monotone in w).
+    let mut w = width;
+    let mut chosen = Vec::new();
+    let mut total_size = 0u64;
+    let mut total_value = 0.0;
+    for (i, it) in eligible.iter().enumerate().rev() {
+        if take[i * (width + 1) + w] {
+            chosen.push(it.id);
+            total_size += it.size;
+            total_value += it.value;
+            w -= it.size.div_ceil(grain) as usize;
+        }
+    }
+    chosen.sort_unstable();
+    Solution {
+        chosen,
+        total_value,
+        total_size,
+    }
+}
+
+/// Greedy by value density (value per byte), the classic 1/2-approximation
+/// companion. Used as a cross-check and as a fast path for huge item
+/// sets.
+pub fn solve_greedy(items: &[Item], capacity: u64) -> Solution {
+    let mut eligible: Vec<&Item> = items
+        .iter()
+        .filter(|it| it.value > 0.0 && it.size > 0 && it.size <= capacity)
+        .collect();
+    eligible.sort_by(|a, b| {
+        let da = a.value / a.size as f64;
+        let db = b.value / b.size as f64;
+        db.partial_cmp(&da)
+            .expect("densities are finite")
+            .then(a.id.cmp(&b.id))
+    });
+    let mut remaining = capacity;
+    let mut chosen = Vec::new();
+    let mut total_size = 0u64;
+    let mut total_value = 0.0;
+    for it in eligible {
+        if it.size <= remaining {
+            remaining -= it.size;
+            chosen.push(it.id);
+            total_size += it.size;
+            total_value += it.value;
+        }
+    }
+    chosen.sort_unstable();
+    Solution {
+        chosen,
+        total_value,
+        total_size,
+    }
+}
+
+/// Solve, preferring the best of branch-and-bound (exact on unscaled
+/// sizes, for small candidate sets), exact-DP (scaled sizes) and greedy.
+pub fn solve(items: &[Item], capacity: u64) -> Solution {
+    let mut best = solve_exact(items, capacity);
+    let greedy = solve_greedy(items, capacity);
+    if greedy.total_value > best.total_value {
+        best = greedy;
+    }
+    if let Some(bnb) = crate::bnb::solve_bnb(items, capacity) {
+        if bnb.total_value > best.total_value {
+            best = bnb;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u32, size: u64, value: f64) -> Item {
+        Item {
+            id: ObjectId(id),
+            size,
+            value,
+        }
+    }
+
+    #[test]
+    fn picks_best_pair_over_greedy_trap() {
+        // Greedy-by-density takes item 0 (density 3) and blocks the
+        // optimal {1, 2}.
+        let items = [item(0, 6, 18.0), item(1, 5, 14.0), item(2, 5, 14.0)];
+        let s = solve_exact(&items, 10);
+        assert_eq!(s.chosen, vec![ObjectId(1), ObjectId(2)]);
+        assert!((s.total_value - 28.0).abs() < 1e-9);
+        assert_eq!(s.total_size, 10);
+        // And solve() must agree.
+        assert_eq!(solve(&items, 10), s);
+    }
+
+    #[test]
+    fn respects_capacity_exactly() {
+        let items = [item(0, 4, 10.0), item(1, 4, 10.0), item(2, 4, 10.0)];
+        let s = solve(&items, 8);
+        assert_eq!(s.chosen.len(), 2);
+        assert!(s.total_size <= 8);
+    }
+
+    #[test]
+    fn skips_non_positive_values() {
+        let items = [item(0, 4, -5.0), item(1, 4, 0.0), item(2, 4, 1.0)];
+        let s = solve(&items, 100);
+        assert_eq!(s.chosen, vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn skips_oversized_items() {
+        let items = [item(0, 200, 1000.0), item(1, 10, 1.0)];
+        let s = solve(&items, 100);
+        assert_eq!(s.chosen, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(solve(&[], 100), Solution::empty());
+        assert_eq!(solve(&[item(0, 1, 1.0)], 0), Solution::empty());
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_uniform_sizes() {
+        let items: Vec<Item> = (0..20).map(|i| item(i, 10, (i + 1) as f64)).collect();
+        let e = solve_exact(&items, 100);
+        let g = solve_greedy(&items, 100);
+        assert!((e.total_value - g.total_value).abs() < 1e-9);
+        assert_eq!(e.chosen.len(), 10);
+    }
+
+    #[test]
+    fn scaling_never_overflows_capacity() {
+        // Capacity far above MAX_DP_WIDTH forces grain > 1.
+        let cap: u64 = 1 << 28; // 256 MB
+        let items: Vec<Item> = (0..50)
+            .map(|i| item(i, (i as u64 + 1) * 3_000_001, (i + 1) as f64))
+            .collect();
+        let s = solve_exact(&items, cap);
+        assert!(s.total_size <= cap, "{} > {}", s.total_size, cap);
+    }
+
+    #[test]
+    fn solution_contains() {
+        let s = solve(&[item(3, 1, 5.0), item(7, 1, 5.0)], 10);
+        assert!(s.contains(ObjectId(3)));
+        assert!(s.contains(ObjectId(7)));
+        assert!(!s.contains(ObjectId(5)));
+    }
+
+    #[test]
+    fn single_item_exact_fit() {
+        let s = solve(&[item(0, 100, 1.0)], 100);
+        assert_eq!(s.chosen, vec![ObjectId(0)]);
+        assert_eq!(s.total_size, 100);
+    }
+}

@@ -1,0 +1,33 @@
+//! Data-placement decision engine.
+//!
+//! Given per-object demand estimates, migration costs and the DRAM
+//! capacity, choosing which objects to keep in DRAM is a 0/1 knapsack
+//! over net weights `w = benefit − migration_cost − eviction_cost`
+//! (the paper's formulation). This crate provides:
+//!
+//! * [`knapsack`] — an exact dynamic-programming solver (with capacity
+//!   scaling so the DP stays small) and a density-greedy fallback,
+//!   cross-checked against each other by property tests.
+//! * [`weight`] — assembly of knapsack items from model outputs,
+//!   including the paper's treatment of already-resident objects (no
+//!   promotion cost) and of eviction pressure.
+//! * [`search`] — the two planning strategies the paper combines:
+//!   *per-window local search* (best placement for each execution window,
+//!   more migrations) and *cross-window global search* (one placement for
+//!   the whole run, at most one migration per object), and the predicted-
+//!   gain comparison that picks between them.
+//! * [`chunk`] — large-object decomposition, so part of an object bigger
+//!   than DRAM can still be placed.
+
+pub mod bnb;
+pub mod chunk;
+pub mod knapsack;
+pub mod plan;
+pub mod search;
+pub mod weight;
+
+pub use bnb::solve_bnb;
+pub use knapsack::{solve, Item, Solution};
+pub use plan::{Plan, PlanKind, WindowPlan};
+pub use search::{choose_plan, global_plan, local_plan};
+pub use weight::{ObjectCandidate, WeighCtx};

@@ -1,0 +1,105 @@
+//! Placement plans: the output of the decision engine.
+
+use std::collections::BTreeSet;
+
+use tahoe_hms::{Ns, ObjectId};
+
+/// Which search produced the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Per-window local search (placement may change every window).
+    Local,
+    /// Cross-window global search (one placement for the whole run).
+    Global,
+}
+
+/// The DRAM set chosen for one execution window, with the transitions
+/// from the previous window's set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPlan {
+    /// Window index.
+    pub window: u32,
+    /// Objects that should be DRAM-resident during this window.
+    pub dram_set: BTreeSet<ObjectId>,
+    /// Objects to promote (NVM → DRAM) at the window boundary.
+    pub promote: Vec<ObjectId>,
+    /// Objects to evict (DRAM → NVM) at the window boundary.
+    pub evict: Vec<ObjectId>,
+    /// Predicted net gain of this window's placement, ns.
+    pub predicted_gain_ns: Ns,
+}
+
+/// A complete placement plan for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Which search produced it.
+    pub kind: PlanKind,
+    /// One entry per window, ascending.
+    pub windows: Vec<WindowPlan>,
+    /// Total predicted net gain, ns.
+    pub predicted_gain_ns: Ns,
+}
+
+impl Plan {
+    /// The DRAM set planned for `window` (falls back to the last window's
+    /// set when the application runs longer than the planning horizon).
+    pub fn dram_set_for(&self, window: u32) -> Option<&BTreeSet<ObjectId>> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let idx = self
+            .windows
+            .iter()
+            .position(|w| w.window == window)
+            .unwrap_or(self.windows.len() - 1);
+        Some(&self.windows[idx].dram_set)
+    }
+
+    /// Total number of planned migrations (promotions + evictions).
+    pub fn migration_count(&self) -> usize {
+        self.windows
+            .iter()
+            .map(|w| w.promote.len() + w.evict.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp(window: u32, set: &[u32], promote: &[u32]) -> WindowPlan {
+        WindowPlan {
+            window,
+            dram_set: set.iter().map(|&i| ObjectId(i)).collect(),
+            promote: promote.iter().map(|&i| ObjectId(i)).collect(),
+            evict: Vec::new(),
+            predicted_gain_ns: 1.0,
+        }
+    }
+
+    #[test]
+    fn dram_set_lookup_and_fallback() {
+        let plan = Plan {
+            kind: PlanKind::Local,
+            windows: vec![wp(0, &[1], &[1]), wp(1, &[2], &[2])],
+            predicted_gain_ns: 2.0,
+        };
+        assert!(plan.dram_set_for(0).unwrap().contains(&ObjectId(1)));
+        assert!(plan.dram_set_for(1).unwrap().contains(&ObjectId(2)));
+        // Window 7 was never planned: reuse the last window's set.
+        assert!(plan.dram_set_for(7).unwrap().contains(&ObjectId(2)));
+        assert_eq!(plan.migration_count(), 2);
+    }
+
+    #[test]
+    fn empty_plan_has_no_set() {
+        let plan = Plan {
+            kind: PlanKind::Global,
+            windows: vec![],
+            predicted_gain_ns: 0.0,
+        };
+        assert!(plan.dram_set_for(0).is_none());
+        assert_eq!(plan.migration_count(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Dependence derivation from declared data accesses.
+//!
+//! Task-parallel models with data annotations (OmpSs, StarPU, OpenMP
+//! `depend`) derive the task DAG from the program-order sequence of
+//! declared accesses per object:
+//!
+//! * **RAW** — a reader depends on the last writer of the object;
+//! * **WAW** — a writer depends on the last writer;
+//! * **WAR** — a writer depends on every reader since the last write.
+//!
+//! [`DepTracker`] implements exactly that bookkeeping. Because every edge
+//! points from an earlier-submitted task to a later one, graphs built this
+//! way are acyclic by construction — a property the graph tests and
+//! property tests verify.
+
+use std::collections::HashMap;
+
+use tahoe_hms::ObjectId;
+
+use crate::task::{AccessMode, TaskId};
+
+/// Per-object reader/writer state for deriving dependences in program
+/// order.
+#[derive(Debug, Default)]
+pub struct DepTracker {
+    last_writer: HashMap<ObjectId, TaskId>,
+    readers_since_write: HashMap<ObjectId, Vec<TaskId>>,
+}
+
+impl DepTracker {
+    /// Fresh tracker (no accesses seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record task `t` accessing `object` with `mode`; returns the tasks
+    /// `t` must wait for on account of this access (deduplicated,
+    /// ascending, never containing `t` itself).
+    pub fn record(&mut self, t: TaskId, object: ObjectId, mode: AccessMode) -> Vec<TaskId> {
+        let mut deps = Vec::new();
+        if mode.reads() {
+            if let Some(&w) = self.last_writer.get(&object) {
+                if w != t {
+                    deps.push(w);
+                }
+            }
+        }
+        if mode.writes() {
+            // WAW on the last writer.
+            if let Some(&w) = self.last_writer.get(&object) {
+                if w != t {
+                    deps.push(w);
+                }
+            }
+            // WAR on every reader since that write.
+            if let Some(readers) = self.readers_since_write.get(&object) {
+                for &r in readers {
+                    if r != t {
+                        deps.push(r);
+                    }
+                }
+            }
+            self.last_writer.insert(object, t);
+            self.readers_since_write.insert(object, Vec::new());
+        }
+        if mode.reads() {
+            // Register as reader *after* write handling so an inout task
+            // does not WAR-depend on itself via its own read.
+            self.readers_since_write.entry(object).or_default().push(t);
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// The current last writer of `object`, if any.
+    pub fn last_writer(&self, object: ObjectId) -> Option<TaskId> {
+        self.last_writer.get(&object).copied()
+    }
+
+    /// The readers of `object` since its last write.
+    pub fn readers(&self, object: ObjectId) -> &[TaskId] {
+        self.readers_since_write
+            .get(&object)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: ObjectId = ObjectId(0);
+    const P: ObjectId = ObjectId(1);
+
+    #[test]
+    fn raw_dependence() {
+        let mut d = DepTracker::new();
+        assert!(d.record(TaskId(0), O, AccessMode::Write).is_empty());
+        assert_eq!(d.record(TaskId(1), O, AccessMode::Read), vec![TaskId(0)]);
+        assert_eq!(d.record(TaskId(2), O, AccessMode::Read), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn war_dependence_on_all_readers() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::Write);
+        d.record(TaskId(1), O, AccessMode::Read);
+        d.record(TaskId(2), O, AccessMode::Read);
+        let deps = d.record(TaskId(3), O, AccessMode::Write);
+        // WAW on 0 plus WAR on 1 and 2.
+        assert_eq!(deps, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn waw_dependence() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::Write);
+        assert_eq!(d.record(TaskId(1), O, AccessMode::Write), vec![TaskId(0)]);
+        assert_eq!(d.last_writer(O), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn write_clears_reader_set() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::Write);
+        d.record(TaskId(1), O, AccessMode::Read);
+        d.record(TaskId(2), O, AccessMode::Write);
+        // Task 3 writing should only see task 2, not reader 1.
+        assert_eq!(d.record(TaskId(3), O, AccessMode::Write), vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn inout_chains_like_write_and_read() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::ReadWrite);
+        let deps = d.record(TaskId(1), O, AccessMode::ReadWrite);
+        assert_eq!(deps, vec![TaskId(0)]);
+        let deps = d.record(TaskId(2), O, AccessMode::ReadWrite);
+        assert_eq!(deps, vec![TaskId(1)], "inout must not dep on itself or stale readers");
+    }
+
+    #[test]
+    fn independent_objects_do_not_interfere() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::Write);
+        assert!(d.record(TaskId(1), P, AccessMode::Write).is_empty());
+        assert_eq!(d.record(TaskId(2), O, AccessMode::Read), vec![TaskId(0)]);
+        assert_eq!(d.record(TaskId(3), P, AccessMode::Read), vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn readers_accessor_tracks_since_last_write() {
+        let mut d = DepTracker::new();
+        d.record(TaskId(0), O, AccessMode::Write);
+        d.record(TaskId(1), O, AccessMode::Read);
+        assert_eq!(d.readers(O), &[TaskId(1)]);
+        d.record(TaskId(2), O, AccessMode::Write);
+        assert!(d.readers(O).is_empty());
+        assert_eq!(d.readers(P), &[] as &[TaskId]);
+    }
+
+    #[test]
+    fn read_before_any_write_has_no_deps() {
+        let mut d = DepTracker::new();
+        assert!(d.record(TaskId(0), O, AccessMode::Read).is_empty());
+        // But a later writer WAR-depends on that initial reader.
+        assert_eq!(d.record(TaskId(1), O, AccessMode::Write), vec![TaskId(0)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Look-ahead over the unfolding task graph.
+//!
+//! Proactive migration needs to know which tasks — and therefore which
+//! data objects — will run *soon*. In a task-parallel runtime that
+//! knowledge is the ready queue plus the tasks just behind it in the
+//! dependence graph. [`Lookahead`] extracts a deterministic window of the
+//! next `depth` tasks in expected dispatch order: the ready tasks first
+//! (FIFO by id, matching the scheduler), then a breadth-first expansion
+//! through successors.
+
+use std::collections::HashSet;
+
+use tahoe_hms::ObjectId;
+
+use crate::graph::TaskGraph;
+use crate::task::TaskId;
+
+/// Extraction of the soon-to-run task window.
+#[derive(Debug, Clone)]
+pub struct Lookahead {
+    depth: usize,
+}
+
+impl Lookahead {
+    /// A look-ahead of `depth` tasks (>= 1).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "look-ahead depth must be at least 1");
+        Lookahead { depth }
+    }
+
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The next up-to-`depth` tasks in expected dispatch order, starting
+    /// from the currently ready tasks. `done` must report whether a task
+    /// has already finished (finished successors are skipped; they can
+    /// appear when the window is recomputed mid-run).
+    pub fn window<F>(&self, graph: &TaskGraph, ready: &[TaskId], done: F) -> Vec<TaskId>
+    where
+        F: Fn(TaskId) -> bool,
+    {
+        let mut out: Vec<TaskId> = Vec::with_capacity(self.depth);
+        let mut seen: HashSet<TaskId> = HashSet::new();
+        let mut frontier: Vec<TaskId> = ready.to_vec();
+        frontier.sort_unstable();
+        while !frontier.is_empty() && out.len() < self.depth {
+            let mut next: Vec<TaskId> = Vec::new();
+            for &t in &frontier {
+                if out.len() >= self.depth {
+                    break;
+                }
+                if !seen.insert(t) {
+                    continue;
+                }
+                // Finished tasks are not emitted, but the walk continues
+                // through them: their successors are the soon-to-run work.
+                if !done(t) {
+                    out.push(t);
+                }
+                for &s in graph.succs(t) {
+                    if !seen.contains(&s) {
+                        next.push(s);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        out
+    }
+
+    /// The distinct objects referenced by the window, in first-use order,
+    /// each tagged with the position (0-based) of the first task in the
+    /// window that uses it — the planner's proxy for "how soon".
+    pub fn objects_in_window(
+        &self,
+        graph: &TaskGraph,
+        window: &[TaskId],
+    ) -> Vec<(ObjectId, usize)> {
+        let mut out: Vec<(ObjectId, usize)> = Vec::new();
+        let mut seen: HashSet<ObjectId> = HashSet::new();
+        for (pos, &t) in window.iter().enumerate() {
+            for a in &graph.task(t).accesses {
+                if seen.insert(a.object) {
+                    out.push((a.object, pos));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, TaskAccess};
+    use tahoe_hms::AccessProfile;
+
+    fn acc(o: u32, mode: AccessMode) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), mode, AccessProfile::streaming(1, 0))
+    }
+
+    /// Chain 0 -> 1 -> 2 -> 3 on object 0.
+    fn chain(n: u32) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for _ in 0..n {
+            g.add_task(c, vec![acc(0, AccessMode::ReadWrite)], 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn window_follows_chain() {
+        let g = chain(5);
+        let la = Lookahead::new(3);
+        let w = la.window(&g, &[TaskId(0)], |_| false);
+        assert_eq!(w, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn window_respects_depth_one() {
+        let g = chain(5);
+        let la = Lookahead::new(1);
+        assert_eq!(la.window(&g, &[TaskId(0)], |_| false), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn window_skips_done_tasks() {
+        let g = chain(5);
+        let la = Lookahead::new(3);
+        let w = la.window(&g, &[TaskId(1)], |t| t == TaskId(2));
+        // Task 2 is done: it is skipped but traversed through, so the
+        // window still fills to the requested depth.
+        assert_eq!(w, vec![TaskId(1), TaskId(3), TaskId(4)]);
+    }
+
+    #[test]
+    fn window_breadth_first_over_fan_out() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        // writer 0; readers 1,2,3; then writer 4 (joins).
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        for _ in 0..3 {
+            g.add_task(c, vec![acc(0, AccessMode::Read)], 1.0);
+        }
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        let la = Lookahead::new(4);
+        let w = la.window(&g, &[TaskId(0)], |_| false);
+        assert_eq!(w, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn window_larger_than_graph_is_whole_graph() {
+        let g = chain(3);
+        let la = Lookahead::new(64);
+        assert_eq!(
+            la.window(&g, &[TaskId(0)], |_| false).len(),
+            3
+        );
+    }
+
+    #[test]
+    fn objects_in_window_first_use_positions() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(7, AccessMode::Write)], 1.0);
+        g.add_task(c, vec![acc(7, AccessMode::Read), acc(9, AccessMode::Write)], 1.0);
+        let la = Lookahead::new(2);
+        let w = la.window(&g, &[TaskId(0), TaskId(1)], |_| false);
+        let objs = la.objects_in_window(&g, &w);
+        assert_eq!(objs, vec![(ObjectId(7), 0), (ObjectId(9), 1)]);
+    }
+
+    #[test]
+    fn empty_ready_gives_empty_window() {
+        let g = chain(3);
+        let la = Lookahead::new(4);
+        assert!(la.window(&g, &[], |_| false).is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Deterministic event-driven multi-worker scheduler over virtual time.
+//!
+//! This is the execution engine for all timed experiments. It performs
+//! list scheduling of the task graph on `P` virtual workers: whenever a
+//! worker is idle and a task is ready, the lowest-id ready task is
+//! dispatched (FIFO in submission order — the dispatch order real
+//! work-sharing runtimes approximate). Task durations are *not* stored in
+//! the graph; they are computed at dispatch time by a
+//! [`SchedulerHooks`] implementation, which is how the data-placement
+//! policy layer injects the effect of tier residency, migration stalls and
+//! runtime overheads into the timeline.
+//!
+//! The simulation is single-threaded and fully deterministic: identical
+//! inputs produce identical schedules, which the experiment harness relies
+//! on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tahoe_hms::Ns;
+
+use crate::graph::TaskGraph;
+use crate::stats::SchedStats;
+use crate::task::{TaskId, TaskSpec};
+
+/// Callbacks through which the policy layer participates in scheduling.
+///
+/// All methods have defaults so simple simulations can implement only
+/// `task_duration_ns`.
+pub trait SchedulerHooks {
+    /// Duration of `task` if it starts at `start` (compute + memory under
+    /// the placement in force at that moment), excluding stalls.
+    fn task_duration_ns(&mut self, task: &TaskSpec, start: Ns) -> Ns;
+
+    /// Earliest time `task` may start, given it could otherwise start at
+    /// `now` (used to model waiting for an in-flight migration of one of
+    /// the task's objects). Must be `>= now`.
+    fn task_earliest_start(&mut self, _task: &TaskSpec, now: Ns) -> Ns {
+        now
+    }
+
+    /// Called once per dispatch round with the current ready queue (ids in
+    /// dispatch order) — the policy's look-ahead and migration-issue
+    /// point.
+    fn on_dispatch_round(&mut self, _ready: &[TaskId], _now: Ns) {}
+
+    /// Called when `task` begins executing.
+    fn on_task_start(&mut self, _task: &TaskSpec, _start: Ns) {}
+
+    /// Called when `task` finishes.
+    fn on_task_finish(&mut self, _task: &TaskSpec, _finish: Ns) {}
+
+    /// Called the first time any task of window `window` starts.
+    fn on_window_start(&mut self, _window: u32, _now: Ns) {}
+}
+
+/// Hooks that execute every task with its `compute_ns` only (no memory
+/// model). Useful for scheduler-only tests.
+#[derive(Debug, Default, Clone)]
+pub struct NullHooks;
+
+impl SchedulerHooks for NullHooks {
+    fn task_duration_ns(&mut self, task: &TaskSpec, _start: Ns) -> Ns {
+        task.compute_ns
+    }
+}
+
+/// Deterministic virtual-time scheduler for a [`TaskGraph`].
+#[derive(Debug)]
+pub struct SimScheduler {
+    workers: usize,
+}
+
+/// Ordered f64 for use in binary heaps: virtual times in the simulator are
+/// finite by construction.
+#[derive(PartialEq, PartialOrd)]
+struct Time(Ns);
+
+impl Eq for Time {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("virtual times are never NaN")
+    }
+}
+
+impl SimScheduler {
+    /// A scheduler with `workers` virtual workers (>= 1).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        SimScheduler { workers }
+    }
+
+    /// Number of virtual workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `graph` to completion under `hooks`; returns schedule
+    /// statistics (makespan, utilization, stalls).
+    pub fn run<H: SchedulerHooks>(&self, graph: &TaskGraph, hooks: &mut H) -> SchedStats {
+        let n = graph.len();
+        let mut stats = SchedStats::new(self.workers);
+        if n == 0 {
+            return stats;
+        }
+
+        // Remaining predecessor counts.
+        let mut remaining: Vec<u32> = (0..n)
+            .map(|i| graph.preds(TaskId(i as u32)).len() as u32)
+            .collect();
+        // Time each task became ready (dependences satisfied).
+        let mut ready_at: Vec<Ns> = vec![0.0; n];
+        // Ready tasks, lowest id first.
+        let mut ready: BinaryHeap<Reverse<TaskId>> = BinaryHeap::new();
+        for t in graph.roots() {
+            ready.push(Reverse(t));
+        }
+        // Idle workers: (free_at, worker_id), earliest first.
+        let mut idle: BinaryHeap<Reverse<(Time, usize)>> = (0..self.workers)
+            .map(|w| Reverse((Time(0.0), w)))
+            .collect();
+        // In-flight completions: (finish, task, worker).
+        let mut inflight: BinaryHeap<Reverse<(Time, TaskId, usize)>> = BinaryHeap::new();
+
+        let mut windows_started = vec![false; graph.window_count() as usize];
+        let mut completed = 0usize;
+
+        while completed < n {
+            // Dispatch as long as a worker and a task are both available.
+            while !ready.is_empty() && !idle.is_empty() {
+                // Collect the ready ids for the hook (dispatch order).
+                let ready_ids: Vec<TaskId> = {
+                    let mut v: Vec<TaskId> = ready.iter().map(|r| r.0).collect();
+                    v.sort_unstable();
+                    v
+                };
+                let Reverse((Time(wfree), worker)) = idle.pop().expect("checked non-empty");
+                let Reverse(tid) = ready.pop().expect("checked non-empty");
+                let task = graph.task(tid);
+                // A task cannot start before its worker is free *and* its
+                // dependences are satisfied.
+                let avail = wfree.max(ready_at[tid.index()]);
+                hooks.on_dispatch_round(&ready_ids, avail);
+
+                if !std::mem::replace(&mut windows_started[task.window as usize], true) {
+                    hooks.on_window_start(task.window, avail);
+                }
+
+                let earliest = hooks.task_earliest_start(task, avail);
+                debug_assert!(earliest >= avail - 1e-9, "earliest_start moved time backwards");
+                let start = earliest.max(avail);
+                stats.stall_ns += start - avail;
+                let dur = hooks.task_duration_ns(task, start);
+                debug_assert!(dur >= 0.0, "negative task duration");
+                hooks.on_task_start(task, start);
+                let finish = start + dur;
+                stats.busy_ns[worker] += dur;
+                inflight.push(Reverse((Time(finish), tid, worker)));
+            }
+
+            // Advance to the next completion.
+            let Reverse((Time(finish), tid, worker)) = inflight
+                .pop()
+                .expect("tasks pending but nothing in flight: dependence cycle?");
+            let task = graph.task(tid);
+            hooks.on_task_finish(task, finish);
+            stats.makespan_ns = stats.makespan_ns.max(finish);
+            stats.tasks_executed += 1;
+            completed += 1;
+            idle.push(Reverse((Time(finish), worker)));
+            for &s in graph.succs(tid) {
+                remaining[s.index()] -= 1;
+                if remaining[s.index()] == 0 {
+                    ready_at[s.index()] = finish;
+                    ready.push(Reverse(s));
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, TaskAccess};
+    use tahoe_hms::{AccessProfile, ObjectId};
+
+    fn acc(o: u32) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), AccessMode::Write, AccessProfile::EMPTY)
+    }
+
+    fn inout(o: u32) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), AccessMode::ReadWrite, AccessProfile::EMPTY)
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..4 {
+            g.add_task(c, vec![acc(i)], 100.0);
+        }
+        let stats = SimScheduler::new(4).run(&g, &mut NullHooks);
+        assert!((stats.makespan_ns - 100.0).abs() < 1e-9);
+        assert_eq!(stats.tasks_executed, 4);
+        assert!((stats.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for _ in 0..4 {
+            g.add_task(c, vec![inout(0)], 100.0);
+        }
+        let stats = SimScheduler::new(4).run(&g, &mut NullHooks);
+        assert!((stats.makespan_ns - 400.0).abs() < 1e-9);
+        // Only one worker can ever be busy.
+        assert!((stats.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_workers_halve_independent_work() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..8 {
+            g.add_task(c, vec![acc(i)], 50.0);
+        }
+        let stats = SimScheduler::new(2).run(&g, &mut NullHooks);
+        assert!((stats.makespan_ns - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_never_beats_critical_path() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        // Diamond: a -> (b, c) -> d
+        g.add_task(c, vec![acc(0)], 10.0);
+        g.add_task(
+            c,
+            vec![
+                TaskAccess::new(ObjectId(0), AccessMode::Read, AccessProfile::EMPTY),
+                acc(1),
+            ],
+            20.0,
+        );
+        g.add_task(
+            c,
+            vec![
+                TaskAccess::new(ObjectId(0), AccessMode::Read, AccessProfile::EMPTY),
+                acc(2),
+            ],
+            30.0,
+        );
+        g.add_task(
+            c,
+            vec![
+                TaskAccess::new(ObjectId(1), AccessMode::Read, AccessProfile::EMPTY),
+                TaskAccess::new(ObjectId(2), AccessMode::Read, AccessProfile::EMPTY),
+            ],
+            5.0,
+        );
+        let cp = g.critical_path_ns(|t| t.compute_ns);
+        let stats = SimScheduler::new(8).run(&g, &mut NullHooks);
+        assert!(stats.makespan_ns >= cp - 1e-9);
+        assert!((stats.makespan_ns - 45.0).abs() < 1e-9); // 10 + 30 + 5
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..32 {
+            g.add_task(c, vec![inout(i % 5)], (i % 7) as f64 * 3.0 + 1.0);
+        }
+        let a = SimScheduler::new(3).run(&g, &mut NullHooks);
+        let b = SimScheduler::new(3).run(&g, &mut NullHooks);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.busy_ns, b.busy_ns);
+    }
+
+    /// Hooks that stall the second task by 500 ns (as if waiting on a
+    /// migration).
+    struct StallSecond;
+    impl SchedulerHooks for StallSecond {
+        fn task_duration_ns(&mut self, task: &TaskSpec, _s: Ns) -> Ns {
+            task.compute_ns
+        }
+        fn task_earliest_start(&mut self, task: &TaskSpec, now: Ns) -> Ns {
+            if task.id == TaskId(1) {
+                now + 500.0
+            } else {
+                now
+            }
+        }
+    }
+
+    #[test]
+    fn stalls_are_accounted() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![inout(0)], 100.0);
+        g.add_task(c, vec![inout(0)], 100.0);
+        let stats = SimScheduler::new(1).run(&g, &mut StallSecond);
+        assert!((stats.makespan_ns - 700.0).abs() < 1e-9);
+        assert!((stats.stall_ns - 500.0).abs() < 1e-9);
+    }
+
+    /// Hooks that record window-start events.
+    #[derive(Default)]
+    struct WindowRecorder(Vec<(u32, Ns)>);
+    impl SchedulerHooks for WindowRecorder {
+        fn task_duration_ns(&mut self, task: &TaskSpec, _s: Ns) -> Ns {
+            task.compute_ns
+        }
+        fn on_window_start(&mut self, w: u32, now: Ns) {
+            self.0.push((w, now));
+        }
+    }
+
+    #[test]
+    fn window_start_fires_once_per_window_in_order() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![inout(0)], 10.0);
+        g.add_task(c, vec![inout(0)], 10.0);
+        g.mark_window();
+        g.add_task(c, vec![inout(0)], 10.0);
+        let mut rec = WindowRecorder::default();
+        SimScheduler::new(2).run(&g, &mut rec);
+        assert_eq!(rec.0.len(), 2);
+        assert_eq!(rec.0[0].0, 0);
+        assert_eq!(rec.0[1].0, 1);
+        assert!((rec.0[1].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_completes_instantly() {
+        let g = TaskGraph::new();
+        let stats = SimScheduler::new(2).run(&g, &mut NullHooks);
+        assert_eq!(stats.makespan_ns, 0.0);
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn work_conservation() {
+        // Busy time must equal the sum of task durations regardless of
+        // worker count.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..20 {
+            g.add_task(c, vec![acc(i)], 7.0);
+        }
+        for p in [1, 2, 4, 16] {
+            let stats = SimScheduler::new(p).run(&g, &mut NullHooks);
+            let busy: f64 = stats.busy_ns.iter().sum();
+            assert!((busy - 140.0).abs() < 1e-9, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Schedule tracing: capture per-task execution intervals and render an
+//! ASCII Gantt timeline.
+//!
+//! [`TraceHooks`] decorates any [`SchedulerHooks`] implementation, so the
+//! Tahoe policy driver (or any baseline) can be traced without changes:
+//!
+//! ```
+//! use tahoe_taskrt::{NullHooks, SimScheduler, TaskGraph, TaskAccess, AccessMode};
+//! use tahoe_taskrt::trace::TraceHooks;
+//! use tahoe_hms::{AccessProfile, ObjectId};
+//!
+//! let mut g = TaskGraph::new();
+//! let c = g.class("step");
+//! for _ in 0..4 {
+//!     g.add_task(c, vec![TaskAccess::new(ObjectId(0), AccessMode::ReadWrite,
+//!                                        AccessProfile::EMPTY)], 100.0);
+//! }
+//! let mut traced = TraceHooks::new(NullHooks);
+//! SimScheduler::new(2).run(&g, &mut traced);
+//! let trace = traced.into_trace();
+//! assert_eq!(trace.spans().len(), 4);
+//! println!("{}", trace.render(60));
+//! ```
+
+use tahoe_hms::Ns;
+
+use crate::simsched::SchedulerHooks;
+use crate::task::{TaskClassId, TaskId, TaskSpec};
+
+/// One executed task's interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Which task.
+    pub task: TaskId,
+    /// Its class.
+    pub class: TaskClassId,
+    /// Its window.
+    pub window: u32,
+    /// Start time, virtual ns.
+    pub start: Ns,
+    /// Finish time, virtual ns.
+    pub finish: Ns,
+}
+
+/// A captured schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+    window_starts: Vec<(u32, Ns)>,
+}
+
+impl Trace {
+    /// All task spans in finish order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Window-start events.
+    pub fn window_starts(&self) -> &[(u32, Ns)] {
+        &self.window_starts
+    }
+
+    /// End of the schedule (max finish).
+    pub fn makespan(&self) -> Ns {
+        self.spans.iter().map(|s| s.finish).fold(0.0, f64::max)
+    }
+
+    /// Render an ASCII timeline of `width` columns: one row per task
+    /// class, each cell showing how many tasks of that class were running
+    /// in that time slice (` `, `.`, `:`, `#` for 0, 1, 2–3, ≥4).
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(10);
+        let end = self.makespan();
+        if end <= 0.0 || self.spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let mut classes: Vec<TaskClassId> = self.spans.iter().map(|s| s.class).collect();
+        classes.sort();
+        classes.dedup();
+        let mut out = String::new();
+        for &class in &classes {
+            let mut row = vec![0u32; width];
+            for s in self.spans.iter().filter(|s| s.class == class) {
+                let a = ((s.start / end) * width as f64) as usize;
+                let b = (((s.finish / end) * width as f64).ceil() as usize).min(width);
+                for cell in row.iter_mut().take(b.max(a + 1)).skip(a.min(width - 1)) {
+                    *cell += 1;
+                }
+            }
+            out.push_str(&format!("{:>8} |", format!("class{}", class.0)));
+            for &c in &row {
+                out.push(match c {
+                    0 => ' ',
+                    1 => '.',
+                    2..=3 => ':',
+                    _ => '#',
+                });
+            }
+            out.push_str("|\n");
+        }
+        // Window boundary ruler.
+        let mut ruler = vec![b' '; width];
+        for &(_, t) in &self.window_starts {
+            let x = (((t / end) * width as f64) as usize).min(width - 1);
+            ruler[x] = b'|';
+        }
+        out.push_str(&format!(
+            "{:>8} {}\n",
+            "windows",
+            String::from_utf8(ruler).expect("ascii ruler")
+        ));
+        out.push_str(&format!("{:>8} 0 .. {:.3} ms\n", "time", end / 1e6));
+        out
+    }
+}
+
+/// A [`SchedulerHooks`] decorator that records the schedule while
+/// delegating every decision to the inner hooks.
+#[derive(Debug)]
+pub struct TraceHooks<H> {
+    inner: H,
+    trace: Trace,
+}
+
+impl<H> TraceHooks<H> {
+    /// Wrap `inner`.
+    pub fn new(inner: H) -> Self {
+        TraceHooks {
+            inner,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Finish tracing and take the captured trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    /// Access the inner hooks.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Split into the inner hooks and the captured trace.
+    pub fn into_parts(self) -> (H, Trace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<H: SchedulerHooks> SchedulerHooks for TraceHooks<H> {
+    fn task_duration_ns(&mut self, task: &TaskSpec, start: Ns) -> Ns {
+        let dur = self.inner.task_duration_ns(task, start);
+        self.trace.spans.push(Span {
+            task: task.id,
+            class: task.class,
+            window: task.window,
+            start,
+            finish: start + dur,
+        });
+        dur
+    }
+
+    fn task_earliest_start(&mut self, task: &TaskSpec, now: Ns) -> Ns {
+        self.inner.task_earliest_start(task, now)
+    }
+
+    fn on_dispatch_round(&mut self, ready: &[TaskId], now: Ns) {
+        self.inner.on_dispatch_round(ready, now);
+    }
+
+    fn on_task_start(&mut self, task: &TaskSpec, start: Ns) {
+        self.inner.on_task_start(task, start);
+    }
+
+    fn on_task_finish(&mut self, task: &TaskSpec, finish: Ns) {
+        self.inner.on_task_finish(task, finish);
+    }
+
+    fn on_window_start(&mut self, window: u32, now: Ns) {
+        self.trace.window_starts.push((window, now));
+        self.inner.on_window_start(window, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use crate::simsched::{NullHooks, SimScheduler};
+    use crate::task::{AccessMode, TaskAccess};
+    use tahoe_hms::{AccessProfile, ObjectId};
+
+    fn chain(n: u32) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.class("step");
+        for i in 0..n {
+            if i == n / 2 {
+                g.mark_window();
+            }
+            g.add_task(
+                c,
+                vec![TaskAccess::new(
+                    ObjectId(0),
+                    AccessMode::ReadWrite,
+                    AccessProfile::EMPTY,
+                )],
+                50.0,
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn captures_every_task_once() {
+        let g = chain(8);
+        let mut hooks = TraceHooks::new(NullHooks);
+        let stats = SimScheduler::new(2).run(&g, &mut hooks);
+        let trace = hooks.into_trace();
+        assert_eq!(trace.spans().len(), 8);
+        assert_eq!(trace.window_starts().len(), 2);
+        assert!((trace.makespan() - stats.makespan_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_are_disjoint_on_a_chain() {
+        let g = chain(6);
+        let mut hooks = TraceHooks::new(NullHooks);
+        SimScheduler::new(4).run(&g, &mut hooks);
+        let mut spans = hooks.into_trace().spans.clone();
+        spans.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        for w in spans.windows(2) {
+            assert!(w[1].start >= w[0].finish - 1e-9, "chain must serialize");
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_class_plus_ruler() {
+        let g = chain(4);
+        let mut hooks = TraceHooks::new(NullHooks);
+        SimScheduler::new(1).run(&g, &mut hooks);
+        let text = hooks.into_trace().render(40);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // 1 class + windows ruler + time axis
+        assert!(lines[0].contains("class0"));
+        assert!(lines[1].contains('|'));
+        assert!(lines[2].contains("ms"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::default();
+        assert_eq!(t.render(40), "(empty trace)\n");
+        assert_eq!(t.makespan(), 0.0);
+    }
+}

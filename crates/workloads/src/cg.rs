@@ -1,0 +1,143 @@
+//! Conjugate-gradient solver: SpMV plus vector updates per iteration.
+//!
+//! The matrix blocks stream (bandwidth-heavy, huge); the `x`-vector
+//! gather inside SpMV is dependent indexing (latency-leaning); the
+//! vector updates are light streams. Mixed sensitivity with one clear
+//! winner for DRAM: the gathered vector.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the CG workload.
+pub fn app(scale: Scale) -> App {
+    let nb = scale.blocks();
+    let bs = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("cg");
+
+    // Matrix block-rows are 4× the vector block size (sparse but big).
+    let mut a_rows = Vec::with_capacity(nb);
+    for i in 0..nb {
+        a_rows.push(b.object(&format!("A{i}"), bs * 4));
+    }
+    let mut x = Vec::with_capacity(nb);
+    let mut p = Vec::with_capacity(nb);
+    let mut q = Vec::with_capacity(nb);
+    let mut r = Vec::with_capacity(nb);
+    for i in 0..nb {
+        x.push(b.object(&format!("x{i}"), bs / 4));
+        p.push(b.object(&format!("p{i}"), bs / 4));
+        q.push(b.object(&format!("q{i}"), bs / 4));
+        r.push(b.object(&format!("r{i}"), bs / 4));
+    }
+    let a_ln = lines(bs * 4);
+    let v_ln = lines(bs / 4);
+    for i in 0..nb {
+        b.set_est_refs(a_rows[i], (a_ln * iters as u64) as f64);
+        // The gathered vector blocks are touched by every row task.
+        b.set_est_refs(p[i], (v_ln * nb as u64 * iters as u64) as f64);
+        b.set_est_refs(x[i], (v_ln * iters as u64 * 2) as f64);
+        b.set_est_refs(q[i], (v_ln * iters as u64 * 2) as f64);
+        b.set_est_refs(r[i], (v_ln * iters as u64 * 2) as f64);
+    }
+
+    let spmv = b.class("spmv");
+    let axpy = b.class("axpy");
+    let dot = b.class("dot");
+
+    for w in 0..iters {
+        // q = A·p — row tasks stream their block row and gather p.
+        for i in 0..nb {
+            let mut t = b
+                .task(spmv)
+                .read_streaming(a_rows[i], a_ln)
+                .write_streaming(q[i], v_ln)
+                .compute_us(10.0);
+            // Gather three neighbouring p-blocks with dependent indexing.
+            for off in [0usize, 1, 2] {
+                let j = (i + off) % nb;
+                t = t.read_chasing(p[j], v_ln / 2);
+            }
+            t.submit();
+        }
+        // x += α·p ; r −= α·q (axpy per block).
+        for i in 0..nb {
+            b.task(axpy)
+                .read_streaming(p[i], v_ln)
+                .update_streaming(x[i], v_ln)
+                .compute_us(2.0)
+                .submit();
+            b.task(axpy)
+                .read_streaming(q[i], v_ln)
+                .update_streaming(r[i], v_ln)
+                .compute_us(2.0)
+                .submit();
+        }
+        // ρ = r·r, then p = r + β·p (per block; dot reads r, update p).
+        for i in 0..nb {
+            b.task(dot)
+                .read_streaming(r[i], v_ln)
+                .update_streaming(p[i], v_ln)
+                .compute_us(2.0)
+                .submit();
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks();
+        assert_eq!(app.objects.len(), 5 * nb);
+        assert_eq!(app.graph.class_count(), 3);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn spmv_tasks_parallel_within_window() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks() as u32;
+        let roots = app.graph.roots();
+        // Every first-window SpMV task is a root (plus the x-axpy tasks,
+        // which have no upstream writers either).
+        for i in 0..nb {
+            assert!(roots.contains(&tahoe_taskrt::TaskId(i)));
+        }
+        assert_eq!(roots.len(), 2 * nb as usize);
+    }
+
+    #[test]
+    fn p_update_depends_on_spmv_gathers() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks() as u32;
+        // The dot/p-update task for block 0 (id 3·nb) writes p0, which
+        // spmv tasks read (WAR).
+        let t = tahoe_taskrt::TaskId(3 * nb);
+        let preds = app.graph.preds(t);
+        assert!(
+            preds.iter().any(|p| p.0 < nb),
+            "p-update must WAR-depend on spmv gathers: {preds:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_dominates_footprint() {
+        let app = app(Scale::Test);
+        let a_bytes: u64 = app
+            .objects
+            .iter()
+            .filter(|o| o.name.starts_with('A'))
+            .map(|o| o.size)
+            .sum();
+        assert!(a_bytes * 2 > app.footprint());
+    }
+}

@@ -1,0 +1,119 @@
+//! Tiled right-looking Cholesky factorization (POTRF/TRSM/SYRK/GEMM).
+//!
+//! The canonical task-parallel benchmark: four task classes with very
+//! different compute/memory ratios and a rich, irregular DAG — exactly
+//! the setting where per-class profiling pays off.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{filtered_lines, Scale};
+
+/// In-tile cache reuse of the BLAS-3 kernels.
+const TILE_REUSE: f64 = 0.6;
+
+/// Build the Cholesky workload: `iters` factorizations of an `nt × nt`
+/// tile matrix (lower triangle).
+pub fn app(scale: Scale) -> App {
+    let nt = scale.tiles();
+    let ts = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("cholesky");
+
+    // Lower-triangle tiles only.
+    let mut tiles = vec![None; nt * nt];
+    for i in 0..nt {
+        for j in 0..=i {
+            tiles[i * nt + j] = Some(b.object(&format!("T{i}{j}"), ts));
+        }
+    }
+    let tile = |i: usize, j: usize| tiles[i * nt + j].expect("lower-triangle tile");
+    let ln = filtered_lines(ts, TILE_REUSE);
+    for i in 0..nt {
+        for j in 0..=i {
+            // Tiles near the diagonal are touched by more kernels.
+            let touches = (nt - j) as f64 * iters as f64;
+            b.set_est_refs(tile(i, j), 2.0 * ln as f64 * touches);
+        }
+    }
+
+    let potrf = b.class("potrf");
+    let trsm = b.class("trsm");
+    let syrk = b.class("syrk");
+    let gemm = b.class("gemm");
+
+    for w in 0..iters {
+        for k in 0..nt {
+            // POTRF on the diagonal tile: latency-leaning (dependent
+            // panel factorization), heavier compute.
+            b.task(potrf)
+                .access(
+                    tile(k, k),
+                    tahoe_taskrt::AccessMode::ReadWrite,
+                    tahoe_hms::AccessProfile::new(ln, ln / 2, 2.0),
+                )
+                .compute_us(40.0)
+                .submit();
+            for i in (k + 1)..nt {
+                b.task(trsm)
+                    .read_streaming(tile(k, k), ln)
+                    .update_streaming(tile(i, k), ln)
+                    .compute_us(25.0)
+                    .submit();
+            }
+            for i in (k + 1)..nt {
+                b.task(syrk)
+                    .read_streaming(tile(i, k), ln)
+                    .update_streaming(tile(i, i), ln)
+                    .compute_us(20.0)
+                    .submit();
+                for j in (k + 1)..i {
+                    b.task(gemm)
+                        .read_streaming(tile(i, k), ln)
+                        .read_streaming(tile(j, k), ln)
+                        .update_streaming(tile(i, j), ln)
+                        .compute_us(25.0)
+                        .submit();
+                }
+            }
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_taskrt::TaskId;
+
+    #[test]
+    fn shape_and_classes() {
+        let app = app(Scale::Test);
+        let nt = Scale::Test.tiles();
+        assert_eq!(app.objects.len(), nt * (nt + 1) / 2);
+        assert_eq!(app.graph.class_count(), 4);
+        app.validate().unwrap();
+        // Task count per factorization: nt potrf + Σ(nt-k-1) trsm + syrk
+        // + gemms.
+        let per_iter = app.graph.len() / Scale::Test.iterations() as usize;
+        // nt potrf + nt(nt-1)/2 trsm + nt(nt-1)/2 syrk + gemms.
+        assert!(per_iter >= nt * nt);
+    }
+
+    #[test]
+    fn trsm_depends_on_its_potrf() {
+        let app = app(Scale::Test);
+        // Task 0 is potrf(k=0); task 1 is trsm(i=1,k=0) reading T00.
+        assert!(app.graph.preds(TaskId(1)).contains(&TaskId(0)));
+    }
+
+    #[test]
+    fn dag_has_parallel_width() {
+        let app = app(Scale::Test);
+        let cp = app.graph.critical_path_ns(|t| t.compute_ns);
+        let work = app.graph.total_work_ns(|t| t.compute_ns);
+        assert!(work > 1.5 * cp);
+    }
+}

@@ -1,0 +1,110 @@
+//! Staged FFT over blocks, with a large read-only twiddle table.
+//!
+//! Each of the `log2(nb)` stages combines block pairs (butterflies).
+//! Every task also reads a slice of a twiddle-factor table that is one
+//! big flat array — deliberately larger than typical DRAM budgets, so
+//! this is the workload where *large-object chunking* pays (the paper's
+//! FT observation).
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the FFT workload.
+pub fn app(scale: Scale) -> App {
+    let nb = scale.blocks().next_power_of_two();
+    let bs = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("fft");
+
+    let mut blocks = Vec::with_capacity(nb);
+    for i in 0..nb {
+        blocks.push(b.object(&format!("x{i}"), bs));
+    }
+    // The twiddle table: one flat, read-only, *chunkable* array sized at
+    // half the whole dataset.
+    let twiddle_size = (nb as u64 * bs) / 2;
+    let twiddle = b.object_chunkable("twiddle", twiddle_size);
+
+    let stages = nb.trailing_zeros() as usize;
+    let ln = lines(bs);
+    let tw_ln = lines(twiddle_size) / 2; // heavy twiddle reuse per task
+    for i in 0..nb {
+        b.set_est_refs(
+            blocks[i],
+            (2 * ln * stages as u64 * iters as u64) as f64,
+        );
+    }
+    b.set_est_refs(
+        twiddle,
+        (tw_ln * nb as u64 * stages as u64 * iters as u64) as f64,
+    );
+
+    let butterfly = b.class("butterfly");
+    for w in 0..iters {
+        for s in 0..stages {
+            let stride = 1usize << s;
+            let mut done = vec![false; nb];
+            for i in 0..nb {
+                if done[i] {
+                    continue;
+                }
+                let j = i ^ stride;
+                done[i] = true;
+                done[j] = true;
+                b.task(butterfly)
+                    .update_streaming(blocks[i], ln)
+                    .update_streaming(blocks[j], ln)
+                    .read_streaming(twiddle, tw_ln)
+                    .compute_us(8.0)
+                    .submit();
+            }
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks().next_power_of_two();
+        let stages = nb.trailing_zeros() as usize;
+        assert_eq!(app.objects.len(), nb + 1);
+        assert_eq!(
+            app.graph.len(),
+            (nb / 2) * stages * Scale::Test.iterations() as usize
+        );
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn twiddle_is_chunkable_and_large() {
+        let app = app(Scale::Test);
+        let tw = app.objects.last().unwrap();
+        assert!(tw.chunkable);
+        assert!(tw.size >= app.objects[0].size);
+    }
+
+    #[test]
+    fn stage_one_tasks_depend_on_stage_zero() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks().next_power_of_two();
+        let first_s1 = tahoe_taskrt::TaskId((nb / 2) as u32);
+        assert!(!app.graph.preds(first_s1).is_empty());
+    }
+
+    #[test]
+    fn twiddle_reads_do_not_serialize_butterflies() {
+        let app = app(Scale::Test);
+        // All stage-0 tasks are roots despite sharing the twiddle table.
+        let nb = Scale::Test.blocks().next_power_of_two();
+        assert_eq!(app.graph.roots().len(), nb / 2);
+    }
+}

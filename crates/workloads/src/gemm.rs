@@ -1,0 +1,102 @@
+//! Tiled dense GEMM: `C[i][j] += A[i][k]·B[k][j]`, one task per
+//! (i, j, k) tile triple.
+//!
+//! Compute-heavy with good cache reuse inside a tile (most of a tile's
+//! arithmetic hits cache), so the memory traffic per task is a filtered
+//! fraction of the tile bytes: a *mixed*-sensitivity workload where data
+//! placement matters less per access but the volume is large.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{filtered_lines, Scale};
+
+/// Fraction of tile traffic absorbed by the cache within one task.
+const TILE_REUSE: f64 = 0.7;
+
+/// Build the tiled-GEMM workload.
+pub fn app(scale: Scale) -> App {
+    let nt = scale.tiles();
+    let ts = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("gemm");
+
+    let idx = |i: usize, j: usize| i * nt + j;
+    let mut a = Vec::with_capacity(nt * nt);
+    let mut bb = Vec::with_capacity(nt * nt);
+    let mut c = Vec::with_capacity(nt * nt);
+    for i in 0..nt {
+        for j in 0..nt {
+            a.push(b.object(&format!("A{i}{j}"), ts));
+            bb.push(b.object(&format!("B{i}{j}"), ts));
+            c.push(b.object(&format!("C{i}{j}"), ts));
+        }
+    }
+    let ln = filtered_lines(ts, TILE_REUSE);
+    // A and B tiles are read nt times per iteration; C updated nt times.
+    for i in 0..nt {
+        for j in 0..nt {
+            let reads = (ln * nt as u64 * iters as u64) as f64;
+            b.set_est_refs(a[idx(i, j)], reads);
+            b.set_est_refs(bb[idx(i, j)], reads);
+            b.set_est_refs(c[idx(i, j)], 2.0 * reads);
+        }
+    }
+
+    let gemm = b.class("gemm");
+    for w in 0..iters {
+        for i in 0..nt {
+            for j in 0..nt {
+                for k in 0..nt {
+                    b.task(gemm)
+                        .read_streaming(a[idx(i, k)], ln)
+                        .read_streaming(bb[idx(k, j)], ln)
+                        .update_streaming(c[idx(i, j)], ln)
+                        .compute_us(25.0)
+                        .submit();
+                }
+            }
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nt = Scale::Test.tiles();
+        assert_eq!(app.objects.len(), 3 * nt * nt);
+        assert_eq!(
+            app.graph.len(),
+            nt * nt * nt * Scale::Test.iterations() as usize
+        );
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn k_loop_chains_on_c_tile() {
+        let app = app(Scale::Test);
+        let nt = Scale::Test.tiles() as u32;
+        // Tasks 0..nt all update C[0][0]: they form a chain.
+        for k in 1..nt {
+            let preds = app.graph.preds(tahoe_taskrt::TaskId(k));
+            assert!(preds.contains(&tahoe_taskrt::TaskId(k - 1)));
+        }
+    }
+
+    #[test]
+    fn distinct_ij_tiles_are_parallel() {
+        let app = app(Scale::Test);
+        let nt = Scale::Test.tiles() as u32;
+        // First task of (i=0,j=1) block: id nt (k=0). Its preds must not
+        // include any (0,0,k) task.
+        let preds = app.graph.preds(tahoe_taskrt::TaskId(nt));
+        assert!(preds.is_empty(), "{preds:?}");
+    }
+}

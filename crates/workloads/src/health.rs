@@ -1,0 +1,91 @@
+//! Health-like hierarchical agent simulation (BOTS `health`).
+//!
+//! Villages hold linked patient lists; each timestep every village task
+//! walks its list (pure pointer chasing) and occasionally consults a
+//! shared hospital structure (also chased). The latency-sensitive
+//! workload: bandwidth is nearly irrelevant, NVM read latency is
+//! everything.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the health workload.
+pub fn app(scale: Scale) -> App {
+    let villages = scale.blocks() * 2;
+    let vs = scale.block_bytes() / 2;
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("health");
+
+    let mut v = Vec::with_capacity(villages);
+    for i in 0..villages {
+        v.push(b.object(&format!("village{i}"), vs));
+    }
+    let hospital = b.object("hospital", vs * 4);
+
+    let chase_ln = lines(vs) / 2; // half the lines walked per step
+    for i in 0..villages {
+        b.set_est_refs(v[i], (chase_ln * iters as u64) as f64);
+    }
+    b.set_est_refs(
+        hospital,
+        (lines(vs * 4) / 8 * villages as u64 * iters as u64) as f64,
+    );
+
+    let step = b.class("village_step");
+    for w in 0..iters {
+        for i in 0..villages {
+            b.task(step)
+                .access(
+                    v[i],
+                    tahoe_taskrt::AccessMode::ReadWrite,
+                    tahoe_hms::AccessProfile::new(chase_ln, chase_ln / 8, 1.0),
+                )
+                .read_chasing(hospital, lines(vs * 4) / 8)
+                .compute_us(2.0)
+                .submit();
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_core::prelude::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        assert_eq!(app.objects.len(), Scale::Test.blocks() * 2 + 1);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn village_steps_are_parallel_within_a_window() {
+        let app = app(Scale::Test);
+        assert_eq!(app.graph.roots().len(), Scale::Test.blocks() * 2);
+    }
+
+    #[test]
+    fn latency_sensitive_shape() {
+        // The app must slow down far more under latency scaling than
+        // bandwidth scaling.
+        let app_t = app(Scale::Test);
+        let cfg = RuntimeConfig::default();
+        let dram_cap = 1 << 18;
+        let lat = Runtime::new(Platform::emulated_lat(4.0, dram_cap, 1 << 30), cfg.clone());
+        let bw = Runtime::new(Platform::emulated_bw(0.25, dram_cap, 1 << 30), cfg);
+        let lat_gap = lat.run(&app_t, &PolicyKind::NvmOnly).makespan_ns
+            / lat.run(&app_t, &PolicyKind::DramOnly).makespan_ns;
+        let bw_gap = bw.run(&app_t, &PolicyKind::NvmOnly).makespan_ns
+            / bw.run(&app_t, &PolicyKind::DramOnly).makespan_ns;
+        assert!(
+            lat_gap > bw_gap,
+            "health must be latency-sensitive: lat {lat_gap:.2} vs bw {bw_gap:.2}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Task-parallel evaluation workloads.
+//!
+//! The paper evaluates on NPB/BOTS-class HPC kernels expressed as
+//! task-parallel programs. This crate provides ten workload generators
+//! spanning the sensitivity axes the runtime must handle:
+//!
+//! | workload | pattern | NVM sensitivity |
+//! |----------|---------|-----------------|
+//! | [`stream`]   | block triad                      | bandwidth |
+//! | [`stencil`]  | 2-D Jacobi heat, halo exchange   | bandwidth |
+//! | [`gemm`]     | tiled dense matrix multiply      | mixed (compute-heavy) |
+//! | [`cholesky`] | tiled right-looking factorization| mixed, rich DAG |
+//! | [`lu`]       | SparseLU (BOTS-style), sparse blocks | mixed, irregular |
+//! | [`fft`]      | staged butterfly + big read-only twiddle table | bandwidth + chunking showcase |
+//! | [`sort`]     | task mergesort, ping-pong buffers| bandwidth |
+//! | [`health`]   | hierarchical agent simulation    | latency (pointer chasing) |
+//! | [`cg`]       | conjugate gradient (SpMV + vectors) | mixed: stream A, gather x |
+//! | [`nqueens`]  | backtracking search              | compute-bound control |
+//!
+//! Every generator emits an [`App`]: per-block data objects (so the
+//! dependence derivation yields real task DAGs), ground-truth access
+//! profiles per task, compiler-style reference estimates for the
+//! initial-placement heuristic, and one window per outer iteration.
+
+// Workload generators index parallel block arrays by block number; the
+// index *is* the domain decomposition, so range loops are the clearer
+// idiom here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cg;
+pub mod cholesky;
+pub mod fft;
+pub mod health;
+pub mod lu;
+pub mod nqueens;
+pub mod phased;
+pub mod rwmix;
+pub mod sort;
+pub mod spec;
+pub mod stencil;
+pub mod stream;
+
+pub use spec::Scale;
+use tahoe_core::App;
+
+/// Every workload at `scale`, as (name, app) pairs in a fixed order.
+pub fn all_workloads(scale: Scale) -> Vec<App> {
+    vec![
+        stream::app(scale),
+        stencil::app(scale),
+        gemm_app(scale),
+        cholesky::app(scale),
+        lu::app(scale),
+        fft::app(scale),
+        sort::app(scale),
+        health::app(scale),
+        cg::app(scale),
+        nqueens::app(scale),
+        phased::app(scale),
+        rwmix::app(scale),
+    ]
+}
+
+/// The tiled-GEMM workload (re-exported through a module below).
+pub fn gemm_app(scale: Scale) -> App {
+    gemm::app(scale)
+}
+
+pub mod gemm;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_core::prelude::*;
+
+    #[test]
+    fn all_workloads_validate_and_have_structure() {
+        for app in all_workloads(Scale::Test) {
+            app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            assert!(app.graph.len() > 4, "{} too small", app.name);
+            assert!(app.windows() >= 2, "{} needs windows", app.name);
+            assert!(app.footprint() > 0);
+            // Real parallelism: the DAG must not be a single chain.
+            let cp = app.graph.critical_path_ns(|t| t.compute_ns.max(1.0));
+            let work = app.graph.total_work_ns(|t| t.compute_ns.max(1.0));
+            assert!(
+                work > 1.5 * cp,
+                "{}: no parallelism (work {work}, cp {cp})",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let apps = all_workloads(Scale::Test);
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn every_workload_runs_under_every_policy() {
+        let rt = Runtime::new(
+            Platform::emulated_bw(0.5, 2 << 20, 1 << 30),
+            RuntimeConfig::default(),
+        );
+        for app in all_workloads(Scale::Test) {
+            for policy in [
+                PolicyKind::DramOnly,
+                PolicyKind::NvmOnly,
+                PolicyKind::tahoe(),
+            ] {
+                let rep = rt.run(&app, &policy);
+                assert_eq!(
+                    rep.tasks,
+                    app.graph.len() as u64,
+                    "{} under {}",
+                    app.name,
+                    rep.policy
+                );
+            }
+        }
+    }
+}

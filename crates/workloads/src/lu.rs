@@ -1,0 +1,133 @@
+//! SparseLU (BOTS-style): blocked LU over a sparse block matrix.
+//!
+//! A deterministic sparsity mask leaves some blocks empty, so the task
+//! DAG is irregular and per-window work varies — the workload-variation
+//! case the runtime's adaptivity targets.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{filtered_lines, Scale};
+
+const TILE_REUSE: f64 = 0.5;
+
+/// Deterministic block-sparsity mask (BOTS seeds ~60% density).
+fn present(i: usize, j: usize) -> bool {
+    i == j || !(i * 7 + j * 3).is_multiple_of(3)
+}
+
+/// Build the SparseLU workload.
+pub fn app(scale: Scale) -> App {
+    let nt = scale.tiles();
+    let ts = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("sparselu");
+
+    let mut blocks = vec![None; nt * nt];
+    for i in 0..nt {
+        for j in 0..nt {
+            if present(i, j) {
+                blocks[i * nt + j] = Some(b.object(&format!("L{i}{j}"), ts));
+            }
+        }
+    }
+    let blk = |i: usize, j: usize| blocks[i * nt + j];
+    let ln = filtered_lines(ts, TILE_REUSE);
+    for i in 0..nt {
+        for j in 0..nt {
+            if let Some(o) = blk(i, j) {
+                b.set_est_refs(o, 2.0 * ln as f64 * nt as f64 * iters as f64);
+            }
+        }
+    }
+
+    let lu0 = b.class("lu0");
+    let fwd = b.class("fwd");
+    let bdiv = b.class("bdiv");
+    let bmod = b.class("bmod");
+
+    for w in 0..iters {
+        for k in 0..nt {
+            let kk = blk(k, k).expect("diagonal blocks always present");
+            b.task(lu0)
+                .access(
+                    kk,
+                    tahoe_taskrt::AccessMode::ReadWrite,
+                    tahoe_hms::AccessProfile::new(ln, ln / 2, 2.0),
+                )
+                .compute_us(35.0)
+                .submit();
+            for j in (k + 1)..nt {
+                if let Some(okj) = blk(k, j) {
+                    b.task(fwd)
+                        .read_streaming(kk, ln)
+                        .update_streaming(okj, ln)
+                        .compute_us(20.0)
+                        .submit();
+                }
+            }
+            for i in (k + 1)..nt {
+                if let Some(oik) = blk(i, k) {
+                    b.task(bdiv)
+                        .read_streaming(kk, ln)
+                        .update_streaming(oik, ln)
+                        .compute_us(20.0)
+                        .submit();
+                }
+            }
+            for i in (k + 1)..nt {
+                for j in (k + 1)..nt {
+                    if let (Some(oik), Some(okj), Some(oij)) = (blk(i, k), blk(k, j), blk(i, j)) {
+                        b.task(bmod)
+                            .read_streaming(oik, ln)
+                            .read_streaming(okj, ln)
+                            .update_streaming(oij, ln)
+                            .compute_us(25.0)
+                            .submit();
+                    }
+                }
+            }
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_leaves_holes_but_keeps_diagonal() {
+        let nt = Scale::Test.tiles();
+        let mut missing = 0;
+        for i in 0..nt {
+            assert!(present(i, i));
+            for j in 0..nt {
+                if !present(i, j) {
+                    missing += 1;
+                }
+            }
+        }
+        assert!(missing > 0, "mask should drop some blocks");
+    }
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nt = Scale::Test.tiles();
+        assert!(app.objects.len() < nt * nt);
+        assert!(app.objects.len() >= nt);
+        assert_eq!(app.graph.class_count(), 4);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn fwd_depends_on_lu0() {
+        let app = app(Scale::Test);
+        // Task 0 is lu0(k=0); the first fwd/bdiv task must depend on it.
+        let t1 = tahoe_taskrt::TaskId(1);
+        assert!(app.graph.preds(t1).contains(&tahoe_taskrt::TaskId(0)));
+    }
+}

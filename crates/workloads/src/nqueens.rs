@@ -1,0 +1,83 @@
+//! N-Queens backtracking search: the compute-bound control workload.
+//!
+//! Tasks explore disjoint subtrees with tiny per-task state. Data
+//! placement should not matter here — a data-management runtime must not
+//! slow such programs down (the "do no harm" check).
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::Scale;
+
+/// Build the N-Queens workload.
+pub fn app(scale: Scale) -> App {
+    let subtrees = scale.blocks() * 4;
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("nqueens");
+
+    // Small per-subtree scratch plus a shared read-only board template.
+    let board = b.object("board", 4096);
+    b.set_est_refs(board, 64.0 * subtrees as f64 * iters as f64);
+    let mut scratch = Vec::with_capacity(subtrees);
+    for i in 0..subtrees {
+        scratch.push(b.object(&format!("scratch{i}"), 8192));
+        b.set_est_refs(scratch[i], 128.0 * iters as f64);
+    }
+    let tally = b.object("tally", 4096);
+    b.set_est_refs(tally, (subtrees as u64 * iters as u64) as f64);
+
+    let explore = b.class("explore");
+    let reduce = b.class("reduce");
+    for w in 0..iters {
+        for i in 0..subtrees {
+            b.task(explore)
+                .read_streaming(board, 16)
+                .update_streaming(scratch[i], 64)
+                .compute_us(60.0)
+                .submit();
+        }
+        // Reduction over subtree counts.
+        let mut t = b.task(reduce).update_streaming(tally, 16).compute_us(3.0);
+        for i in 0..subtrees {
+            t = t.read_streaming(scratch[i], 4);
+        }
+        t.submit();
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_core::prelude::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        assert_eq!(app.objects.len(), Scale::Test.blocks() * 4 + 2);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn reduction_joins_all_subtrees() {
+        let app = app(Scale::Test);
+        let subtrees = Scale::Test.blocks() * 4;
+        let reduce_id = tahoe_taskrt::TaskId(subtrees as u32);
+        assert_eq!(app.graph.preds(reduce_id).len(), subtrees);
+    }
+
+    #[test]
+    fn nvm_barely_hurts_compute_bound_work() {
+        let app = app(Scale::Test);
+        let rt = Runtime::new(
+            Platform::emulated_bw(0.25, 1 << 18, 1 << 30),
+            RuntimeConfig::default(),
+        );
+        let dram = rt.run(&app, &PolicyKind::DramOnly);
+        let nvm = rt.run(&app, &PolicyKind::NvmOnly);
+        let gap = nvm.makespan_ns / dram.makespan_ns;
+        assert!(gap < 1.25, "compute-bound gap should be small, got {gap}");
+    }
+}

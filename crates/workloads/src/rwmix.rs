@@ -1,0 +1,97 @@
+//! Read-heavy vs write-heavy object sets (the read/write-asymmetry
+//! showcase).
+//!
+//! Two equal-sized block sets are touched with the same access *count*
+//! per window — one set is only read, the other only written. On a
+//! read/write-symmetric NVM the sets are interchangeable; on Optane-like
+//! NVM (writes ~3× more expensive per byte) the write set is worth far
+//! more DRAM. A placement model that does not distinguish loads from
+//! stores cannot tell the sets apart — this workload is what the paper's
+//! read/write-distinction ablation (E10) measures.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the rwmix workload.
+pub fn app(scale: Scale) -> App {
+    let nb = scale.blocks();
+    let bs = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("rwmix");
+
+    let mut reads = Vec::with_capacity(nb);
+    let mut writes = Vec::with_capacity(nb);
+    for i in 0..nb {
+        reads.push(b.object(&format!("R{i}"), bs));
+        writes.push(b.object(&format!("W{i}"), bs));
+    }
+    let ln = lines(bs);
+    for i in 0..nb {
+        // Identical compiler reference estimates: only the *runtime*
+        // models can tell the sets apart.
+        b.set_est_refs(reads[i], (ln * iters as u64) as f64);
+        b.set_est_refs(writes[i], (ln * iters as u64) as f64);
+    }
+
+    let reader = b.class("reader");
+    let writer = b.class("writer");
+    for w in 0..iters {
+        for i in 0..nb {
+            b.task(reader)
+                .read_streaming(reads[i], ln)
+                .compute_us(2.0)
+                .submit();
+            b.task(writer)
+                .write_streaming(writes[i], ln)
+                .compute_us(2.0)
+                .submit();
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_core::prelude::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        assert_eq!(app.objects.len(), 2 * Scale::Test.blocks());
+        assert_eq!(app.graph.class_count(), 2);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn write_set_hurts_more_on_asymmetric_nvm() {
+        let app = app(Scale::Test);
+        // Pin the read set vs the write set on an Optane-like platform
+        // sized to hold exactly one set.
+        let set_bytes = app.footprint() / 2;
+        let reads: Vec<_> = (0..app.objects.len())
+            .filter(|&i| app.objects[i].name.starts_with('R'))
+            .map(|i| tahoe_hms::ObjectId(i as u32))
+            .collect();
+        let writes: Vec<_> = (0..app.objects.len())
+            .filter(|&i| app.objects[i].name.starts_with('W'))
+            .map(|i| tahoe_hms::ObjectId(i as u32))
+            .collect();
+        let rt = Runtime::new(
+            Platform::optane(set_bytes, 4 * app.footprint()),
+            RuntimeConfig::default(),
+        );
+        let pin_r = rt.run(&app, &PolicyKind::Pinned(reads));
+        let pin_w = rt.run(&app, &PolicyKind::Pinned(writes));
+        assert!(
+            pin_w.makespan_ns < pin_r.makespan_ns,
+            "sheltering the write set must win on Optane: {} vs {}",
+            pin_w.makespan_ns,
+            pin_r.makespan_ns
+        );
+    }
+}

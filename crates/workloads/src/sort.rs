@@ -1,0 +1,108 @@
+//! Task mergesort: parallel leaf sorts, then merge levels into a
+//! ping-pong buffer.
+//!
+//! Leaves are compute+stream; merges are pure streams (read two, write
+//! one) — bandwidth-sensitive with a shrinking-parallelism DAG.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the mergesort workload.
+pub fn app(scale: Scale) -> App {
+    let nb = scale.blocks().next_power_of_two();
+    let bs = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("sort");
+
+    // Two buffer sets: data and aux, block-granular.
+    let mut data = Vec::with_capacity(nb);
+    let mut aux = Vec::with_capacity(nb);
+    for i in 0..nb {
+        data.push(b.object(&format!("d{i}"), bs));
+        aux.push(b.object(&format!("s{i}"), bs));
+    }
+    let levels = nb.trailing_zeros() as usize;
+    let ln = lines(bs);
+    for i in 0..nb {
+        let refs = (ln * (levels as u64 + 1) * iters as u64) as f64;
+        b.set_est_refs(data[i], refs);
+        b.set_est_refs(aux[i], refs);
+    }
+
+    let leaf = b.class("leaf_sort");
+    let merge = b.class("merge");
+
+    for w in 0..iters {
+        // Leaf sorts, in place on data blocks.
+        for i in 0..nb {
+            b.task(leaf)
+                .update_streaming(data[i], ln)
+                .compute_us(30.0)
+                .submit();
+        }
+        // Merge levels ping-pong between data and aux.
+        for lvl in 0..levels {
+            let width = 1usize << lvl; // blocks per sorted run
+            let (src, dst): (&Vec<_>, &Vec<_>) = if lvl % 2 == 0 {
+                (&data, &aux)
+            } else {
+                (&aux, &data)
+            };
+            let mut base = 0;
+            while base < nb {
+                // Merge the run [base, base+width) with
+                // [base+width, base+2·width): one task per output block.
+                for o in 0..(2 * width).min(nb - base) {
+                    let t = b
+                        .task(merge)
+                        .read_streaming(src[base + o], ln)
+                        .write_streaming(dst[base + o], ln)
+                        .compute_us(6.0);
+                    // Each output block also samples the sibling run.
+                    let sib = base + (o + width) % (2 * width).min(nb - base);
+                    let t = if sib != base + o {
+                        t.read_streaming(src[sib], ln / 4)
+                    } else {
+                        t
+                    };
+                    t.submit();
+                }
+                base += 2 * width;
+            }
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks().next_power_of_two();
+        assert_eq!(app.objects.len(), 2 * nb);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn leaves_are_parallel() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks().next_power_of_two();
+        assert_eq!(app.graph.roots().len(), nb);
+    }
+
+    #[test]
+    fn merges_depend_on_leaves() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks().next_power_of_two() as u32;
+        // First merge task (id nb) reads data[0] which leaf 0 wrote.
+        let preds = app.graph.preds(tahoe_taskrt::TaskId(nb));
+        assert!(preds.contains(&tahoe_taskrt::TaskId(0)));
+    }
+}

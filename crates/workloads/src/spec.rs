@@ -1,0 +1,84 @@
+//! Common workload scaling and profile helpers.
+
+use tahoe_hms::CACHELINE;
+
+/// Workload scale classes.
+///
+/// `Test` keeps graphs small enough for unit tests; `Bench` is the
+/// evaluation scale used by the experiment harness (footprints tens of
+/// MB against DRAM budgets of a few MB, matching the paper's
+/// DRAM≪footprint regime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small: fast unit tests.
+    Test,
+    /// Evaluation scale.
+    Bench,
+}
+
+impl Scale {
+    /// Generic block size in bytes.
+    pub fn block_bytes(self) -> u64 {
+        match self {
+            Scale::Test => 64 << 10,
+            Scale::Bench => 256 << 10,
+        }
+    }
+
+    /// Generic block count per array.
+    pub fn blocks(self) -> usize {
+        match self {
+            Scale::Test => 4,
+            Scale::Bench => 16,
+        }
+    }
+
+    /// Number of outer iterations (windows).
+    pub fn iterations(self) -> u32 {
+        match self {
+            Scale::Test => 4,
+            Scale::Bench => 10,
+        }
+    }
+
+    /// Tile count per matrix dimension for the factorization kernels.
+    pub fn tiles(self) -> usize {
+        match self {
+            Scale::Test => 3,
+            Scale::Bench => 6,
+        }
+    }
+}
+
+/// Cache lines in `bytes` of data.
+pub fn lines(bytes: u64) -> u64 {
+    bytes / CACHELINE
+}
+
+/// Main-memory lines of a streamed pass over `bytes`, after a cache
+/// filters `reuse` of the traffic (`reuse = 0` ⇒ every line misses).
+pub fn filtered_lines(bytes: u64, reuse: f64) -> u64 {
+    (lines(bytes) as f64 * (1.0 - reuse).clamp(0.0, 1.0)).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Bench.block_bytes() > Scale::Test.block_bytes());
+        assert!(Scale::Bench.blocks() >= Scale::Test.blocks());
+        assert!(Scale::Bench.iterations() > Scale::Test.iterations());
+    }
+
+    #[test]
+    fn line_math() {
+        assert_eq!(lines(6400), 100);
+        assert_eq!(filtered_lines(6400, 0.0), 100);
+        assert_eq!(filtered_lines(6400, 0.75), 25);
+        assert_eq!(filtered_lines(6400, 1.0), 0);
+        // Clamped.
+        assert_eq!(filtered_lines(6400, 2.0), 0);
+    }
+}

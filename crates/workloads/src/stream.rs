@@ -1,0 +1,85 @@
+//! Block STREAM triad: `a[i] = b[i] + s·c[i]`, one task per block.
+//!
+//! The purest bandwidth-sensitive workload: every block is touched once
+//! per iteration with hardware-prefetchable streams and no reuse.
+
+use tahoe_core::{App, AppBuilder};
+
+use crate::spec::{lines, Scale};
+
+/// Build the triad workload.
+pub fn app(scale: Scale) -> App {
+    let nb = scale.blocks();
+    let bs = scale.block_bytes();
+    let iters = scale.iterations();
+    let mut b = AppBuilder::new("stream");
+
+    let mut a_blocks = Vec::with_capacity(nb);
+    let mut b_blocks = Vec::with_capacity(nb);
+    let mut c_blocks = Vec::with_capacity(nb);
+    for i in 0..nb {
+        a_blocks.push(b.object(&format!("a{i}"), bs));
+        b_blocks.push(b.object(&format!("b{i}"), bs));
+        c_blocks.push(b.object(&format!("c{i}"), bs));
+    }
+    // Compiler estimate: every block is fully referenced every iteration.
+    let per_iter = lines(bs) as f64;
+    for i in 0..nb {
+        b.set_est_refs(a_blocks[i], per_iter * iters as f64);
+        b.set_est_refs(b_blocks[i], per_iter * iters as f64);
+        b.set_est_refs(c_blocks[i], per_iter * iters as f64);
+    }
+
+    let triad = b.class("triad");
+    let ln = lines(bs);
+    for w in 0..iters {
+        for i in 0..nb {
+            b.task(triad)
+                .read_streaming(b_blocks[i], ln)
+                .read_streaming(c_blocks[i], ln)
+                .write_streaming(a_blocks[i], ln)
+                .compute_us(3.0)
+                .submit();
+        }
+        if w + 1 < iters {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks();
+        assert_eq!(app.objects.len(), 3 * nb);
+        assert_eq!(
+            app.graph.len(),
+            nb * Scale::Test.iterations() as usize
+        );
+        assert_eq!(app.windows(), Scale::Test.iterations());
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn blocks_are_independent_within_a_window() {
+        let app = app(Scale::Test);
+        // All first-window tasks are roots.
+        let roots = app.graph.roots();
+        assert_eq!(roots.len(), Scale::Test.blocks());
+    }
+
+    #[test]
+    fn iterations_chain_through_blocks() {
+        let app = app(Scale::Test);
+        let nb = Scale::Test.blocks();
+        // Task nb (block 0, window 1) must depend on task 0 (WAW on a0).
+        let t = app.graph.task(tahoe_taskrt::TaskId(nb as u32));
+        assert_eq!(t.window, 1);
+        assert!(!app.graph.preds(t.id).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Policy shootout: every workload × every policy, DRAM-normalized.
+//!
+//! The bird's-eye view of the reproduction — who wins where, and by how
+//! much.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout
+//! ```
+
+use tahoe_repro::prelude::*;
+use tahoe_repro::workloads::all_workloads;
+
+fn main() {
+    let policies = [
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::HwCache,
+        PolicyKind::StaticOffline,
+        PolicyKind::tahoe(),
+    ];
+    println!(
+        "{:<10} {:>9} {:>12} {:>9} {:>9} {:>8}   (slowdown vs DRAM-only, 1/2-BW NVM, DRAM = footprint/4)",
+        "workload", "NVM-only", "first-touch", "hw-cache", "static", "tahoe"
+    );
+    let mut geo: Vec<f64> = vec![1.0; policies.len()];
+    let mut n = 0u32;
+    for app in all_workloads(Scale::Bench) {
+        let budget = (app.footprint() / 4).max(1 << 20);
+        let platform = Platform::emulated_bw(0.5, budget, 4 * app.footprint());
+        let rt = Runtime::new(platform, RuntimeConfig::default());
+        let dram = rt.run(&app, &PolicyKind::DramOnly);
+        print!("{:<10}", app.name);
+        for (i, p) in policies.iter().enumerate() {
+            let r = rt.run(&app, p);
+            let s = r.slowdown_vs(dram.makespan_ns);
+            geo[i] *= s;
+            let w = [9, 12, 9, 9, 8][i];
+            print!(" {:>w$.2}", s, w = w);
+        }
+        println!();
+        n += 1;
+    }
+    print!("{:<10}", "geomean");
+    for (i, g) in geo.iter().enumerate() {
+        let w = [9, 12, 9, 9, 8][i];
+        print!(" {:>w$.2}", g.powf(1.0 / n as f64), w = w);
+    }
+    println!();
+}

@@ -1,0 +1,46 @@
+//! Sparse-solver campaign: Cholesky and CG under shrinking DRAM budgets.
+//!
+//! A capacity-planning study: how little DRAM can a node ship with before
+//! the solvers fall off a cliff, with and without runtime data
+//! management?
+//!
+//! ```sh
+//! cargo run --release --example solver_campaign
+//! ```
+
+use tahoe_repro::prelude::*;
+use tahoe_repro::workloads::{cg, cholesky};
+
+fn main() {
+    for app in [cholesky::app(Scale::Bench), cg::app(Scale::Bench)] {
+        let foot = app.footprint();
+        println!(
+            "\n=== {} ({} tasks, {:.1} MB footprint) ===",
+            app.name,
+            app.graph.len(),
+            foot as f64 / 1e6
+        );
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "DRAM", "NVM-only", "static", "tahoe", "migr", "overlap%"
+        );
+        for frac in [2u64, 4, 8, 16] {
+            let budget = (foot / frac).max(1 << 20);
+            let platform = Platform::optane(budget, 4 * foot);
+            let rt = Runtime::new(platform, RuntimeConfig::default());
+            let d = rt.run(&app, &PolicyKind::DramOnly);
+            let n = rt.run(&app, &PolicyKind::NvmOnly);
+            let s = rt.run(&app, &PolicyKind::StaticOffline);
+            let t = rt.run(&app, &PolicyKind::tahoe());
+            println!(
+                "1/{:<10} {:>9.2}x {:>9.2}x {:>9.2}x {:>8} {:>9.1}%",
+                frac,
+                n.slowdown_vs(d.makespan_ns),
+                s.slowdown_vs(d.makespan_ns),
+                t.slowdown_vs(d.makespan_ns),
+                t.migrations.count,
+                t.pct_overlap(),
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end property tests: randomly generated applications must run to
+//! completion under every policy with physically sensible results.
+
+use proptest::prelude::*;
+
+use tahoe_repro::prelude::*;
+use tahoe_repro::core::TahoeOptions;
+
+/// A randomly shaped iterative application.
+#[derive(Debug, Clone)]
+struct RandApp {
+    objects: Vec<u32>,        // sizes in KB (1..=512)
+    tasks_per_window: Vec<(u8, u8, u16, u16)>, // (read obj, write obj, lines, compute µs)
+    windows: u8,
+}
+
+fn app_strategy() -> impl Strategy<Value = RandApp> {
+    (
+        proptest::collection::vec(1u32..512, 2..8),
+        proptest::collection::vec((0u8..8, 0u8..8, 16u16..2048, 1u16..50), 1..6),
+        2u8..6,
+    )
+        .prop_map(|(objects, tasks_per_window, windows)| RandApp {
+            objects,
+            tasks_per_window,
+            windows,
+        })
+}
+
+fn build(r: &RandApp) -> App {
+    let mut b = AppBuilder::new("rand");
+    let ids: Vec<_> = r
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, &kb)| b.object(&format!("o{i}"), (kb as u64) << 10))
+        .collect();
+    let c = b.class("t");
+    for w in 0..r.windows {
+        for &(ro, wo, lines, us) in &r.tasks_per_window {
+            let ro = ids[ro as usize % ids.len()];
+            let wo = ids[wo as usize % ids.len()];
+            let mut t = b.task(c).read_streaming(ro, lines as u64);
+            if wo != ro {
+                t = t.write_streaming(wo, lines as u64);
+            }
+            t.compute_us(us as f64).submit();
+        }
+        if w + 1 < r.windows {
+            b.next_window();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_policy_completes_and_is_ordered(r in app_strategy()) {
+        let app = build(&r);
+        let rt = Runtime::new(
+            Platform::emulated_bw(0.5, (app.footprint() / 3).max(1 << 18), 4 * app.footprint()),
+            RuntimeConfig::default(),
+        );
+        let d = rt.run(&app, &PolicyKind::DramOnly);
+        let n = rt.run(&app, &PolicyKind::NvmOnly);
+        prop_assert!(d.makespan_ns > 0.0);
+        prop_assert!(n.makespan_ns >= d.makespan_ns - 1e-6, "NVM cannot beat DRAM");
+        for policy in [
+            PolicyKind::FirstTouch,
+            PolicyKind::HwCache,
+            PolicyKind::StaticOffline,
+            PolicyKind::tahoe(),
+        ] {
+            let rep = rt.run(&app, &policy);
+            prop_assert_eq!(rep.tasks as usize, app.graph.len(), "{}", rep.policy);
+            prop_assert!(rep.makespan_ns.is_finite());
+            prop_assert!(rep.makespan_ns >= d.makespan_ns * 0.999, "{}", rep.policy);
+        }
+    }
+
+    #[test]
+    fn tahoe_never_catastrophically_loses_to_nvm_only(r in app_strategy()) {
+        let app = build(&r);
+        let rt = Runtime::new(
+            Platform::optane((app.footprint() / 3).max(1 << 18), 4 * app.footprint()),
+            RuntimeConfig::default(),
+        );
+        let n = rt.run(&app, &PolicyKind::NvmOnly);
+        for opts in [
+            TahoeOptions::default(),
+            TahoeOptions { initial_placement: false, ..TahoeOptions::default() },
+            TahoeOptions { proactive: false, ..TahoeOptions::default() },
+            TahoeOptions { local_search: false, ..TahoeOptions::default() },
+        ] {
+            let t = rt.run(&app, &PolicyKind::Tahoe(opts));
+            prop_assert!(
+                t.makespan_ns <= n.makespan_ns * 1.20,
+                "{} lost badly: {} vs NVM {}",
+                t.policy,
+                t.makespan_ns,
+                n.makespan_ns
+            );
+        }
+    }
+
+    #[test]
+    fn migration_stats_are_internally_consistent(r in app_strategy()) {
+        let app = build(&r);
+        let rt = Runtime::new(
+            Platform::emulated_bw(0.25, (app.footprint() / 4).max(1 << 18), 4 * app.footprint()),
+            RuntimeConfig::default(),
+        );
+        let o = TahoeOptions {
+            initial_placement: false,
+            ..TahoeOptions::default()
+        };
+        let rep = rt.run(&app, &PolicyKind::Tahoe(o));
+        prop_assert_eq!(rep.migrations.count, rep.migrations.promotions + rep.migrations.evictions);
+        prop_assert!(rep.pct_overlap() >= -1e-9 && rep.pct_overlap() <= 100.0 + 1e-9);
+        prop_assert!(rep.overhead.total_ns() >= 0.0);
+        prop_assert!(rep.stall_ns >= 0.0);
+    }
+}
