@@ -3,19 +3,31 @@
 //! ```sh
 //! cargo run -p tahoe-bench --release --bin exp -- all
 //! cargo run -p tahoe-bench --release --bin exp -- e4 e7
+//! cargo run -p tahoe-bench --release --bin exp -- obs    # CI smoke artifact
 //! ```
 
 use std::process::ExitCode;
 
+/// Output directory for the `obs` artifact (override with `OBS_DIR`).
+fn obs_dir() -> String {
+    std::env::var("OBS_DIR").unwrap_or_else(|_| "target/obs-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: exp <all|e1|e2|...|e13> [more experiments]");
+        eprintln!("usage: exp <all|e1|e2|...|e13|obs> [more experiments]");
         return ExitCode::FAILURE;
     }
     for arg in &args {
         match arg.as_str() {
             "all" => tahoe_bench::all(),
+            "obs" => {
+                if let Err(e) = tahoe_bench::obs_artifact(&obs_dir()) {
+                    eprintln!("obs artifact failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             "e1" => tahoe_bench::e1(),
             "e2" => tahoe_bench::e2(),
             "e3" => tahoe_bench::e3(),

@@ -13,7 +13,7 @@
 use tahoe_core::prelude::*;
 use tahoe_core::TahoeOptions;
 use tahoe_hms::ObjectId;
-use tahoe_workloads::{all_workloads, cg, Scale};
+use tahoe_workloads::{all_workloads, cg, stream, Scale};
 
 /// DRAM budget used throughout the main experiments: a quarter of the
 /// application footprint (the paper's DRAM ≪ footprint regime).
@@ -50,7 +50,10 @@ fn banner(title: &str) {
 /// (paper's "performance on NVM with various bandwidth" figure).
 pub fn e1() {
     banner("E1  NVM-only slowdown, bandwidth-limited NVM (vs DRAM-only)");
-    println!("{:<10} {:>8} {:>8} {:>8}", "workload", "1/2 BW", "1/4 BW", "1/8 BW");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "workload", "1/2 BW", "1/4 BW", "1/8 BW"
+    );
     for app in all_workloads(Scale::Bench) {
         print!("{:<10}", app.name);
         for frac in [0.5, 0.25, 0.125] {
@@ -66,7 +69,10 @@ pub fn e1() {
 /// E2 — NVM-only slowdown under latency-limited NVM.
 pub fn e2() {
     banner("E2  NVM-only slowdown, latency-limited NVM (vs DRAM-only)");
-    println!("{:<10} {:>8} {:>8} {:>8}", "workload", "2x LAT", "4x LAT", "8x LAT");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8}",
+        "workload", "2x LAT", "4x LAT", "8x LAT"
+    );
     for app in all_workloads(Scale::Bench) {
         print!("{:<10}", app.name);
         for mult in [2.0, 4.0, 8.0] {
@@ -105,10 +111,7 @@ pub fn e3() {
             }),
         ]
     };
-    println!(
-        "{:<14} {:>10} {:>10}",
-        "in DRAM", "1/2 BW", "4x LAT"
-    );
+    println!("{:<14} {:>10} {:>10}", "in DRAM", "1/2 BW", "4x LAT");
     for make in [
         ("NVM-only", None),
         ("A (matrix)", Some(0)),
@@ -439,6 +442,71 @@ pub fn e13() {
             100.0 * th.write_shielding(),
         );
     }
+}
+
+/// Observability artifact: run STREAM at test scale with the full
+/// observability layer on, check the capture is well-formed and
+/// deterministic, and write the machine-diffable artifact (JSONL event
+/// stream, Chrome/Perfetto trace, metrics JSON) under `dir`.
+///
+/// Used by the CI bench-smoke job; any malformed or non-deterministic
+/// output is an error, not a warning.
+pub fn obs_artifact(dir: &str) -> Result<(), String> {
+    use tahoe_obs::{json, Event};
+
+    banner("OBS  observability artifact (stream @ test scale, all data starts in NVM)");
+    let app = stream::app(Scale::Test);
+    // 1/8-bandwidth NVM: at test scale the promotion gain must clear the
+    // replanning hysteresis margin, which it does not at milder ratios.
+    let r = rt(platform_bw(&app, 0.125));
+    // No initial placement: the planner must visibly migrate the hot
+    // blocks, so the artifact exercises the migration events too.
+    let policy = PolicyKind::Tahoe(TahoeOptions {
+        initial_placement: false,
+        ..TahoeOptions::default()
+    });
+    let (report, capture) = r.run_observed(&app, &policy);
+    let (_, again) = r.run_observed(&app, &policy);
+
+    let jsonl = capture.to_jsonl();
+    if jsonl != again.to_jsonl() {
+        return Err("observed runs are not byte-identical".into());
+    }
+    for (i, line) in jsonl.lines().enumerate() {
+        let v = json::parse(line).map_err(|e| format!("events.jsonl line {}: {e}", i + 1))?;
+        if v.get("ev").and_then(|t| t.as_str()).is_none() {
+            return Err(format!("events.jsonl line {} lacks an `ev` tag", i + 1));
+        }
+    }
+    if !capture
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::MigrationIssued { .. }))
+    {
+        return Err("expected at least one migration event".into());
+    }
+    let trace = capture.to_chrome_trace();
+    json::parse(&trace).map_err(|e| format!("trace.json: {e}"))?;
+    let metrics = report.metrics.to_json();
+    json::parse(&metrics).map_err(|e| format!("metrics.json: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    for (name, text) in [
+        ("events.jsonl", &jsonl),
+        ("trace.json", &trace),
+        ("metrics.json", &metrics),
+    ] {
+        std::fs::write(path.join(name), text).map_err(|e| format!("write {name}: {e}"))?;
+    }
+    println!(
+        "{} events, {} counters, {} tasks, makespan {:.3}ms -> {dir}/",
+        capture.events.len(),
+        report.metrics.counters.len(),
+        report.tasks,
+        report.makespan_ns / 1e6
+    );
+    Ok(())
 }
 
 /// Run every experiment in order.

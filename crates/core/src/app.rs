@@ -53,10 +53,7 @@ impl App {
         for t in self.graph.tasks() {
             for a in &t.accesses {
                 if a.object.index() >= self.objects.len() {
-                    return Err(format!(
-                        "{:?} references undeclared {:?}",
-                        t.id, a.object
-                    ));
+                    return Err(format!("{:?} references undeclared {:?}", t.id, a.object));
                 }
             }
         }
@@ -178,7 +175,11 @@ impl TaskBuilder<'_> {
 
     /// Streaming write of `lines` cache lines.
     pub fn write_streaming(self, object: ObjectId, lines: u64) -> Self {
-        self.access(object, AccessMode::Write, AccessProfile::streaming(0, lines))
+        self.access(
+            object,
+            AccessMode::Write,
+            AccessProfile::streaming(0, lines),
+        )
     }
 
     /// Streaming update (read-modify-write) touching `lines` lines each
@@ -193,7 +194,11 @@ impl TaskBuilder<'_> {
 
     /// Dependent-chain read of `lines` lines (pointer chasing).
     pub fn read_chasing(self, object: ObjectId, lines: u64) -> Self {
-        self.access(object, AccessMode::Read, AccessProfile::pointer_chase(lines))
+        self.access(
+            object,
+            AccessMode::Read,
+            AccessProfile::pointer_chase(lines),
+        )
     }
 
     /// Pure compute time in nanoseconds.

@@ -26,6 +26,7 @@ use tahoe_hms::{
     Hms, HmsConfig, Ns, ObjectId, TierKind,
 };
 use tahoe_memprof::{calibrate::calibrate, Calibration, ProfileDb, Sampler};
+use tahoe_obs::{Emitter, Event, Metrics, OverheadKind, ReplanReason};
 use tahoe_perfmodel::Demand;
 use tahoe_placement::{
     choose_plan, global_plan, local_plan, search::WindowDemand, Plan, PlanKind, WeighCtx,
@@ -45,6 +46,14 @@ use crate::policy::{PolicyKind, TahoeOptions};
 struct Inflight {
     record: usize,
     finish: Ns,
+}
+
+/// The observability mirror of a memory tier.
+fn obs_tier(t: TierKind) -> tahoe_obs::Tier {
+    match t {
+        TierKind::Dram => tahoe_obs::Tier::Dram,
+        TierKind::Nvm => tahoe_obs::Tier::Nvm,
+    }
 }
 
 /// The policy driver (see module docs).
@@ -91,6 +100,8 @@ pub struct Driver<'a> {
     /// Write-endurance tally (stores per tier + migration copies).
     pub wear: tahoe_hms::WearStats,
     footprint: u64,
+    emitter: Emitter,
+    metrics: Metrics,
 }
 
 impl<'a> Driver<'a> {
@@ -192,7 +203,21 @@ impl<'a> Driver<'a> {
             failed_promotions: 0,
             wear: tahoe_hms::WearStats::default(),
             footprint,
+            emitter: Emitter::disabled(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Attach observability: policy decisions (plans, migrations,
+    /// profiling, replans, overhead charges) are emitted as events, and
+    /// the metrics handle is propagated into the memory system, the copy
+    /// channel and the sampler so every layer records into one registry.
+    pub fn set_obs(&mut self, emitter: Emitter, metrics: Metrics) {
+        self.emitter = emitter;
+        self.hms.set_metrics(metrics.clone());
+        self.channel.set_metrics(metrics.clone());
+        self.sampler.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// Initial tier of each memory unit under `policy`. `unit_descs` is
@@ -379,13 +404,27 @@ impl<'a> Driver<'a> {
         };
         for (finish, unit) in due {
             match self.hms.move_object(unit, TierKind::Dram) {
-                Ok(_) => {
-                    self.inflight.remove(&unit);
+                Ok(bytes) => {
+                    if let Some(inf) = self.inflight.remove(&unit) {
+                        let overlap = self.records[inf.record].overlapped_ns();
+                        self.metrics.inc("driver.migrations.completed");
+                        self.emitter.emit(|| Event::MigrationCompleted {
+                            t: now,
+                            object: unit.0,
+                            bytes,
+                            overlap_ns: overlap,
+                        });
+                    }
                 }
                 Err(_) => {
                     // Destination full or fragmented: retry after the
                     // next transition frees space.
                     self.failed_promotions += 1;
+                    self.metrics.inc("driver.migrations.deferred");
+                    self.emitter.emit(|| Event::MigrationDeferred {
+                        t: now,
+                        object: unit.0,
+                    });
                     self.matured.push((finish, unit));
                 }
             }
@@ -500,7 +539,7 @@ impl<'a> Driver<'a> {
 
     /// Compute the placement plan at window `w` (profiling just ended or a
     /// replan triggered).
-    fn compute_plan(&mut self, w: u32, opts: &TahoeOptions) {
+    fn compute_plan(&mut self, w: u32, now: Ns, opts: &TahoeOptions) {
         let demands = self.to_unit_demands(self.estimated_window_demands(w));
         if demands.is_empty() {
             return;
@@ -564,20 +603,30 @@ impl<'a> Driver<'a> {
         if std::env::var("TAHOE_DEBUG").is_ok() {
             if let Some(first) = demands.first() {
                 for &(id, size, d) in first.iter().take(6) {
-                    let item = ctx.weigh(&tahoe_placement::ObjectCandidate { id, size, demand: d, resident: initial.contains(&id) });
+                    let item = ctx.weigh(&tahoe_placement::ObjectCandidate {
+                        id,
+                        size,
+                        demand: d,
+                        resident: initial.contains(&id),
+                    });
                     eprintln!("[cand] {:?} size={} loads={:.0} stores={:.0} active={:.1}us bw={:.2}GB/s class={:?} value={:.3e}",
                         id, size, d.loads, d.stores, d.active_ns/1e3, d.consumed_bw_gbps(),
                         tahoe_perfmodel::classify(&d, ctx.calib.nvm_peak_bw_gbps, &ctx.params), item.value);
                 }
-                eprintln!("[cand] nvm_peak={:.2} cf_bw={:.2} cf_lat={:.2} mean_window={:.1}us", ctx.calib.nvm_peak_bw_gbps, ctx.calib.cf_bw, ctx.calib.cf_lat, mean_window_ns/1e3);
+                eprintln!(
+                    "[cand] nvm_peak={:.2} cf_bw={:.2} cf_lat={:.2} mean_window={:.1}us",
+                    ctx.calib.nvm_peak_bw_gbps,
+                    ctx.calib.cf_bw,
+                    ctx.calib.cf_lat,
+                    mean_window_ns / 1e3
+                );
             }
         }
         let overlap_budget = if opts.proactive { mean_window_ns } else { 0.0 };
         let mut best: Option<(Ns, Plan)> = None;
         let mut consider = |plan: Plan, this: &Self| {
-            let score = plan.predicted_gain_ns
-                - this.channel_penalty_ns(&plan, overlap_budget)
-                - baseline;
+            let score =
+                plan.predicted_gain_ns - this.channel_penalty_ns(&plan, overlap_budget) - baseline;
             if std::env::var("TAHOE_DEBUG").is_ok() {
                 eprintln!("[plan] kind={:?} gain={:.3e} penalty={:.3e} baseline={:.3e} score={:.3e} migr={}",
                     plan.kind, plan.predicted_gain_ns,
@@ -602,22 +651,63 @@ impl<'a> Driver<'a> {
         // (2% of the baseline's value plus a 10 µs floor), otherwise the
         // churn costs more than sampling noise-sized "gains" are worth.
         let margin = 0.02 * baseline + 10_000.0;
+        let plan_tag = |k: PlanKind| -> &'static str {
+            match k {
+                PlanKind::Global => "global",
+                PlanKind::Local => "local",
+            }
+        };
+        self.metrics.inc("driver.plans");
         match best {
             Some((score, mut plan)) if score > margin => {
+                let kind = plan_tag(plan.kind);
+                let migrations = plan.migration_count() as u32;
+                let gain = plan.predicted_gain_ns;
                 // Window indices in the plan are relative to `w`.
                 for pw in &mut plan.windows {
                     pw.window += w;
                 }
                 self.plan = Some(plan);
+                self.metrics.inc("driver.plans.accepted");
+                self.emitter.emit(|| Event::PlanComputed {
+                    t: now,
+                    window: w,
+                    kind,
+                    candidates: candidate_count as u32,
+                    migrations,
+                    predicted_gain_ns: gain,
+                    baseline_ns: baseline,
+                    accepted: true,
+                });
             }
-            _ => {
+            best => {
                 // No plan beats staying put: freeze the current placement
                 // (an empty plan, so enforcement is a no-op but planning
                 // does not re-run every window).
+                let (kind, migrations, gain) = best
+                    .map(|(_, p)| {
+                        (
+                            plan_tag(p.kind),
+                            p.migration_count() as u32,
+                            p.predicted_gain_ns,
+                        )
+                    })
+                    .unwrap_or(("none", 0, 0.0));
                 self.plan = Some(Plan {
                     kind: PlanKind::Global,
                     windows: Vec::new(),
                     predicted_gain_ns: 0.0,
+                });
+                self.metrics.inc("driver.plans.frozen");
+                self.emitter.emit(|| Event::PlanComputed {
+                    t: now,
+                    window: w,
+                    kind,
+                    candidates: candidate_count as u32,
+                    migrations,
+                    predicted_gain_ns: gain,
+                    baseline_ns: baseline,
+                    accepted: false,
                 });
             }
         }
@@ -694,6 +784,19 @@ impl<'a> Driver<'a> {
                 finish,
                 needed_at: None,
             });
+            self.metrics.inc("driver.migrations.issued");
+            self.metrics.add("driver.migration_bytes", bytes);
+            let queue_depth = self.inflight.len() as u32;
+            self.emitter.emit(|| Event::MigrationIssued {
+                t: now,
+                object: unit.0,
+                bytes,
+                from: obs_tier(TierKind::Dram),
+                to: obs_tier(TierKind::Nvm),
+                start,
+                finish,
+                queue_depth,
+            });
             if !opts.proactive {
                 self.block_until = self.block_until.max(finish);
             }
@@ -744,6 +847,19 @@ impl<'a> Driver<'a> {
             finish,
             needed_at: None,
         });
+        self.metrics.inc("driver.migrations.issued");
+        self.metrics.add("driver.migration_bytes", bytes);
+        let queue_depth = self.inflight.len() as u32;
+        self.emitter.emit(|| Event::MigrationIssued {
+            t: now,
+            object: unit.0,
+            bytes,
+            from: obs_tier(TierKind::Nvm),
+            to: obs_tier(TierKind::Dram),
+            start,
+            finish,
+            queue_depth,
+        });
         let record = self.records.len() - 1;
         self.inflight.insert(unit, Inflight { record, finish });
         self.matured.push((finish, unit));
@@ -755,7 +871,7 @@ impl<'a> Driver<'a> {
     }
 
     /// Adaptivity: detect per-window drift and re-arm profiling.
-    fn check_variation(&mut self, w: u32, opts: &TahoeOptions) {
+    fn check_variation(&mut self, w: u32, now: Ns, opts: &TahoeOptions) {
         if !opts.adaptive || self.plan.is_none() || self.window_started_at.len() < 3 {
             return;
         }
@@ -777,6 +893,18 @@ impl<'a> Driver<'a> {
             // it to pass before measuring variation again.
             self.quiet_since = self.profiling_until + 1;
             self.replans += 1;
+            self.metrics.inc("driver.replans.drift");
+            let until_window = self.profiling_until;
+            self.emitter.emit(|| Event::ReplanTriggered {
+                t: now,
+                window: w,
+                reason: ReplanReason::Drift,
+            });
+            self.emitter.emit(|| Event::ProfilingArmed {
+                t: now,
+                window: w,
+                until_window,
+            });
         }
     }
 
@@ -822,17 +950,22 @@ impl SchedulerHooks for Driver<'_> {
         let mut dur = self.base_duration_ns(task);
         if let PolicyKind::Tahoe(_) = self.policy {
             self.overhead.sync_ns += SYNC_COST_PER_TASK_NS;
+            self.metrics
+                .gauge_add("overhead.sync_ns", SYNC_COST_PER_TASK_NS);
             dur += SYNC_COST_PER_TASK_NS;
             // Profile during the profiling windows — and any instance of
             // a class that has not yet met its quota (task classes can
             // first appear long after startup; the paper profiles a few
             // instances of *each class*, whenever they arrive).
             if task.window < self.profiling_until
-                || !self.db.is_profiled(task.class, self.cfg.min_class_instances)
+                || !self
+                    .db
+                    .is_profiled(task.class, self.cfg.min_class_instances)
             {
                 self.profile_task(task);
                 let extra = dur * PROFILING_TASK_INFLATION;
                 self.overhead.profiling_ns += extra;
+                self.metrics.gauge_add("overhead.profiling_ns", extra);
                 dur += extra;
             }
         }
@@ -846,6 +979,13 @@ impl SchedulerHooks for Driver<'_> {
         if self.pending_plan_cost > 0.0 {
             earliest += self.pending_plan_cost;
             self.overhead.planning_ns += self.pending_plan_cost;
+            let charged = self.pending_plan_cost;
+            self.metrics.gauge_add("overhead.planning_ns", charged);
+            self.emitter.emit(|| Event::OverheadCharged {
+                t: now,
+                kind: OverheadKind::Planning,
+                ns: charged,
+            });
             self.pending_plan_cost = 0.0;
         }
         // Wait for in-flight promotions of objects this task *writes*:
@@ -875,9 +1015,41 @@ impl SchedulerHooks for Driver<'_> {
 
     fn on_window_start(&mut self, w: u32, now: Ns) {
         self.window_started_at.push((w, now));
+        // Per-tier occupancy sample at every window boundary, whatever the
+        // policy — the observability layer's view of residency over time.
+        if self.emitter.enabled() || self.metrics.is_enabled() {
+            let dram_used = self.hms.used(TierKind::Dram);
+            let nvm_used = self.hms.used(TierKind::Nvm);
+            let dram_capacity = self.hms.tier_spec(TierKind::Dram).capacity;
+            let nvm_capacity = self.hms.tier_spec(TierKind::Nvm).capacity;
+            let inflight = self.inflight.len() as u32;
+            self.emitter.emit(|| Event::TierSample {
+                t: now,
+                window: w,
+                dram_used,
+                dram_capacity,
+                nvm_used,
+                nvm_capacity,
+                inflight,
+            });
+            self.metrics
+                .series_push("tier.dram_used_bytes", w, dram_used as f64);
+            self.metrics
+                .series_push("tier.nvm_used_bytes", w, nvm_used as f64);
+            self.metrics
+                .series_push("tier.inflight", w, inflight as f64);
+        }
         let PolicyKind::Tahoe(opts) = self.policy.clone() else {
             return;
         };
+        if w == 0 && self.profiling_until > 0 {
+            let until_window = self.profiling_until;
+            self.emitter.emit(|| Event::ProfilingArmed {
+                t: now,
+                window: 0,
+                until_window,
+            });
+        }
         // A window introducing a task class the current plan has never
         // seen invalidates the plan: its objects were invisible to the
         // demand estimate. Profile this window (the class-quota rule in
@@ -894,11 +1066,25 @@ impl SchedulerHooks for Driver<'_> {
                 self.profiling_until = self.profiling_until.max(w + 1);
                 self.quiet_since = self.profiling_until + 1;
                 self.replans += 1;
+                self.metrics.inc("driver.replans.unseen_class");
+                let until_window = self.profiling_until;
+                self.emitter.emit(|| Event::ReplanTriggered {
+                    t: now,
+                    window: w,
+                    reason: ReplanReason::UnseenClass,
+                });
+                self.emitter.emit(|| Event::ProfilingArmed {
+                    t: now,
+                    window: w,
+                    until_window,
+                });
             }
         }
-        self.check_variation(w, &opts);
+        self.check_variation(w, now, &opts);
         if self.plan.is_none() && w >= self.profiling_until {
-            self.compute_plan(w, &opts);
+            self.emitter
+                .emit(|| Event::ProfilingClosed { t: now, window: w });
+            self.compute_plan(w, now, &opts);
         }
         if self.plan.is_some() {
             self.enforce_window(w, now, &opts);
@@ -1013,10 +1199,7 @@ mod tests {
         };
         let d = Driver::new(&app, &platform(), &cfg, PolicyKind::tahoe());
         assert_eq!(d.units[0].len(), 3); // 4 + 4 + 2 MB
-        let total: u64 = d.units[0]
-            .iter()
-            .map(|&u| d.hms.size_of(u).unwrap())
-            .sum();
+        let total: u64 = d.units[0].iter().map(|&u| d.hms.size_of(u).unwrap()).sum();
         assert_eq!(total, 10 << 20);
     }
 }

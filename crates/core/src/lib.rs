@@ -32,6 +32,11 @@
 //!   [`policy::TahoeOptions`]).
 //! * [`runtime::Runtime`] — run an [`app::App`] under a policy on a
 //!   configured platform and get a [`report::RunReport`].
+//! * [`runtime::Runtime::run_observed`] — the same run with the
+//!   structured observability layer on: returns a
+//!   [`runtime::ObsCapture`] with the typed event stream (exportable as
+//!   deterministic JSONL or a Chrome/Perfetto trace) and a metrics
+//!   snapshot covering every layer of the pipeline.
 //!
 //! ```
 //! use tahoe_core::prelude::*;
@@ -68,7 +73,7 @@ pub use app::{App, AppBuilder, ObjectSpec, TaskBuilder};
 pub use config::{Platform, RuntimeConfig};
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
-pub use runtime::Runtime;
+pub use runtime::{ObsCapture, Runtime};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
@@ -76,6 +81,6 @@ pub mod prelude {
     pub use crate::config::{Platform, RuntimeConfig};
     pub use crate::policy::{PolicyKind, TahoeOptions};
     pub use crate::report::RunReport;
-    pub use crate::runtime::Runtime;
+    pub use crate::runtime::{ObsCapture, Runtime};
     pub use tahoe_hms::{presets, TierKind};
 }

@@ -1,6 +1,7 @@
 //! Run reports: what one policy run measured.
 
 use tahoe_hms::{MigrationStats, Ns, WearStats};
+use tahoe_obs::MetricsSnapshot;
 use tahoe_placement::PlanKind;
 
 use crate::overhead::OverheadLedger;
@@ -37,6 +38,10 @@ pub struct RunReport {
     pub final_dram_objects: usize,
     /// Write-endurance tally (NVM lifetime proxy).
     pub wear: WearStats,
+    /// Metrics snapshot: counters/gauges/series recorded by every layer
+    /// during the run. Empty unless the run was observed
+    /// ([`crate::Runtime::run_observed`]).
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -95,6 +100,7 @@ mod tests {
             windows: 1,
             final_dram_objects: 0,
             wear: WearStats::default(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 

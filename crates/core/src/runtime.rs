@@ -1,12 +1,38 @@
 //! The runtime facade: run an application under a policy and report.
 
-use tahoe_taskrt::{SimScheduler, Trace, TraceHooks};
+use tahoe_obs::{Emitter, Event, Metrics, MetricsSnapshot};
+use tahoe_taskrt::{ObsHooks, SimScheduler, Trace, TraceHooks};
 
 use crate::app::App;
 use crate::config::{Platform, RuntimeConfig};
 use crate::driver::Driver;
 use crate::policy::PolicyKind;
 use crate::report::RunReport;
+
+/// Everything an observed run captured beyond the report: the structured
+/// event stream, the metrics snapshot, and the schedule trace.
+#[derive(Debug)]
+pub struct ObsCapture {
+    /// The event stream in emission order (virtual-time stamped).
+    pub events: Vec<Event>,
+    /// Snapshot of every counter/gauge/series recorded during the run
+    /// (the same snapshot embedded in the report).
+    pub metrics: MetricsSnapshot,
+    /// The schedule trace (per-task spans and window boundaries).
+    pub trace: Trace,
+}
+
+impl ObsCapture {
+    /// The event stream as deterministic JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        tahoe_obs::to_jsonl(&self.events)
+    }
+
+    /// The event stream as Chrome `trace_event` JSON (Perfetto-loadable).
+    pub fn to_chrome_trace(&self) -> String {
+        tahoe_obs::to_chrome_trace(&self.events)
+    }
+}
 
 /// Runs applications on a platform under selectable policies.
 #[derive(Debug, Clone)]
@@ -40,12 +66,45 @@ impl Runtime {
     /// (per-task spans and window boundaries; see
     /// [`tahoe_taskrt::Trace::render`] for the ASCII timeline).
     pub fn run_traced(&self, app: &App, policy: &PolicyKind) -> (RunReport, Trace) {
+        self.run_with(app, policy, Emitter::disabled(), Metrics::disabled())
+    }
+
+    /// Execute `app` under `policy` with full observability: every layer
+    /// emits structured events and records metrics. Returns the report
+    /// (with its metrics snapshot populated) plus the captured event
+    /// stream, metrics and trace.
+    ///
+    /// Observed runs of the deterministic simulator are themselves
+    /// deterministic: identical inputs produce byte-identical JSONL.
+    pub fn run_observed(&self, app: &App, policy: &PolicyKind) -> (RunReport, ObsCapture) {
+        let (emitter, buffer) = Emitter::buffered();
+        let metrics = Metrics::enabled();
+        let (report, trace) = self.run_with(app, policy, emitter, metrics.clone());
+        let capture = ObsCapture {
+            events: buffer.drain(),
+            metrics: metrics.snapshot(),
+            trace,
+        };
+        (report, capture)
+    }
+
+    fn run_with(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        emitter: Emitter,
+        metrics: Metrics,
+    ) -> (RunReport, Trace) {
         app.validate().expect("invalid application");
-        let driver = Driver::new(app, &self.platform, &self.config, policy.clone());
-        let mut traced = TraceHooks::new(driver);
+        let mut driver = Driver::new(app, &self.platform, &self.config, policy.clone());
+        driver.set_obs(emitter.clone(), metrics.clone());
+        let mut hooks = ObsHooks::new(TraceHooks::new(driver), emitter);
         let sched = SimScheduler::new(self.config.workers);
-        let stats = sched.run(&app.graph, &mut traced);
-        let (driver, trace) = traced.into_parts();
+        let stats = sched.run(&app.graph, &mut hooks);
+        let (driver, trace) = hooks.into_inner().into_parts();
+        metrics.gauge_set("run.makespan_ns", stats.makespan_ns);
+        metrics.gauge_set("run.stall_ns", stats.stall_ns);
+        metrics.gauge_set("run.utilization", stats.utilization());
         let report = RunReport {
             app: app.name.clone(),
             policy: policy.name(),
@@ -61,6 +120,7 @@ impl Runtime {
             windows: app.windows(),
             final_dram_objects: driver.dram_units(),
             wear: driver.wear,
+            metrics: metrics.snapshot(),
         };
         (report, trace)
     }
@@ -109,7 +169,10 @@ mod tests {
         let c = b.class("walk");
         for w in 0..iters {
             for _ in 0..4 {
-                b.task(c).read_chasing(heap, 20_000).compute_us(1.0).submit();
+                b.task(c)
+                    .read_chasing(heap, 20_000)
+                    .compute_us(1.0)
+                    .submit();
             }
             if w + 1 < iters {
                 b.next_window();
@@ -250,10 +313,7 @@ mod tests {
         assert_eq!(dram.write_shielding(), 1.0);
         assert_eq!(nvm.write_shielding(), 0.0);
         // Both see the same total store traffic.
-        assert_eq!(
-            dram.wear.total_store_bytes(),
-            nvm.wear.total_store_bytes()
-        );
+        assert_eq!(dram.wear.total_store_bytes(), nvm.wear.total_store_bytes());
         // Tahoe shelters the hot (store-heavy) object: high shielding.
         let tahoe = rt.run(&app, &PolicyKind::tahoe());
         assert!(

@@ -1,0 +1,121 @@
+//! End-to-end observability: determinism of the JSONL export, shape of
+//! the Chrome trace, and agreement between the event stream, the metrics
+//! snapshot and the `RunReport` aggregates.
+
+use tahoe_core::prelude::*;
+use tahoe_core::TahoeOptions;
+use tahoe_obs::{json, Event};
+use tahoe_workloads::{stream, Scale};
+
+/// STREAM at test scale on a platform where promotion clearly pays, with
+/// all data starting in NVM so migrations must be issued.
+fn observed_stream() -> (RunReport, ObsCapture) {
+    let app = stream::app(Scale::Test);
+    let platform = Platform::emulated_bw(
+        0.125,
+        (app.footprint() / 4).max(1 << 20),
+        4 * app.footprint(),
+    );
+    let rt = Runtime::new(platform, RuntimeConfig::default());
+    let policy = PolicyKind::Tahoe(TahoeOptions {
+        initial_placement: false,
+        ..TahoeOptions::default()
+    });
+    rt.run_observed(&app, &policy)
+}
+
+#[test]
+fn jsonl_export_is_byte_identical_across_runs() {
+    let (rep_a, cap_a) = observed_stream();
+    let (rep_b, cap_b) = observed_stream();
+    assert_eq!(rep_a.makespan_ns, rep_b.makespan_ns);
+    let a = cap_a.to_jsonl();
+    assert!(!a.is_empty());
+    assert_eq!(a, cap_b.to_jsonl(), "observed runs must be deterministic");
+    assert_eq!(rep_a.metrics.to_json(), rep_b.metrics.to_json());
+}
+
+#[test]
+fn jsonl_lines_parse_and_are_time_ordered_per_kind() {
+    let (_, cap) = observed_stream();
+    let jsonl = cap.to_jsonl();
+    assert_eq!(jsonl.lines().count(), cap.events.len());
+    for line in jsonl.lines() {
+        let v = json::parse(line).expect("every line is one JSON object");
+        let ev = v.get("ev").and_then(|t| t.as_str()).expect("ev tag");
+        assert!(!ev.is_empty());
+        assert!(v.get("t").and_then(|t| t.as_f64()).is_some(), "t stamp");
+    }
+    // The stream is globally ordered by emission; timestamps of window
+    // starts must be monotonically non-decreasing.
+    let windows: Vec<f64> = cap
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::WindowStart { .. }))
+        .map(|e| e.timestamp())
+        .collect();
+    assert!(windows.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn chrome_trace_has_task_spans_and_a_migration_event() {
+    let (_, cap) = observed_stream();
+    assert!(
+        cap.events
+            .iter()
+            .any(|e| matches!(e, Event::MigrationIssued { .. })),
+        "test platform must force at least one migration"
+    );
+    let trace = json::parse(&cap.to_chrome_trace()).expect("valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // Every entry carries the trace_event envelope fields.
+    for e in events {
+        assert!(e.get("ph").and_then(|v| v.as_str()).is_some(), "ph");
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some(), "name");
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap();
+        if ph != "M" {
+            assert!(e.get("ts").and_then(|v| v.as_f64()).is_some(), "ts");
+        }
+    }
+    let task_spans = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && e.get("cat").and_then(|v| v.as_str()) == Some("task")
+        })
+        .count();
+    assert_eq!(task_spans, 16, "one complete span per executed task");
+    assert!(
+        events
+            .iter()
+            .any(|e| { e.get("cat").and_then(|v| v.as_str()) == Some("migration") }),
+        "migration spans present"
+    );
+}
+
+#[test]
+fn events_metrics_and_report_agree() {
+    let (rep, cap) = observed_stream();
+    let count = |pred: fn(&Event) -> bool| cap.events.iter().filter(|e| pred(e)).count() as u64;
+    let starts = count(|e| matches!(e, Event::TaskStart { .. }));
+    let finishes = count(|e| matches!(e, Event::TaskFinish { .. }));
+    assert_eq!(starts, rep.tasks);
+    assert_eq!(finishes, rep.tasks);
+    let issued = count(|e| matches!(e, Event::MigrationIssued { .. }));
+    assert_eq!(
+        Some(issued),
+        rep.metrics.counter("driver.migrations.issued")
+    );
+    assert_eq!(issued, rep.migrations.count);
+    // The snapshot embedded in the report matches the captured one.
+    assert_eq!(rep.metrics.to_json(), cap.metrics.to_json());
+    assert_eq!(rep.metrics.gauge("run.makespan_ns"), Some(rep.makespan_ns));
+    // Plain runs keep the snapshot empty (observability fully off).
+    let app = stream::app(Scale::Test);
+    let platform = Platform::emulated_bw(0.25, 1 << 20, 4 * app.footprint());
+    let plain = Runtime::new(platform, RuntimeConfig::default()).run(&app, &PolicyKind::tahoe());
+    assert!(plain.metrics.is_empty());
+}

@@ -189,7 +189,10 @@ impl TierAllocator {
             cursor = addr + len;
         }
         if cursor != self.capacity {
-            return Err(format!("blocks end at {cursor}, capacity {}", self.capacity));
+            return Err(format!(
+                "blocks end at {cursor}, capacity {}",
+                self.capacity
+            ));
         }
         Ok(())
     }

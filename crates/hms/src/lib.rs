@@ -44,8 +44,8 @@ pub use memory::{Hms, HmsConfig, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};
 pub use object::{ObjectId, ObjectMeta};
 pub use tier::{TierKind, TierSpec};
-pub use wear::WearStats;
 pub use timing::AccessProfile;
+pub use wear::WearStats;
 
 /// Virtual time in nanoseconds.
 ///

@@ -81,6 +81,7 @@ pub struct Hms {
     next_id: u32,
     /// Count of failed DRAM allocations that fell back to NVM.
     pub dram_fallbacks: u64,
+    metrics: tahoe_obs::Metrics,
 }
 
 impl Hms {
@@ -95,7 +96,28 @@ impl Hms {
             objects: HashMap::new(),
             next_id: 0,
             dram_fallbacks: 0,
+            metrics: tahoe_obs::Metrics::disabled(),
         }
+    }
+
+    /// Attach a metrics registry. Capacities are published immediately as
+    /// gauges; occupancy gauges (`hms.<tier>.used_bytes`) and transition
+    /// counters (`hms.moves`, `hms.allocs`, `hms.dram_fallbacks`) update
+    /// as the object table changes.
+    pub fn set_metrics(&mut self, metrics: tahoe_obs::Metrics) {
+        self.metrics = metrics;
+        self.metrics
+            .gauge_set("hms.dram.capacity_bytes", self.config.dram.capacity as f64);
+        self.metrics
+            .gauge_set("hms.nvm.capacity_bytes", self.config.nvm.capacity as f64);
+        self.publish_occupancy();
+    }
+
+    fn publish_occupancy(&self) {
+        self.metrics
+            .gauge_set("hms.dram.used_bytes", self.dram.used() as f64);
+        self.metrics
+            .gauge_set("hms.nvm.used_bytes", self.nvm.used() as f64);
     }
 
     /// The configuration this system was built with.
@@ -141,6 +163,7 @@ impl Hms {
             None if fallback => {
                 if preferred == TierKind::Dram {
                     self.dram_fallbacks += 1;
+                    self.metrics.inc("hms.dram_fallbacks");
                 }
                 let other = preferred.other();
                 match self.allocator(other).alloc(size) {
@@ -178,6 +201,8 @@ impl Hms {
                 pins: 0,
             },
         );
+        self.metrics.inc("hms.allocs");
+        self.publish_occupancy();
         Ok(id)
     }
 
@@ -209,6 +234,8 @@ impl Hms {
         self.allocator(rec.tier)
             .free(rec.addr)
             .expect("object address must be live in its tier allocator");
+        self.metrics.inc("hms.frees");
+        self.publish_occupancy();
         Ok(())
     }
 
@@ -235,14 +262,20 @@ impl Hms {
 
     /// Pin an object against migration (a task that declared it started).
     pub fn pin(&mut self, id: ObjectId) -> Result<(), HmsError> {
-        let rec = self.objects.get_mut(&id).ok_or(HmsError::NoSuchObject(id))?;
+        let rec = self
+            .objects
+            .get_mut(&id)
+            .ok_or(HmsError::NoSuchObject(id))?;
         rec.pins += 1;
         Ok(())
     }
 
     /// Release one pin.
     pub fn unpin(&mut self, id: ObjectId) -> Result<(), HmsError> {
-        let rec = self.objects.get_mut(&id).ok_or(HmsError::NoSuchObject(id))?;
+        let rec = self
+            .objects
+            .get_mut(&id)
+            .ok_or(HmsError::NoSuchObject(id))?;
         debug_assert!(rec.pins > 0, "unbalanced unpin of {id:?}");
         rec.pins = rec.pins.saturating_sub(1);
         Ok(())
@@ -287,6 +320,9 @@ impl Hms {
         let rec = self.objects.get_mut(&id).expect("checked above");
         rec.tier = to;
         rec.addr = new_addr;
+        self.metrics.inc("hms.moves");
+        self.metrics.add("hms.moved_bytes", size);
+        self.publish_occupancy();
         Ok(size)
     }
 
@@ -409,7 +445,13 @@ mod tests {
         let mut h = small_hms(1024, 4096);
         let _a = h.alloc_object("a", 1000, TierKind::Dram, false).unwrap();
         let err = h.alloc_object("b", 512, TierKind::Dram, false).unwrap_err();
-        assert!(matches!(err, HmsError::OutOfMemory { tier: TierKind::Dram, .. }));
+        assert!(matches!(
+            err,
+            HmsError::OutOfMemory {
+                tier: TierKind::Dram,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -447,7 +489,13 @@ mod tests {
         let mut h = small_hms(100, 4096);
         let big = h.alloc_object("big", 512, TierKind::Nvm, false).unwrap();
         let err = h.move_object(big, TierKind::Dram).unwrap_err();
-        assert!(matches!(err, HmsError::OutOfMemory { tier: TierKind::Dram, .. }));
+        assert!(matches!(
+            err,
+            HmsError::OutOfMemory {
+                tier: TierKind::Dram,
+                ..
+            }
+        ));
         // Object must still be intact in NVM after the failed move.
         assert_eq!(h.tier_of(big).unwrap(), TierKind::Nvm);
         h.check_invariants().unwrap();
@@ -519,5 +567,23 @@ mod tests {
             h.alloc_object("z", 0, TierKind::Dram, true),
             Err(HmsError::ZeroSizeAllocation)
         );
+    }
+
+    #[test]
+    fn metrics_track_occupancy_and_transitions() {
+        let mut h = small_hms(1024, 4096);
+        let m = tahoe_obs::Metrics::enabled();
+        h.set_metrics(m.clone());
+        let a = h.alloc_object("a", 300, TierKind::Nvm, false).unwrap();
+        h.move_object(a, TierKind::Dram).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("hms.allocs"), Some(1));
+        assert_eq!(snap.counter("hms.moves"), Some(1));
+        assert_eq!(snap.counter("hms.moved_bytes"), Some(300));
+        assert_eq!(snap.gauge("hms.dram.used_bytes"), Some(300.0));
+        assert_eq!(snap.gauge("hms.nvm.used_bytes"), Some(0.0));
+        assert_eq!(snap.gauge("hms.dram.capacity_bytes"), Some(1024.0));
+        h.free_object(a).unwrap();
+        assert_eq!(m.snapshot().gauge("hms.dram.used_bytes"), Some(0.0));
     }
 }

@@ -111,7 +111,8 @@ impl AccessProfile {
     /// Memory time of this profile on `tier`: the roofline maximum of the
     /// transfer and serialization terms.
     pub fn mem_time_ns(&self, tier: &TierSpec) -> Ns {
-        self.transfer_time_ns(tier).max(self.serialization_time_ns(tier))
+        self.transfer_time_ns(tier)
+            .max(self.serialization_time_ns(tier))
     }
 
     /// Whether this profile is bandwidth-limited (vs latency-limited) on
@@ -237,7 +238,11 @@ mod tests {
 
     #[test]
     fn achieved_bw_never_exceeds_peak() {
-        let tiers = [dram(), presets::optane_pmm(1 << 30), presets::pcram(1 << 30)];
+        let tiers = [
+            dram(),
+            presets::optane_pmm(1 << 30),
+            presets::pcram(1 << 30),
+        ];
         for tier in &tiers {
             for mlp in [1.0, 2.0, 8.0, 32.0] {
                 let p = AccessProfile::new(10_000, 5_000, mlp);

@@ -123,7 +123,11 @@ mod tests {
         let full = calibrate(&dram, &nvm, &cfg(1.0));
         let lossy = calibrate(&dram, &nvm, &cfg(0.5));
         // Losing half the samples should roughly double both corrections.
-        assert!(lossy.cf_bw > 1.8 * full.cf_bw / 1.1, "cf_bw {}", lossy.cf_bw);
+        assert!(
+            lossy.cf_bw > 1.8 * full.cf_bw / 1.1,
+            "cf_bw {}",
+            lossy.cf_bw
+        );
         assert!(
             (lossy.cf_lat / full.cf_lat - 2.0).abs() < 0.1,
             "cf_lat ratio {}",

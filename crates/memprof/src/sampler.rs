@@ -87,13 +87,25 @@ impl SampledObservation {
 pub struct Sampler {
     cfg: SamplerConfig,
     rng: StdRng,
+    metrics: tahoe_obs::Metrics,
 }
 
 impl Sampler {
     /// A sampler with the given configuration.
     pub fn new(cfg: SamplerConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
-        Sampler { cfg, rng }
+        Sampler {
+            cfg,
+            rng,
+            metrics: tahoe_obs::Metrics::disabled(),
+        }
+    }
+
+    /// Record profiling volume (`memprof.*` counters) into `metrics`.
+    /// Sampling itself is unchanged — the counters track how many
+    /// observations were taken and how many raw samples they attributed.
+    pub fn set_metrics(&mut self, metrics: tahoe_obs::Metrics) {
+        self.metrics = metrics;
     }
 
     /// The configuration in force.
@@ -108,7 +120,11 @@ impl Sampler {
         let expect = truth as f64 * self.cfg.capture_ratio / self.cfg.interval as f64;
         let base = expect.floor();
         let frac = expect - base;
-        let extra = if self.rng.random::<f64>() < frac { 1 } else { 0 };
+        let extra = if self.rng.random::<f64>() < frac {
+            1
+        } else {
+            0
+        };
         base as u64 + extra
     }
 
@@ -140,13 +156,16 @@ impl Sampler {
         } else {
             1.0
         };
-        SampledObservation {
+        let obs = SampledObservation {
             est_loads,
             est_stores,
             est_active_ns,
             est_concurrency,
             samples: load_samples + store_samples,
-        }
+        };
+        self.metrics.inc("memprof.observations");
+        self.metrics.add("memprof.samples", obs.samples);
+        obs
     }
 }
 
@@ -224,6 +243,19 @@ mod tests {
         let a = Sampler::new(cfg.clone()).observe(&truth, 5.0e5, &dram());
         let b = Sampler::new(cfg).observe(&truth, 5.0e5, &dram());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_count_attributed_samples() {
+        let mut s = sampler(1, 1.0);
+        let m = tahoe_obs::Metrics::enabled();
+        s.set_metrics(m.clone());
+        let truth = AccessProfile::streaming(100, 50);
+        let obs = s.observe(&truth, 1000.0, &dram());
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("memprof.observations"), Some(1));
+        assert_eq!(snap.counter("memprof.samples"), Some(obs.samples));
+        assert_eq!(obs.samples, 150);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Event emission: the [`Emitter`] handle instrumented code holds, the
+//! shared buffered sink behind it, and the [`Sink`] consumer interface.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled must be free.** Most runs are not observed; an emitter
+//!    built with [`Emitter::disabled`] is a `None` — every `emit` call is
+//!    one branch, and the closure that would build the event is never
+//!    invoked. The scheduler hot path stays unchanged.
+//! 2. **Enabled must be cheap and thread-safe.** The work-stealing
+//!    executor emits from multiple OS threads; the buffer is a single
+//!    mutex-protected `Vec` (push under lock, no allocation churn beyond
+//!    the vector's own growth). The virtual-time scheduler is
+//!    single-threaded, so the lock is uncontended where volume is high.
+//! 3. **Deterministic order.** Events are appended in emission order;
+//!    for the single-threaded simulator that order is a pure function of
+//!    the inputs, which the JSONL determinism guarantee builds on.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Consumer of a drained event stream; exporters implement this.
+pub trait Sink {
+    /// Accept one event.
+    fn accept(&mut self, event: &Event);
+
+    /// Called once after the last event of a drain.
+    fn flush(&mut self) {}
+}
+
+/// The simplest sink: collect events into a vector.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected events.
+    pub events: Vec<Event>,
+}
+
+impl Sink for VecSink {
+    fn accept(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    buf: Mutex<Vec<Event>>,
+}
+
+/// Clonable emission handle. See the module docs for the cost model.
+#[derive(Debug, Clone, Default)]
+pub struct Emitter {
+    shared: Option<Arc<Shared>>,
+}
+
+impl Emitter {
+    /// An emitter that drops everything (one branch per call site).
+    pub fn disabled() -> Self {
+        Emitter { shared: None }
+    }
+
+    /// An enabled emitter and the buffer handle to drain it from.
+    pub fn buffered() -> (Emitter, EventBuffer) {
+        let shared = Arc::new(Shared::default());
+        (
+            Emitter {
+                shared: Some(Arc::clone(&shared)),
+            },
+            EventBuffer { shared },
+        )
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Emit one event. The closure runs only when enabled, so call sites
+    /// pay nothing to *construct* events on unobserved runs.
+    #[inline]
+    pub fn emit<F: FnOnce() -> Event>(&self, build: F) {
+        if let Some(shared) = &self.shared {
+            let event = build();
+            shared
+                .buf
+                .lock()
+                .expect("emitter buffer poisoned")
+                .push(event);
+        }
+    }
+}
+
+/// Drain handle for an [`Emitter::buffered`] pair.
+#[derive(Debug)]
+pub struct EventBuffer {
+    shared: Arc<Shared>,
+}
+
+impl EventBuffer {
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.shared
+            .buf
+            .lock()
+            .expect("emitter buffer poisoned")
+            .len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every buffered event, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.shared.buf.lock().expect("emitter buffer poisoned"))
+    }
+
+    /// Drain into a [`Sink`], flushing it at the end.
+    pub fn drain_into(&self, sink: &mut dyn Sink) {
+        for event in self.drain() {
+            sink.accept(&event);
+        }
+        sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(t: f64, window: u32) -> Event {
+        Event::WindowStart { t, window }
+    }
+
+    #[test]
+    fn disabled_emitter_never_builds() {
+        let e = Emitter::disabled();
+        assert!(!e.enabled());
+        e.emit(|| unreachable!("disabled emitter must not build events"));
+    }
+
+    #[test]
+    fn buffered_emitter_records_in_order() {
+        let (e, buf) = Emitter::buffered();
+        assert!(e.enabled());
+        e.emit(|| ws(1.0, 0));
+        e.emit(|| ws(2.0, 1));
+        let events = buf.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], ws(1.0, 0));
+        assert_eq!(events[1], ws(2.0, 1));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let (e, buf) = Emitter::buffered();
+        let e2 = e.clone();
+        e.emit(|| ws(1.0, 0));
+        e2.emit(|| ws(2.0, 1));
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn emission_from_threads_lands_in_one_buffer() {
+        let (e, buf) = Emitter::buffered();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let e = e.clone();
+                s.spawn(move || {
+                    for k in 0..100 {
+                        e.emit(|| ws(k as f64, i));
+                    }
+                });
+            }
+        });
+        assert_eq!(buf.len(), 400);
+    }
+
+    #[test]
+    fn drain_into_sink_flushes() {
+        struct CountSink {
+            n: usize,
+            flushed: bool,
+        }
+        impl Sink for CountSink {
+            fn accept(&mut self, _e: &Event) {
+                self.n += 1;
+            }
+            fn flush(&mut self) {
+                self.flushed = true;
+            }
+        }
+        let (e, buf) = Emitter::buffered();
+        e.emit(|| ws(0.0, 0));
+        let mut sink = CountSink {
+            n: 0,
+            flushed: false,
+        };
+        buf.drain_into(&mut sink);
+        assert_eq!(sink.n, 1);
+        assert!(sink.flushed);
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecSink::default();
+        sink.accept(&ws(0.0, 0));
+        assert_eq!(sink.events.len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! The typed runtime event stream.
+//!
+//! Every event carries a virtual-time timestamp `t` in nanoseconds (the
+//! simulator's clock, not wall time), so identical seeded runs produce
+//! identical streams — the determinism tests and the CI artifact diff
+//! depend on that.
+
+/// Virtual nanoseconds (mirrors `tahoe_hms::Ns` without the dependency).
+pub type Ns = f64;
+
+/// Which memory tier an event refers to.
+///
+/// A local mirror of `tahoe_hms::TierKind`: this crate sits below every
+/// other workspace crate, so it cannot name their types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Fast, small tier.
+    Dram,
+    /// Slow, large tier.
+    Nvm,
+}
+
+impl Tier {
+    /// Stable lowercase tag used by the exporters.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Tier::Dram => "dram",
+            Tier::Nvm => "nvm",
+        }
+    }
+}
+
+/// Why the driver re-armed profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanReason {
+    /// Window durations drifted beyond the variation threshold.
+    Drift,
+    /// A window introduced a task class the plan had never seen.
+    UnseenClass,
+}
+
+impl ReplanReason {
+    /// Stable lowercase tag used by the exporters.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReplanReason::Drift => "drift",
+            ReplanReason::UnseenClass => "unseen_class",
+        }
+    }
+}
+
+/// Which overhead bucket a charge went to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverheadKind {
+    /// Sampling-counter collection inflation.
+    Profiling,
+    /// Helper-thread queue synchronization.
+    Sync,
+    /// Model evaluation + knapsack planning.
+    Planning,
+}
+
+impl OverheadKind {
+    /// Stable lowercase tag used by the exporters.
+    pub fn tag(self) -> &'static str {
+        match self {
+            OverheadKind::Profiling => "profiling",
+            OverheadKind::Sync => "sync",
+            OverheadKind::Planning => "planning",
+        }
+    }
+}
+
+/// One structured runtime event.
+///
+/// Integer ids are the runtime's own (task id, task class id, app object
+/// or memory-unit id); the exporters carry them through unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A task began executing.
+    TaskStart {
+        /// Virtual time.
+        t: Ns,
+        /// Task id.
+        task: u32,
+        /// Task class id.
+        class: u32,
+        /// Execution window.
+        window: u32,
+    },
+    /// A task finished executing.
+    TaskFinish {
+        /// Virtual time.
+        t: Ns,
+        /// Task id.
+        task: u32,
+        /// Task class id.
+        class: u32,
+        /// Execution window.
+        window: u32,
+    },
+    /// A ready task waited on the policy layer before starting (exposed
+    /// migration cost, planning charge, or synchronous-migration block).
+    DispatchStall {
+        /// Virtual time the task could otherwise have started.
+        t: Ns,
+        /// Task id.
+        task: u32,
+        /// How long it waited, ns.
+        stall_ns: Ns,
+    },
+    /// First task of an execution window started.
+    WindowStart {
+        /// Virtual time.
+        t: Ns,
+        /// Window index.
+        window: u32,
+    },
+    /// Per-tier occupancy sampled at a window boundary.
+    TierSample {
+        /// Virtual time.
+        t: Ns,
+        /// Window index.
+        window: u32,
+        /// Bytes used in DRAM.
+        dram_used: u64,
+        /// DRAM capacity in bytes.
+        dram_capacity: u64,
+        /// Bytes used in NVM.
+        nvm_used: u64,
+        /// NVM capacity in bytes.
+        nvm_capacity: u64,
+        /// Promotions currently in flight on the copy channel.
+        inflight: u32,
+    },
+    /// The driver put a migration on the copy channel.
+    MigrationIssued {
+        /// Virtual time of the request.
+        t: Ns,
+        /// Memory unit that moves.
+        object: u32,
+        /// Bytes to copy.
+        bytes: u64,
+        /// Source tier.
+        from: Tier,
+        /// Destination tier.
+        to: Tier,
+        /// When the copy starts on the (FIFO) channel.
+        start: Ns,
+        /// When the copy finishes.
+        finish: Ns,
+        /// Promotions already in flight when this one was issued.
+        queue_depth: u32,
+    },
+    /// A promotion's copy finished and its residency flip was applied.
+    MigrationCompleted {
+        /// Virtual time the flip applied.
+        t: Ns,
+        /// Memory unit that moved.
+        object: u32,
+        /// Bytes copied.
+        bytes: u64,
+        /// Channel time hidden behind execution, ns.
+        overlap_ns: Ns,
+    },
+    /// A matured promotion could not be applied (destination still full);
+    /// it stays queued and retries.
+    MigrationDeferred {
+        /// Virtual time of the failed apply.
+        t: Ns,
+        /// Memory unit whose flip was deferred.
+        object: u32,
+    },
+    /// Profiling was armed: windows `< until_window` will be profiled.
+    ProfilingArmed {
+        /// Virtual time.
+        t: Ns,
+        /// Window at which profiling was armed.
+        window: u32,
+        /// First window that will not be profiled.
+        until_window: u32,
+    },
+    /// Profiling closed and planning ran on the learned profile.
+    ProfilingClosed {
+        /// Virtual time.
+        t: Ns,
+        /// Window at which the profile was consumed.
+        window: u32,
+    },
+    /// The planner computed (or declined) a placement plan.
+    PlanComputed {
+        /// Virtual time.
+        t: Ns,
+        /// Window the plan starts at.
+        window: u32,
+        /// `"global"` or `"local"` — which search produced the winner.
+        kind: &'static str,
+        /// Candidate (object × window) pairs weighed.
+        candidates: u32,
+        /// Transitions the accepted plan schedules.
+        migrations: u32,
+        /// The winner's predicted knapsack gain, ns.
+        predicted_gain_ns: Ns,
+        /// Do-nothing baseline value the plan had to beat, ns.
+        baseline_ns: Ns,
+        /// Whether the plan beat the hysteresis margin (false = placement
+        /// frozen instead).
+        accepted: bool,
+    },
+    /// Workload variation (or an unseen class) re-armed profiling.
+    ReplanTriggered {
+        /// Virtual time.
+        t: Ns,
+        /// Window at which the trigger fired.
+        window: u32,
+        /// What tripped it.
+        reason: ReplanReason,
+    },
+    /// A one-shot overhead charge was applied to the timeline.
+    OverheadCharged {
+        /// Virtual time of the charge.
+        t: Ns,
+        /// Which bucket.
+        kind: OverheadKind,
+        /// Nanoseconds charged.
+        ns: Ns,
+    },
+}
+
+impl Event {
+    /// The event's virtual timestamp.
+    pub fn timestamp(&self) -> Ns {
+        match *self {
+            Event::TaskStart { t, .. }
+            | Event::TaskFinish { t, .. }
+            | Event::DispatchStall { t, .. }
+            | Event::WindowStart { t, .. }
+            | Event::TierSample { t, .. }
+            | Event::MigrationIssued { t, .. }
+            | Event::MigrationCompleted { t, .. }
+            | Event::MigrationDeferred { t, .. }
+            | Event::ProfilingArmed { t, .. }
+            | Event::ProfilingClosed { t, .. }
+            | Event::PlanComputed { t, .. }
+            | Event::ReplanTriggered { t, .. }
+            | Event::OverheadCharged { t, .. } => t,
+        }
+    }
+
+    /// Stable snake_case tag naming the event kind (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TaskStart { .. } => "task_start",
+            Event::TaskFinish { .. } => "task_finish",
+            Event::DispatchStall { .. } => "dispatch_stall",
+            Event::WindowStart { .. } => "window_start",
+            Event::TierSample { .. } => "tier_sample",
+            Event::MigrationIssued { .. } => "migration_issued",
+            Event::MigrationCompleted { .. } => "migration_completed",
+            Event::MigrationDeferred { .. } => "migration_deferred",
+            Event::ProfilingArmed { .. } => "profiling_armed",
+            Event::ProfilingClosed { .. } => "profiling_closed",
+            Event::PlanComputed { .. } => "plan_computed",
+            Event::ReplanTriggered { .. } => "replan_triggered",
+            Event::OverheadCharged { .. } => "overhead_charged",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_and_kinds_are_consistent() {
+        let e = Event::WindowStart { t: 42.0, window: 3 };
+        assert_eq!(e.timestamp(), 42.0);
+        assert_eq!(e.kind(), "window_start");
+        let e = Event::MigrationDeferred { t: 7.0, object: 1 };
+        assert_eq!(e.timestamp(), 7.0);
+        assert_eq!(e.kind(), "migration_deferred");
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(Tier::Dram.tag(), "dram");
+        assert_eq!(Tier::Nvm.tag(), "nvm");
+        assert_eq!(ReplanReason::Drift.tag(), "drift");
+        assert_eq!(ReplanReason::UnseenClass.tag(), "unseen_class");
+        assert_eq!(OverheadKind::Planning.tag(), "planning");
+    }
+}

@@ -1,0 +1,39 @@
+//! # Structured observability for the Tahoe runtime
+//!
+//! The runtime's value is in its *decisions* — profile, classify,
+//! knapsack-place, proactively migrate, replan on drift. This crate makes
+//! every one of those decisions visible as data rather than end-of-run
+//! aggregates:
+//!
+//! * [`event::Event`] — a typed, virtual-time-stamped event stream
+//!   covering task execution, window boundaries, migrations, planning,
+//!   profiling and overhead charges.
+//! * [`emit::Emitter`] — the cheap, clonable handle instrumented code
+//!   emits through. A disabled emitter costs one branch per call site and
+//!   never constructs the event; an enabled one appends to a lock-cheap
+//!   shared buffer (usable from the work-stealing executor's threads).
+//! * [`emit::Sink`] — consumer interface for drained events; exporters
+//!   implement it.
+//! * [`metrics::Metrics`] — a registry of monotonic counters, gauges and
+//!   per-window series keyed by static names, snapshot into
+//!   [`metrics::MetricsSnapshot`] (embedded in run reports).
+//! * [`export`] — two exporters: deterministic JSONL (one event per line,
+//!   fixed field order — byte-identical across identical seeded runs) and
+//!   Chrome `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//! * [`json`] — a minimal JSON parser used by tests and tools to validate
+//!   exporter output without external dependencies.
+//!
+//! The crate has zero dependencies so every layer of the workspace
+//! (memory substrate, task runtime, profiler, policy driver) can depend
+//! on it without cycles.
+
+pub mod emit;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use emit::{Emitter, EventBuffer, Sink, VecSink};
+pub use event::{Event, OverheadKind, ReplanReason, Tier};
+pub use export::{to_chrome_trace, to_jsonl, JsonlSink};
+pub use metrics::{Metrics, MetricsSnapshot};

@@ -1,0 +1,292 @@
+//! Metrics registry: monotonic counters, gauges, and per-window series,
+//! keyed by `&'static str` names.
+//!
+//! Same enable/disable shape as [`crate::emit::Emitter`]: a disabled
+//! registry is a `None` and every call is one branch. Keys are static
+//! strings agreed on by the instrumented crates (see the README's metric
+//! table); storage is `BTreeMap` so snapshots iterate in a deterministic
+//! order without a sort pass.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct MetricsShared {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, f64>>,
+    series: Mutex<BTreeMap<&'static str, Vec<(u32, f64)>>>,
+}
+
+/// Clonable metrics handle shared across the instrumented crates.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    shared: Option<Arc<MetricsShared>>,
+}
+
+impl Metrics {
+    /// A registry that records nothing (one branch per call site).
+    pub fn disabled() -> Self {
+        Metrics { shared: None }
+    }
+
+    /// A live registry.
+    pub fn enabled() -> Self {
+        Metrics {
+            shared: Some(Arc::new(MetricsShared::default())),
+        }
+    }
+
+    /// Whether values are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Increment a monotonic counter by one.
+    #[inline]
+    pub fn inc(&self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Increment a monotonic counter by `n`.
+    #[inline]
+    pub fn add(&self, key: &'static str, n: u64) {
+        if let Some(shared) = &self.shared {
+            *shared
+                .counters
+                .lock()
+                .expect("metrics counters poisoned")
+                .entry(key)
+                .or_insert(0) += n;
+        }
+    }
+
+    /// Set a gauge to an absolute value.
+    #[inline]
+    pub fn gauge_set(&self, key: &'static str, value: f64) {
+        if let Some(shared) = &self.shared {
+            shared
+                .gauges
+                .lock()
+                .expect("metrics gauges poisoned")
+                .insert(key, value);
+        }
+    }
+
+    /// Add a delta to a gauge (missing gauges start at zero).
+    #[inline]
+    pub fn gauge_add(&self, key: &'static str, delta: f64) {
+        if let Some(shared) = &self.shared {
+            *shared
+                .gauges
+                .lock()
+                .expect("metrics gauges poisoned")
+                .entry(key)
+                .or_insert(0.0) += delta;
+        }
+    }
+
+    /// Append one `(window, value)` point to a named series.
+    #[inline]
+    pub fn series_push(&self, key: &'static str, window: u32, value: f64) {
+        if let Some(shared) = &self.shared {
+            shared
+                .series
+                .lock()
+                .expect("metrics series poisoned")
+                .entry(key)
+                .or_default()
+                .push((window, value));
+        }
+    }
+
+    /// Snapshot every recorded value. A disabled registry snapshots empty.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.shared {
+            None => MetricsSnapshot::default(),
+            Some(shared) => MetricsSnapshot {
+                counters: shared
+                    .counters
+                    .lock()
+                    .expect("metrics counters poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect(),
+                gauges: shared
+                    .gauges
+                    .lock()
+                    .expect("metrics gauges poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect(),
+                series: shared
+                    .series
+                    .lock()
+                    .expect("metrics series poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, sorted by key.
+///
+/// Embedded in run reports; `Default` (all empty) is what unobserved runs
+/// carry, so reports stay cheap when nothing was recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Per-window series, sorted by name; points in push order.
+    pub series: Vec<(String, Vec<(u32, f64)>)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.series.is_empty()
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Look up a series by name.
+    pub fn series(&self, key: &str) -> Option<&[(u32, f64)]> {
+        self.series
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Deterministic JSON rendering (keys already sorted, fields in fixed
+    /// order) — this is the machine-diffable artifact CI archives.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"series\":{");
+        for (i, (k, points)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":[");
+            for (j, (w, v)) in points.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{w},{v}]");
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = Metrics::disabled();
+        m.inc("a");
+        m.gauge_set("b", 1.0);
+        m.series_push("c", 0, 1.0);
+        assert!(!m.is_enabled());
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::enabled();
+        m.inc("migrations");
+        m.add("migrations", 2);
+        m.add("bytes", 4096);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("migrations"), Some(3));
+        assert_eq!(snap.counter("bytes"), Some(4096));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let m = Metrics::enabled();
+        m.gauge_set("occ", 0.5);
+        m.gauge_set("occ", 0.75);
+        m.gauge_add("delta", 1.0);
+        m.gauge_add("delta", 0.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.gauge("occ"), Some(0.75));
+        assert_eq!(snap.gauge("delta"), Some(1.5));
+    }
+
+    #[test]
+    fn series_preserve_push_order() {
+        let m = Metrics::enabled();
+        m.series_push("occ", 0, 0.1);
+        m.series_push("occ", 1, 0.2);
+        let snap = m.snapshot();
+        assert_eq!(snap.series("occ"), Some(&[(0, 0.1), (1, 0.2)][..]));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let m = Metrics::enabled();
+        let m2 = m.clone();
+        m.inc("x");
+        m2.inc("x");
+        assert_eq!(m.snapshot().counter("x"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_keys_sorted_and_json_deterministic() {
+        let m = Metrics::enabled();
+        m.inc("zeta");
+        m.inc("alpha");
+        m.gauge_set("g", 2.5);
+        m.series_push("s", 0, 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{\"alpha\":1,\"zeta\":1},\"gauges\":{\"g\":2.5},\"series\":{\"s\":[[0,1]]}}"
+        );
+        assert_eq!(snap.to_json(), m.snapshot().to_json());
+    }
+
+    #[test]
+    fn empty_snapshot_json() {
+        assert_eq!(
+            MetricsSnapshot::default().to_json(),
+            "{\"counters\":{},\"gauges\":{},\"series\":{}}"
+        );
+    }
+}

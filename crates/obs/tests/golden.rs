@@ -1,0 +1,123 @@
+//! Golden-file guard for the JSONL wire format.
+//!
+//! A fixed event sequence covering every variant must serialize to
+//! exactly `tests/golden/events.jsonl`. Any change to field names, field
+//! order or number formatting shows up as a diff here — downstream
+//! consumers (the CI artifact diff, external tooling) parse these lines,
+//! so format changes must be deliberate. To re-bless after an intended
+//! change, update the golden file to the `got` output the failure prints.
+
+use tahoe_obs::{to_jsonl, Event, OverheadKind, ReplanReason, Tier};
+
+/// One event of every kind, with values exercising the number formatter
+/// (integral floats, fractional floats, zero).
+fn golden_events() -> Vec<Event> {
+    vec![
+        Event::WindowStart { t: 0.0, window: 0 },
+        Event::TierSample {
+            t: 0.0,
+            window: 0,
+            dram_used: 0,
+            dram_capacity: 1048576,
+            nvm_used: 786432,
+            nvm_capacity: 3145728,
+            inflight: 0,
+        },
+        Event::ProfilingArmed {
+            t: 0.0,
+            window: 0,
+            until_window: 2,
+        },
+        Event::TaskStart {
+            t: 0.0,
+            task: 0,
+            class: 0,
+            window: 0,
+        },
+        Event::OverheadCharged {
+            t: 125.5,
+            kind: OverheadKind::Planning,
+            ns: 125.5,
+        },
+        Event::DispatchStall {
+            t: 125.5,
+            task: 1,
+            stall_ns: 74.5,
+        },
+        Event::TaskFinish {
+            t: 1800.25,
+            task: 0,
+            class: 0,
+            window: 0,
+        },
+        Event::ProfilingClosed {
+            t: 3600.0,
+            window: 2,
+        },
+        Event::PlanComputed {
+            t: 3600.0,
+            window: 2,
+            kind: "global",
+            candidates: 24,
+            migrations: 8,
+            predicted_gain_ns: 41250.75,
+            baseline_ns: 98304.0,
+            accepted: true,
+        },
+        Event::MigrationIssued {
+            t: 3600.0,
+            object: 7,
+            bytes: 65536,
+            from: Tier::Nvm,
+            to: Tier::Dram,
+            start: 3600.0,
+            finish: 68136.0,
+            queue_depth: 0,
+        },
+        Event::MigrationDeferred {
+            t: 68136.0,
+            object: 7,
+        },
+        Event::MigrationCompleted {
+            t: 70000.0,
+            object: 7,
+            bytes: 65536,
+            overlap_ns: 64536.0,
+        },
+        Event::ReplanTriggered {
+            t: 90000.0,
+            window: 5,
+            reason: ReplanReason::Drift,
+        },
+        Event::ReplanTriggered {
+            t: 95000.0,
+            window: 6,
+            reason: ReplanReason::UnseenClass,
+        },
+    ]
+}
+
+#[test]
+fn jsonl_matches_golden_file() {
+    let got = to_jsonl(&golden_events());
+    // `BLESS=1 cargo test -p tahoe-obs --test golden` rewrites the file.
+    if std::env::var_os("BLESS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/events.jsonl");
+        std::fs::write(path, &got).expect("bless golden file");
+        return;
+    }
+    let want = include_str!("golden/events.jsonl");
+    assert_eq!(
+        got, want,
+        "JSONL wire format drifted from tests/golden/events.jsonl; \
+         if the change is intended, re-bless the golden file"
+    );
+}
+
+#[test]
+fn golden_covers_every_event_kind() {
+    let mut kinds: Vec<&str> = golden_events().iter().map(|e| e.kind()).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    assert_eq!(kinds.len(), 13, "one golden line per Event variant");
+}

@@ -46,14 +46,23 @@ mod tests {
     #[test]
     fn high_consumption_is_bandwidth_sensitive() {
         let p = ModelParams::default();
-        assert_eq!(classify(&demand_with_bw(4.0), 4.0, &p), Sensitivity::Bandwidth);
-        assert_eq!(classify(&demand_with_bw(3.3), 4.0, &p), Sensitivity::Bandwidth);
+        assert_eq!(
+            classify(&demand_with_bw(4.0), 4.0, &p),
+            Sensitivity::Bandwidth
+        );
+        assert_eq!(
+            classify(&demand_with_bw(3.3), 4.0, &p),
+            Sensitivity::Bandwidth
+        );
     }
 
     #[test]
     fn low_consumption_is_latency_sensitive() {
         let p = ModelParams::default();
-        assert_eq!(classify(&demand_with_bw(0.3), 4.0, &p), Sensitivity::Latency);
+        assert_eq!(
+            classify(&demand_with_bw(0.3), 4.0, &p),
+            Sensitivity::Latency
+        );
         assert_eq!(classify(&Demand::ZERO, 4.0, &p), Sensitivity::Latency);
     }
 
@@ -67,7 +76,13 @@ mod tests {
     fn thresholds_are_inclusive() {
         let p = ModelParams::default();
         // exactly t1·peak → bandwidth; exactly t2·peak → latency.
-        assert_eq!(classify(&demand_with_bw(3.2), 4.0, &p), Sensitivity::Bandwidth);
-        assert_eq!(classify(&demand_with_bw(0.4), 4.0, &p), Sensitivity::Latency);
+        assert_eq!(
+            classify(&demand_with_bw(3.2), 4.0, &p),
+            Sensitivity::Bandwidth
+        );
+        assert_eq!(
+            classify(&demand_with_bw(0.4), 4.0, &p),
+            Sensitivity::Latency
+        );
     }
 }

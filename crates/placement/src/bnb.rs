@@ -62,12 +62,7 @@ impl Search<'_> {
         let it = self.items[idx];
         // Include first (density order makes inclusion the promising arm).
         if it.size <= room {
-            self.branch(
-                idx + 1,
-                room - it.size,
-                value + it.value,
-                mask | (1 << idx),
-            );
+            self.branch(idx + 1, room - it.size, value + it.value, mask | (1 << idx));
         }
         // Exclude.
         self.branch(idx + 1, room, value, mask);

@@ -64,7 +64,7 @@ pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
     }
     let grain = (capacity / MAX_DP_WIDTH).max(1);
     let width = (capacity / grain) as usize; // floor: stay within capacity
-    // dp[w] = best value using scaled budget w; parent bit per (item, w).
+                                             // dp[w] = best value using scaled budget w; parent bit per (item, w).
     let mut dp = vec![0.0f64; width + 1];
     let mut take = vec![false; (width + 1) * eligible.len()];
     for (i, it) in eligible.iter().enumerate() {

@@ -57,7 +57,8 @@ impl WeighCtx {
         let move_cost = if c.resident {
             0.0
         } else {
-            let promote = cost::migration_cost_ns(c.size, self.copy_bw_gbps, self.overlap_credit_ns);
+            let promote =
+                cost::migration_cost_ns(c.size, self.copy_bw_gbps, self.overlap_credit_ns);
             // Eviction pressure: when DRAM is nearly full, promoting this
             // object forces roughly `size` victim bytes out too.
             let evict = self.dram_pressure.clamp(0.0, 1.0) * c.size as f64 / self.copy_bw_gbps;

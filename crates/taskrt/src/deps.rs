@@ -138,7 +138,11 @@ mod tests {
         let deps = d.record(TaskId(1), O, AccessMode::ReadWrite);
         assert_eq!(deps, vec![TaskId(0)]);
         let deps = d.record(TaskId(2), O, AccessMode::ReadWrite);
-        assert_eq!(deps, vec![TaskId(1)], "inout must not dep on itself or stale readers");
+        assert_eq!(
+            deps,
+            vec![TaskId(1)],
+            "inout must not dep on itself or stale readers"
+        );
     }
 
     #[test]

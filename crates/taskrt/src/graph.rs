@@ -333,12 +333,13 @@ mod tests {
     fn referenced_objects_sorted_unique() {
         let mut g = TaskGraph::new();
         let c = g.class("x");
-        g.add_task(c, vec![acc(3, AccessMode::Write), acc(1, AccessMode::Read)], 1.0);
-        g.add_task(c, vec![acc(1, AccessMode::Read)], 1.0);
-        assert_eq!(
-            g.referenced_objects(),
-            vec![ObjectId(1), ObjectId(3)]
+        g.add_task(
+            c,
+            vec![acc(3, AccessMode::Write), acc(1, AccessMode::Read)],
+            1.0,
         );
+        g.add_task(c, vec![acc(1, AccessMode::Read)], 1.0);
+        assert_eq!(g.referenced_objects(), vec![ObjectId(1), ObjectId(3)]);
     }
 
     #[test]

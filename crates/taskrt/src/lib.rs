@@ -22,10 +22,14 @@
 //!   task graphs execute correctly under genuine parallelism.
 //! * [`lookahead`] — deterministic extraction of the "soon-to-run" task
 //!   window the proactive migration planner consumes.
+//! * [`obs`] — a [`simsched::SchedulerHooks`] decorator that emits the
+//!   structured event stream (task start/finish, window boundaries,
+//!   dispatch stalls) through `tahoe-obs`.
 
 pub mod deps;
 pub mod graph;
 pub mod lookahead;
+pub mod obs;
 pub mod simsched;
 pub mod stats;
 pub mod task;
@@ -33,7 +37,8 @@ pub mod trace;
 pub mod wsexec;
 
 pub use graph::TaskGraph;
+pub use obs::ObsHooks;
 pub use simsched::{NullHooks, SchedulerHooks, SimScheduler};
 pub use stats::SchedStats;
-pub use trace::{Trace, TraceHooks};
 pub use task::{AccessMode, TaskAccess, TaskClassId, TaskId, TaskSpec};
+pub use trace::{Trace, TraceHooks};

@@ -157,10 +157,7 @@ mod tests {
     fn window_larger_than_graph_is_whole_graph() {
         let g = chain(3);
         let la = Lookahead::new(64);
-        assert_eq!(
-            la.window(&g, &[TaskId(0)], |_| false).len(),
-            3
-        );
+        assert_eq!(la.window(&g, &[TaskId(0)], |_| false).len(), 3);
     }
 
     #[test]
@@ -168,7 +165,11 @@ mod tests {
         let mut g = TaskGraph::new();
         let c = g.class("x");
         g.add_task(c, vec![acc(7, AccessMode::Write)], 1.0);
-        g.add_task(c, vec![acc(7, AccessMode::Read), acc(9, AccessMode::Write)], 1.0);
+        g.add_task(
+            c,
+            vec![acc(7, AccessMode::Read), acc(9, AccessMode::Write)],
+            1.0,
+        );
         let la = Lookahead::new(2);
         let w = la.window(&g, &[TaskId(0), TaskId(1)], |_| false);
         let objs = la.objects_in_window(&g, &w);

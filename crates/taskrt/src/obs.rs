@@ -1,0 +1,184 @@
+//! Observability decorator for the virtual-time scheduler: emits
+//! task-start/finish, window-start and dispatch-stall events through a
+//! [`tahoe_obs::Emitter`] while delegating every scheduling decision to
+//! the wrapped [`SchedulerHooks`].
+//!
+//! Stacks with [`crate::trace::TraceHooks`] in either order; the runtime
+//! layer composes `ObsHooks<TraceHooks<Driver>>` for observed runs. With a
+//! disabled emitter the decorator is a forwarding shell — each hook costs
+//! one branch, so observed and plain code paths share one implementation.
+
+use tahoe_hms::Ns;
+use tahoe_obs::{Emitter, Event};
+
+use crate::simsched::SchedulerHooks;
+use crate::task::{TaskId, TaskSpec};
+
+/// A [`SchedulerHooks`] decorator that emits scheduler events.
+#[derive(Debug)]
+pub struct ObsHooks<H> {
+    inner: H,
+    emitter: Emitter,
+}
+
+impl<H> ObsHooks<H> {
+    /// Wrap `inner`, emitting through `emitter`.
+    pub fn new(inner: H, emitter: Emitter) -> Self {
+        ObsHooks { inner, emitter }
+    }
+
+    /// Access the inner hooks.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Unwrap the inner hooks.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<H: SchedulerHooks> SchedulerHooks for ObsHooks<H> {
+    fn task_duration_ns(&mut self, task: &TaskSpec, start: Ns) -> Ns {
+        self.inner.task_duration_ns(task, start)
+    }
+
+    fn task_earliest_start(&mut self, task: &TaskSpec, now: Ns) -> Ns {
+        let earliest = self.inner.task_earliest_start(task, now);
+        // The scheduler accounts `start - avail` as the stall; `earliest`
+        // below `now` is clamped there, so only a positive delta stalls.
+        if earliest > now {
+            self.emitter.emit(|| Event::DispatchStall {
+                t: now,
+                task: task.id.0,
+                stall_ns: earliest - now,
+            });
+        }
+        earliest
+    }
+
+    fn on_dispatch_round(&mut self, ready: &[TaskId], now: Ns) {
+        self.inner.on_dispatch_round(ready, now);
+    }
+
+    fn on_task_start(&mut self, task: &TaskSpec, start: Ns) {
+        self.emitter.emit(|| Event::TaskStart {
+            t: start,
+            task: task.id.0,
+            class: task.class.0,
+            window: task.window,
+        });
+        self.inner.on_task_start(task, start);
+    }
+
+    fn on_task_finish(&mut self, task: &TaskSpec, finish: Ns) {
+        self.emitter.emit(|| Event::TaskFinish {
+            t: finish,
+            task: task.id.0,
+            class: task.class.0,
+            window: task.window,
+        });
+        self.inner.on_task_finish(task, finish);
+    }
+
+    fn on_window_start(&mut self, window: u32, now: Ns) {
+        self.emitter.emit(|| Event::WindowStart { t: now, window });
+        self.inner.on_window_start(window, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use crate::simsched::{NullHooks, SimScheduler};
+    use crate::task::{AccessMode, TaskAccess};
+    use tahoe_hms::{AccessProfile, ObjectId};
+
+    fn inout(o: u32) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), AccessMode::ReadWrite, AccessProfile::EMPTY)
+    }
+
+    #[test]
+    fn emits_start_finish_and_window_events() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![inout(0)], 10.0);
+        g.mark_window();
+        g.add_task(c, vec![inout(0)], 10.0);
+
+        let (emitter, buf) = Emitter::buffered();
+        let mut hooks = ObsHooks::new(NullHooks, emitter);
+        let stats = SimScheduler::new(2).run(&g, &mut hooks);
+        let events = buf.drain();
+
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskStart { .. }))
+            .count();
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e, Event::TaskFinish { .. }))
+            .count();
+        let windows = events
+            .iter()
+            .filter(|e| matches!(e, Event::WindowStart { .. }))
+            .count();
+        assert_eq!(starts, 2);
+        assert_eq!(finishes, 2);
+        assert_eq!(windows, 2);
+        let last_finish = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                Event::TaskFinish { t, .. } => Some(*t),
+                _ => None,
+            })
+            .unwrap();
+        assert!((last_finish - stats.makespan_ns).abs() < 1e-9);
+    }
+
+    /// Hooks that stall every task by a fixed amount.
+    struct Stall(f64);
+    impl SchedulerHooks for Stall {
+        fn task_duration_ns(&mut self, task: &TaskSpec, _s: Ns) -> Ns {
+            task.compute_ns
+        }
+        fn task_earliest_start(&mut self, _task: &TaskSpec, now: Ns) -> Ns {
+            now + self.0
+        }
+    }
+
+    #[test]
+    fn emits_dispatch_stalls_with_magnitude() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![inout(0)], 10.0);
+        let (emitter, buf) = Emitter::buffered();
+        let mut hooks = ObsHooks::new(Stall(250.0), emitter);
+        SimScheduler::new(1).run(&g, &mut hooks);
+        let stall = buf
+            .drain()
+            .into_iter()
+            .find_map(|e| match e {
+                Event::DispatchStall { stall_ns, .. } => Some(stall_ns),
+                _ => None,
+            })
+            .expect("stall event");
+        assert!((stall - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_emitter_changes_nothing() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for _ in 0..8 {
+            g.add_task(c, vec![inout(0)], 5.0);
+        }
+        let plain = SimScheduler::new(2).run(&g, &mut NullHooks);
+        let mut wrapped = ObsHooks::new(NullHooks, Emitter::disabled());
+        let observed = SimScheduler::new(2).run(&g, &mut wrapped);
+        assert_eq!(plain.makespan_ns, observed.makespan_ns);
+        assert_eq!(plain.stall_ns, observed.stall_ns);
+    }
+}

@@ -119,9 +119,8 @@ impl SimScheduler {
             ready.push(Reverse(t));
         }
         // Idle workers: (free_at, worker_id), earliest first.
-        let mut idle: BinaryHeap<Reverse<(Time, usize)>> = (0..self.workers)
-            .map(|w| Reverse((Time(0.0), w)))
-            .collect();
+        let mut idle: BinaryHeap<Reverse<(Time, usize)>> =
+            (0..self.workers).map(|w| Reverse((Time(0.0), w))).collect();
         // In-flight completions: (finish, task, worker).
         let mut inflight: BinaryHeap<Reverse<(Time, TaskId, usize)>> = BinaryHeap::new();
 
@@ -150,7 +149,10 @@ impl SimScheduler {
                 }
 
                 let earliest = hooks.task_earliest_start(task, avail);
-                debug_assert!(earliest >= avail - 1e-9, "earliest_start moved time backwards");
+                debug_assert!(
+                    earliest >= avail - 1e-9,
+                    "earliest_start moved time backwards"
+                );
                 let start = earliest.max(avail);
                 stats.stall_ns += start - avail;
                 let dur = hooks.task_duration_ns(task, start);

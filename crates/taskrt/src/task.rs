@@ -104,7 +104,11 @@ impl TaskAccess {
 
     /// A write access with a streaming profile of `stores` line stores.
     pub fn write_stream(object: ObjectId, stores: u64) -> Self {
-        Self::new(object, AccessMode::Write, AccessProfile::streaming(0, stores))
+        Self::new(
+            object,
+            AccessMode::Write,
+            AccessProfile::streaming(0, stores),
+        )
     }
 }
 

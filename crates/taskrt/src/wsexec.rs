@@ -38,13 +38,25 @@ pub struct WsStats {
 #[derive(Debug)]
 pub struct WsExecutor {
     threads: usize,
+    metrics: tahoe_obs::Metrics,
 }
 
 impl WsExecutor {
     /// An executor with `threads` worker threads (>= 1).
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one worker thread");
-        WsExecutor { threads }
+        WsExecutor {
+            threads,
+            metrics: tahoe_obs::Metrics::disabled(),
+        }
+    }
+
+    /// Record run statistics (`wsexec.*` counters/gauges) into `metrics`.
+    /// Counters are folded in once per run, after the workers join — the
+    /// steal path itself stays metric-free.
+    pub fn with_metrics(mut self, metrics: tahoe_obs::Metrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Number of worker threads.
@@ -150,11 +162,17 @@ impl WsExecutor {
             }
         });
 
-        WsStats {
+        let stats = WsStats {
             tasks_executed: executed.load(Ordering::Relaxed),
             steals: steals.load(Ordering::Relaxed),
             elapsed: started.elapsed(),
-        }
+        };
+        self.metrics.add("wsexec.tasks", stats.tasks_executed);
+        self.metrics.add("wsexec.steals", stats.steals);
+        self.metrics.inc("wsexec.runs");
+        self.metrics
+            .gauge_add("wsexec.elapsed_ns", stats.elapsed.as_nanos() as f64);
+        stats
     }
 }
 
@@ -259,6 +277,22 @@ mod tests {
         let g = TaskGraph::new();
         let stats = WsExecutor::new(4).run(&g, |_| panic!("no tasks"));
         assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn metrics_record_per_run_aggregates() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..50 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let m = tahoe_obs::Metrics::enabled();
+        let stats = WsExecutor::new(4).with_metrics(m.clone()).run(&g, |_| {});
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("wsexec.tasks"), Some(50));
+        assert_eq!(snap.counter("wsexec.runs"), Some(1));
+        assert_eq!(snap.counter("wsexec.steals"), Some(stats.steals));
+        assert!(snap.gauge("wsexec.elapsed_ns").unwrap() > 0.0);
     }
 
     #[test]

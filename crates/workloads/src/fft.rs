@@ -30,10 +30,7 @@ pub fn app(scale: Scale) -> App {
     let ln = lines(bs);
     let tw_ln = lines(twiddle_size) / 2; // heavy twiddle reuse per task
     for i in 0..nb {
-        b.set_est_refs(
-            blocks[i],
-            (2 * ln * stages as u64 * iters as u64) as f64,
-        );
+        b.set_est_refs(blocks[i], (2 * ln * stages as u64 * iters as u64) as f64);
     }
     b.set_est_refs(
         twiddle,

@@ -76,7 +76,8 @@ mod tests {
     #[test]
     fn all_workloads_validate_and_have_structure() {
         for app in all_workloads(Scale::Test) {
-            app.validate().unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            app.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
             assert!(app.graph.len() > 4, "{} too small", app.name);
             assert!(app.windows() >= 2, "{} needs windows", app.name);
             assert!(app.footprint() > 0);

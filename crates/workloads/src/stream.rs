@@ -57,10 +57,7 @@ mod tests {
         let app = app(Scale::Test);
         let nb = Scale::Test.blocks();
         assert_eq!(app.objects.len(), 3 * nb);
-        assert_eq!(
-            app.graph.len(),
-            nb * Scale::Test.iterations() as usize
-        );
+        assert_eq!(app.graph.len(), nb * Scale::Test.iterations() as usize);
         assert_eq!(app.windows(), Scale::Test.iterations());
         app.validate().unwrap();
     }

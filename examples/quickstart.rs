@@ -48,7 +48,8 @@ fn main() {
     };
     let rt = Runtime::new(platform, cfg);
 
-    println!("app: {} ({} tasks, {} windows, {:.1} MB footprint)\n",
+    println!(
+        "app: {} ({} tasks, {} windows, {:.1} MB footprint)\n",
         app.name,
         app.graph.len(),
         app.windows(),

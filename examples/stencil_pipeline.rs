@@ -9,8 +9,8 @@
 //! cargo run --release --example stencil_pipeline
 //! ```
 
-use tahoe_repro::prelude::*;
 use tahoe_repro::hms::presets;
+use tahoe_repro::prelude::*;
 use tahoe_repro::workloads::stencil;
 
 fn main() {
@@ -61,6 +61,9 @@ fn main() {
         );
     }
     if let Some(trace) = timeline {
-        println!("\nschedule timeline (first device, tahoe):\n{}", trace.render(64));
+        println!(
+            "\nschedule timeline (first device, tahoe):\n{}",
+            trace.render(64)
+        );
     }
 }

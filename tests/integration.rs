@@ -1,11 +1,15 @@
 //! Cross-crate integration tests: the whole pipeline, end to end.
 
-use tahoe_repro::prelude::*;
 use tahoe_repro::core::TahoeOptions;
+use tahoe_repro::prelude::*;
 use tahoe_repro::workloads::{all_workloads, cg, health, stream};
 
 fn bw_platform(app: &App, frac: f64) -> Platform {
-    Platform::emulated_bw(frac, (app.footprint() / 4).max(1 << 20), 4 * app.footprint())
+    Platform::emulated_bw(
+        frac,
+        (app.footprint() / 4).max(1 << 20),
+        4 * app.footprint(),
+    )
 }
 
 #[test]
@@ -165,7 +169,11 @@ fn runtime_overhead_stays_modest_across_suite() {
 fn reports_are_deterministic_across_runs() {
     let app = cg::app(Scale::Test);
     let rt = Runtime::new(bw_platform(&app, 0.5), RuntimeConfig::default());
-    for policy in [PolicyKind::tahoe(), PolicyKind::StaticOffline, PolicyKind::HwCache] {
+    for policy in [
+        PolicyKind::tahoe(),
+        PolicyKind::StaticOffline,
+        PolicyKind::HwCache,
+    ] {
         let a = rt.run(&app, &policy);
         let b = rt.run(&app, &policy);
         assert_eq!(a.makespan_ns, b.makespan_ns, "{}", a.policy);

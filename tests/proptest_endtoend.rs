@@ -3,13 +3,13 @@
 
 use proptest::prelude::*;
 
-use tahoe_repro::prelude::*;
 use tahoe_repro::core::TahoeOptions;
+use tahoe_repro::prelude::*;
 
 /// A randomly shaped iterative application.
 #[derive(Debug, Clone)]
 struct RandApp {
-    objects: Vec<u32>,        // sizes in KB (1..=512)
+    objects: Vec<u32>,                         // sizes in KB (1..=512)
     tasks_per_window: Vec<(u8, u8, u16, u16)>, // (read obj, write obj, lines, compute µs)
     windows: u8,
 }

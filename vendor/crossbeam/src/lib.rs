@@ -1,0 +1,357 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the API subset the workspace's work-stealing executor uses:
+//! `deque::{Worker, Stealer, Injector, Steal}` and `utils::Backoff`. The
+//! deques here are mutex-protected `VecDeque`s rather than lock-free
+//! Chase–Lev buffers — semantically identical (same LIFO-owner /
+//! FIFO-thief discipline, same `Steal` protocol), slower under heavy
+//! contention, which the tests and demos in this workspace do not
+//! exercise at a scale where it matters.
+
+/// Work-stealing deques (API subset of `crossbeam_deque`).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether this is `Empty`.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// Whether this is `Success`.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Whether this is `Retry`.
+        pub fn is_retry(&self) -> bool {
+            matches!(self, Steal::Retry)
+        }
+
+        /// The stolen value, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// If this attempt did not succeed, try `f` next.
+        pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+            match self {
+                Steal::Success(_) | Steal::Retry => self,
+                Steal::Empty => f(),
+            }
+        }
+    }
+
+    /// Folding steal attempts: first success wins; otherwise any retry
+    /// makes the whole round a retry (mirrors crossbeam's impl).
+    impl<T> FromIterator<Steal<T>> for Steal<T> {
+        fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+            let mut retry = false;
+            for s in iter {
+                match s {
+                    Steal::Success(_) => return s,
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if retry {
+                Steal::Retry
+            } else {
+                Steal::Empty
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// Flavor of a worker deque: where the owner pops from.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        shared: Arc<Shared<T>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        fn with_flavor(flavor: Flavor) -> Self {
+            Worker {
+                shared: Arc::new(Shared {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                flavor,
+            }
+        }
+
+        /// A FIFO worker deque (owner pops oldest first).
+        pub fn new_fifo() -> Self {
+            Self::with_flavor(Flavor::Fifo)
+        }
+
+        /// A LIFO worker deque (owner pops newest first).
+        pub fn new_lifo() -> Self {
+            Self::with_flavor(Flavor::Lifo)
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.shared.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pop a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.shared.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Lifo => q.pop_back(),
+                Flavor::Fifo => q.pop_front(),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap().is_empty()
+        }
+
+        /// A handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// A thief's handle onto another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the victim's cold end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.shared.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest` and pop one task for immediate use.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap();
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the remainder (capped) to the destination,
+            // like crossbeam's batched steal.
+            let extra = (q.len() / 2).min(16);
+            if extra > 0 {
+                let mut dq = dest.shared.queue.lock().unwrap();
+                for _ in 0..extra {
+                    if let Some(t) = q.pop_front() {
+                        dq.push_back(t);
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the injector is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
+/// Miscellaneous utilities (API subset of `crossbeam_utils`).
+pub mod utils {
+    use std::cell::Cell;
+
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Exponential backoff for spin loops.
+    #[derive(Debug, Default)]
+    pub struct Backoff {
+        step: Cell<u32>,
+    }
+
+    impl Backoff {
+        /// A fresh backoff.
+        pub fn new() -> Self {
+            Backoff::default()
+        }
+
+        /// Reset to the initial (busy-spin) state.
+        pub fn reset(&self) {
+            self.step.set(0);
+        }
+
+        /// Back off in a lock-free retry loop (spin only).
+        pub fn spin(&self) {
+            for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+                std::hint::spin_loop();
+            }
+            if self.step.get() <= SPIN_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Back off while waiting for another thread to make progress
+        /// (spin, then yield to the OS).
+        pub fn snooze(&self) {
+            if self.step.get() <= SPIN_LIMIT {
+                for _ in 0..1u32 << self.step.get() {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            if self.step.get() <= YIELD_LIMIT {
+                self.step.set(self.step.get() + 1);
+            }
+        }
+
+        /// Whether backing off has saturated (caller should park).
+        pub fn is_completed(&self) -> bool {
+            self.step.get() > YIELD_LIMIT
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn lifo_worker_pops_newest() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_pop_moves_work() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Some of the remainder moved to the local deque.
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn steal_collect_prefers_success() {
+        let attempts = vec![Steal::Empty, Steal::Retry, Steal::Success(7)];
+        let folded: Steal<i32> = attempts.into_iter().collect();
+        assert_eq!(folded, Steal::Success(7));
+        let folded: Steal<i32> = vec![Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(folded.is_retry());
+        let folded: Steal<i32> = vec![Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(folded.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing_works() {
+        let w = Worker::new_lifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let stolen = std::thread::scope(|scope| {
+            let h = scope.spawn(move || {
+                let mut got = 0;
+                while s.steal().success().is_some() {
+                    got += 1;
+                }
+                got
+            });
+            h.join().unwrap()
+        });
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        assert_eq!(stolen + local, 100);
+    }
+}
