@@ -10,7 +10,8 @@ fn bench_endtoend(c: &mut Criterion) {
     g.sample_size(10);
     for app in all_workloads(Scale::Test) {
         let rt = Runtime::new(
-            Platform::emulated_bw(0.5, (app.footprint() / 4).max(1 << 20), 4 * app.footprint()),
+            Platform::emulated_bw(0.5, (app.footprint() / 4).max(1 << 20), 4 * app.footprint())
+                .unwrap(),
             RuntimeConfig::default(),
         );
         g.bench_with_input(BenchmarkId::new("tahoe", &app.name), &app, |b, app| {

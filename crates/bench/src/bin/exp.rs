@@ -4,6 +4,7 @@
 //! cargo run -p tahoe-bench --release --bin exp -- all
 //! cargo run -p tahoe-bench --release --bin exp -- e4 e7
 //! cargo run -p tahoe-bench --release --bin exp -- obs    # CI smoke artifact
+//! cargo run -p tahoe-bench --release --bin exp -- real --smoke
 //! ```
 
 use std::process::ExitCode;
@@ -13,10 +14,17 @@ fn obs_dir() -> String {
     std::env::var("OBS_DIR").unwrap_or_else(|_| "target/obs-artifact".to_string())
 }
 
+/// Output directory for the `real` artifact (override with `REAL_DIR`).
+fn real_dir() -> String {
+    std::env::var("REAL_DIR").unwrap_or_else(|_| "target/real-artifact".to_string())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
     if args.is_empty() {
-        eprintln!("usage: exp <all|e1|e2|...|e13|obs> [more experiments]");
+        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real> [--smoke] [more experiments]");
         return ExitCode::FAILURE;
     }
     for arg in &args {
@@ -25,6 +33,12 @@ fn main() -> ExitCode {
             "obs" => {
                 if let Err(e) = tahoe_bench::obs_artifact(&obs_dir()) {
                     eprintln!("obs artifact failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "real" => {
+                if let Err(e) = tahoe_bench::real(smoke, &real_dir()) {
+                    eprintln!("real experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

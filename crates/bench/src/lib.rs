@@ -23,12 +23,12 @@ pub fn dram_budget(app: &App) -> u64 {
 
 /// Platform with bandwidth-limited NVM (`frac` of DRAM bandwidth).
 pub fn platform_bw(app: &App, frac: f64) -> Platform {
-    Platform::emulated_bw(frac, dram_budget(app), 4 * app.footprint())
+    Platform::emulated_bw(frac, dram_budget(app), 4 * app.footprint()).expect("valid fraction")
 }
 
 /// Platform with latency-limited NVM (`mult` × DRAM latency).
 pub fn platform_lat(app: &App, mult: f64) -> Platform {
-    Platform::emulated_lat(mult, dram_budget(app), 4 * app.footprint())
+    Platform::emulated_lat(mult, dram_budget(app), 4 * app.footprint()).expect("valid multiplier")
 }
 
 /// Optane-PMM-like platform.
@@ -506,6 +506,147 @@ pub fn obs_artifact(dir: &str) -> Result<(), String> {
         report.tasks,
         report.makespan_ns / 1e6
     );
+    Ok(())
+}
+
+/// `exp real`: the measured-mode experiment. Calibrates the machine,
+/// runs the headline policies on `mmap`-arena-backed objects with
+/// software-emulated NVM, checks the acceptance invariants (every
+/// policy's traffic matches the heap reference bit for bit; DRAM-only
+/// throughput is at least NVM-emulated throughput), and writes a
+/// machine-readable `BENCH_real.json` to `dir`.
+pub fn real(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::{reference_checksum, MeasuredRuntime};
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::json;
+
+    banner(if smoke {
+        "REAL measured mode (smoke): mmap arenas + wall-clock calibration"
+    } else {
+        "REAL measured mode: mmap arenas + wall-clock calibration"
+    });
+    let (app, cfg, reps) = if smoke {
+        (stream::app(Scale::Test), WallClockConfig::smoke(), 2)
+    } else {
+        (stream::app(Scale::Bench), WallClockConfig::full(), 3)
+    };
+    let platform = platform_bw(&app, 0.25);
+    let rt = MeasuredRuntime::new(platform, cfg);
+    let cal = rt.calibrate()?;
+    println!(
+        "  fitted DRAM {:.2} GB/s / {:.1} ns, emulated NVM {:.2} GB/s / {:.1} ns, cf_bw {:.3}, cf_lat {:.3}",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    );
+
+    let reference = reference_checksum(&app);
+    let policies = [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::tahoe(),
+    ];
+    // Wall clocks are noisy; keep each policy's best-of-`reps` run.
+    let mut reports = Vec::with_capacity(policies.len());
+    for p in &policies {
+        let mut best = rt.run_policy(&app, p, &cal)?;
+        for _ in 1..reps {
+            let r = rt.run_policy(&app, p, &cal)?;
+            if r.wall_ns < best.wall_ns {
+                best = r;
+            }
+        }
+        println!(
+            "  {:<12} {:>9.3} ms  {:>7.2} GB/s  {} migrations ({} KiB)",
+            best.policy,
+            best.wall_ns / 1e6,
+            best.throughput_gbps,
+            best.migrations,
+            best.migrated_bytes >> 10
+        );
+        reports.push(best);
+    }
+
+    // ---- acceptance invariants ------------------------------------
+    for r in &reports {
+        if r.checksum != reference {
+            return Err(format!(
+                "{}: checksum {:016x} != reference {reference:016x}",
+                r.policy, r.checksum
+            ));
+        }
+    }
+    let thr = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.policy == name)
+            .map(|r| r.throughput_gbps)
+            .expect("policy present")
+    };
+    let (dram_thr, nvm_thr) = (thr("DRAM-only"), thr("NVM-only"));
+    if dram_thr < nvm_thr {
+        return Err(format!(
+            "DRAM-only throughput {dram_thr:.3} GB/s below NVM-emulated {nvm_thr:.3} GB/s"
+        ));
+    }
+
+    // ---- BENCH_real.json -------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-real/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"footprint_bytes\": {}, \"windows\": {}}},\n",
+        app.name,
+        app.footprint(),
+        app.windows()
+    ));
+    out.push_str(&format!(
+        "  \"calibration\": {{\"dram_bw_gbps\": {:.6}, \"dram_lat_ns\": {:.6}, \"nvm_bw_gbps\": {:.6}, \"nvm_lat_ns\": {:.6}, \"cf_bw\": {:.6}, \"cf_lat\": {:.6}}},\n",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    ));
+    out.push_str("  \"policies\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"wall_ns\": {:.1}, \"bytes_touched\": {}, \"throughput_gbps\": {:.6}, \"checksum\": \"{:016x}\", \"migrations\": {}, \"migrated_bytes\": {}, \"copy_wall_ns\": {:.1}, \"final_dram_objects\": {}}}{}\n",
+            r.policy,
+            r.wall_ns,
+            r.bytes_touched,
+            r.throughput_gbps,
+            r.checksum,
+            r.migrations,
+            r.migrated_bytes,
+            r.copy_wall_ns,
+            r.final_dram_objects,
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"consistency\": {{\"reference_checksum\": \"{reference:016x}\", \"all_policies_match_reference\": true, \"dram_throughput_ge_nvm\": true}}\n}}\n"
+    ));
+    json::parse(&out).map_err(|e| format!("BENCH_real.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_real.json"), &out)
+        .map_err(|e| format!("write BENCH_real.json: {e}"))?;
+    println!("  -> {dir}/BENCH_real.json");
     Ok(())
 }
 

@@ -1,8 +1,31 @@
 //! Platform and runtime configuration.
 
-use tahoe_hms::{presets, HmsConfig, TierSpec};
+use tahoe_hms::{presets, HmsConfig, HmsError, TierSpec};
 use tahoe_memprof::SamplerConfig;
 use tahoe_perfmodel::ModelParams;
+
+/// Which substrate a run executes on.
+///
+/// `Virtual` is the simulator: tiers are bookkeeping, time is modelled.
+/// `Measured` backs both tiers with `mmap` arenas (`tahoe-realmem`),
+/// executes real memory traffic, and reports wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeMode {
+    /// Virtual-time simulation (the default everywhere it isn't stated).
+    #[default]
+    Virtual,
+    /// Real buffers, wall-clock timing, software-emulated NVM.
+    Measured,
+}
+
+impl std::fmt::Display for RuntimeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeMode::Virtual => write!(f, "virtual"),
+            RuntimeMode::Measured => write!(f, "measured"),
+        }
+    }
+}
 
 /// The simulated hardware platform: the two tiers plus the copy engine.
 #[derive(Debug, Clone)]
@@ -28,19 +51,29 @@ impl Platform {
     }
 
     /// Quartz-style bandwidth-limited NVM: `bw_frac` of DRAM bandwidth.
-    pub fn emulated_bw(bw_frac: f64, dram_capacity: u64, nvm_capacity: u64) -> Self {
+    /// Fails on a non-positive or non-finite fraction.
+    pub fn emulated_bw(
+        bw_frac: f64,
+        dram_capacity: u64,
+        nvm_capacity: u64,
+    ) -> Result<Self, HmsError> {
         let dram = presets::dram(dram_capacity);
-        let nvm = presets::emulated_bw(bw_frac, nvm_capacity);
+        let nvm = presets::emulated_bw(bw_frac, nvm_capacity)?;
         let copy = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
-        Platform::new(dram, nvm, copy)
+        Ok(Platform::new(dram, nvm, copy))
     }
 
     /// Quartz-style latency-limited NVM: `lat_mult` × DRAM latency.
-    pub fn emulated_lat(lat_mult: f64, dram_capacity: u64, nvm_capacity: u64) -> Self {
+    /// Fails on a non-positive or non-finite multiplier.
+    pub fn emulated_lat(
+        lat_mult: f64,
+        dram_capacity: u64,
+        nvm_capacity: u64,
+    ) -> Result<Self, HmsError> {
         let dram = presets::dram(dram_capacity);
-        let nvm = presets::emulated_lat(lat_mult, nvm_capacity);
+        let nvm = presets::emulated_lat(lat_mult, nvm_capacity)?;
         let copy = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
-        Platform::new(dram, nvm, copy)
+        Ok(Platform::new(dram, nvm, copy))
     }
 
     /// Optane-PMM-like platform.
@@ -51,8 +84,9 @@ impl Platform {
         Platform::new(dram, nvm, copy)
     }
 
-    /// The HMS configuration for this platform.
-    pub fn hms_config(&self) -> HmsConfig {
+    /// The HMS configuration for this platform. Fails if either tier
+    /// spec or the copy bandwidth fails validation.
+    pub fn hms_config(&self) -> Result<HmsConfig, HmsError> {
         HmsConfig::new(self.dram.clone(), self.nvm.clone(), self.copy_bw_gbps)
     }
 
@@ -110,11 +144,20 @@ mod tests {
 
     #[test]
     fn emulated_platforms_have_sane_copy_bandwidth() {
-        let p = Platform::emulated_bw(0.5, 1 << 20, 1 << 30);
+        let p = Platform::emulated_bw(0.5, 1 << 20, 1 << 30).unwrap();
         assert!(p.copy_bw_gbps > 0.0);
         assert!(p.copy_bw_gbps <= p.dram.read_bw_gbps);
-        let q = Platform::emulated_lat(4.0, 1 << 20, 1 << 30);
+        let q = Platform::emulated_lat(4.0, 1 << 20, 1 << 30).unwrap();
         assert!(q.copy_bw_gbps > 0.0);
+        assert!(Platform::emulated_bw(-0.5, 1 << 20, 1 << 30).is_err());
+        assert!(Platform::emulated_lat(0.0, 1 << 20, 1 << 30).is_err());
+    }
+
+    #[test]
+    fn runtime_mode_displays() {
+        assert_eq!(RuntimeMode::Virtual.to_string(), "virtual");
+        assert_eq!(RuntimeMode::Measured.to_string(), "measured");
+        assert_eq!(RuntimeMode::default(), RuntimeMode::Virtual);
     }
 
     #[test]

@@ -124,7 +124,8 @@ impl<'a> Driver<'a> {
                 plat.nvm = plat.nvm.with_capacity(plat.nvm.capacity.max(footprint * 2));
             }
         }
-        let hms_cfg = HmsConfig::new(plat.dram.clone(), plat.nvm.clone(), plat.copy_bw_gbps);
+        let hms_cfg = HmsConfig::new(plat.dram.clone(), plat.nvm.clone(), plat.copy_bw_gbps)
+            .expect("platform already validated");
         let mut hms = Hms::new(hms_cfg);
 
         let opts = match &policy {
@@ -1123,7 +1124,7 @@ mod tests {
     }
 
     fn platform() -> Platform {
-        Platform::emulated_bw(0.25, 1 << 20, 1 << 30)
+        Platform::emulated_bw(0.25, 1 << 20, 1 << 30).unwrap()
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod tests {
     #[test]
     fn time_decreases_monotonically_with_cache_size() {
         let dram = presets::dram(1 << 30);
-        let nvm = presets::emulated_bw(0.25, 1 << 34);
+        let nvm = presets::emulated_bw(0.25, 1 << 34).unwrap();
         let p = AccessProfile::streaming(500_000, 250_000);
         let foot = 1 << 30;
         let mut last = f64::INFINITY;

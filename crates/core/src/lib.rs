@@ -54,7 +54,7 @@
 //!     b.next_window();
 //! }
 //! let app = b.build();
-//! let platform = Platform::emulated_bw(0.5, 256 << 10, 64 << 20);
+//! let platform = Platform::emulated_bw(0.5, 256 << 10, 64 << 20).unwrap();
 //! let report = Runtime::new(platform, RuntimeConfig::default())
 //!     .run(&app, &PolicyKind::tahoe());
 //! assert!(report.makespan_ns > 0.0);
@@ -64,13 +64,15 @@ pub mod app;
 pub mod config;
 pub mod driver;
 pub mod hwcache;
+pub mod measured;
 pub mod overhead;
 pub mod policy;
 pub mod report;
 pub mod runtime;
 
 pub use app::{App, AppBuilder, ObjectSpec, TaskBuilder};
-pub use config::{Platform, RuntimeConfig};
+pub use config::{Platform, RuntimeConfig, RuntimeMode};
+pub use measured::{MeasuredPolicyReport, MeasuredReport, MeasuredRuntime};
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
 pub use runtime::{ObsCapture, Runtime};
@@ -78,7 +80,8 @@ pub use runtime::{ObsCapture, Runtime};
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::app::{App, AppBuilder};
-    pub use crate::config::{Platform, RuntimeConfig};
+    pub use crate::config::{Platform, RuntimeConfig, RuntimeMode};
+    pub use crate::measured::{MeasuredReport, MeasuredRuntime};
     pub use crate::policy::{PolicyKind, TahoeOptions};
     pub use crate::report::RunReport;
     pub use crate::runtime::{ObsCapture, Runtime};

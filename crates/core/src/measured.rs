@@ -1,0 +1,424 @@
+//! Measured-mode execution: the policy drivers on real memory.
+//!
+//! [`RuntimeMode::Measured`](crate::config::RuntimeMode) swaps the
+//! virtual-time simulator for a physical substrate:
+//!
+//! 1. **Calibrate** — map a scratch `mmap` arena, run the executable
+//!    STREAM/pointer-chase kernels on it, and fit a `TierSpec` plus
+//!    `CF_bw`/`CF_lat` from the wall-clock numbers
+//!    ([`tahoe_memprof::wallclock`]). The NVM spec is the fitted DRAM
+//!    spec scaled by the reference platform's DRAM→NVM ratios.
+//! 2. **Execute** — allocate every app object in [`RealBackend`]-backed
+//!    arenas, then run the task graph window by window as *real memory
+//!    traffic* ([`tahoe_realmem::traffic`]): each declared access walks
+//!    the object's live bytes at native speed; NVM residence then
+//!    injects the cf-corrected model *difference* between the slow and
+//!    fast device (Quartz-style delay injection). DRAM-resident
+//!    accesses run untouched, NVM-resident accesses are spun out by the
+//!    derived slowdown.
+//! 3. **Compare** — every access folds into a run checksum that is a
+//!    pure function of the deterministic traffic, so a reference
+//!    execution on plain heap buffers ([`reference_checksum`]) must
+//!    match bit for bit, whatever the policy or substrate.
+//!
+//! Only the four headline policies run in measured mode (DRAM-only,
+//! NVM-only, first-touch, Tahoe); the cache/oracle baselines are
+//! simulator-only by construction.
+
+use std::time::Instant;
+
+use tahoe_hms::{Hms, HmsConfig, ObjectId, TierKind};
+use tahoe_memprof::wallclock::{
+    fit_calibration, measure_tier, WallClockCalibration, WallClockConfig,
+};
+use tahoe_obs::{Emitter, Event, Metrics, Tier};
+use tahoe_realmem::{traffic, MmapArena, RealBackend};
+
+use crate::app::App;
+use crate::config::Platform;
+use crate::policy::PolicyKind;
+
+/// Deterministic per-site seed (splitmix64 of a site key).
+fn seed(task: u32, access: usize) -> u64 {
+    let mut z = ((task as u64) << 20) ^ access as u64 ^ 0xA5A5_0000_0000;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn fold(acc: u64, x: u64) -> u64 {
+    acc.rotate_left(7) ^ x
+}
+
+/// One policy's measured outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredPolicyReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Wall-clock time of the execution phase, ns (excludes setup and
+    /// calibration).
+    pub wall_ns: f64,
+    /// Bytes of object data walked by the traffic kernels.
+    pub bytes_touched: u64,
+    /// `bytes_touched / wall_ns` (== GB/s).
+    pub throughput_gbps: f64,
+    /// Fold of every access checksum, in execution order.
+    pub checksum: u64,
+    /// Physical inter-tier copies the policy triggered.
+    pub migrations: u64,
+    /// Bytes those copies moved.
+    pub migrated_bytes: u64,
+    /// Wall-clock ns spent inside the throttled copy engine.
+    pub copy_wall_ns: f64,
+    /// Objects resident in DRAM when the run finished.
+    pub final_dram_objects: usize,
+}
+
+/// A full measured-mode comparison across policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredReport {
+    /// The fitted calibration every policy ran under.
+    pub calibration: WallClockCalibration,
+    /// NUMA nodes the (dram, nvm) arenas were bound to; `-1` = unbound,
+    /// pure software emulation.
+    pub numa_nodes: (i64, i64),
+    /// Per-policy results, in the order requested.
+    pub policies: Vec<MeasuredPolicyReport>,
+    /// Checksum of the reference execution on plain heap buffers.
+    pub reference_checksum: u64,
+}
+
+/// Measured-mode runtime: a reference platform (capacities + device
+/// ratios) plus kernel sizing.
+#[derive(Debug, Clone)]
+pub struct MeasuredRuntime {
+    platform: Platform,
+    kernel_cfg: WallClockConfig,
+    emitter: Emitter,
+    metrics: Metrics,
+}
+
+impl MeasuredRuntime {
+    /// Build a measured runtime over `platform`. The platform's tier
+    /// *capacities* and its DRAM→NVM performance *ratios* are used; its
+    /// absolute numbers are replaced by the calibration fit.
+    pub fn new(platform: Platform, kernel_cfg: WallClockConfig) -> Self {
+        MeasuredRuntime {
+            platform,
+            kernel_cfg,
+            emitter: Emitter::disabled(),
+            metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Attach an event emitter and metrics registry.
+    pub fn with_observability(mut self, emitter: Emitter, metrics: Metrics) -> Self {
+        self.emitter = emitter;
+        self.metrics = metrics;
+        self
+    }
+
+    /// Run the wall-clock calibration pass on a scratch `mmap` arena.
+    pub fn calibrate(&self) -> Result<WallClockCalibration, String> {
+        let bytes = self.kernel_cfg.required_bytes();
+        let arena = MmapArena::new(TierKind::Dram, bytes)?;
+        let ptr = arena
+            .data_ptr(0, bytes)
+            .ok_or_else(|| "scratch arena too small".to_string())?;
+        // SAFETY: the arena maps at least `bytes` writable bytes and
+        // lives until after the measurement returns.
+        let buf = unsafe { std::slice::from_raw_parts_mut(ptr, bytes as usize) };
+        let measured = measure_tier(buf, &self.kernel_cfg)?;
+        let cal = fit_calibration(
+            &measured,
+            &self.kernel_cfg,
+            &self.platform.dram,
+            &self.platform.nvm,
+            self.platform.dram.capacity,
+            self.platform.nvm.capacity,
+        )
+        .map_err(|e| e.to_string())?;
+        for (tier, spec) in [(Tier::Dram, &cal.dram), (Tier::Nvm, &cal.nvm)] {
+            let (bw_r, bw_w, lat) = (spec.read_bw_gbps, spec.write_bw_gbps, spec.read_lat_ns);
+            self.emitter.emit(|| Event::TierFitted {
+                t: 0.0,
+                tier,
+                read_bw_gbps: bw_r,
+                write_bw_gbps: bw_w,
+                read_lat_ns: lat,
+            });
+        }
+        self.metrics.gauge_set("measured.cf_bw", cal.cf_bw);
+        self.metrics.gauge_set("measured.cf_lat", cal.cf_lat);
+        Ok(cal)
+    }
+
+    /// Execute `app` under `policy` on arena-backed objects with the
+    /// given calibration. Unsupported policies (cache/oracle baselines)
+    /// return an error.
+    pub fn run_policy(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+    ) -> Result<MeasuredPolicyReport, String> {
+        match policy {
+            PolicyKind::DramOnly
+            | PolicyKind::NvmOnly
+            | PolicyKind::FirstTouch
+            | PolicyKind::Tahoe(_) => {}
+            other => {
+                return Err(format!(
+                    "policy {} is not supported in measured mode",
+                    other.name()
+                ))
+            }
+        }
+        app.validate()?;
+        let footprint = app.footprint();
+
+        // Capacity handling mirrors the virtual driver: DRAM-only is the
+        // no-budget upper bound; everything else must at least fit in
+        // NVM.
+        let mut dram_spec = cal.dram.clone();
+        let mut nvm_spec = cal.nvm.clone();
+        if matches!(policy, PolicyKind::DramOnly) {
+            dram_spec.capacity = dram_spec.capacity.max(footprint);
+        }
+        nvm_spec.capacity = nvm_spec.capacity.max(2 * footprint);
+        let copy_bw = nvm_spec.write_bw_gbps.min(dram_spec.read_bw_gbps) * 0.8;
+        let config = HmsConfig::new(dram_spec, nvm_spec, copy_bw).map_err(|e| e.to_string())?;
+
+        let backend =
+            RealBackend::with_observability(&config, self.emitter.clone(), self.metrics.clone())?;
+        let mut hms = Hms::new(config.clone());
+        hms.set_backend(Box::new(backend));
+
+        // ---- placement + allocation ----------------------------------
+        let prefer_dram: Vec<bool> = match policy {
+            PolicyKind::DramOnly => vec![true; app.objects.len()],
+            PolicyKind::NvmOnly => vec![false; app.objects.len()],
+            // First-touch fills DRAM in allocation order and spills.
+            PolicyKind::FirstTouch => vec![true; app.objects.len()],
+            // Tahoe starts NVM-resident and migrates after profiling.
+            PolicyKind::Tahoe(_) => vec![false; app.objects.len()],
+            // Rejected above.
+            _ => unreachable!("unsupported policy reached placement"),
+        };
+        let fallback = !matches!(policy, PolicyKind::DramOnly);
+        let mut ids: Vec<ObjectId> = Vec::with_capacity(app.objects.len());
+        for (spec, &dram) in app.objects.iter().zip(&prefer_dram) {
+            let preferred = if dram { TierKind::Dram } else { TierKind::Nvm };
+            let id = hms
+                .alloc_object(&spec.name, spec.size, preferred, fallback)
+                .map_err(|e| format!("alloc {}: {e}", spec.name))?;
+            ids.push(id);
+        }
+
+        // Tahoe's plan: value of DRAM residence per object over the
+        // whole run, from the ground-truth profiles on the fitted specs.
+        let tahoe_plan: Option<tahoe_placement::Solution> = match policy {
+            PolicyKind::Tahoe(_) => {
+                let mut value = vec![0.0f64; app.objects.len()];
+                for t in app.graph.tasks() {
+                    for a in &t.accesses {
+                        let on_nvm =
+                            a.profile.mem_time_ns(&config.nvm) * cf(cal, &a.profile, &config.nvm);
+                        let on_dram =
+                            a.profile.mem_time_ns(&config.dram) * cf(cal, &a.profile, &config.dram);
+                        value[a.object.index()] += (on_nvm - on_dram).max(0.0);
+                    }
+                }
+                let items: Vec<tahoe_placement::Item> = app
+                    .objects
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| tahoe_placement::Item {
+                        id: ObjectId(i as u32),
+                        size: o.size,
+                        value: value[i],
+                    })
+                    .collect();
+                Some(tahoe_placement::solve(&items, config.dram.capacity))
+            }
+            _ => None,
+        };
+
+        // ---- execution ------------------------------------------------
+        let profile_windows = app.windows().saturating_sub(1).min(2);
+        let mut checksum = 0u64;
+        let mut bytes_touched = 0u64;
+        let start = Instant::now();
+
+        // Objects are initialized as real traffic too (this is the
+        // first-touch the policies differ on).
+        for (i, id) in ids.iter().enumerate() {
+            let buf = hms
+                .object_bytes(*id)
+                .map_err(|e| e.to_string())?
+                .ok_or("real backend must expose bytes")?;
+            checksum = fold(checksum, traffic::init_fill(buf, i as u64));
+            bytes_touched += buf.len() as u64;
+        }
+
+        for w in 0..app.windows() {
+            // Tahoe migrates its plan in after the profiling windows —
+            // real throttled copies through the backend.
+            if let (Some(plan), true) = (&tahoe_plan, w == profile_windows) {
+                for oid in &plan.chosen {
+                    let id = ids[oid.index()];
+                    if hms.tier_of(id).map_err(|e| e.to_string())? == TierKind::Nvm {
+                        let _ = hms.move_object(id, TierKind::Dram);
+                    }
+                }
+            }
+            for tid in app.graph.window_tasks(w) {
+                let task = app.graph.task(tid);
+                for (ai, access) in task.accesses.iter().enumerate() {
+                    let id = ids[access.object.index()];
+                    let tier = hms.tier_of(id).map_err(|e| e.to_string())?;
+                    // Quartz-style software NVM emulation: the access
+                    // runs at native speed, then NVM residence injects
+                    // the cf-corrected model *difference* between the
+                    // slow and fast device. Injecting the delta (rather
+                    // than flooring to an absolute model time) keeps the
+                    // asymmetry honest whatever the native kernels cost.
+                    let inject_ns = if tier == TierKind::Nvm {
+                        let slow = access.profile.mem_time_ns(&config.nvm)
+                            * cf(cal, &access.profile, &config.nvm);
+                        let fast = access.profile.mem_time_ns(&config.dram)
+                            * cf(cal, &access.profile, &config.dram);
+                        (slow - fast).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    let buf = hms
+                        .object_bytes(id)
+                        .map_err(|e| e.to_string())?
+                        .ok_or("real backend must expose bytes")?;
+                    bytes_touched += buf.len() as u64;
+                    let c = traffic::run_access(
+                        buf,
+                        access.profile.loads,
+                        access.profile.stores,
+                        seed(tid.0, ai),
+                    );
+                    checksum = fold(checksum, c);
+                    if inject_ns > 0.0 {
+                        tahoe_realmem::throttle::pace_until(Instant::now(), inject_ns);
+                    }
+                }
+            }
+        }
+        let wall_ns = (start.elapsed().as_nanos() as f64).max(1.0);
+
+        let stats = hms.backend_stats();
+        let final_dram_objects = hms.objects_on(TierKind::Dram).len();
+        Ok(MeasuredPolicyReport {
+            policy: policy.name(),
+            wall_ns,
+            bytes_touched,
+            throughput_gbps: bytes_touched as f64 / wall_ns,
+            checksum,
+            migrations: stats.copies,
+            migrated_bytes: stats.copied_bytes,
+            copy_wall_ns: stats.copy_wall_ns,
+            final_dram_objects,
+        })
+    }
+
+    /// Calibrate once, run every policy, and attach the reference
+    /// checksum.
+    pub fn run_suite(&self, app: &App, policies: &[PolicyKind]) -> Result<MeasuredReport, String> {
+        let cal = self.calibrate()?;
+        let mut reports = Vec::with_capacity(policies.len());
+        let mut numa_nodes = (-1i64, -1i64);
+        for p in policies {
+            let r = self.run_policy(app, p, &cal)?;
+            reports.push(r);
+        }
+        // NUMA topology is a machine property; probe it once for the
+        // report.
+        let topo = tahoe_realmem::numa::probe();
+        if topo.has_remote_node() {
+            numa_nodes = (0, topo.nvm_node().map(i64::from).unwrap_or(-1));
+        }
+        Ok(MeasuredReport {
+            calibration: cal,
+            numa_nodes,
+            policies: reports,
+            reference_checksum: reference_checksum(app),
+        })
+    }
+}
+
+/// Which correction factor applies to a profile on a spec.
+fn cf(
+    cal: &WallClockCalibration,
+    profile: &tahoe_hms::AccessProfile,
+    spec: &tahoe_hms::TierSpec,
+) -> f64 {
+    if profile.bandwidth_limited_on(spec) {
+        cal.cf_bw
+    } else {
+        cal.cf_lat
+    }
+}
+
+/// Execute the app's traffic on plain heap buffers, no tiers, no pacing:
+/// the ground truth every measured policy run must match bit for bit.
+pub fn reference_checksum(app: &App) -> u64 {
+    let mut buffers: Vec<Vec<u8>> = app
+        .objects
+        .iter()
+        .map(|o| vec![0u8; o.size as usize])
+        .collect();
+    let mut checksum = 0u64;
+    for (i, buf) in buffers.iter_mut().enumerate() {
+        checksum = fold(checksum, traffic::init_fill(buf, i as u64));
+    }
+    for w in 0..app.windows() {
+        for tid in app.graph.window_tasks(w) {
+            let task = app.graph.task(tid);
+            for (ai, access) in task.accesses.iter().enumerate() {
+                let buf = &mut buffers[access.object.index()];
+                let c = traffic::run_access(
+                    buf,
+                    access.profile.loads,
+                    access.profile.stores,
+                    seed(tid.0, ai),
+                );
+                checksum = fold(checksum, c);
+            }
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_across_sites() {
+        assert_ne!(seed(0, 0), seed(0, 1));
+        assert_ne!(seed(0, 0), seed(1, 0));
+    }
+
+    #[test]
+    fn reference_checksum_is_deterministic() {
+        let mut b = crate::app::AppBuilder::new("t");
+        let x = b.object("x", 4096);
+        let y = b.object("y", 8192);
+        let c = b.class("step");
+        b.task(c)
+            .read_streaming(x, 64)
+            .write_streaming(y, 128)
+            .submit();
+        b.next_window();
+        b.task(c).update_streaming(y, 128).submit();
+        let app = b.build();
+        assert_eq!(reference_checksum(&app), reference_checksum(&app));
+    }
+}

@@ -182,7 +182,7 @@ mod tests {
     }
 
     fn platform() -> Platform {
-        Platform::emulated_bw(0.25, 1 << 20, 1 << 30)
+        Platform::emulated_bw(0.25, 1 << 20, 1 << 30).unwrap()
     }
 
     fn rt() -> Runtime {
@@ -223,7 +223,7 @@ mod tests {
     fn tahoe_beats_nvm_on_latency_bound_app() {
         let app = chasing_app(8);
         let rt = Runtime::new(
-            Platform::emulated_lat(4.0, 1 << 20, 1 << 30),
+            Platform::emulated_lat(4.0, 1 << 20, 1 << 30).unwrap(),
             RuntimeConfig::default(),
         );
         let dram = rt.run(&app, &PolicyKind::DramOnly);

@@ -1,0 +1,127 @@
+//! Measured-mode acceptance: every supported policy runs end-to-end on
+//! `mmap` arena-backed objects, and the traffic it generates is
+//! bit-for-bit identical to a reference execution on plain heap buffers
+//! (checked via the run checksum, which covers every byte read and
+//! written).
+
+use tahoe_core::measured::{reference_checksum, MeasuredRuntime};
+use tahoe_core::prelude::*;
+use tahoe_memprof::wallclock::WallClockConfig;
+
+/// A small but non-trivial app: four objects, mixed access kinds, four
+/// windows, with a DRAM budget that forces real placement decisions.
+fn test_app() -> App {
+    let mut b = AppBuilder::new("measured-accept");
+    let hot = b.object("hot", 96 << 10);
+    let warm = b.object("warm", 96 << 10);
+    let cold = b.object("cold", 160 << 10);
+    let idx = b.object("idx", 64 << 10);
+    let c = b.class("step");
+    for _ in 0..4 {
+        b.task(c)
+            .update_streaming(hot, 1536)
+            .read_streaming(cold, 512)
+            .compute_us(1.0)
+            .submit();
+        b.task(c)
+            .read_streaming(hot, 1536)
+            .write_streaming(warm, 1536)
+            .submit();
+        b.task(c).read_chasing(idx, 256).submit();
+        b.next_window();
+    }
+    b.build()
+}
+
+fn platform(app: &App) -> Platform {
+    // DRAM holds roughly half the footprint.
+    Platform::emulated_bw(0.25, app.footprint() / 2, 4 * app.footprint()).expect("valid platform")
+}
+
+#[test]
+fn all_policies_match_the_reference_bit_for_bit() {
+    let app = test_app();
+    let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());
+    let cal = rt.calibrate().expect("calibration runs unprivileged");
+    assert!(cal.dram.read_bw_gbps > 0.0);
+    assert!(cal.nvm.read_bw_gbps < cal.dram.read_bw_gbps);
+
+    let expected = reference_checksum(&app);
+    for policy in [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::tahoe(),
+    ] {
+        let r = rt.run_policy(&app, &policy, &cal).expect("policy runs");
+        assert_eq!(
+            r.checksum, expected,
+            "{}: measured traffic must equal the reference bit for bit",
+            r.policy
+        );
+        assert!(r.wall_ns > 0.0, "{}: wall clock advanced", r.policy);
+        assert!(r.bytes_touched > 0, "{}: traffic flowed", r.policy);
+    }
+}
+
+#[test]
+fn nvm_emulation_is_slower_than_dram() {
+    let app = test_app();
+    let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());
+    let cal = rt.calibrate().expect("calibration runs unprivileged");
+    // Wall-clock comparisons are noisy; compare best-of-3.
+    let best = |p: &PolicyKind| {
+        (0..3)
+            .map(|_| rt.run_policy(&app, p, &cal).expect("runs").wall_ns)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let dram = best(&PolicyKind::DramOnly);
+    let nvm = best(&PolicyKind::NvmOnly);
+    assert!(
+        nvm > dram,
+        "NVM-emulated ({nvm} ns) must be slower than DRAM-only ({dram} ns)"
+    );
+}
+
+#[test]
+fn tahoe_migrates_and_still_matches_reference() {
+    let app = test_app();
+    let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());
+    let cal = rt.calibrate().expect("calibration runs unprivileged");
+    let r = rt
+        .run_policy(&app, &PolicyKind::tahoe(), &cal)
+        .expect("tahoe runs");
+    assert!(
+        r.migrations > 0,
+        "tahoe must physically migrate its DRAM plan in"
+    );
+    assert!(r.migrated_bytes > 0);
+    assert!(r.final_dram_objects > 0);
+    assert_eq!(r.checksum, reference_checksum(&app));
+}
+
+#[test]
+fn unsupported_policies_are_rejected() {
+    let app = test_app();
+    let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());
+    let cal = rt.calibrate().expect("calibration runs unprivileged");
+    let err = rt
+        .run_policy(&app, &PolicyKind::HwCache, &cal)
+        .expect_err("hardware-cache is simulator-only");
+    assert!(err.contains("not supported"), "got: {err}");
+}
+
+#[test]
+fn run_suite_reports_every_policy_and_the_reference() {
+    let app = test_app();
+    let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());
+    let report = rt
+        .run_suite(&app, &[PolicyKind::DramOnly, PolicyKind::NvmOnly])
+        .expect("suite runs");
+    assert_eq!(report.policies.len(), 2);
+    for p in &report.policies {
+        assert_eq!(p.checksum, report.reference_checksum);
+    }
+    // Single-node CI machines report unbound arenas (-1, -1).
+    assert!(report.numa_nodes.0 >= -1 && report.numa_nodes.1 >= -1);
+}

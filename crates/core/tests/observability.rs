@@ -15,7 +15,8 @@ fn observed_stream() -> (RunReport, ObsCapture) {
         0.125,
         (app.footprint() / 4).max(1 << 20),
         4 * app.footprint(),
-    );
+    )
+    .unwrap();
     let rt = Runtime::new(platform, RuntimeConfig::default());
     let policy = PolicyKind::Tahoe(TahoeOptions {
         initial_placement: false,
@@ -115,7 +116,7 @@ fn events_metrics_and_report_agree() {
     assert_eq!(rep.metrics.gauge("run.makespan_ns"), Some(rep.makespan_ns));
     // Plain runs keep the snapshot empty (observability fully off).
     let app = stream::app(Scale::Test);
-    let platform = Platform::emulated_bw(0.25, 1 << 20, 4 * app.footprint());
+    let platform = Platform::emulated_bw(0.25, 1 << 20, 4 * app.footprint()).unwrap();
     let plain = Runtime::new(platform, RuntimeConfig::default()).run(&app, &PolicyKind::tahoe());
     assert!(plain.metrics.is_empty());
 }

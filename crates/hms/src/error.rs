@@ -26,6 +26,16 @@ pub enum HmsError {
     /// The object is pinned (tasks using it are in flight) and cannot be
     /// migrated or freed.
     Pinned(ObjectId),
+    /// A tier specification failed validation (non-positive latency or
+    /// bandwidth, zero capacity, non-finite scale factor, ...).
+    InvalidSpec {
+        /// Device name of the offending spec.
+        name: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A memory-system configuration failed validation.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for HmsError {
@@ -45,6 +55,10 @@ impl fmt::Display for HmsError {
             }
             HmsError::ZeroSizeAllocation => write!(f, "zero-size allocation"),
             HmsError::Pinned(id) => write!(f, "object {id:?} is pinned by in-flight tasks"),
+            HmsError::InvalidSpec { name, reason } => {
+                write!(f, "invalid tier spec {name}: {reason}")
+            }
+            HmsError::InvalidConfig(reason) => write!(f, "invalid HMS configuration: {reason}"),
         }
     }
 }
@@ -65,5 +79,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("DRAM") && s.contains("128") && s.contains("64"));
         assert!(HmsError::ZeroSizeAllocation.to_string().contains("zero"));
+        let e = HmsError::InvalidSpec {
+            name: "PCRAM".into(),
+            reason: "latencies must be positive".into(),
+        };
+        assert!(e.to_string().contains("PCRAM") && e.to_string().contains("positive"));
+        assert!(HmsError::InvalidConfig("copy bandwidth".into())
+            .to_string()
+            .contains("copy bandwidth"));
     }
 }

@@ -30,6 +30,7 @@
 //! arithmetic in the timing model free of unit conversions.
 
 pub mod alloc;
+pub mod backend;
 pub mod error;
 pub mod memory;
 pub mod migrate;
@@ -39,6 +40,7 @@ pub mod tier;
 pub mod timing;
 pub mod wear;
 
+pub use backend::{BackendStats, CopyOutcome, TierBackend, VirtualBackend};
 pub use error::HmsError;
 pub use memory::{Hms, HmsConfig, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};

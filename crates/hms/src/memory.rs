@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use crate::alloc::TierAllocator;
+use crate::backend::{BackendStats, TierBackend, VirtualBackend};
 use crate::error::HmsError;
 use crate::object::{ObjectId, ObjectMeta};
 use crate::tier::{TierKind, TierSpec};
@@ -20,16 +21,21 @@ pub struct HmsConfig {
 }
 
 impl HmsConfig {
-    /// Convenience constructor validating both tiers.
-    pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Self {
-        dram.validate().expect("invalid DRAM spec");
-        nvm.validate().expect("invalid NVM spec");
-        assert!(copy_bw_gbps > 0.0);
-        HmsConfig {
+    /// Convenience constructor validating both tiers and the copy
+    /// engine's bandwidth.
+    pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Result<Self, HmsError> {
+        dram.validate()?;
+        nvm.validate()?;
+        if !(copy_bw_gbps > 0.0 && copy_bw_gbps.is_finite()) {
+            return Err(HmsError::InvalidConfig(format!(
+                "copy bandwidth must be positive and finite, got {copy_bw_gbps} GB/s"
+            )));
+        }
+        Ok(HmsConfig {
             dram,
             nvm,
             copy_bw_gbps,
-        }
+        })
     }
 
     /// The spec of one tier.
@@ -82,6 +88,7 @@ pub struct Hms {
     /// Count of failed DRAM allocations that fell back to NVM.
     pub dram_fallbacks: u64,
     metrics: tahoe_obs::Metrics,
+    backend: Box<dyn TierBackend>,
 }
 
 impl Hms {
@@ -97,6 +104,47 @@ impl Hms {
             next_id: 0,
             dram_fallbacks: 0,
             metrics: tahoe_obs::Metrics::disabled(),
+            backend: Box::new(VirtualBackend),
+        }
+    }
+
+    /// Replace the physical substrate. Must be called before any
+    /// allocation so the backend sees every live range; the default is
+    /// the bookkeeping-only [`VirtualBackend`].
+    pub fn set_backend(&mut self, backend: Box<dyn TierBackend>) {
+        debug_assert!(
+            self.objects.is_empty(),
+            "backend must be installed before the first allocation"
+        );
+        self.backend = backend;
+    }
+
+    /// Name of the installed substrate (`"virtual"`, `"mmap"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Cumulative substrate-side statistics.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
+    }
+
+    /// The live bytes of an object on a real substrate, or `Ok(None)` on
+    /// the virtual one. The slice aliases the tier arena; it is valid
+    /// until the object is moved or freed.
+    pub fn object_bytes(&mut self, id: ObjectId) -> Result<Option<&mut [u8]>, HmsError> {
+        let (tier, addr, size) = {
+            let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
+            (rec.tier, rec.addr, rec.meta.size)
+        };
+        match self.backend.data_ptr(tier, addr, size) {
+            // SAFETY: the backend guarantees `size` bytes at the returned
+            // pointer, and the borrow of `self` prevents a concurrent
+            // move/free from invalidating the mapping.
+            Some(p) => Ok(Some(unsafe {
+                std::slice::from_raw_parts_mut(p, size as usize)
+            })),
+            None => Ok(None),
         }
     }
 
@@ -201,6 +249,7 @@ impl Hms {
                 pins: 0,
             },
         );
+        self.backend.on_alloc(tier, addr, size);
         self.metrics.inc("hms.allocs");
         self.publish_occupancy();
         Ok(id)
@@ -234,6 +283,7 @@ impl Hms {
         self.allocator(rec.tier)
             .free(rec.addr)
             .expect("object address must be live in its tier allocator");
+        self.backend.on_free(rec.tier, rec.addr, rec.meta.size);
         self.metrics.inc("hms.frees");
         self.publish_occupancy();
         Ok(())
@@ -314,9 +364,14 @@ impl Hms {
                 requested: size,
                 largest_free: self.allocator_ref(to).largest_free_block(),
             })?;
+        // Physical copy while both ranges are reserved: destination is
+        // allocated, source not yet released.
+        self.backend.copy(id.0, from, old_addr, to, new_addr, size);
+        self.backend.on_alloc(to, new_addr, size);
         self.allocator(from)
             .free(old_addr)
             .expect("source address must be live");
+        self.backend.on_free(from, old_addr, size);
         let rec = self.objects.get_mut(&id).expect("checked above");
         rec.tier = to;
         rec.addr = new_addr;
@@ -414,11 +469,10 @@ mod tests {
     use crate::presets;
 
     fn small_hms(dram_cap: u64, nvm_cap: u64) -> Hms {
-        Hms::new(HmsConfig::new(
-            presets::dram(dram_cap),
-            presets::optane_pmm(nvm_cap),
-            5.0,
-        ))
+        Hms::new(
+            HmsConfig::new(presets::dram(dram_cap), presets::optane_pmm(nvm_cap), 5.0)
+                .expect("valid test config"),
+        )
     }
 
     #[test]
@@ -558,6 +612,32 @@ mod tests {
             .unwrap();
         assert_eq!(h.meta(c).unwrap().chunk_of, Some((parent, 3)));
         assert!(h.meta(c).unwrap().is_chunk());
+    }
+
+    #[test]
+    fn config_rejects_bad_specs_and_copy_bw() {
+        let d = presets::dram(1024);
+        let n = presets::optane_pmm(4096);
+        assert!(matches!(
+            HmsConfig::new(d.clone().with_capacity(0), n.clone(), 5.0),
+            Err(HmsError::InvalidSpec { .. })
+        ));
+        for bad in [0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                HmsConfig::new(d.clone(), n.clone(), bad),
+                Err(HmsError::InvalidConfig(_))
+            ));
+        }
+        assert!(HmsConfig::new(d, n, 5.0).is_ok());
+    }
+
+    #[test]
+    fn default_backend_is_virtual() {
+        let mut h = small_hms(1024, 4096);
+        assert_eq!(h.backend_name(), "virtual");
+        assert!(!h.backend_stats().is_real);
+        let a = h.alloc_object("a", 64, TierKind::Dram, false).unwrap();
+        assert!(h.object_bytes(a).unwrap().is_none());
     }
 
     #[test]

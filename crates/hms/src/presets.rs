@@ -16,6 +16,7 @@
 //! take an explicit capacity because the capacity ratio between DRAM and
 //! NVM is an experimental variable, not a device property.
 
+use crate::error::HmsError;
 use crate::tier::TierSpec;
 
 /// DDR4-class DRAM: the fast tier reference point.
@@ -85,27 +86,36 @@ pub fn optane_pmm(capacity: u64) -> TierSpec {
 
 /// Quartz-style emulated NVM: DRAM with bandwidth scaled to `bw_frac` of
 /// DRAM's (latency unchanged). `emulated_bw(0.5, c)` is the paper's
-/// "1/2 DRAM BW" configuration.
-pub fn emulated_bw(bw_frac: f64, capacity: u64) -> TierSpec {
-    let mut t = dram(capacity).scale_bandwidth(bw_frac);
+/// "1/2 DRAM BW" configuration. Fails on a non-positive or non-finite
+/// fraction.
+pub fn emulated_bw(bw_frac: f64, capacity: u64) -> Result<TierSpec, HmsError> {
+    let mut t = dram(capacity).scale_bandwidth(bw_frac)?;
     t.name = format!("NVM({}x BW)", bw_frac);
-    t
+    Ok(t)
 }
 
 /// Quartz-style emulated NVM: DRAM with latency scaled by `lat_mult`
 /// (bandwidth unchanged). `emulated_lat(4.0, c)` is "4x DRAM latency".
-pub fn emulated_lat(lat_mult: f64, capacity: u64) -> TierSpec {
-    let mut t = dram(capacity).scale_latency(lat_mult);
+/// Fails on a non-positive or non-finite multiplier.
+pub fn emulated_lat(lat_mult: f64, capacity: u64) -> Result<TierSpec, HmsError> {
+    let mut t = dram(capacity).scale_latency(lat_mult)?;
     t.name = format!("NVM({}x LAT)", lat_mult);
-    t
+    Ok(t)
 }
 
 /// NUMA-remote-node emulation as used for the paper's strong-scaling runs:
-/// 60% of DRAM bandwidth and 1.89x DRAM latency.
+/// 60% of DRAM bandwidth and 1.89x DRAM latency. Infallible — the scale
+/// factors are compile-time constants.
 pub fn numa_remote(capacity: u64) -> TierSpec {
-    let mut t = dram(capacity).scale_bandwidth(0.6).scale_latency(1.89);
-    t.name = "NVM(NUMA-remote)".into();
-    t
+    let d = dram(capacity);
+    TierSpec {
+        name: "NVM(NUMA-remote)".into(),
+        read_lat_ns: d.read_lat_ns * 1.89,
+        write_lat_ns: d.write_lat_ns * 1.89,
+        read_bw_gbps: d.read_bw_gbps * 0.6,
+        write_bw_gbps: d.write_bw_gbps * 0.6,
+        capacity,
+    }
 }
 
 /// Every named device preset, for table-driven tests and sweeps.
@@ -158,7 +168,7 @@ mod tests {
 
     #[test]
     fn emulated_bw_halves_only_bandwidth() {
-        let e = emulated_bw(0.5, 1 << 20);
+        let e = emulated_bw(0.5, 1 << 20).unwrap();
         let d = dram(1 << 20);
         assert!((e.read_bw_gbps - d.read_bw_gbps / 2.0).abs() < 1e-12);
         assert!((e.read_lat_ns - d.read_lat_ns).abs() < 1e-12);
@@ -166,10 +176,16 @@ mod tests {
 
     #[test]
     fn emulated_lat_scales_only_latency() {
-        let e = emulated_lat(8.0, 1 << 20);
+        let e = emulated_lat(8.0, 1 << 20).unwrap();
         let d = dram(1 << 20);
         assert!((e.read_lat_ns - 80.0).abs() < 1e-12);
         assert!((e.write_bw_gbps - d.write_bw_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emulated_presets_reject_bad_factors() {
+        assert!(emulated_bw(0.0, 1 << 20).is_err());
+        assert!(emulated_lat(f64::NAN, 1 << 20).is_err());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::error::HmsError;
+
 /// Which of the two tiers of the heterogeneous memory system a byte lives
 /// in.
 ///
@@ -84,26 +86,40 @@ impl TierSpec {
 
     /// Return a copy with bandwidth scaled by `frac` (Quartz-style
     /// bandwidth throttling, e.g. `frac = 0.5` models "1/2 DRAM BW").
-    pub fn scale_bandwidth(&self, frac: f64) -> Self {
-        assert!(frac > 0.0, "bandwidth fraction must be positive");
-        TierSpec {
+    ///
+    /// Fails on a non-positive or non-finite fraction.
+    pub fn scale_bandwidth(&self, frac: f64) -> Result<Self, HmsError> {
+        if !(frac > 0.0 && frac.is_finite()) {
+            return Err(HmsError::InvalidSpec {
+                name: self.name.clone(),
+                reason: format!("bandwidth fraction must be positive and finite, got {frac}"),
+            });
+        }
+        Ok(TierSpec {
             name: format!("{} x{:.3}BW", self.name, frac),
             read_bw_gbps: self.read_bw_gbps * frac,
             write_bw_gbps: self.write_bw_gbps * frac,
             ..self.clone()
-        }
+        })
     }
 
     /// Return a copy with latency scaled by `mult` (Quartz-style latency
     /// injection, e.g. `mult = 4.0` models "4x DRAM latency").
-    pub fn scale_latency(&self, mult: f64) -> Self {
-        assert!(mult > 0.0, "latency multiplier must be positive");
-        TierSpec {
+    ///
+    /// Fails on a non-positive or non-finite multiplier.
+    pub fn scale_latency(&self, mult: f64) -> Result<Self, HmsError> {
+        if !(mult > 0.0 && mult.is_finite()) {
+            return Err(HmsError::InvalidSpec {
+                name: self.name.clone(),
+                reason: format!("latency multiplier must be positive and finite, got {mult}"),
+            });
+        }
+        Ok(TierSpec {
             name: format!("{} x{:.3}LAT", self.name, mult),
             read_lat_ns: self.read_lat_ns * mult,
             write_lat_ns: self.write_lat_ns * mult,
             ..self.clone()
-        }
+        })
     }
 
     /// Geometric-mean bandwidth across reads and writes, used as the
@@ -118,15 +134,32 @@ impl TierSpec {
     }
 
     /// Validate that the spec is physically sensible.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), HmsError> {
+        let fail = |reason: &str| {
+            Err(HmsError::InvalidSpec {
+                name: self.name.clone(),
+                reason: reason.to_string(),
+            })
+        };
         if !(self.read_lat_ns > 0.0 && self.write_lat_ns > 0.0) {
-            return Err(format!("{}: latencies must be positive", self.name));
+            return fail("latencies must be positive");
         }
         if !(self.read_bw_gbps > 0.0 && self.write_bw_gbps > 0.0) {
-            return Err(format!("{}: bandwidths must be positive", self.name));
+            return fail("bandwidths must be positive");
+        }
+        if ![
+            self.read_lat_ns,
+            self.write_lat_ns,
+            self.read_bw_gbps,
+            self.write_bw_gbps,
+        ]
+        .iter()
+        .all(|x| x.is_finite())
+        {
+            return fail("latencies and bandwidths must be finite");
         }
         if self.capacity == 0 {
-            return Err(format!("{}: capacity must be nonzero", self.name));
+            return fail("capacity must be nonzero");
         }
         Ok(())
     }
@@ -160,7 +193,9 @@ mod tests {
 
     #[test]
     fn bandwidth_scaling_halves_both_directions() {
-        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30).scale_bandwidth(0.5);
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30)
+            .scale_bandwidth(0.5)
+            .unwrap();
         assert!((s.read_bw_gbps - 5.0).abs() < 1e-12);
         assert!((s.write_bw_gbps - 5.0).abs() < 1e-12);
         // Latency untouched.
@@ -169,7 +204,9 @@ mod tests {
 
     #[test]
     fn latency_scaling_multiplies_both_directions() {
-        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30).scale_latency(4.0);
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 30)
+            .scale_latency(4.0)
+            .unwrap();
         assert!((s.read_lat_ns - 40.0).abs() < 1e-12);
         assert!((s.write_lat_ns - 40.0).abs() < 1e-12);
         assert!((s.read_bw_gbps - 10.0).abs() < 1e-12);
@@ -196,5 +233,21 @@ mod tests {
         let mut s2 = TierSpec::symmetric("t", 0.0, 10.0, 1);
         s2.read_lat_ns = 0.0;
         assert!(s2.validate().is_err());
+    }
+
+    #[test]
+    fn bad_scale_factors_are_errors_not_panics() {
+        let s = TierSpec::symmetric("t", 10.0, 10.0, 1 << 20);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(s.scale_bandwidth(bad).is_err(), "frac {bad}");
+            assert!(s.scale_latency(bad).is_err(), "mult {bad}");
+        }
+        match s.scale_bandwidth(-2.0).unwrap_err() {
+            crate::HmsError::InvalidSpec { name, reason } => {
+                assert_eq!(name, "t");
+                assert!(reason.contains("positive"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 }

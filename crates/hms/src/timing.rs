@@ -171,8 +171,8 @@ mod tests {
         // (64 B / 40 ns = 1.6 GB/s) stays below the halved roof; at DRAM's
         // 10 ns a dependent chain genuinely crosses the roofline, which is
         // the model behaving correctly, not the property under test.
-        let base = dram().scale_latency(4.0);
-        let half = base.scale_bandwidth(0.5);
+        let base = dram().scale_latency(4.0).unwrap();
+        let half = base.scale_bandwidth(0.5).unwrap();
         let stream = AccessProfile::streaming(1_000_000, 500_000);
         let chase = AccessProfile::pointer_chase(1_000_000);
         assert!(
@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn quadrupling_latency_hits_chase_but_not_stream() {
-        let lat4 = dram().scale_latency(4.0);
+        let lat4 = dram().scale_latency(4.0).unwrap();
         let stream = AccessProfile::streaming(1_000_000, 500_000);
         let chase = AccessProfile::pointer_chase(1_000_000);
         assert!(

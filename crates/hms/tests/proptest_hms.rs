@@ -79,11 +79,14 @@ proptest! {
         moves in proptest::collection::vec((0usize..40, proptest::bool::ANY), 0..80),
     ) {
         let total: u64 = sizes.iter().sum();
-        let mut hms = Hms::new(HmsConfig::new(
-            presets::dram(total + 1024),
-            presets::optane_pmm(total * 2 + 1024),
-            5.0,
-        ));
+        let mut hms = Hms::new(
+            HmsConfig::new(
+                presets::dram(total + 1024),
+                presets::optane_pmm(total * 2 + 1024),
+                5.0,
+            )
+            .expect("valid config"),
+        );
         let ids: Vec<_> = sizes
             .iter()
             .enumerate()
@@ -132,7 +135,7 @@ proptest! {
         let low = AccessProfile::new(loads, stores, mlp);
         let high = AccessProfile::new(loads, stores, mlp * 2.0);
         prop_assert!(high.mem_time_ns(&tier) <= low.mem_time_ns(&tier) + 1e-9);
-        let faster = tier.scale_bandwidth(2.0);
+        let faster = tier.scale_bandwidth(2.0).unwrap();
         prop_assert!(low.mem_time_ns(&faster) <= low.mem_time_ns(&tier) + 1e-9);
     }
 
@@ -145,7 +148,11 @@ proptest! {
         lat_mult in 1.0f64..10.0,
     ) {
         let dram = presets::dram(1 << 30);
-        let slow = dram.scale_bandwidth(bw_frac).scale_latency(lat_mult);
+        let slow = dram
+            .scale_bandwidth(bw_frac)
+            .unwrap()
+            .scale_latency(lat_mult)
+            .unwrap();
         let p = AccessProfile::new(loads, stores, mlp);
         prop_assert!(p.mem_time_ns(&slow) >= p.mem_time_ns(&dram) - 1e-9);
     }

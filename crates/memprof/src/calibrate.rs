@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn peak_bandwidths_reflect_devices() {
         let dram = presets::dram(1 << 30);
-        let nvm = presets::emulated_bw(0.5, 1 << 30);
+        let nvm = presets::emulated_bw(0.5, 1 << 30).unwrap();
         let cal = calibrate(&dram, &nvm, &cfg(1.0));
         assert!(cal.dram_peak_bw_gbps > cal.nvm_peak_bw_gbps);
         assert!(

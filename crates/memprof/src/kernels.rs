@@ -3,8 +3,19 @@
 //! The paper measures its model-correction constants against two
 //! microbenchmarks with known behaviour: STREAM (pure bandwidth, maximal
 //! memory concurrency) and pChase (pure latency, a single dependent
-//! chain). Here the kernels are expressed as ground-truth access profiles
-//! fed through the same sampling and timing paths as application tasks.
+//! chain). Two forms live here:
+//!
+//! * ground-truth *access profiles* ([`stream_triad`], [`pchase`]) fed
+//!   through the same sampling and timing paths as application tasks in
+//!   the virtual-time simulator; and
+//! * *executable* kernels ([`run_stream_triad`], [`run_pchase`]) that
+//!   put real load/store traffic on caller-provided buffers for
+//!   wall-clock calibration in measured mode. Every loop is protected
+//!   with [`std::hint::black_box`] so the optimizer can neither elide
+//!   the traffic nor break the pChase dependence chain — without that,
+//!   "measured" numbers calibrate the compiler, not the memory.
+
+use std::hint::black_box;
 
 use tahoe_hms::AccessProfile;
 
@@ -21,6 +32,58 @@ pub fn stream_triad(lines_per_array: u64) -> AccessProfile {
 /// no memory-level parallelism.
 pub fn pchase(nodes: u64) -> AccessProfile {
     AccessProfile::pointer_chase(nodes)
+}
+
+/// Execute one STREAM-triad pass `a[i] = b[i] + s * c[i]` over three
+/// equal-length `f64` slices. Returns a checksum of `a` so the stores
+/// are observably live. All three streams go through `black_box`.
+pub fn run_stream_triad(a: &mut [f64], b: &[f64], c: &[f64], scalar: f64) -> f64 {
+    let n = a.len().min(b.len()).min(c.len());
+    for i in 0..n {
+        // black_box on the *inputs* stops the compiler from hoisting or
+        // vector-folding the whole pass into a closed form.
+        a[i] = black_box(b[i]) + scalar * black_box(c[i]);
+    }
+    let mut sum = 0.0;
+    for &x in &a[..n] {
+        sum += x;
+    }
+    black_box(sum)
+}
+
+/// Build a random-cycle permutation over `nodes` indices (Sattolo's
+/// algorithm with a splitmix64 generator): following `next[i]` from any
+/// start visits every node exactly once before returning, which defeats
+/// both hardware prefetching and cache reuse.
+pub fn chase_cycle(nodes: usize, seed: u64) -> Vec<u64> {
+    let mut next: Vec<u64> = (0..nodes as u64).collect();
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut rand = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..nodes).rev() {
+        let j = (rand() % i as u64) as usize;
+        next.swap(i, j);
+    }
+    next
+}
+
+/// Execute `steps` fully dependent loads over a chase cycle built by
+/// [`chase_cycle`]. The loaded value *is* the next index, so the loads
+/// serialize; `black_box` pins the chain in place.
+pub fn run_pchase(next: &[u64], steps: u64) -> u64 {
+    if next.is_empty() {
+        return 0;
+    }
+    let mut idx = 0u64;
+    for _ in 0..steps {
+        idx = black_box(next[idx as usize]);
+    }
+    idx
 }
 
 #[cfg(test)]
@@ -53,5 +116,40 @@ mod tests {
         assert!(!p.bandwidth_limited_on(&optane));
         // Achieved bandwidth of a dependent chain is far below peak.
         assert!(p.achieved_bw_gbps(&optane) < 0.2 * optane.read_bw_gbps);
+    }
+
+    #[test]
+    fn executable_triad_computes_the_triad() {
+        let b = vec![1.0; 100];
+        let c = vec![2.0; 100];
+        let mut a = vec![0.0; 100];
+        let sum = run_stream_triad(&mut a, &b, &c, 3.0);
+        assert!(a.iter().all(|&x| (x - 7.0).abs() < 1e-12));
+        assert!((sum - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chase_cycle_is_a_single_cycle() {
+        let next = chase_cycle(1000, 42);
+        let mut seen = vec![false; 1000];
+        let mut idx = 0u64;
+        for _ in 0..1000 {
+            assert!(!seen[idx as usize], "revisited before full cycle");
+            seen[idx as usize] = true;
+            idx = next[idx as usize];
+        }
+        assert_eq!(idx, 0, "must return to start after visiting all");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pchase_lands_where_the_cycle_says() {
+        let next = chase_cycle(64, 7);
+        let mut idx = 0u64;
+        for _ in 0..100 {
+            idx = next[idx as usize];
+        }
+        assert_eq!(run_pchase(&next, 100), idx);
+        assert_eq!(run_pchase(&[], 10), 0);
     }
 }

@@ -23,12 +23,17 @@
 //!   as ground-truth profiles.
 //! * [`calibrate`] — derives `CF_bw`, `CF_lat` and the peak NVM bandwidth
 //!   from the kernels, once per (simulated) platform.
+//! * [`wallclock`] — the measured-mode sibling: runs the *executable*
+//!   kernels on real buffers and fits a `TierSpec` + correction factors
+//!   from wall-clock timings.
 
 pub mod aggregate;
 pub mod calibrate;
 pub mod kernels;
 pub mod sampler;
+pub mod wallclock;
 
 pub use aggregate::{ObjClassStats, ProfileDb};
 pub use calibrate::Calibration;
 pub use sampler::{SampledObservation, Sampler, SamplerConfig};
+pub use wallclock::{MeasuredTier, WallClockCalibration, WallClockConfig};

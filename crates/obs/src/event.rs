@@ -225,6 +225,52 @@ pub enum Event {
         /// Nanoseconds charged.
         ns: Ns,
     },
+    /// A real (`mmap`) tier arena was mapped. `t` is wall-clock ns since
+    /// the measured run's epoch; real-substrate events use wall time on
+    /// the same axis the virtual events use virtual time.
+    ArenaMapped {
+        /// Wall-clock ns since the run's epoch.
+        t: Ns,
+        /// Tier the arena backs.
+        tier: Tier,
+        /// Mapped bytes (page-rounded capacity).
+        bytes: u64,
+        /// NUMA node the arena was bound to, or -1 when binding was
+        /// unavailable and the system fell back to pure emulation.
+        numa_node: i64,
+    },
+    /// A physical inter-tier copy completed on the real substrate.
+    RealCopyDone {
+        /// Wall-clock ns since the run's epoch (at completion).
+        t: Ns,
+        /// Memory unit that moved.
+        object: u32,
+        /// Bytes physically copied.
+        bytes: u64,
+        /// Source tier.
+        from: Tier,
+        /// Destination tier.
+        to: Tier,
+        /// Wall-clock ns the copy took, including throttling.
+        wall_ns: Ns,
+        /// Of that, ns spent in the rate limiter and injected latency.
+        throttle_ns: Ns,
+        /// Bounded-size chunks the copy was split into.
+        chunks: u32,
+    },
+    /// Calibration fitted a tier spec from measured kernel numbers.
+    TierFitted {
+        /// Wall-clock ns since the run's epoch.
+        t: Ns,
+        /// Tier the fitted spec describes.
+        tier: Tier,
+        /// Fitted sustained read bandwidth, GB/s.
+        read_bw_gbps: f64,
+        /// Fitted sustained write bandwidth, GB/s.
+        write_bw_gbps: f64,
+        /// Fitted dependent-read latency, ns.
+        read_lat_ns: f64,
+    },
 }
 
 impl Event {
@@ -243,7 +289,10 @@ impl Event {
             | Event::ProfilingClosed { t, .. }
             | Event::PlanComputed { t, .. }
             | Event::ReplanTriggered { t, .. }
-            | Event::OverheadCharged { t, .. } => t,
+            | Event::OverheadCharged { t, .. }
+            | Event::ArenaMapped { t, .. }
+            | Event::RealCopyDone { t, .. }
+            | Event::TierFitted { t, .. } => t,
         }
     }
 
@@ -263,6 +312,9 @@ impl Event {
             Event::PlanComputed { .. } => "plan_computed",
             Event::ReplanTriggered { .. } => "replan_triggered",
             Event::OverheadCharged { .. } => "overhead_charged",
+            Event::ArenaMapped { .. } => "arena_mapped",
+            Event::RealCopyDone { .. } => "real_copy_done",
+            Event::TierFitted { .. } => "tier_fitted",
         }
     }
 }
@@ -279,6 +331,22 @@ mod tests {
         let e = Event::MigrationDeferred { t: 7.0, object: 1 };
         assert_eq!(e.timestamp(), 7.0);
         assert_eq!(e.kind(), "migration_deferred");
+        let e = Event::ArenaMapped {
+            t: 1.0,
+            tier: Tier::Dram,
+            bytes: 4096,
+            numa_node: -1,
+        };
+        assert_eq!(e.timestamp(), 1.0);
+        assert_eq!(e.kind(), "arena_mapped");
+        let e = Event::TierFitted {
+            t: 2.0,
+            tier: Tier::Nvm,
+            read_bw_gbps: 4.0,
+            write_bw_gbps: 3.0,
+            read_lat_ns: 90.0,
+        };
+        assert_eq!(e.kind(), "tier_fitted");
     }
 
     #[test]

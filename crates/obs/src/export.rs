@@ -133,6 +133,53 @@ pub fn event_to_json(e: &Event) -> String {
         Event::OverheadCharged { kind, ns, .. } => {
             let _ = write!(s, ",\"kind\":\"{}\",\"ns\":{}", kind.tag(), fnum(ns));
         }
+        Event::ArenaMapped {
+            tier,
+            bytes,
+            numa_node,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tier\":\"{}\",\"bytes\":{bytes},\"numa_node\":{numa_node}",
+                tier.tag()
+            );
+        }
+        Event::RealCopyDone {
+            object,
+            bytes,
+            from,
+            to,
+            wall_ns,
+            throttle_ns,
+            chunks,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"object\":{object},\"bytes\":{bytes},\"from\":\"{}\",\"to\":\"{}\",\"wall_ns\":{},\"throttle_ns\":{},\"chunks\":{chunks}",
+                from.tag(),
+                to.tag(),
+                fnum(wall_ns),
+                fnum(throttle_ns)
+            );
+        }
+        Event::TierFitted {
+            tier,
+            read_bw_gbps,
+            write_bw_gbps,
+            read_lat_ns,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tier\":\"{}\",\"read_bw_gbps\":{},\"write_bw_gbps\":{},\"read_lat_ns\":{}",
+                tier.tag(),
+                fnum(read_bw_gbps),
+                fnum(write_bw_gbps),
+                fnum(read_lat_ns)
+            );
+        }
     }
     s.push('}');
     s
@@ -447,6 +494,32 @@ mod tests {
             lines[3],
             "{\"ev\":\"migration_issued\",\"t\":50,\"object\":7,\"bytes\":4096,\"from\":\"nvm\",\"to\":\"dram\",\"start\":50,\"finish\":150,\"queue_depth\":0}"
         );
+    }
+
+    #[test]
+    fn real_substrate_events_serialize() {
+        let line = event_to_json(&Event::RealCopyDone {
+            t: 10.0,
+            object: 3,
+            bytes: 1 << 16,
+            from: Tier::Nvm,
+            to: Tier::Dram,
+            wall_ns: 2000.0,
+            throttle_ns: 1500.0,
+            chunks: 4,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"real_copy_done\",\"t\":10,\"object\":3,\"bytes\":65536,\"from\":\"nvm\",\"to\":\"dram\",\"wall_ns\":2000,\"throttle_ns\":1500,\"chunks\":4}"
+        );
+        let line = event_to_json(&Event::ArenaMapped {
+            t: 0.0,
+            tier: Tier::Dram,
+            bytes: 4096,
+            numa_node: -1,
+        });
+        assert!(line.contains("\"numa_node\":-1"), "{line}");
+        crate::json::parse(&line).expect("valid JSON");
     }
 
     #[test]

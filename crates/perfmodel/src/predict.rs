@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn saving_positive_on_slower_nvm() {
         let dram = presets::dram(1 << 30);
-        let nvm = presets::emulated_bw(0.25, 1 << 30);
+        let nvm = presets::emulated_bw(0.25, 1 << 30).unwrap();
         let p = ModelParams::default();
         let d = Demand {
             loads: 2.0e6,

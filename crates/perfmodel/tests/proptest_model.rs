@@ -30,7 +30,11 @@ proptest! {
         lat_mult in 1.0f64..20.0,
     ) {
         let dram = presets::dram(1 << 30);
-        let nvm = dram.scale_bandwidth(bw_frac).scale_latency(lat_mult);
+        let nvm = dram
+            .scale_bandwidth(bw_frac)
+            .unwrap()
+            .scale_latency(lat_mult)
+            .unwrap();
         let calib = Calibration::identity(2.0, 9.5);
         let params = ModelParams::default();
         let b = dram_benefit_ns(&d, &nvm, &dram, &calib, &params);

@@ -1,0 +1,105 @@
+//! Cross-solver property tests: the three knapsack solvers must agree
+//! on randomized instances.
+//!
+//! * At unit grain (capacity ≤ the DP width cap) the scaled DP *is*
+//!   exact, so it and branch-and-bound must reach the same optimum.
+//! * With a coarse grain the DP rounds sizes up, so its solution stays
+//!   feasible for the true instance and its value can only fall short of
+//!   branch-and-bound's optimum — never exceed it.
+//! * Density greedy (together with the best single item) is the classic
+//!   1/2-approximation, and `solve` must dominate every individual
+//!   solver.
+
+use proptest::prelude::*;
+
+use tahoe_hms::ObjectId;
+use tahoe_placement::{bnb::solve_bnb, knapsack, Item};
+
+/// Positive-value items small enough for branch-and-bound.
+fn small_items(n: usize, max_size: u64) -> impl Strategy<Value = Vec<Item>> {
+    proptest::collection::vec((1..max_size + 1, 0.1f64..100.0), 1..n + 1).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (size, value))| Item {
+                id: ObjectId(i as u32),
+                size,
+                value,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dp_and_bnb_agree_exactly_at_unit_grain(
+        items in small_items(16, 512),
+        capacity in 1u64..8193,
+    ) {
+        // capacity ≤ MAX_DP_WIDTH ⇒ grain == 1 ⇒ the DP is exact.
+        let dp = knapsack::solve_exact(&items, capacity);
+        let bnb = solve_bnb(&items, capacity).expect("≤ 40 items");
+        // Optimal *value* is unique even when the chosen set is not.
+        prop_assert!(
+            (dp.total_value - bnb.total_value).abs() <= 1e-9 * bnb.total_value.max(1.0),
+            "DP {} vs B&B {}", dp.total_value, bnb.total_value
+        );
+        prop_assert!(dp.total_size <= capacity);
+        prop_assert!(bnb.total_size <= capacity);
+    }
+
+    #[test]
+    fn coarse_grain_dp_is_feasible_and_below_exact(
+        items in small_items(14, 1 << 20),
+        capacity in 8193u64..(8 << 20),
+    ) {
+        // capacity > MAX_DP_WIDTH ⇒ grain > 1: the DP solves a
+        // pessimistic rounding of the instance.
+        let dp = knapsack::solve_exact(&items, capacity);
+        let bnb = solve_bnb(&items, capacity).expect("≤ 40 items");
+        prop_assert!(dp.total_size <= capacity, "scaled DP must stay feasible");
+        prop_assert!(
+            dp.total_value <= bnb.total_value + 1e-9 * bnb.total_value.max(1.0),
+            "rounded-up sizes cannot beat the true optimum: DP {} vs B&B {}",
+            dp.total_value, bnb.total_value
+        );
+    }
+
+    #[test]
+    fn greedy_is_a_half_approximation(
+        items in small_items(16, 4096),
+        capacity in 1u64..8193,
+    ) {
+        let greedy = knapsack::solve_greedy(&items, capacity);
+        let opt = solve_bnb(&items, capacity).expect("≤ 40 items").total_value;
+        let best_single = items
+            .iter()
+            .filter(|it| it.size <= capacity)
+            .map(|it| it.value)
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            2.0 * greedy.total_value.max(best_single) + 1e-9 >= opt,
+            "greedy {} / single {} vs optimum {}",
+            greedy.total_value, best_single, opt
+        );
+        prop_assert!(greedy.total_size <= capacity);
+    }
+
+    #[test]
+    fn solve_dominates_every_component(
+        items in small_items(16, 512),
+        capacity in 1u64..8193,
+    ) {
+        let combined = knapsack::solve(&items, capacity);
+        let dp = knapsack::solve_exact(&items, capacity).total_value;
+        let greedy = knapsack::solve_greedy(&items, capacity).total_value;
+        let bnb = solve_bnb(&items, capacity).expect("≤ 40 items").total_value;
+        let floor = dp.max(greedy).max(bnb) - 1e-9;
+        prop_assert!(
+            combined.total_value >= floor,
+            "solve {} below best component {}", combined.total_value, floor
+        );
+        prop_assert!(combined.total_size <= capacity);
+    }
+}

@@ -1,0 +1,273 @@
+//! [`RealBackend`]: the `mmap` implementation of `tahoe_hms::TierBackend`.
+//!
+//! Both tiers get an arena sized to their spec's capacity. Inter-tier
+//! copies run through the throttled copy engine with a configuration
+//! derived from the tier specs (copy bandwidth bounded by the slower
+//! endpoint, startup latency from the NVM device). If the machine has a
+//! second NUMA node the NVM arena is bound to it best-effort; otherwise
+//! the software throttle alone carries the DRAM/NVM asymmetry.
+
+use std::time::Instant;
+
+use tahoe_hms::{BackendStats, CopyOutcome, HmsConfig, TierBackend, TierKind};
+use tahoe_obs::{Emitter, Event, Metrics, Tier};
+
+use crate::arena::MmapArena;
+use crate::copy::{throttled_copy, CopyConfig, DEFAULT_CHUNK};
+use crate::numa;
+
+fn obs_tier(t: TierKind) -> Tier {
+    match t {
+        TierKind::Dram => Tier::Dram,
+        TierKind::Nvm => Tier::Nvm,
+    }
+}
+
+/// Real-memory substrate: one [`MmapArena`] per tier plus the throttled
+/// copy engine.
+#[derive(Debug)]
+pub struct RealBackend {
+    dram: MmapArena,
+    nvm: MmapArena,
+    copy_cfg: CopyConfig,
+    epoch: Instant,
+    emitter: Emitter,
+    metrics: Metrics,
+    stats: BackendStats,
+}
+
+impl RealBackend {
+    /// Map both arenas for `config`'s tiers and derive the copy-engine
+    /// throttle from the specs: bandwidth is the platform's copy-channel
+    /// bandwidth, startup latency is the NVM write latency (every
+    /// migration touches NVM on one end; its device latency dominates).
+    pub fn new(config: &HmsConfig) -> Result<Self, String> {
+        Self::with_observability(config, Emitter::disabled(), Metrics::disabled())
+    }
+
+    /// [`RealBackend::new`] with an event emitter and metrics attached.
+    pub fn with_observability(
+        config: &HmsConfig,
+        emitter: Emitter,
+        metrics: Metrics,
+    ) -> Result<Self, String> {
+        let epoch = Instant::now();
+        let mut dram = MmapArena::new(TierKind::Dram, config.dram.capacity)?;
+        let mut nvm = MmapArena::new(TierKind::Nvm, config.nvm.capacity)?;
+
+        // Best-effort hardware asymmetry: DRAM on node 0, NVM on the
+        // highest node — only when a remote node actually exists.
+        let topo = numa::probe();
+        if let Some(remote) = topo.nvm_node() {
+            if let Some(n) = numa::bind_to_node(dram.base_ptr(), dram.mapped_len() as usize, 0) {
+                dram.set_numa_node(n as i64);
+            }
+            if let Some(n) = numa::bind_to_node(nvm.base_ptr(), nvm.mapped_len() as usize, remote) {
+                nvm.set_numa_node(n as i64);
+            }
+        }
+
+        let copy_cfg = CopyConfig {
+            bandwidth_gbps: config.copy_bw_gbps,
+            latency_ns: config.nvm.write_lat_ns,
+            chunk_bytes: DEFAULT_CHUNK,
+        };
+
+        for arena in [&dram, &nvm] {
+            let t = epoch.elapsed().as_nanos() as f64;
+            emitter.emit(|| Event::ArenaMapped {
+                t,
+                tier: obs_tier(arena.tier()),
+                bytes: arena.mapped_len(),
+                numa_node: arena.numa_node(),
+            });
+        }
+        metrics.gauge_set("realmem.numa_nodes", topo.nodes as f64);
+        metrics.gauge_set("realmem.dram.mapped_bytes", dram.mapped_len() as f64);
+        metrics.gauge_set("realmem.nvm.mapped_bytes", nvm.mapped_len() as f64);
+
+        Ok(RealBackend {
+            dram,
+            nvm,
+            copy_cfg,
+            epoch,
+            emitter,
+            metrics,
+            stats: BackendStats {
+                is_real: true,
+                ..BackendStats::default()
+            },
+        })
+    }
+
+    fn arena(&self, tier: TierKind) -> &MmapArena {
+        match tier {
+            TierKind::Dram => &self.dram,
+            TierKind::Nvm => &self.nvm,
+        }
+    }
+
+    fn arena_mut(&mut self, tier: TierKind) -> &mut MmapArena {
+        match tier {
+            TierKind::Dram => &mut self.dram,
+            TierKind::Nvm => &mut self.nvm,
+        }
+    }
+
+    /// The copy-engine throttle in force.
+    pub fn copy_config(&self) -> CopyConfig {
+        self.copy_cfg
+    }
+
+    /// Override the copy-engine throttle (tests, calibration sweeps).
+    pub fn set_copy_config(&mut self, cfg: CopyConfig) {
+        self.copy_cfg = cfg;
+    }
+
+    /// NUMA node of each tier's arena (`-1` = unbound, pure emulation).
+    pub fn numa_nodes(&self) -> (i64, i64) {
+        (self.dram.numa_node(), self.nvm.numa_node())
+    }
+}
+
+impl TierBackend for RealBackend {
+    fn name(&self) -> &'static str {
+        "mmap"
+    }
+
+    fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8> {
+        self.arena(tier).data_ptr(addr, len)
+    }
+
+    fn on_alloc(&mut self, tier: TierKind, addr: u64, len: u64) {
+        self.arena_mut(tier).on_alloc(addr, len);
+    }
+
+    fn on_free(&mut self, tier: TierKind, addr: u64, len: u64) {
+        self.arena_mut(tier).on_free(addr, len);
+    }
+
+    fn copy(
+        &mut self,
+        object: u32,
+        from: TierKind,
+        from_addr: u64,
+        to: TierKind,
+        to_addr: u64,
+        len: u64,
+    ) -> CopyOutcome {
+        let (Some(src), Some(dst)) = (
+            self.arena(from).data_ptr(from_addr, len),
+            self.arena(to).data_ptr(to_addr, len),
+        ) else {
+            debug_assert!(false, "copy range out of arena bounds");
+            return CopyOutcome::default();
+        };
+        // SAFETY: both ranges were bounds-checked against their arenas,
+        // and the two tiers are distinct mappings, so they cannot
+        // overlap.
+        let out = unsafe { throttled_copy(src, dst, len, &self.copy_cfg) };
+        self.stats.copies += 1;
+        self.stats.copied_bytes += out.bytes;
+        self.stats.copy_wall_ns += out.wall_ns;
+        self.stats.copy_throttle_ns += out.throttle_ns;
+        self.metrics.inc("realmem.copies");
+        self.metrics.add("realmem.copied_bytes", out.bytes);
+        let t = self.epoch.elapsed().as_nanos() as f64;
+        self.emitter.emit(|| Event::RealCopyDone {
+            t,
+            object,
+            bytes: out.bytes,
+            from: obs_tier(from),
+            to: obs_tier(to),
+            wall_ns: out.wall_ns,
+            throttle_ns: out.throttle_ns,
+            chunks: out.chunks,
+        });
+        out
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::{presets, Hms};
+
+    fn config() -> HmsConfig {
+        HmsConfig::new(presets::dram(1 << 20), presets::optane_pmm(1 << 22), 5.0)
+            .expect("valid test config")
+    }
+
+    #[test]
+    fn backend_resolves_pointers_per_tier() {
+        let mut b = RealBackend::new(&config()).unwrap();
+        assert_eq!(b.name(), "mmap");
+        let d = b.data_ptr(TierKind::Dram, 0, 64).unwrap();
+        let n = b.data_ptr(TierKind::Nvm, 0, 64).unwrap();
+        assert_ne!(d, n, "tiers must be distinct mappings");
+        assert!(b.data_ptr(TierKind::Dram, 1 << 20, 1).is_none());
+        assert!(b.stats().is_real);
+    }
+
+    #[test]
+    fn copy_moves_bytes_between_tiers_and_counts() {
+        let mut b = RealBackend::new(&config()).unwrap();
+        b.set_copy_config(CopyConfig::unthrottled());
+        let src = b.data_ptr(TierKind::Nvm, 128, 4096).unwrap();
+        unsafe { src.write_bytes(0x77, 4096) };
+        let out = b.copy(1, TierKind::Nvm, 128, TierKind::Dram, 256, 4096);
+        assert_eq!(out.bytes, 4096);
+        let dst = b.data_ptr(TierKind::Dram, 256, 4096).unwrap();
+        let got = unsafe { std::slice::from_raw_parts(dst, 4096) };
+        assert!(got.iter().all(|&x| x == 0x77));
+        let st = b.stats();
+        assert_eq!(st.copies, 1);
+        assert_eq!(st.copied_bytes, 4096);
+        assert!(st.copy_wall_ns > 0.0);
+    }
+
+    #[test]
+    fn hms_with_real_backend_gives_writable_object_bytes() {
+        let mut hms = Hms::new(config());
+        hms.set_backend(Box::new(RealBackend::new(&config()).unwrap()));
+        assert_eq!(hms.backend_name(), "mmap");
+        let id = hms.alloc_object("buf", 8192, TierKind::Nvm, false).unwrap();
+        {
+            let bytes = hms.object_bytes(id).unwrap().expect("real backend");
+            assert_eq!(bytes.len(), 8192);
+            bytes.fill(0xAB);
+        }
+        // Migration must physically carry the bytes to the other tier.
+        hms.move_object(id, TierKind::Dram).unwrap();
+        let bytes = hms.object_bytes(id).unwrap().expect("real backend");
+        assert!(bytes.iter().all(|&x| x == 0xAB));
+        assert_eq!(hms.backend_stats().copies, 1);
+        assert_eq!(hms.backend_stats().copied_bytes, 8192);
+    }
+
+    #[test]
+    fn copy_emits_events() {
+        let (emitter, buffer) = Emitter::buffered();
+        let mut b =
+            RealBackend::with_observability(&config(), emitter, Metrics::enabled()).unwrap();
+        b.set_copy_config(CopyConfig::unthrottled());
+        b.copy(9, TierKind::Dram, 0, TierKind::Nvm, 0, 1024);
+        let events = buffer.drain();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["arena_mapped", "arena_mapped", "real_copy_done"]
+        );
+        match events[2] {
+            Event::RealCopyDone { object, bytes, .. } => {
+                assert_eq!(object, 9);
+                assert_eq!(bytes, 1024);
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

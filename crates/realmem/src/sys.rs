@@ -1,0 +1,259 @@
+//! Minimal raw bindings to the handful of POSIX/Linux calls the real
+//! backend needs.
+//!
+//! The build environment has no `libc` crate, so the declarations live
+//! here as direct `extern "C"` items — `std` already links the C
+//! library, so the symbols resolve without any extra linkage. Only what
+//! the arenas and the NUMA layer use is declared; everything is gated to
+//! Unix and falls back to heap allocation elsewhere.
+
+#![allow(non_camel_case_types)]
+
+/// Pointer-sized signed integer, the C `long` on LP64 Linux.
+pub type c_long = i64;
+
+#[cfg(unix)]
+mod ffi {
+    use super::c_long;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+    pub const MAP_FAILED: *mut core::ffi::c_void = usize::MAX as *mut core::ffi::c_void;
+
+    pub const MADV_WILLNEED: i32 = 3;
+    pub const MADV_DONTNEED: i32 = 4;
+
+    pub const _SC_PAGESIZE: i32 = 30;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, length: usize) -> i32;
+        pub fn madvise(addr: *mut core::ffi::c_void, length: usize, advice: i32) -> i32;
+        pub fn sysconf(name: i32) -> c_long;
+        pub fn syscall(num: c_long, ...) -> c_long;
+    }
+}
+
+/// `madvise` advice understood by [`advise`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Pages will be needed soon (pre-fault hint).
+    WillNeed,
+    /// Pages can be dropped (free physical memory, keep the mapping).
+    DontNeed,
+}
+
+/// The system page size in bytes (4096 when it cannot be queried).
+pub fn page_size() -> u64 {
+    #[cfg(unix)]
+    {
+        let ps = unsafe { ffi::sysconf(ffi::_SC_PAGESIZE) };
+        if ps > 0 {
+            return ps as u64;
+        }
+    }
+    4096
+}
+
+/// An anonymous private mapping (or, off Unix, a leaked heap block that
+/// the same `unmap` call releases).
+#[derive(Debug)]
+pub struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+    #[cfg(not(unix))]
+    layout: std::alloc::Layout,
+}
+
+// The mapping is plain anonymous memory; ownership semantics are those
+// of a `Vec<u8>` buffer.
+unsafe impl Send for Mapping {}
+
+impl Mapping {
+    /// Base address of the mapping.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successful map).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            ffi::munmap(self.ptr.cast(), self.len);
+        }
+        #[cfg(not(unix))]
+        unsafe {
+            std::alloc::dealloc(self.ptr, self.layout);
+        }
+    }
+}
+
+/// Map `len` bytes of zeroed, page-aligned anonymous memory.
+pub fn map_anonymous(len: usize) -> Result<Mapping, String> {
+    if len == 0 {
+        return Err("cannot map zero bytes".to_string());
+    }
+    #[cfg(unix)]
+    {
+        let ptr = unsafe {
+            ffi::mmap(
+                core::ptr::null_mut(),
+                len,
+                ffi::PROT_READ | ffi::PROT_WRITE,
+                ffi::MAP_PRIVATE | ffi::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == ffi::MAP_FAILED {
+            return Err(format!(
+                "mmap of {len} B failed: {}",
+                std::io::Error::last_os_error()
+            ));
+        }
+        Ok(Mapping {
+            ptr: ptr.cast(),
+            len,
+        })
+    }
+    #[cfg(not(unix))]
+    {
+        let layout = std::alloc::Layout::from_size_align(len, page_size() as usize)
+            .map_err(|e| e.to_string())?;
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        if ptr.is_null() {
+            return Err(format!("allocation of {len} B failed"));
+        }
+        Ok(Mapping { ptr, len, layout })
+    }
+}
+
+/// Best-effort `madvise` over `[offset, offset+len)` of a mapping.
+/// Errors are swallowed — advice is advice.
+pub fn advise(mapping: &Mapping, offset: usize, len: usize, advice: Advice) {
+    if offset.saturating_add(len) > mapping.len {
+        return;
+    }
+    #[cfg(unix)]
+    {
+        let adv = match advice {
+            Advice::WillNeed => ffi::MADV_WILLNEED,
+            Advice::DontNeed => ffi::MADV_DONTNEED,
+        };
+        // Page-align the start downward; advice applies to whole pages.
+        let ps = page_size() as usize;
+        let start = offset / ps * ps;
+        let end = offset + len;
+        unsafe {
+            ffi::madvise(mapping.ptr.add(start).cast(), end - start, adv);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (mapping, advice);
+    }
+}
+
+/// Invoke a raw Linux syscall with three pointer-sized arguments.
+/// Returns the raw (possibly negative) result; `None` off Unix.
+#[cfg(all(unix, target_os = "linux"))]
+pub fn syscall6(
+    num: c_long,
+    a1: c_long,
+    a2: c_long,
+    a3: c_long,
+    a4: c_long,
+    a5: c_long,
+    a6: c_long,
+) -> c_long {
+    unsafe { ffi::syscall(num, a1, a2, a3, a4, a5, a6) }
+}
+
+/// Syscall numbers for the NUMA memory-policy calls, per architecture.
+/// `None` on architectures we have not tabulated — callers degrade to
+/// pure emulation.
+#[cfg(all(unix, target_os = "linux"))]
+pub mod nr {
+    /// `mbind(2)`.
+    pub fn mbind() -> Option<super::c_long> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Some(237)
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Some(235)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            None
+        }
+    }
+
+    /// `move_pages(2)`.
+    pub fn move_pages() -> Option<super::c_long> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Some(279)
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Some(239)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_a_power_of_two() {
+        let ps = page_size();
+        assert!(ps >= 512);
+        assert!(ps.is_power_of_two());
+    }
+
+    #[test]
+    fn map_is_zeroed_writable_and_page_aligned() {
+        let m = map_anonymous(3 * page_size() as usize).unwrap();
+        assert_eq!(m.as_ptr() as usize % page_size() as usize, 0);
+        let bytes = unsafe { std::slice::from_raw_parts_mut(m.as_ptr(), m.len()) };
+        assert!(bytes.iter().all(|&b| b == 0));
+        bytes[0] = 0xAB;
+        bytes[m.len() - 1] = 0xCD;
+        assert_eq!(bytes[0], 0xAB);
+        // Advice must not invalidate the mapping itself.
+        advise(&m, 0, m.len(), Advice::WillNeed);
+        assert_eq!(bytes[m.len() - 1], 0xCD);
+    }
+
+    #[test]
+    fn zero_length_map_is_rejected() {
+        assert!(map_anonymous(0).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Deterministic real-memory traffic synthesis.
+//!
+//! Measured mode must *touch* the bytes the simulator only reasons
+//! about. These kernels turn a task's declared access into physical
+//! traffic over any `[u8]` buffer — arena-backed or a plain `Vec` — and
+//! return a checksum that depends on every byte read and deterministically
+//! determines every byte written. Running the same kernel sequence over
+//! two substrates therefore yields bit-for-bit identical buffers and
+//! checksums, which is exactly the equality the measured-mode acceptance
+//! test checks. Everything is `black_box`-protected so the traffic
+//! cannot be elided under optimization.
+
+use std::hint::black_box;
+
+/// Word the kernels traffic in. 8 B keeps bandwidth honest without
+/// SIMD-dependent behaviour.
+const WORD: usize = 8;
+
+/// Split a buffer into its aligned `u64` words (via chunks, no unsafe).
+#[inline]
+fn words(buf: &[u8]) -> impl Iterator<Item = u64> + '_ {
+    buf.chunks_exact(WORD)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+}
+
+/// A cheap splittable PRNG step (splitmix64): deterministic fills and
+/// chase permutations without an RNG dependency.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fill `buf` deterministically from `seed` (object initialization).
+/// Returns a checksum of the written contents.
+pub fn init_fill(buf: &mut [u8], seed: u64) -> u64 {
+    let mut sum = 0u64;
+    let mut state = seed;
+    for chunk in buf.chunks_exact_mut(WORD) {
+        state = mix(state);
+        chunk.copy_from_slice(&state.to_le_bytes());
+        sum = sum.wrapping_add(state);
+    }
+    let tail_start = buf.len() - buf.len() % WORD;
+    for (i, b) in buf[tail_start..].iter_mut().enumerate() {
+        state = mix(state);
+        *b = (state >> (8 * (i % 8))) as u8;
+        sum = sum.wrapping_add(*b as u64);
+    }
+    black_box(sum)
+}
+
+/// Sequentially read the whole buffer (streaming loads). Returns the
+/// word sum, so the reads cannot be dead-code-eliminated.
+pub fn stream_read(buf: &[u8]) -> u64 {
+    let mut sum = 0u64;
+    for w in words(buf) {
+        sum = sum.wrapping_add(w);
+    }
+    let tail_start = buf.len() - buf.len() % WORD;
+    for &b in &buf[tail_start..] {
+        sum = sum.wrapping_add(b as u64);
+    }
+    black_box(sum)
+}
+
+/// Sequentially overwrite the buffer from `seed` (streaming stores).
+/// Identical to [`init_fill`] but named for its role in task execution.
+pub fn stream_write(buf: &mut [u8], seed: u64) -> u64 {
+    init_fill(buf, seed)
+}
+
+/// Read-modify-write pass: every word is read, mixed with `seed`, and
+/// written back. The result is still a pure function of the prior
+/// contents and `seed`.
+pub fn stream_update(buf: &mut [u8], seed: u64) -> u64 {
+    let mut sum = 0u64;
+    for chunk in buf.chunks_exact_mut(WORD) {
+        let w = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        let new = mix(w ^ seed);
+        chunk.copy_from_slice(&new.to_le_bytes());
+        sum = sum.wrapping_add(new);
+    }
+    let tail_start = buf.len() - buf.len() % WORD;
+    for &mut ref mut b in &mut buf[tail_start..] {
+        let new = mix(*b as u64 ^ seed) as u8;
+        *b = new;
+        sum = sum.wrapping_add(new as u64);
+    }
+    black_box(sum)
+}
+
+/// Dependent pointer chase over the buffer's words: each loaded value
+/// selects the next index, serializing the loads (latency-bound
+/// traffic). Performs `steps` dependent loads; read-only.
+pub fn chase(buf: &[u8], steps: u64, seed: u64) -> u64 {
+    let n = buf.len() / WORD;
+    if n == 0 {
+        return black_box(seed);
+    }
+    let view: Vec<u64> = words(buf).collect();
+    let mut idx = (mix(seed) as usize) % n;
+    let mut sum = 0u64;
+    for _ in 0..steps {
+        let w = view[idx];
+        sum = sum.wrapping_add(w);
+        idx = (w as usize ^ idx) % n;
+        idx = black_box(idx);
+    }
+    black_box(sum)
+}
+
+/// Execute one declared access as physical traffic. `loads`/`stores`
+/// (cache-line counts from the task's `AccessProfile`) decide the kind
+/// of traffic; the byte volume is the buffer itself, walked once per
+/// call. Returns the checksum.
+pub fn run_access(buf: &mut [u8], loads: u64, stores: u64, seed: u64) -> u64 {
+    match (loads > 0, stores > 0) {
+        (true, true) => stream_update(buf, seed),
+        (false, true) => stream_write(buf, seed),
+        // Pure reads and the degenerate no-traffic case both leave the
+        // buffer untouched; a read still sums it.
+        _ => stream_read(buf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic_across_buffers() {
+        let mut a = vec![0u8; 1000];
+        let mut b = vec![0xFFu8; 1000];
+        let ca = init_fill(&mut a, 42);
+        let cb = init_fill(&mut b, 42);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        let cc = init_fill(&mut b, 43);
+        assert_ne!(cc, ca);
+    }
+
+    #[test]
+    fn read_checksum_matches_contents() {
+        let mut a = vec![0u8; 4096];
+        init_fill(&mut a, 7);
+        assert_eq!(stream_read(&a), stream_read(&a.clone()));
+        a[100] ^= 1;
+        assert_ne!(stream_read(&a), {
+            a[100] ^= 1;
+            stream_read(&a)
+        });
+    }
+
+    #[test]
+    fn update_is_a_pure_function_of_state_and_seed() {
+        let mut a = vec![0u8; 512];
+        let mut b = vec![0u8; 512];
+        init_fill(&mut a, 1);
+        init_fill(&mut b, 1);
+        let ca = stream_update(&mut a, 99);
+        let cb = stream_update(&mut b, 99);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn chase_is_deterministic_and_readonly() {
+        let mut a = vec![0u8; 2048];
+        init_fill(&mut a, 5);
+        let before = a.clone();
+        let c1 = chase(&a, 10_000, 3);
+        let c2 = chase(&a, 10_000, 3);
+        assert_eq!(c1, c2);
+        assert_eq!(a, before);
+        assert_ne!(chase(&a, 10_000, 4), c1);
+    }
+
+    #[test]
+    fn unaligned_tails_are_covered() {
+        // 1003 % 8 != 0: the tail paths must still be deterministic.
+        let mut a = vec![0u8; 1003];
+        let mut b = vec![0u8; 1003];
+        assert_eq!(init_fill(&mut a, 9), init_fill(&mut b, 9));
+        assert_eq!(a, b);
+        assert_eq!(stream_update(&mut a, 2), stream_update(&mut b, 2));
+        assert_eq!(a, b);
+        assert_eq!(stream_read(&a), stream_read(&b));
+    }
+
+    #[test]
+    fn run_access_dispatches_on_profile_shape() {
+        let mut a = vec![0u8; 256];
+        init_fill(&mut a, 1);
+        let ro = a.clone();
+        assert_eq!(run_access(&mut a, 10, 0, 0), stream_read(&ro));
+        assert_eq!(a, ro, "pure loads must not mutate");
+        let mut w = ro.clone();
+        let mut u = ro.clone();
+        run_access(&mut w, 0, 10, 77);
+        run_access(&mut u, 10, 10, 77);
+        assert_ne!(w, ro);
+        assert_ne!(u, ro);
+        assert_ne!(w, u, "write and update produce different contents");
+    }
+}

@@ -77,8 +77,11 @@ mod tests {
         let app_t = app(Scale::Test);
         let cfg = RuntimeConfig::default();
         let dram_cap = 1 << 18;
-        let lat = Runtime::new(Platform::emulated_lat(4.0, dram_cap, 1 << 30), cfg.clone());
-        let bw = Runtime::new(Platform::emulated_bw(0.25, dram_cap, 1 << 30), cfg);
+        let lat = Runtime::new(
+            Platform::emulated_lat(4.0, dram_cap, 1 << 30).unwrap(),
+            cfg.clone(),
+        );
+        let bw = Runtime::new(Platform::emulated_bw(0.25, dram_cap, 1 << 30).unwrap(), cfg);
         let lat_gap = lat.run(&app_t, &PolicyKind::NvmOnly).makespan_ns
             / lat.run(&app_t, &PolicyKind::DramOnly).makespan_ns;
         let bw_gap = bw.run(&app_t, &PolicyKind::NvmOnly).makespan_ns

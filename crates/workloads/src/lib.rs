@@ -105,7 +105,7 @@ mod tests {
     #[test]
     fn every_workload_runs_under_every_policy() {
         let rt = Runtime::new(
-            Platform::emulated_bw(0.5, 2 << 20, 1 << 30),
+            Platform::emulated_bw(0.5, 2 << 20, 1 << 30).unwrap(),
             RuntimeConfig::default(),
         );
         for app in all_workloads(Scale::Test) {

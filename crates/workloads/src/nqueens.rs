@@ -72,7 +72,7 @@ mod tests {
     fn nvm_barely_hurts_compute_bound_work() {
         let app = app(Scale::Test);
         let rt = Runtime::new(
-            Platform::emulated_bw(0.25, 1 << 18, 1 << 30),
+            Platform::emulated_bw(0.25, 1 << 18, 1 << 30).unwrap(),
             RuntimeConfig::default(),
         );
         let dram = rt.run(&app, &PolicyKind::DramOnly);

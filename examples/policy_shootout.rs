@@ -26,7 +26,7 @@ fn main() {
     let mut n = 0u32;
     for app in all_workloads(Scale::Bench) {
         let budget = (app.footprint() / 4).max(1 << 20);
-        let platform = Platform::emulated_bw(0.5, budget, 4 * app.footprint());
+        let platform = Platform::emulated_bw(0.5, budget, 4 * app.footprint()).unwrap();
         let rt = Runtime::new(platform, RuntimeConfig::default());
         let dram = rt.run(&app, &PolicyKind::DramOnly);
         print!("{:<10}", app.name);

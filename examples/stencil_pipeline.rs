@@ -30,8 +30,8 @@ fn main() {
         presets::pcram(nvm_cap),
         presets::reram(nvm_cap),
         presets::optane_pmm(nvm_cap),
-        presets::emulated_bw(0.5, nvm_cap),
-        presets::emulated_lat(4.0, nvm_cap),
+        presets::emulated_bw(0.5, nvm_cap).unwrap(),
+        presets::emulated_lat(4.0, nvm_cap).unwrap(),
     ];
 
     println!(

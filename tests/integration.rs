@@ -10,6 +10,7 @@ fn bw_platform(app: &App, frac: f64) -> Platform {
         (app.footprint() / 4).max(1 << 20),
         4 * app.footprint(),
     )
+    .expect("valid bandwidth fraction")
 }
 
 #[test]
@@ -72,11 +73,11 @@ fn latency_bound_workload_prefers_latency_platform_placement() {
     let s = stream::app(Scale::Test);
     let cfg = RuntimeConfig::default();
     let rt_h = Runtime::new(
-        Platform::emulated_lat(8.0, (h.footprint() / 4).max(1 << 20), 4 * h.footprint()),
+        Platform::emulated_lat(8.0, (h.footprint() / 4).max(1 << 20), 4 * h.footprint()).unwrap(),
         cfg.clone(),
     );
     let rt_s = Runtime::new(
-        Platform::emulated_lat(8.0, (s.footprint() / 4).max(1 << 20), 4 * s.footprint()),
+        Platform::emulated_lat(8.0, (s.footprint() / 4).max(1 << 20), 4 * s.footprint()).unwrap(),
         cfg,
     );
     let gap_h = rt_h.run(&h, &PolicyKind::NvmOnly).makespan_ns
@@ -213,7 +214,7 @@ fn pinned_policy_places_exactly_the_requested_set() {
         .collect();
     let bytes: u64 = pins.iter().map(|p| app.objects[p.index()].size).sum();
     let rt = Runtime::new(
-        Platform::emulated_bw(0.5, bytes, 4 * app.footprint()),
+        Platform::emulated_bw(0.5, bytes, 4 * app.footprint()).unwrap(),
         RuntimeConfig::default(),
     );
     let rep = rt.run(&app, &PolicyKind::Pinned(pins.clone()));
@@ -228,7 +229,7 @@ fn dram_size_monotonicity_for_tahoe() {
     let foot = app.footprint();
     let mut last = f64::INFINITY;
     for denom in [16u64, 4, 2, 1] {
-        let plat = Platform::emulated_bw(0.5, (foot / denom).max(1 << 20), 4 * foot);
+        let plat = Platform::emulated_bw(0.5, (foot / denom).max(1 << 20), 4 * foot).unwrap();
         let rt = Runtime::new(plat, RuntimeConfig::default());
         let rep = rt.run(&app, &PolicyKind::tahoe());
         assert!(

@@ -60,7 +60,8 @@ proptest! {
     fn every_policy_completes_and_is_ordered(r in app_strategy()) {
         let app = build(&r);
         let rt = Runtime::new(
-            Platform::emulated_bw(0.5, (app.footprint() / 3).max(1 << 18), 4 * app.footprint()),
+            Platform::emulated_bw(0.5, (app.footprint() / 3).max(1 << 18), 4 * app.footprint())
+                .unwrap(),
             RuntimeConfig::default(),
         );
         let d = rt.run(&app, &PolicyKind::DramOnly);
@@ -109,7 +110,8 @@ proptest! {
     fn migration_stats_are_internally_consistent(r in app_strategy()) {
         let app = build(&r);
         let rt = Runtime::new(
-            Platform::emulated_bw(0.25, (app.footprint() / 4).max(1 << 18), 4 * app.footprint()),
+            Platform::emulated_bw(0.25, (app.footprint() / 4).max(1 << 18), 4 * app.footprint())
+                .unwrap(),
             RuntimeConfig::default(),
         );
         let o = TahoeOptions {
