@@ -19,12 +19,17 @@ fn real_dir() -> String {
     std::env::var("REAL_DIR").unwrap_or_else(|_| "target/real-artifact".to_string())
 }
 
+/// Output directory for the `par` artifact (override with `PAR_DIR`).
+fn par_dir() -> String {
+    std::env::var("PAR_DIR").unwrap_or_else(|_| "target/par-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     if args.is_empty() {
-        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real> [--smoke] [more experiments]");
+        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real|par> [--smoke] [more experiments]");
         return ExitCode::FAILURE;
     }
     for arg in &args {
@@ -39,6 +44,12 @@ fn main() -> ExitCode {
             "real" => {
                 if let Err(e) = tahoe_bench::real(smoke, &real_dir()) {
                     eprintln!("real experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "par" => {
+                if let Err(e) = tahoe_bench::par(smoke, &par_dir()) {
+                    eprintln!("par experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

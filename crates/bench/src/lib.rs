@@ -650,6 +650,168 @@ pub fn real(smoke: bool, dir: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `exp par`: the parallel measured-mode experiment. Calibrates once,
+/// then runs the headline policies at several worker counts with the
+/// work-stealing executor and the background migration thread, checks
+/// the acceptance invariants (every run's checksum equals the sequential
+/// heap reference bit for bit; Tahoe at ≥2 workers reports nonzero
+/// overlapped migration time whenever it migrated), and writes a
+/// machine-readable `BENCH_par.json` to `dir`.
+pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::{reference_checksum, MeasuredRuntime};
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::json;
+
+    banner(if smoke {
+        "PAR parallel measured mode (smoke): work-stealing + background migration"
+    } else {
+        "PAR parallel measured mode: work-stealing + background migration"
+    });
+    let (app, cfg, worker_counts): (_, _, &[usize]) = if smoke {
+        (
+            stream::app(Scale::Test),
+            WallClockConfig::smoke(),
+            &[1, 2, 4],
+        )
+    } else {
+        (
+            stream::app(Scale::Bench),
+            WallClockConfig::full(),
+            &[1, 2, 4, 8],
+        )
+    };
+    let platform = platform_bw(&app, 0.25);
+    let rt = MeasuredRuntime::new(platform, cfg);
+    let cal = rt.calibrate()?;
+    println!(
+        "  fitted DRAM {:.2} GB/s / {:.1} ns, emulated NVM {:.2} GB/s / {:.1} ns, cf_bw {:.3}, cf_lat {:.3}",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    );
+
+    let reference = reference_checksum(&app);
+    let policies = [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::tahoe(),
+    ];
+
+    println!(
+        "  {:<12} {:>7} {:>10} {:>10} {:>6} {:>9} {:>9}",
+        "policy", "threads", "wall ms", "GB/s", "migr", "%overlap", "gate ms"
+    );
+    let mut runs = Vec::new();
+    for p in &policies {
+        for &workers in worker_counts {
+            let r = rt.run_policy_parallel(&app, p, &cal, workers, 0)?;
+            println!(
+                "  {:<12} {:>7} {:>10.3} {:>10.2} {:>6} {:>8.1}% {:>9.3}",
+                r.policy,
+                r.workers,
+                r.wall_ns / 1e6,
+                r.throughput_gbps,
+                r.migration.count,
+                r.migration.pct_overlap(),
+                r.gate_wait_ns / 1e6
+            );
+            runs.push(r);
+        }
+    }
+
+    // ---- acceptance invariants ------------------------------------
+    for r in &runs {
+        if r.checksum != reference {
+            return Err(format!(
+                "{} @ {} workers: checksum {:016x} != reference {reference:016x}",
+                r.policy, r.workers, r.checksum
+            ));
+        }
+    }
+    let tahoe_name = PolicyKind::tahoe().name();
+    let tahoe_overlapped = runs
+        .iter()
+        .filter(|r| r.policy == tahoe_name && r.workers >= 2 && r.migration.count > 0)
+        .all(|r| r.migration.overlapped_ns > 0.0);
+    if !tahoe_overlapped {
+        return Err(
+            "Tahoe at >=2 workers migrated but reported zero overlapped copy time".to_string(),
+        );
+    }
+    let tahoe_migrated = runs
+        .iter()
+        .any(|r| r.policy == tahoe_name && r.workers >= 2 && r.migration.count > 0);
+    if !tahoe_migrated {
+        return Err("Tahoe at >=2 workers performed no migrations at all".to_string());
+    }
+
+    // ---- BENCH_par.json --------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-par/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"footprint_bytes\": {}, \"windows\": {}, \"tasks\": {}}},\n",
+        app.name,
+        app.footprint(),
+        app.windows(),
+        app.graph.len()
+    ));
+    out.push_str(&format!(
+        "  \"calibration\": {{\"dram_bw_gbps\": {:.6}, \"dram_lat_ns\": {:.6}, \"nvm_bw_gbps\": {:.6}, \"nvm_lat_ns\": {:.6}, \"cf_bw\": {:.6}, \"cf_lat\": {:.6}}},\n",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"workers\": {}, \"wall_ns\": {:.1}, \"bytes_touched\": {}, \"throughput_gbps\": {:.6}, \"checksum\": \"{:016x}\", \"migrations\": {}, \"migrated_bytes\": {}, \"copy_wall_ns\": {:.1}, \"overlapped_ns\": {:.1}, \"exposed_ns\": {:.1}, \"pct_overlap\": {:.3}, \"gate_wait_ns\": {:.1}, \"steals\": {}, \"final_dram_objects\": {}}}{}\n",
+            r.policy,
+            r.workers,
+            r.wall_ns,
+            r.bytes_touched,
+            r.throughput_gbps,
+            r.checksum,
+            r.migration.count,
+            r.migration.bytes,
+            r.copy_wall_ns,
+            r.migration.overlapped_ns,
+            r.migration.exposed_ns,
+            r.migration.pct_overlap(),
+            r.gate_wait_ns,
+            r.steals,
+            r.final_dram_objects,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"consistency\": {{\"reference_checksum\": \"{reference:016x}\", \"all_runs_match_reference\": true, \"tahoe_multiworker_overlapped\": true}}\n}}\n"
+    ));
+    json::parse(&out).map_err(|e| format!("BENCH_par.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_par.json"), &out)
+        .map_err(|e| format!("write BENCH_par.json: {e}"))?;
+    println!("  -> {dir}/BENCH_par.json");
+    Ok(())
+}
+
 /// Run every experiment in order.
 pub fn all() {
     e1();

@@ -66,6 +66,7 @@ pub mod driver;
 pub mod hwcache;
 pub mod measured;
 pub mod overhead;
+pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod runtime;
@@ -73,6 +74,7 @@ pub mod runtime;
 pub use app::{App, AppBuilder, ObjectSpec, TaskBuilder};
 pub use config::{Platform, RuntimeConfig, RuntimeMode};
 pub use measured::{MeasuredPolicyReport, MeasuredReport, MeasuredRuntime};
+pub use parallel::ParallelPolicyReport;
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
 pub use runtime::{ObsCapture, Runtime};

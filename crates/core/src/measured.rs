@@ -38,16 +38,26 @@ use crate::app::App;
 use crate::config::Platform;
 use crate::policy::PolicyKind;
 
-/// Deterministic per-site seed (splitmix64 of a site key).
-fn seed(task: u32, access: usize) -> u64 {
-    let mut z = ((task as u64) << 20) ^ access as u64 ^ 0xA5A5_0000_0000;
+/// Deterministic per-site seed (splitmix64 of a site key), parameterized
+/// by a run seed so the stress suite can vary the traffic contents.
+/// `run_seed == 0` reproduces the historical unseeded site key exactly,
+/// so existing artifacts stay comparable.
+pub(crate) fn site_seed(run_seed: u64, task: u32, access: usize) -> u64 {
+    let mut z = ((task as u64) << 20)
+        ^ access as u64
+        ^ 0xA5A5_0000_0000
+        ^ run_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
 
-fn fold(acc: u64, x: u64) -> u64 {
+fn seed(task: u32, access: usize) -> u64 {
+    site_seed(0, task, access)
+}
+
+pub(crate) fn fold(acc: u64, x: u64) -> u64 {
     acc.rotate_left(7) ^ x
 }
 
@@ -89,14 +99,33 @@ pub struct MeasuredReport {
     pub reference_checksum: u64,
 }
 
+/// Everything a measured policy run needs before its first task: the
+/// derived HMS configuration, the backend-loaded [`Hms`] with every
+/// object allocated per the policy's initial placement, the app-order →
+/// HMS object id map, Tahoe's migration plan (if the policy is Tahoe),
+/// and the copy-engine throttle (for the background migration thread).
+pub(crate) struct PreparedRun {
+    pub(crate) config: HmsConfig,
+    pub(crate) hms: Hms,
+    pub(crate) ids: Vec<ObjectId>,
+    pub(crate) tahoe_plan: Option<tahoe_placement::Solution>,
+    pub(crate) copy_cfg: tahoe_realmem::CopyConfig,
+}
+
+/// Seed for object `i`'s initialization fill. `run_seed == 0` reproduces
+/// the historical per-object seed (`i` itself).
+pub(crate) fn init_seed(run_seed: u64, object: usize) -> u64 {
+    object as u64 ^ run_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 /// Measured-mode runtime: a reference platform (capacities + device
 /// ratios) plus kernel sizing.
 #[derive(Debug, Clone)]
 pub struct MeasuredRuntime {
     platform: Platform,
     kernel_cfg: WallClockConfig,
-    emitter: Emitter,
-    metrics: Metrics,
+    pub(crate) emitter: Emitter,
+    pub(crate) metrics: Metrics,
 }
 
 impl MeasuredRuntime {
@@ -154,15 +183,15 @@ impl MeasuredRuntime {
         Ok(cal)
     }
 
-    /// Execute `app` under `policy` on arena-backed objects with the
-    /// given calibration. Unsupported policies (cache/oracle baselines)
-    /// return an error.
-    pub fn run_policy(
+    /// Shared setup of a measured policy run: validate, derive the HMS
+    /// configuration, install a [`RealBackend`], allocate every object on
+    /// its policy-chosen tier, and (for Tahoe) compute the knapsack plan.
+    pub(crate) fn prepare(
         &self,
         app: &App,
         policy: &PolicyKind,
         cal: &WallClockCalibration,
-    ) -> Result<MeasuredPolicyReport, String> {
+    ) -> Result<PreparedRun, String> {
         match policy {
             PolicyKind::DramOnly
             | PolicyKind::NvmOnly
@@ -192,6 +221,7 @@ impl MeasuredRuntime {
 
         let backend =
             RealBackend::with_observability(&config, self.emitter.clone(), self.metrics.clone())?;
+        let copy_cfg = backend.copy_config();
         let mut hms = Hms::new(config.clone());
         hms.set_backend(Box::new(backend));
 
@@ -244,6 +274,32 @@ impl MeasuredRuntime {
             }
             _ => None,
         };
+
+        Ok(PreparedRun {
+            config,
+            hms,
+            ids,
+            tahoe_plan,
+            copy_cfg,
+        })
+    }
+
+    /// Execute `app` under `policy` on arena-backed objects with the
+    /// given calibration. Unsupported policies (cache/oracle baselines)
+    /// return an error.
+    pub fn run_policy(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+    ) -> Result<MeasuredPolicyReport, String> {
+        let PreparedRun {
+            config,
+            mut hms,
+            ids,
+            tahoe_plan,
+            ..
+        } = self.prepare(app, policy, cal)?;
 
         // ---- execution ------------------------------------------------
         let profile_windows = app.windows().saturating_sub(1).min(2);
@@ -354,7 +410,7 @@ impl MeasuredRuntime {
 }
 
 /// Which correction factor applies to a profile on a spec.
-fn cf(
+pub(crate) fn cf(
     cal: &WallClockCalibration,
     profile: &tahoe_hms::AccessProfile,
     spec: &tahoe_hms::TierSpec,
@@ -369,6 +425,19 @@ fn cf(
 /// Execute the app's traffic on plain heap buffers, no tiers, no pacing:
 /// the ground truth every measured policy run must match bit for bit.
 pub fn reference_checksum(app: &App) -> u64 {
+    reference_checksum_seeded(app, 0)
+}
+
+/// [`reference_checksum`] with a run seed varying the traffic contents
+/// (the parallel stress suite runs several seeds; `run_seed == 0` is the
+/// historical stream).
+///
+/// The fold order — object inits first, then windows → window tasks →
+/// accesses — is the *canonical* checksum order: the parallel runtime
+/// executes in whatever order its workers race to, but re-folds its
+/// per-access checksums in this exact order, so equality here is
+/// bit-for-bit regardless of schedule.
+pub fn reference_checksum_seeded(app: &App, run_seed: u64) -> u64 {
     let mut buffers: Vec<Vec<u8>> = app
         .objects
         .iter()
@@ -376,7 +445,7 @@ pub fn reference_checksum(app: &App) -> u64 {
         .collect();
     let mut checksum = 0u64;
     for (i, buf) in buffers.iter_mut().enumerate() {
-        checksum = fold(checksum, traffic::init_fill(buf, i as u64));
+        checksum = fold(checksum, traffic::init_fill(buf, init_seed(run_seed, i)));
     }
     for w in 0..app.windows() {
         for tid in app.graph.window_tasks(w) {
@@ -387,7 +456,7 @@ pub fn reference_checksum(app: &App) -> u64 {
                     buf,
                     access.profile.loads,
                     access.profile.stores,
-                    seed(tid.0, ai),
+                    site_seed(run_seed, tid.0, ai),
                 );
                 checksum = fold(checksum, c);
             }

@@ -1,0 +1,454 @@
+//! Parallel measured mode: work-stealing execution with overlapped
+//! background migration.
+//!
+//! The sequential measured path ([`crate::measured`]) proves the
+//! policies move real bytes; this module proves the *runtime shape* of
+//! the paper: tasks execute on a pool of work-stealing workers
+//! ([`tahoe_taskrt::wsexec`]) while a dedicated migration thread
+//! ([`tahoe_realmem::BackgroundMigrator`]) drains the proactive plan's
+//! copy queue concurrently — the paper's computation/data-movement
+//! overlap, measured in wall-clock time.
+//!
+//! **Determinism of results, not schedules.** Worker interleavings vary
+//! run to run, but the final answer cannot: the task graph's derived
+//! dependences order every pair of conflicting accesses, the traffic
+//! kernels are pure functions of buffer contents and seed, and
+//! migrations are byte-preserving copies fenced against concurrent
+//! access (pin ↔ mid-move discipline in [`tahoe_hms::SharedHms`]). Each
+//! access's checksum lands in a dedicated slot, and the slots are
+//! re-folded in the canonical order of
+//! [`reference_checksum_seeded`](crate::measured::reference_checksum_seeded)
+//! — so a parallel run at any worker count must match the sequential
+//! heap-buffer reference bit for bit.
+//!
+//! **Overlap accounting.** Every committed migration carries wall-clock
+//! `issued_at`/`start`/`finish` stamps plus `needed_at` — the first
+//! moment a worker actually blocked on the moving object (stamped by the
+//! executor's data gate). Copy time before `needed_at` was hidden behind
+//! execution; time after it was exposed. The aggregated
+//! [`MigrationStats::pct_overlap`] is the number the paper's Tahoe
+//! design lives or dies by.
+//!
+//! # Example: a parallel measured run
+//!
+//! A synthetic calibration (no kernel measurement) keeps the example
+//! fast and hardware-independent; real runs get one from
+//! [`MeasuredRuntime::calibrate`].
+//!
+//! ```
+//! use tahoe_core::app::AppBuilder;
+//! use tahoe_core::config::Platform;
+//! use tahoe_core::measured::{reference_checksum_seeded, MeasuredRuntime};
+//! use tahoe_core::policy::PolicyKind;
+//! use tahoe_hms::TierSpec;
+//! use tahoe_memprof::wallclock::{MeasuredTier, WallClockCalibration, WallClockConfig};
+//!
+//! // Two tasks ping-ponging two 8 KiB objects (a real dependence chain).
+//! let mut b = AppBuilder::new("doc");
+//! let x = b.object("x", 8 << 10);
+//! let y = b.object("y", 8 << 10);
+//! let c = b.class("copy");
+//! b.task(c).read_streaming(x, 64).write_streaming(y, 64).submit();
+//! b.task(c).read_streaming(y, 64).write_streaming(x, 64).submit();
+//! let app = b.build();
+//!
+//! let cal = WallClockCalibration {
+//!     dram: TierSpec::symmetric("dram", 100.0, 10.0, 1 << 22),
+//!     nvm: TierSpec::symmetric("nvm", 300.0, 3.0, 1 << 24),
+//!     cf_bw: 1.0,
+//!     cf_lat: 1.0,
+//!     measured: MeasuredTier {
+//!         stream_bw_gbps: 10.0,
+//!         chase_lat_ns: 100.0,
+//!         stream_wall_ns: 1000.0,
+//!         chase_wall_ns: 1000.0,
+//!     },
+//! };
+//! let rt = MeasuredRuntime::new(Platform::optane(1 << 22, 1 << 24), WallClockConfig::smoke());
+//! let report = rt
+//!     .run_policy_parallel(&app, &PolicyKind::DramOnly, &cal, 2, 0)
+//!     .unwrap();
+//! // Two workers, real threads — and still bit-identical to the
+//! // sequential heap-buffer reference.
+//! assert_eq!(report.checksum, reference_checksum_seeded(&app, 0));
+//! assert_eq!(report.workers, 2);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tahoe_hms::{MigrationStats, ObjectId, SharedHms, TierKind};
+use tahoe_memprof::wallclock::WallClockCalibration;
+use tahoe_obs::Event;
+use tahoe_realmem::{traffic, BackgroundMigrator};
+use tahoe_taskrt::{DataGate, TaskSpec, WsExecutor};
+
+use crate::app::App;
+use crate::measured::{cf, fold, init_seed, site_seed, MeasuredRuntime, PreparedRun};
+use crate::policy::PolicyKind;
+
+/// One policy's parallel measured outcome at a given worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelPolicyReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Worker threads the executor ran.
+    pub workers: usize,
+    /// Run seed that parameterized the traffic.
+    pub run_seed: u64,
+    /// Wall-clock time of the execution phase, ns (init + windows;
+    /// excludes setup, calibration, and post-run migration drain).
+    pub wall_ns: f64,
+    /// Bytes of object data walked by the traffic kernels.
+    pub bytes_touched: u64,
+    /// `bytes_touched / wall_ns` (== GB/s).
+    pub throughput_gbps: f64,
+    /// Re-fold of every access checksum in canonical (reference) order.
+    pub checksum: u64,
+    /// Physical inter-tier copies (background + any synchronous).
+    pub migrations: u64,
+    /// Bytes those copies moved.
+    pub migrated_bytes: u64,
+    /// Wall-clock ns spent inside the throttled copy engine.
+    pub copy_wall_ns: f64,
+    /// Wall-clock overlap accounting of the background migrations.
+    pub migration: MigrationStats,
+    /// Migration requests that were moot (already resident, no space).
+    pub migrations_skipped: u64,
+    /// Wall-clock ns workers spent blocked waiting for in-flight
+    /// migrations (the executor-observed exposed latency).
+    pub gate_wait_ns: f64,
+    /// Successful work steals between workers.
+    pub steals: u64,
+    /// Objects resident in DRAM when the run finished.
+    pub final_dram_objects: usize,
+}
+
+/// The executor's data gate over a [`SharedHms`]: a task is
+/// data-ready when none of its objects is mid-migration.
+struct HmsGate<'a> {
+    shared: &'a SharedHms,
+    ids: &'a [ObjectId],
+}
+
+impl DataGate for HmsGate<'_> {
+    fn wait_ready(&self, task: &TaskSpec) -> f64 {
+        let ids: Vec<ObjectId> = task.objects().iter().map(|o| self.ids[o.index()]).collect();
+        self.shared.wait_ready(&ids)
+    }
+}
+
+impl MeasuredRuntime {
+    /// Execute `app` under `policy` with `workers` work-stealing worker
+    /// threads and the background migration engine, on arena-backed
+    /// objects with the given calibration.
+    ///
+    /// The returned checksum must equal
+    /// [`reference_checksum_seeded(app, run_seed)`](crate::measured::reference_checksum_seeded)
+    /// bit for bit — any worker count, any policy, any schedule.
+    pub fn run_policy_parallel(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+        workers: usize,
+        run_seed: u64,
+    ) -> Result<ParallelPolicyReport, String> {
+        let PreparedRun {
+            config,
+            hms,
+            ids,
+            tahoe_plan,
+            copy_cfg,
+        } = self.prepare(app, policy, cal)?;
+
+        // One checksum slot per (task, access) site; workers fill slots
+        // in racing order, the end re-folds them canonically.
+        let n_tasks = app.graph.len();
+        let mut slot_base = vec![0usize; n_tasks];
+        let mut n_slots = 0usize;
+        for t in app.graph.tasks() {
+            slot_base[t.id.index()] = n_slots;
+            n_slots += t.accesses.len();
+        }
+        let slots: Vec<AtomicU64> = (0..n_slots).map(|_| AtomicU64::new(0)).collect();
+
+        let profile_windows = app.windows().saturating_sub(1).min(2);
+        let bytes_touched = AtomicU64::new(0);
+        let start = Instant::now();
+
+        // ---- init traffic (sequential, before the pool spins up) -----
+        let mut init_sums = Vec::with_capacity(ids.len());
+        let mut hms = hms;
+        for (i, id) in ids.iter().enumerate() {
+            let buf = hms
+                .object_bytes(*id)
+                .map_err(|e| e.to_string())?
+                .ok_or("real backend must expose bytes")?;
+            init_sums.push(traffic::init_fill(buf, init_seed(run_seed, i)));
+            bytes_touched.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        }
+
+        // ---- parallel execution --------------------------------------
+        let shared = Arc::new(SharedHms::new(hms));
+        let migrator =
+            BackgroundMigrator::spawn(Arc::clone(&shared), copy_cfg, self.emitter.clone());
+        let executor = WsExecutor::new(workers).with_metrics(self.metrics.clone());
+        let gate = HmsGate {
+            shared: &shared,
+            ids: &ids,
+        };
+        let first_error: Mutex<Option<String>> = Mutex::new(None);
+        let mut gate_wait_ns = 0.0;
+        let mut steals = 0u64;
+
+        for w in 0..app.windows() {
+            // Tahoe hands its plan to the migration thread at the
+            // profiling boundary and keeps executing: the copies overlap
+            // with this window's (and later windows') tasks.
+            if let (Some(plan), true) = (&tahoe_plan, w == profile_windows) {
+                for oid in &plan.chosen {
+                    migrator.enqueue(ids[oid.index()], TierKind::Dram);
+                }
+            }
+            let stats = executor.run_window(&app.graph, Some(w), &gate, |worker, task| {
+                let t0 = Instant::now();
+                let obj_ids: Vec<ObjectId> =
+                    task.objects().iter().map(|o| ids[o.index()]).collect();
+                let pins = match shared.pin_for_task(&obj_ids) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let mut slot = first_error.lock().expect("error slot");
+                        slot.get_or_insert_with(|| format!("pin task {}: {e}", task.id.0));
+                        return;
+                    }
+                };
+                for (ai, access) in task.accesses.iter().enumerate() {
+                    let hid = ids[access.object.index()];
+                    let pin = pins
+                        .objects
+                        .iter()
+                        .find(|p| p.id == hid)
+                        .expect("every access object is pinned");
+                    // Quartz-style software NVM emulation, same as the
+                    // sequential path: native-speed kernel, then inject
+                    // the cf-corrected slow-minus-fast model difference.
+                    let inject_ns = if pin.tier == TierKind::Nvm {
+                        let slow = access.profile.mem_time_ns(&config.nvm)
+                            * cf(cal, &access.profile, &config.nvm);
+                        let fast = access.profile.mem_time_ns(&config.dram)
+                            * cf(cal, &access.profile, &config.dram);
+                        (slow - fast).max(0.0)
+                    } else {
+                        0.0
+                    };
+                    // SAFETY: the pin blocks moves and frees for the
+                    // whole task, the arenas never remap, and writes are
+                    // exclusive by the graph's derived dependences (a
+                    // writer's task is ordered against every other
+                    // toucher of the object).
+                    let c = unsafe {
+                        traffic::run_access_ptr(
+                            pin.as_ptr(),
+                            pin.len(),
+                            access.profile.loads,
+                            access.profile.stores,
+                            site_seed(run_seed, task.id.0, ai),
+                        )
+                    };
+                    slots[slot_base[task.id.index()] + ai].store(c, Ordering::Release);
+                    bytes_touched.fetch_add(pin.len() as u64, Ordering::Relaxed);
+                    if inject_ns > 0.0 {
+                        tahoe_realmem::throttle::pace_until(Instant::now(), inject_ns);
+                    }
+                }
+                shared.unpin_task(&obj_ids);
+                let t = shared.now_ns();
+                let (task_id, window, wall, waited) = (
+                    task.id.0,
+                    task.window,
+                    t0.elapsed().as_nanos() as f64,
+                    pins.waited_ns,
+                );
+                self.emitter.emit(|| Event::WorkerTask {
+                    t,
+                    worker: worker as u32,
+                    task: task_id,
+                    window,
+                    wall_ns: wall,
+                    gate_wait_ns: waited,
+                });
+            });
+            gate_wait_ns += stats.gate_wait_ns;
+            steals += stats.steals;
+            if let Some(e) = first_error.lock().expect("error slot").take() {
+                migrator.cancel();
+                migrator.finish();
+                return Err(e);
+            }
+        }
+        let wall_ns = (start.elapsed().as_nanos() as f64).max(1.0);
+
+        // Close the migration queue; anything still copying completes
+        // (with no consumer left to block, it counts as fully hidden).
+        let mig = migrator.finish();
+        let shared = Arc::try_unwrap(shared).map_err(|_| "migration thread still holds hms")?;
+        let hms = shared.into_inner();
+
+        // ---- canonical re-fold ---------------------------------------
+        let mut checksum = 0u64;
+        for s in &init_sums {
+            checksum = fold(checksum, *s);
+        }
+        for w in 0..app.windows() {
+            for tid in app.graph.window_tasks(w) {
+                let task = app.graph.task(tid);
+                for ai in 0..task.accesses.len() {
+                    checksum = fold(
+                        checksum,
+                        slots[slot_base[tid.index()] + ai].load(Ordering::Acquire),
+                    );
+                }
+            }
+        }
+
+        let stats = hms.backend_stats();
+        let final_dram_objects = hms.objects_on(TierKind::Dram).len();
+        let bytes_touched = bytes_touched.load(Ordering::Relaxed);
+        Ok(ParallelPolicyReport {
+            policy: policy.name(),
+            workers: workers.max(1),
+            run_seed,
+            wall_ns,
+            bytes_touched,
+            throughput_gbps: bytes_touched as f64 / wall_ns,
+            checksum,
+            migrations: stats.copies,
+            migrated_bytes: stats.copied_bytes,
+            copy_wall_ns: stats.copy_wall_ns,
+            migration: mig.stats,
+            migrations_skipped: mig.skipped,
+            gate_wait_ns,
+            steals,
+            final_dram_objects,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use crate::measured::reference_checksum_seeded;
+    use tahoe_hms::TierSpec;
+    use tahoe_memprof::wallclock::MeasuredTier;
+
+    /// A synthetic calibration (no kernel runs): DRAM at 10 GB/s /
+    /// 100 ns, NVM 3× slower, correction factors 1.0. Capacities are
+    /// tiny so Tahoe has real pressure; `prepare` inflates NVM to fit.
+    fn test_cal(dram_cap: u64, nvm_cap: u64) -> WallClockCalibration {
+        let dram = TierSpec::symmetric("dram", 100.0, 10.0, dram_cap);
+        let nvm = TierSpec::symmetric("nvm", 300.0, 3.0, nvm_cap);
+        WallClockCalibration {
+            dram,
+            nvm,
+            cf_bw: 1.0,
+            cf_lat: 1.0,
+            measured: MeasuredTier {
+                stream_bw_gbps: 10.0,
+                chase_lat_ns: 100.0,
+                stream_wall_ns: 1000.0,
+                chase_wall_ns: 1000.0,
+            },
+        }
+    }
+
+    fn stream_app(blocks: u32, block_bytes: u64, windows: u32) -> App {
+        let mut b = AppBuilder::new("par-test");
+        let a: Vec<_> = (0..blocks)
+            .map(|i| b.object(&format!("a{i}"), block_bytes))
+            .collect();
+        let bb: Vec<_> = (0..blocks)
+            .map(|i| b.object(&format!("b{i}"), block_bytes))
+            .collect();
+        let c = b.class("triad");
+        for w in 0..windows {
+            if w > 0 {
+                b.next_window();
+            }
+            for i in 0..blocks as usize {
+                b.task(c)
+                    .read_streaming(bb[i], 64)
+                    .update_streaming(a[i], 64)
+                    .submit();
+            }
+        }
+        b.build()
+    }
+
+    fn runtime() -> MeasuredRuntime {
+        MeasuredRuntime::new(
+            crate::config::Platform::optane(1 << 22, 1 << 24),
+            tahoe_memprof::wallclock::WallClockConfig::smoke(),
+        )
+    }
+
+    #[test]
+    fn parallel_checksum_matches_reference_for_every_policy() {
+        let app = stream_app(4, 16 << 10, 3);
+        let footprint = app.footprint();
+        let cal = test_cal(footprint / 4, 4 * footprint);
+        let rt = runtime();
+        let expect = reference_checksum_seeded(&app, 0);
+        for policy in [
+            PolicyKind::DramOnly,
+            PolicyKind::NvmOnly,
+            PolicyKind::FirstTouch,
+            PolicyKind::tahoe(),
+        ] {
+            let r = rt
+                .run_policy_parallel(&app, &policy, &cal, 2, 0)
+                .expect("parallel run");
+            assert_eq!(
+                r.checksum, expect,
+                "policy {} diverged from the reference",
+                r.policy
+            );
+        }
+    }
+
+    #[test]
+    fn tahoe_parallel_migrates_in_background() {
+        let app = stream_app(4, 32 << 10, 4);
+        let footprint = app.footprint();
+        let cal = test_cal(footprint / 3, 4 * footprint);
+        let rt = runtime();
+        let r = rt
+            .run_policy_parallel(&app, &PolicyKind::tahoe(), &cal, 2, 7)
+            .expect("parallel tahoe");
+        assert_eq!(r.checksum, reference_checksum_seeded(&app, 7));
+        assert!(r.migration.count > 0, "plan must trigger migrations");
+        assert_eq!(r.migrations, r.migration.count, "backend saw each copy");
+        assert!(r.final_dram_objects > 0, "promoted objects end in DRAM");
+        assert!(
+            r.migration.overlapped_ns + r.migration.exposed_ns > 0.0,
+            "wall-clock accounting must be populated"
+        );
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_answer() {
+        let app = stream_app(4, 8 << 10, 3);
+        let footprint = app.footprint();
+        let cal = test_cal(footprint / 4, 4 * footprint);
+        let rt = runtime();
+        let expect = reference_checksum_seeded(&app, 3);
+        for workers in [1, 2, 4] {
+            let r = rt
+                .run_policy_parallel(&app, &PolicyKind::tahoe(), &cal, workers, 3)
+                .expect("parallel run");
+            assert_eq!(r.checksum, expect, "diverged at {workers} workers");
+        }
+    }
+}

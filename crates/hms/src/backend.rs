@@ -54,7 +54,12 @@ pub struct BackendStats {
 /// Addresses handed to the backend are the allocator's tier-local byte
 /// offsets in `[0, capacity)`; a real backend resolves them against its
 /// per-tier mapping.
-pub trait TierBackend: std::fmt::Debug {
+///
+/// The trait requires `Send` so an [`Hms`](crate::Hms) holding a boxed
+/// backend can be shared across worker threads behind a lock (see
+/// [`crate::sync::SharedHms`]); the `mmap` backend's mappings are plain
+/// owned memory, so this costs real implementations nothing.
+pub trait TierBackend: std::fmt::Debug + Send {
     /// Short substrate name for reports (`"virtual"`, `"mmap"`).
     fn name(&self) -> &'static str;
 
@@ -87,6 +92,20 @@ pub trait TierBackend: std::fmt::Debug {
             bytes: len,
             ..CopyOutcome::default()
         }
+    }
+
+    /// A copy that was executed *outside* the backend — the background
+    /// migration engine copies through raw arena pointers while the HMS
+    /// lock is released, then reports the outcome here on commit so
+    /// stats and events stay complete. The default ignores it (the
+    /// virtual substrate has no bytes to copy in the first place).
+    fn record_external_copy(
+        &mut self,
+        _object: u32,
+        _from: TierKind,
+        _to: TierKind,
+        _outcome: &CopyOutcome,
+    ) {
     }
 
     /// Cumulative statistics.

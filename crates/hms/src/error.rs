@@ -26,6 +26,10 @@ pub enum HmsError {
     /// The object is pinned (tasks using it are in flight) and cannot be
     /// migrated or freed.
     Pinned(ObjectId),
+    /// The object is mid-migration (a two-phase move was begun and not
+    /// yet committed or aborted); it cannot be pinned, freed, or moved
+    /// again until the in-flight move resolves.
+    Moving(ObjectId),
     /// A tier specification failed validation (non-positive latency or
     /// bandwidth, zero capacity, non-finite scale factor, ...).
     InvalidSpec {
@@ -55,6 +59,7 @@ impl fmt::Display for HmsError {
             }
             HmsError::ZeroSizeAllocation => write!(f, "zero-size allocation"),
             HmsError::Pinned(id) => write!(f, "object {id:?} is pinned by in-flight tasks"),
+            HmsError::Moving(id) => write!(f, "object {id:?} is mid-migration"),
             HmsError::InvalidSpec { name, reason } => {
                 write!(f, "invalid tier spec {name}: {reason}")
             }

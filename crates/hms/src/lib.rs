@@ -36,15 +36,17 @@ pub mod memory;
 pub mod migrate;
 pub mod object;
 pub mod presets;
+pub mod sync;
 pub mod tier;
 pub mod timing;
 pub mod wear;
 
 pub use backend::{BackendStats, CopyOutcome, TierBackend, VirtualBackend};
 pub use error::HmsError;
-pub use memory::{Hms, HmsConfig, ResidencySnapshot};
+pub use memory::{Hms, HmsConfig, MoveTicket, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};
 pub use object::{ObjectId, ObjectMeta};
+pub use sync::{PinnedObject, SharedHms, StartedMove, TaskPins};
 pub use tier::{TierKind, TierSpec};
 pub use timing::AccessProfile;
 pub use wear::WearStats;

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use crate::alloc::TierAllocator;
-use crate::backend::{BackendStats, TierBackend, VirtualBackend};
+use crate::backend::{BackendStats, CopyOutcome, TierBackend, VirtualBackend};
 use crate::error::HmsError;
 use crate::object::{ObjectId, ObjectMeta};
 use crate::tier::{TierKind, TierSpec};
@@ -55,6 +55,50 @@ struct ObjectRecord {
     addr: u64,
     /// Number of in-flight tasks touching the object (pins block moves).
     pins: u32,
+    /// A two-phase move is in flight: destination reserved, copy running
+    /// outside the lock. Blocks pin/free/move until resolved.
+    moving: bool,
+}
+
+/// An in-flight two-phase migration: the destination block is reserved
+/// and the source is still live, but the bytes have not moved yet.
+///
+/// Produced by [`Hms::begin_move`]; the holder copies the bytes itself
+/// (typically off-thread through [`Hms::move_ptrs`]) and must resolve
+/// the ticket with exactly one of [`Hms::commit_move`] /
+/// [`Hms::abort_move`] — dropping it leaks the destination reservation
+/// and leaves the object marked mid-move.
+#[derive(Debug)]
+#[must_use = "resolve with commit_move or abort_move"]
+pub struct MoveTicket {
+    object: ObjectId,
+    from: TierKind,
+    from_addr: u64,
+    to: TierKind,
+    to_addr: u64,
+    size: u64,
+}
+
+impl MoveTicket {
+    /// Object being moved.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Source tier.
+    pub fn from(&self) -> TierKind {
+        self.from
+    }
+
+    /// Destination tier.
+    pub fn to(&self) -> TierKind {
+        self.to
+    }
+
+    /// Bytes to move.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
 }
 
 /// Snapshot of tier residency, for assertions and reporting.
@@ -247,6 +291,7 @@ impl Hms {
                 tier,
                 addr,
                 pins: 0,
+                moving: false,
             },
         );
         self.backend.on_alloc(tier, addr, size);
@@ -273,11 +318,14 @@ impl Hms {
         Ok(id)
     }
 
-    /// Free an object. Fails if pinned.
+    /// Free an object. Fails if pinned or mid-move.
     pub fn free_object(&mut self, id: ObjectId) -> Result<(), HmsError> {
         let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
         if rec.pins > 0 {
             return Err(HmsError::Pinned(id));
+        }
+        if rec.moving {
+            return Err(HmsError::Moving(id));
         }
         let rec = self.objects.remove(&id).expect("checked above");
         self.allocator(rec.tier)
@@ -311,11 +359,17 @@ impl Hms {
     }
 
     /// Pin an object against migration (a task that declared it started).
+    /// Fails while a two-phase move of the object is in flight — the
+    /// bytes are mid-copy and must not be touched (callers that want to
+    /// wait instead of fail go through [`crate::sync::SharedHms`]).
     pub fn pin(&mut self, id: ObjectId) -> Result<(), HmsError> {
         let rec = self
             .objects
             .get_mut(&id)
             .ok_or(HmsError::NoSuchObject(id))?;
+        if rec.moving {
+            return Err(HmsError::Moving(id));
+        }
         rec.pins += 1;
         Ok(())
     }
@@ -339,16 +393,41 @@ impl Hms {
             .ok_or(HmsError::NoSuchObject(id))
     }
 
-    /// Move an object to `to`. Returns the number of bytes moved.
+    /// Move an object to `to`, synchronously. Returns the number of
+    /// bytes moved.
     ///
     /// The destination allocation is obtained before the source is freed,
     /// as a real runtime must (the copy needs both resident). Fails if the
-    /// object is pinned, missing, already there, or the destination can't
-    /// hold it.
+    /// object is pinned, mid-move, missing, already there, or the
+    /// destination can't hold it.
     pub fn move_object(&mut self, id: ObjectId, to: TierKind) -> Result<u64, HmsError> {
-        let (size, from, old_addr, pins) = {
+        let ticket = self.begin_move(id, to)?;
+        // Physical copy while both ranges are reserved: destination is
+        // allocated, source not yet released.
+        self.backend.copy(
+            id.0,
+            ticket.from,
+            ticket.from_addr,
+            ticket.to,
+            ticket.to_addr,
+            ticket.size,
+        );
+        Ok(self.finish_move(ticket))
+    }
+
+    /// Phase one of a two-phase move: reserve the destination and mark
+    /// the object mid-move, without copying anything.
+    ///
+    /// This is what the background migration engine uses — it holds the
+    /// HMS lock only for this reservation, performs the (long, throttled)
+    /// copy through [`Hms::move_ptrs`] with the lock released, and
+    /// retakes it for [`Hms::commit_move`]. While the ticket is
+    /// outstanding the object rejects pins, frees, and further moves, so
+    /// no task can observe half-copied bytes.
+    pub fn begin_move(&mut self, id: ObjectId, to: TierKind) -> Result<MoveTicket, HmsError> {
+        let (size, from, from_addr, pins, moving) = {
             let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
-            (rec.meta.size, rec.tier, rec.addr, rec.pins)
+            (rec.meta.size, rec.tier, rec.addr, rec.pins, rec.moving)
         };
         if from == to {
             return Err(HmsError::AlreadyResident(id, to));
@@ -356,7 +435,10 @@ impl Hms {
         if pins > 0 {
             return Err(HmsError::Pinned(id));
         }
-        let new_addr = self
+        if moving {
+            return Err(HmsError::Moving(id));
+        }
+        let to_addr = self
             .allocator(to)
             .alloc(size)
             .ok_or_else(|| HmsError::OutOfMemory {
@@ -364,21 +446,106 @@ impl Hms {
                 requested: size,
                 largest_free: self.allocator_ref(to).largest_free_block(),
             })?;
-        // Physical copy while both ranges are reserved: destination is
-        // allocated, source not yet released.
-        self.backend.copy(id.0, from, old_addr, to, new_addr, size);
-        self.backend.on_alloc(to, new_addr, size);
-        self.allocator(from)
-            .free(old_addr)
-            .expect("source address must be live");
-        self.backend.on_free(from, old_addr, size);
-        let rec = self.objects.get_mut(&id).expect("checked above");
-        rec.tier = to;
-        rec.addr = new_addr;
-        self.metrics.inc("hms.moves");
-        self.metrics.add("hms.moved_bytes", size);
+        self.backend.on_alloc(to, to_addr, size);
+        self.objects.get_mut(&id).expect("checked above").moving = true;
+        Ok(MoveTicket {
+            object: id,
+            from,
+            from_addr,
+            to,
+            to_addr,
+            size,
+        })
+    }
+
+    /// Resolve the source and destination of an in-flight move to raw
+    /// pointers, or `None` on a byte-less (virtual) substrate.
+    ///
+    /// The ranges stay valid while the ticket is outstanding: the source
+    /// cannot be freed or remapped (the object is marked mid-move) and
+    /// the destination block is reserved in its allocator.
+    pub fn move_ptrs(&mut self, ticket: &MoveTicket) -> Option<(*mut u8, *mut u8)> {
+        let src = self
+            .backend
+            .data_ptr(ticket.from, ticket.from_addr, ticket.size)?;
+        let dst = self
+            .backend
+            .data_ptr(ticket.to, ticket.to_addr, ticket.size)?;
+        Some((src, dst))
+    }
+
+    /// Phase two of a two-phase move: the bytes have been copied by the
+    /// ticket holder — release the source, flip residency, and fold the
+    /// copy's measured cost into the backend's statistics. Returns the
+    /// bytes moved.
+    pub fn commit_move(&mut self, ticket: MoveTicket, outcome: &CopyOutcome) -> u64 {
+        self.backend
+            .record_external_copy(ticket.object.0, ticket.from, ticket.to, outcome);
+        self.finish_move(ticket)
+    }
+
+    /// Abandon an in-flight move (cancellation): release the destination
+    /// reservation and clear the mid-move mark. The object stays where
+    /// it was; partially copied destination bytes are discarded.
+    pub fn abort_move(&mut self, ticket: MoveTicket) {
+        self.allocator(ticket.to)
+            .free(ticket.to_addr)
+            .expect("ticket destination must be live");
+        self.backend.on_free(ticket.to, ticket.to_addr, ticket.size);
+        self.objects
+            .get_mut(&ticket.object)
+            .expect("ticket object must be live")
+            .moving = false;
         self.publish_occupancy();
-        Ok(size)
+    }
+
+    /// Whether a two-phase move of `id` is currently in flight.
+    pub fn is_moving(&self, id: ObjectId) -> Result<bool, HmsError> {
+        self.objects
+            .get(&id)
+            .map(|r| r.moving)
+            .ok_or(HmsError::NoSuchObject(id))
+    }
+
+    /// Shared tail of a completed move: free the source, update the
+    /// record, publish metrics.
+    fn finish_move(&mut self, ticket: MoveTicket) -> u64 {
+        self.allocator(ticket.from)
+            .free(ticket.from_addr)
+            .expect("source address must be live");
+        self.backend
+            .on_free(ticket.from, ticket.from_addr, ticket.size);
+        let rec = self
+            .objects
+            .get_mut(&ticket.object)
+            .expect("ticket object must be live");
+        rec.tier = ticket.to;
+        rec.addr = ticket.to_addr;
+        rec.moving = false;
+        self.metrics.inc("hms.moves");
+        self.metrics.add("hms.moved_bytes", ticket.size);
+        self.publish_occupancy();
+        ticket.size
+    }
+
+    /// Resolve an object's live bytes to a raw pointer with its length
+    /// and current tier (real substrates), or `Ok(None)` on the virtual
+    /// one. Unlike [`Hms::object_bytes`] this hands out a raw pointer,
+    /// for callers that manage aliasing themselves (the parallel
+    /// measured path pins objects and lets concurrent readers share the
+    /// range without materializing overlapping `&mut`s).
+    pub fn object_ptr(
+        &mut self,
+        id: ObjectId,
+    ) -> Result<Option<(*mut u8, u64, TierKind)>, HmsError> {
+        let (tier, addr, size) = {
+            let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
+            (rec.tier, rec.addr, rec.meta.size)
+        };
+        Ok(self
+            .backend
+            .data_ptr(tier, addr, size)
+            .map(|p| (p, size, tier)))
     }
 
     /// Whether `bytes` more would fit on `tier` right now.
@@ -647,6 +814,45 @@ mod tests {
             h.alloc_object("z", 0, TierKind::Dram, true),
             Err(HmsError::ZeroSizeAllocation)
         );
+    }
+
+    #[test]
+    fn two_phase_move_reserves_then_commits() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 256, TierKind::Nvm, false).unwrap();
+        let t = h.begin_move(a, TierKind::Dram).unwrap();
+        assert_eq!(
+            (t.object(), t.from(), t.to(), t.size()),
+            (a, TierKind::Nvm, TierKind::Dram, 256)
+        );
+        assert!(h.is_moving(a).unwrap());
+        // Mid-move the object rejects pins, frees, and further moves.
+        assert_eq!(h.pin(a), Err(HmsError::Moving(a)));
+        assert_eq!(h.free_object(a), Err(HmsError::Moving(a)));
+        assert_eq!(h.move_object(a, TierKind::Dram), Err(HmsError::Moving(a)));
+        // Both ranges reserved while the ticket is outstanding.
+        assert_eq!(h.used(TierKind::Dram), 256);
+        assert_eq!(h.used(TierKind::Nvm), 256);
+        let moved = h.commit_move(t, &crate::CopyOutcome::default());
+        assert_eq!(moved, 256);
+        assert!(!h.is_moving(a).unwrap());
+        assert_eq!(h.tier_of(a).unwrap(), TierKind::Dram);
+        assert_eq!(h.used(TierKind::Nvm), 0);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aborted_two_phase_move_restores_state() {
+        let mut h = small_hms(1024, 4096);
+        let a = h.alloc_object("a", 256, TierKind::Nvm, false).unwrap();
+        let t = h.begin_move(a, TierKind::Dram).unwrap();
+        h.abort_move(t);
+        assert!(!h.is_moving(a).unwrap());
+        assert_eq!(h.tier_of(a).unwrap(), TierKind::Nvm);
+        assert_eq!(h.used(TierKind::Dram), 0);
+        h.check_invariants().unwrap();
+        // The object is movable again after the abort.
+        assert!(h.move_object(a, TierKind::Dram).is_ok());
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! Thread-safe sharing of one [`Hms`] between task workers and the
+//! background migration engine.
+//!
+//! The measured runtime's parallel mode has two kinds of threads touching
+//! the object table concurrently:
+//!
+//! * **workers** pin a task's objects, resolve them to raw arena bytes,
+//!   and run the traffic kernels *outside* any lock;
+//! * **the migration thread** begins a two-phase move, performs the long
+//!   throttled copy *outside* any lock, and commits the residency flip.
+//!
+//! [`SharedHms`] arbitrates them with one mutex over the object table and
+//! a condition variable for the two blocking edges:
+//!
+//! * a worker that needs an object **mid-move** waits until the move
+//!   commits (the executor must not run a task while its data is being
+//!   copied) — the first such wait stamps the migration's `needed_at`,
+//!   which is exactly the paper's exposed-vs-overlapped boundary;
+//! * the migration thread that finds its object **pinned** waits until
+//!   the pin count drains (never move bytes a task is touching).
+//!
+//! Deadlock-freedom: both waits happen while holding *no* pins and no
+//! tickets (workers pin all-or-nothing under one lock acquisition; the
+//! migrator owns at most one ticket and never waits while holding it), so
+//! every wait is resolved by a thread that itself never blocks on the
+//! waiter.
+//!
+//! Why this is a single mutex rather than sharding: the lock only covers
+//! table bookkeeping (pin counts, residency flips, pointer resolution) —
+//! microseconds — while the expensive parts (traffic kernels, throttled
+//! copies) run lock-free on raw pointers whose stability is guaranteed by
+//! the pin/mid-move discipline, not by the lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::backend::CopyOutcome;
+use crate::error::HmsError;
+use crate::memory::{Hms, MoveTicket};
+use crate::migrate::MigrationRecord;
+use crate::object::ObjectId;
+use crate::tier::TierKind;
+use crate::Ns;
+
+/// Bookkeeping for one in-flight background migration.
+#[derive(Debug)]
+struct InFlight {
+    /// Wall-clock ns (run epoch) the copy started.
+    started_at: Ns,
+    /// Wall-clock ns the request was issued to the engine.
+    issued_at: Ns,
+    /// First wall-clock ns a worker blocked needing the object, if any.
+    needed_at: Option<Ns>,
+}
+
+#[derive(Debug)]
+struct State {
+    hms: Hms,
+    inflight: HashMap<ObjectId, InFlight>,
+}
+
+/// One object pinned for a task and resolved to raw bytes.
+///
+/// Created and consumed on the same worker thread; the pointer stays
+/// valid until the matching [`SharedHms::unpin_task`] because the pin
+/// blocks moves and frees, and arenas never remap.
+#[derive(Debug)]
+pub struct PinnedObject {
+    /// The pinned object.
+    pub id: ObjectId,
+    /// Tier the object resides on for the duration of the pin.
+    pub tier: TierKind,
+    ptr: *mut u8,
+    len: u64,
+}
+
+impl PinnedObject {
+    /// Raw base pointer of the object's live bytes.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Object size in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the object is empty (it never is; allocation rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The set of objects one task pinned, plus how long it had to wait for
+/// in-flight migrations before it could start.
+#[derive(Debug)]
+pub struct TaskPins {
+    /// One entry per requested object, in request order.
+    pub objects: Vec<PinnedObject>,
+    /// Wall-clock ns spent blocked on mid-move objects before pinning.
+    pub waited_ns: Ns,
+}
+
+/// A begun background migration: ticket plus resolved raw pointers.
+///
+/// Produced by [`SharedHms::begin_move_blocking`] on the migration
+/// thread, which copies `size` bytes from `src` to `dst` with the lock
+/// released and then resolves via [`SharedHms::commit_move`] or
+/// [`SharedHms::abort_move`].
+#[derive(Debug)]
+#[must_use = "resolve with commit_move or abort_move"]
+pub struct StartedMove {
+    ticket: MoveTicket,
+    /// Source bytes (live until commit/abort).
+    pub src: *const u8,
+    /// Destination bytes (reserved until commit/abort).
+    pub dst: *mut u8,
+    /// Wall-clock ns the request was issued.
+    pub issued_at: Ns,
+    /// Wall-clock ns the move began (destination reserved).
+    pub started_at: Ns,
+}
+
+impl StartedMove {
+    /// Bytes to copy.
+    pub fn size(&self) -> u64 {
+        self.ticket.size()
+    }
+
+    /// The object being moved.
+    pub fn object(&self) -> ObjectId {
+        self.ticket.object()
+    }
+}
+
+/// A [`Hms`] shareable across worker threads and one migration thread.
+#[derive(Debug)]
+pub struct SharedHms {
+    state: Mutex<State>,
+    changed: Condvar,
+    epoch: Instant,
+}
+
+/// How long a blocked migration re-checks its cancel flag while waiting
+/// for pins to drain.
+const CANCEL_POLL: Duration = Duration::from_millis(20);
+
+impl SharedHms {
+    /// Wrap an [`Hms`] (with its backend already installed and objects
+    /// allocated) for shared use.
+    pub fn new(hms: Hms) -> Self {
+        SharedHms {
+            state: Mutex::new(State {
+                hms,
+                inflight: HashMap::new(),
+            }),
+            changed: Condvar::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Wall-clock ns since this wrapper was created — the time axis of
+    /// every [`MigrationRecord`] it produces.
+    pub fn now_ns(&self) -> Ns {
+        self.epoch.elapsed().as_nanos() as f64
+    }
+
+    /// Run `f` with exclusive access to the underlying [`Hms`] (setup,
+    /// final reporting).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Hms) -> R) -> R {
+        let mut st = self.state.lock().expect("hms lock");
+        f(&mut st.hms)
+    }
+
+    /// Unwrap the inner [`Hms`] (after all threads are joined).
+    pub fn into_inner(self) -> Hms {
+        self.state.into_inner().expect("hms lock").hms
+    }
+
+    /// The executor's data-ready gate: block until none of `ids` is
+    /// mid-move, stamping `needed_at` on every in-flight migration that
+    /// made us wait. Returns wall-clock ns waited.
+    pub fn wait_ready(&self, ids: &[ObjectId]) -> Ns {
+        let t0 = self.now_ns();
+        let mut st = self.state.lock().expect("hms lock");
+        loop {
+            let mut blocked = false;
+            for id in ids {
+                if let Some(inf) = st.inflight.get_mut(id) {
+                    blocked = true;
+                    if inf.needed_at.is_none() {
+                        inf.needed_at = Some(self.now_ns());
+                    }
+                }
+            }
+            if !blocked {
+                return self.now_ns() - t0;
+            }
+            st = self.changed.wait(st).expect("hms lock");
+        }
+    }
+
+    /// Pin every object in `ids` for one task and resolve each to raw
+    /// bytes, waiting out any in-flight migration of them first.
+    ///
+    /// All-or-nothing under a single lock acquisition: while waiting the
+    /// task holds no pins, so it cannot deadlock against the migration
+    /// thread waiting for pins to drain.
+    pub fn pin_for_task(&self, ids: &[ObjectId]) -> Result<TaskPins, HmsError> {
+        let t0 = self.now_ns();
+        let mut st = self.state.lock().expect("hms lock");
+        loop {
+            let mut blocked = false;
+            for id in ids {
+                if let Some(inf) = st.inflight.get_mut(id) {
+                    blocked = true;
+                    if inf.needed_at.is_none() {
+                        inf.needed_at = Some(self.now_ns());
+                    }
+                }
+            }
+            if !blocked {
+                break;
+            }
+            st = self.changed.wait(st).expect("hms lock");
+        }
+        let mut objects = Vec::with_capacity(ids.len());
+        for (i, id) in ids.iter().enumerate() {
+            match st.hms.pin(*id) {
+                Ok(()) => {}
+                Err(e) => {
+                    for done in &ids[..i] {
+                        let _ = st.hms.unpin(*done);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for id in ids {
+            let (ptr, len, tier) = st.hms.object_ptr(*id)?.ok_or(HmsError::NoSuchObject(*id))?;
+            objects.push(PinnedObject {
+                id: *id,
+                tier,
+                ptr,
+                len,
+            });
+        }
+        Ok(TaskPins {
+            objects,
+            waited_ns: self.now_ns() - t0,
+        })
+    }
+
+    /// Release the pins a task took with [`SharedHms::pin_for_task`] and
+    /// wake anyone waiting (a migration blocked on the pin count).
+    pub fn unpin_task(&self, ids: &[ObjectId]) {
+        let mut st = self.state.lock().expect("hms lock");
+        for id in ids {
+            let _ = st.hms.unpin(*id);
+        }
+        drop(st);
+        self.changed.notify_all();
+    }
+
+    /// Begin a background migration of `id` to `to`, waiting for its pin
+    /// count to drain first.
+    ///
+    /// Returns `Ok(None)` when the move is moot (already resident, no
+    /// destination space, byte-less substrate) or when `cancel` was set
+    /// while waiting — the engine skips and moves on. Errors are real
+    /// table inconsistencies.
+    pub fn begin_move_blocking(
+        &self,
+        id: ObjectId,
+        to: TierKind,
+        cancel: &AtomicBool,
+    ) -> Result<Option<StartedMove>, HmsError> {
+        let issued_at = self.now_ns();
+        let mut st = self.state.lock().expect("hms lock");
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return Ok(None);
+            }
+            match st.hms.begin_move(id, to) {
+                Ok(ticket) => {
+                    let Some((src, dst)) = st.hms.move_ptrs(&ticket) else {
+                        st.hms.abort_move(ticket);
+                        return Ok(None);
+                    };
+                    let started_at = self.now_ns();
+                    st.inflight.insert(
+                        id,
+                        InFlight {
+                            started_at,
+                            issued_at,
+                            needed_at: None,
+                        },
+                    );
+                    return Ok(Some(StartedMove {
+                        ticket,
+                        src,
+                        dst,
+                        issued_at,
+                        started_at,
+                    }));
+                }
+                Err(HmsError::Pinned(_)) => {
+                    // Wait for unpins, polling the cancel flag.
+                    let (guard, _) = self
+                        .changed
+                        .wait_timeout(st, CANCEL_POLL)
+                        .expect("hms lock");
+                    st = guard;
+                }
+                Err(HmsError::AlreadyResident(..)) | Err(HmsError::OutOfMemory { .. }) => {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Commit a background migration whose bytes have been copied:
+    /// flip residency, fold `outcome` into the backend stats, wake
+    /// waiting workers, and return the wall-clock [`MigrationRecord`]
+    /// (with `needed_at` stamped if any worker blocked on it).
+    pub fn commit_move(&self, started: StartedMove, outcome: &CopyOutcome) -> MigrationRecord {
+        let mut st = self.state.lock().expect("hms lock");
+        let object = started.ticket.object();
+        let (from, to, bytes) = (
+            started.ticket.from(),
+            started.ticket.to(),
+            started.ticket.size(),
+        );
+        st.hms.commit_move(started.ticket, outcome);
+        let inf = st
+            .inflight
+            .remove(&object)
+            .expect("committed move must be in flight");
+        drop(st);
+        self.changed.notify_all();
+        MigrationRecord {
+            object,
+            bytes,
+            from,
+            to,
+            issued_at: inf.issued_at,
+            start: inf.started_at,
+            finish: self.now_ns(),
+            needed_at: inf.needed_at,
+        }
+    }
+
+    /// Abandon a begun migration (cancellation mid-copy): the object
+    /// stays put, the destination reservation is released, and waiting
+    /// workers are woken.
+    pub fn abort_move(&self, started: StartedMove) {
+        let mut st = self.state.lock().expect("hms lock");
+        let object = started.ticket.object();
+        st.hms.abort_move(started.ticket);
+        st.inflight.remove(&object);
+        drop(st);
+        self.changed.notify_all();
+    }
+}
+
+// SAFETY: `PinnedObject`/`StartedMove` carry raw pointers but are created
+// and consumed on a single thread; they are deliberately !Send by default
+// and we do not override that. `SharedHms` itself is Send + Sync because
+// `Hms: Send` (the backend trait requires it) and all interior access
+// goes through the mutex.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::HmsConfig;
+    use crate::presets;
+    use std::sync::Arc;
+
+    // A minimal byte-backed test substrate (heap, not mmap — tahoe-realmem
+    // sits above this crate).
+    #[derive(Debug)]
+    struct HeapBackend {
+        dram: Vec<u8>,
+        nvm: Vec<u8>,
+        stats: crate::BackendStats,
+    }
+
+    impl HeapBackend {
+        fn new(dram: usize, nvm: usize) -> Self {
+            HeapBackend {
+                dram: vec![0; dram],
+                nvm: vec![0; nvm],
+                stats: crate::BackendStats {
+                    is_real: true,
+                    ..Default::default()
+                },
+            }
+        }
+    }
+
+    impl crate::TierBackend for HeapBackend {
+        fn name(&self) -> &'static str {
+            "heap-test"
+        }
+
+        fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8> {
+            let buf = match tier {
+                TierKind::Dram => &mut self.dram,
+                TierKind::Nvm => &mut self.nvm,
+            };
+            if addr.checked_add(len)? > buf.len() as u64 {
+                return None;
+            }
+            Some(unsafe { buf.as_mut_ptr().add(addr as usize) })
+        }
+
+        fn record_external_copy(
+            &mut self,
+            _object: u32,
+            _from: TierKind,
+            _to: TierKind,
+            outcome: &CopyOutcome,
+        ) {
+            self.stats.copies += 1;
+            self.stats.copied_bytes += outcome.bytes;
+            self.stats.copy_wall_ns += outcome.wall_ns;
+        }
+
+        fn stats(&self) -> crate::BackendStats {
+            self.stats
+        }
+    }
+
+    fn shared(dram: u64, nvm: u64) -> SharedHms {
+        let config = HmsConfig::new(presets::dram(dram), presets::optane_pmm(nvm), 5.0).unwrap();
+        let mut hms = Hms::new(config);
+        hms.set_backend(Box::new(HeapBackend::new(dram as usize, nvm as usize)));
+        SharedHms::new(hms)
+    }
+
+    #[test]
+    fn pin_resolves_bytes_and_blocks_migration() {
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let pins = sh.pin_for_task(&[id]).unwrap();
+        assert_eq!(pins.objects.len(), 1);
+        assert_eq!(pins.objects[0].tier, TierKind::Nvm);
+        assert_eq!(pins.objects[0].len(), 4096);
+        // A pinned object rejects begin_move outright on the plain Hms.
+        sh.with(|h| {
+            assert_eq!(
+                h.begin_move(id, TierKind::Dram).unwrap_err(),
+                HmsError::Pinned(id)
+            )
+        });
+        sh.unpin_task(&[id]);
+        sh.with(|h| assert_eq!(h.pin_count(id).unwrap(), 0));
+    }
+
+    #[test]
+    fn background_move_carries_bytes_and_records_overlap() {
+        let sh = Arc::new(shared(1 << 16, 1 << 18));
+        let id = sh.with(|h| h.alloc_object("x", 8192, TierKind::Nvm, false).unwrap());
+        // Fill through a pin so the copy has recognizable contents.
+        let pins = sh.pin_for_task(&[id]).unwrap();
+        unsafe { pins.objects[0].as_ptr().write_bytes(0xCD, 8192) };
+        sh.unpin_task(&[id]);
+
+        let cancel = AtomicBool::new(false);
+        let sm = sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .expect("move must start");
+        // Mid-move, pins must wait — emulate a worker on another thread.
+        let sh2 = Arc::clone(&sh);
+        let waiter = std::thread::spawn(move || {
+            let pins = sh2.pin_for_task(&[id]).unwrap();
+            let tier = pins.objects[0].tier;
+            let first = unsafe { *pins.objects[0].as_ptr() };
+            sh2.unpin_task(&[id]);
+            (tier, first, pins.waited_ns)
+        });
+        // Give the waiter time to block, then finish the copy.
+        std::thread::sleep(Duration::from_millis(20));
+        unsafe { std::ptr::copy_nonoverlapping(sm.src, sm.dst, sm.size() as usize) };
+        let rec = sh.commit_move(
+            sm,
+            &CopyOutcome {
+                bytes: 8192,
+                wall_ns: 100.0,
+                throttle_ns: 0.0,
+                chunks: 1,
+            },
+        );
+        let (tier, first, waited) = waiter.join().unwrap();
+        assert_eq!(tier, TierKind::Dram, "waiter must see post-move residency");
+        assert_eq!(first, 0xCD, "bytes must have physically moved");
+        assert!(waited > 0.0, "waiter must have measured its block");
+        assert_eq!(rec.object, id);
+        assert!(rec.needed_at.is_some(), "blocked pin must stamp needed_at");
+        assert!(rec.finish >= rec.start && rec.start >= rec.issued_at);
+        let stats = sh.with(|h| h.backend_stats());
+        assert_eq!(stats.copies, 1);
+        assert_eq!(stats.copied_bytes, 8192);
+    }
+
+    #[test]
+    fn begin_move_waits_for_pins_and_honors_cancel() {
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let _pins = sh.pin_for_task(&[id]).unwrap();
+        let cancel = AtomicBool::new(true);
+        // Pinned + cancelled: returns None instead of waiting forever.
+        assert!(sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn aborted_move_leaves_object_in_place() {
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let cancel = AtomicBool::new(false);
+        let sm = sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .unwrap();
+        sh.abort_move(sm);
+        sh.with(|h| {
+            assert_eq!(h.tier_of(id).unwrap(), TierKind::Nvm);
+            assert!(!h.is_moving(id).unwrap());
+            assert_eq!(h.used(TierKind::Dram), 0, "reservation released");
+        });
+    }
+
+    #[test]
+    fn moot_moves_are_skipped() {
+        let sh = shared(1 << 12, 1 << 18);
+        let cancel = AtomicBool::new(false);
+        let there = sh.with(|h| h.alloc_object("d", 1024, TierKind::Dram, false).unwrap());
+        assert!(sh
+            .begin_move_blocking(there, TierKind::Dram, &cancel)
+            .unwrap()
+            .is_none());
+        let big = sh.with(|h| {
+            h.alloc_object("big", 1 << 14, TierKind::Nvm, false)
+                .unwrap()
+        });
+        // 16 KiB cannot fit the 4 KiB DRAM tier: skipped, not an error.
+        assert!(sh
+            .begin_move_blocking(big, TierKind::Dram, &cancel)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn wait_ready_returns_immediately_when_nothing_inflight() {
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let waited = sh.wait_ready(&[id]);
+        assert!(waited < 1e9, "no in-flight move, no real wait");
+    }
+}

@@ -258,6 +258,25 @@ pub enum Event {
         /// Bounded-size chunks the copy was split into.
         chunks: u32,
     },
+    /// A worker thread completed one task in the parallel measured
+    /// runtime. One complete span per task (emitted at finish; start is
+    /// `t - wall_ns`), tagged with the worker that ran it so the trace
+    /// exporter can lay tasks out one track per worker.
+    WorkerTask {
+        /// Wall-clock ns since the run's epoch, at task finish.
+        t: Ns,
+        /// Worker thread index (0-based).
+        worker: u32,
+        /// Task id.
+        task: u32,
+        /// Execution window.
+        window: u32,
+        /// Wall-clock ns the task ran (kernels + injected pacing).
+        wall_ns: Ns,
+        /// Of that, wall-clock ns spent blocked on in-flight migrations
+        /// before the task could pin its objects (exposed latency).
+        gate_wait_ns: Ns,
+    },
     /// Calibration fitted a tier spec from measured kernel numbers.
     TierFitted {
         /// Wall-clock ns since the run's epoch.
@@ -292,6 +311,7 @@ impl Event {
             | Event::OverheadCharged { t, .. }
             | Event::ArenaMapped { t, .. }
             | Event::RealCopyDone { t, .. }
+            | Event::WorkerTask { t, .. }
             | Event::TierFitted { t, .. } => t,
         }
     }
@@ -314,6 +334,7 @@ impl Event {
             Event::OverheadCharged { .. } => "overhead_charged",
             Event::ArenaMapped { .. } => "arena_mapped",
             Event::RealCopyDone { .. } => "real_copy_done",
+            Event::WorkerTask { .. } => "worker_task",
             Event::TierFitted { .. } => "tier_fitted",
         }
     }

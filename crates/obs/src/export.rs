@@ -164,6 +164,21 @@ pub fn event_to_json(e: &Event) -> String {
                 fnum(throttle_ns)
             );
         }
+        Event::WorkerTask {
+            worker,
+            task,
+            window,
+            wall_ns,
+            gate_wait_ns,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"worker\":{worker},\"task\":{task},\"window\":{window},\"wall_ns\":{},\"gate_wait_ns\":{}",
+                fnum(wall_ns),
+                fnum(gate_wait_ns)
+            );
+        }
         Event::TierFitted {
             tier,
             read_bw_gbps,
@@ -307,7 +322,15 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
         }
     }
     let lanes = assign_lanes(&spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>());
-    let n_lanes = lanes.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut n_lanes = lanes.iter().map(|&l| l + 1).max().unwrap_or(0);
+    // Parallel measured runs name their workers directly (WorkerTask
+    // spans carry a worker index); those tids share the lane namespace
+    // with the reconstructed virtual lanes.
+    for e in events {
+        if let Event::WorkerTask { worker, .. } = *e {
+            n_lanes = n_lanes.max(worker as usize + 1);
+        }
+    }
     let migration_tid = n_lanes;
     let marker_tid = n_lanes + 1;
 
@@ -345,6 +368,23 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
 
     for e in events {
         match *e {
+            Event::WorkerTask {
+                t,
+                worker,
+                task,
+                window,
+                wall_ns,
+                gate_wait_ns,
+            } => {
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"task {task} w{window}\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,\"tid\":{worker},\"ts\":{},\"dur\":{},\"args\":{{\"task\":{task},\"window\":{window},\"gate_wait_ns\":{}}}}}",
+                    fnum((t - wall_ns) / NS_PER_US),
+                    fnum(wall_ns / NS_PER_US),
+                    fnum(gate_wait_ns)
+                );
+            }
             Event::MigrationIssued {
                 object,
                 bytes,
@@ -520,6 +560,41 @@ mod tests {
         });
         assert!(line.contains("\"numa_node\":-1"), "{line}");
         crate::json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn worker_task_serializes_and_gets_its_own_trace_lane() {
+        let e = Event::WorkerTask {
+            t: 5000.0,
+            worker: 3,
+            task: 9,
+            window: 2,
+            wall_ns: 4000.0,
+            gate_wait_ns: 250.0,
+        };
+        assert_eq!(
+            event_to_json(&e),
+            "{\"ev\":\"worker_task\",\"t\":5000,\"worker\":3,\"task\":9,\"window\":2,\"wall_ns\":4000,\"gate_wait_ns\":250}"
+        );
+        let trace = to_chrome_trace(&[e]);
+        let parsed = crate::json::parse(&trace).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        // Worker 3 forces lanes 0..=3 plus the migration + marker tracks.
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .count();
+        assert_eq!(metas, 6);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .expect("one task span");
+        assert_eq!(span.get("tid").and_then(|v| v.as_f64()), Some(3.0));
+        assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(4.0));
     }
 
     #[test]

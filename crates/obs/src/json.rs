@@ -9,6 +9,30 @@
 use std::collections::BTreeMap;
 
 /// A parsed JSON value.
+///
+/// # Example: reading a `BENCH_par.json` artifact
+///
+/// The bench harness's artifacts are plain JSON; this parser is enough
+/// to pull numbers back out of them in tests and tooling:
+///
+/// ```
+/// use tahoe_obs::json;
+///
+/// let artifact = r#"{
+///   "schema": "tahoe-bench-par/v1",
+///   "runs": [
+///     {"policy": "tahoe", "workers": 4, "migrations": 12, "pct_overlap": 91.2}
+///   ]
+/// }"#;
+/// let v = json::parse(artifact).unwrap();
+/// assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("tahoe-bench-par/v1"));
+/// let runs = v.get("runs").and_then(|r| r.as_array()).unwrap();
+/// let tahoe = runs
+///     .iter()
+///     .find(|r| r.get("policy").and_then(|p| p.as_str()) == Some("tahoe"))
+///     .unwrap();
+/// assert!(tahoe.get("pct_overlap").and_then(|n| n.as_f64()).unwrap() > 0.0);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// `null`

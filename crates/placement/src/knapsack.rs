@@ -53,7 +53,7 @@ const MAX_DP_WIDTH: u64 = 8192;
 ///
 /// Items with non-positive value or zero size are never chosen; items
 /// larger than the capacity are skipped. `grain` is chosen so the DP
-/// width is at most [`MAX_DP_WIDTH`]; item sizes round *up* to the grain.
+/// width is at most `MAX_DP_WIDTH`; item sizes round *up* to the grain.
 pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
     let eligible: Vec<&Item> = items
         .iter()

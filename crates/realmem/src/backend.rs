@@ -128,6 +128,30 @@ impl RealBackend {
     pub fn numa_nodes(&self) -> (i64, i64) {
         (self.dram.numa_node(), self.nvm.numa_node())
     }
+
+    /// Fold one completed copy (in-backend or external) into stats,
+    /// metrics, and the event stream.
+    fn account_copy(&mut self, object: u32, from: TierKind, to: TierKind, out: &CopyOutcome) {
+        self.stats.copies += 1;
+        self.stats.copied_bytes += out.bytes;
+        self.stats.copy_wall_ns += out.wall_ns;
+        self.stats.copy_throttle_ns += out.throttle_ns;
+        self.metrics.inc("realmem.copies");
+        self.metrics.add("realmem.copied_bytes", out.bytes);
+        let t = self.epoch.elapsed().as_nanos() as f64;
+        let (bytes, wall_ns, throttle_ns, chunks) =
+            (out.bytes, out.wall_ns, out.throttle_ns, out.chunks);
+        self.emitter.emit(|| Event::RealCopyDone {
+            t,
+            object,
+            bytes,
+            from: obs_tier(from),
+            to: obs_tier(to),
+            wall_ns,
+            throttle_ns,
+            chunks,
+        });
+    }
 }
 
 impl TierBackend for RealBackend {
@@ -167,24 +191,18 @@ impl TierBackend for RealBackend {
         // and the two tiers are distinct mappings, so they cannot
         // overlap.
         let out = unsafe { throttled_copy(src, dst, len, &self.copy_cfg) };
-        self.stats.copies += 1;
-        self.stats.copied_bytes += out.bytes;
-        self.stats.copy_wall_ns += out.wall_ns;
-        self.stats.copy_throttle_ns += out.throttle_ns;
-        self.metrics.inc("realmem.copies");
-        self.metrics.add("realmem.copied_bytes", out.bytes);
-        let t = self.epoch.elapsed().as_nanos() as f64;
-        self.emitter.emit(|| Event::RealCopyDone {
-            t,
-            object,
-            bytes: out.bytes,
-            from: obs_tier(from),
-            to: obs_tier(to),
-            wall_ns: out.wall_ns,
-            throttle_ns: out.throttle_ns,
-            chunks: out.chunks,
-        });
+        self.account_copy(object, from, to, &out);
         out
+    }
+
+    fn record_external_copy(
+        &mut self,
+        object: u32,
+        from: TierKind,
+        to: TierKind,
+        outcome: &CopyOutcome,
+    ) {
+        self.account_copy(object, from, to, outcome);
     }
 
     fn stats(&self) -> BackendStats {

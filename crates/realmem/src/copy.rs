@@ -10,6 +10,7 @@
 //! the paper's helper thread copies (it must yield periodically to honor
 //! cancellation and pinning).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use tahoe_hms::CopyOutcome;
@@ -55,12 +56,46 @@ pub unsafe fn throttled_copy(
     len: u64,
     cfg: &CopyConfig,
 ) -> CopyOutcome {
+    let never = AtomicBool::new(false);
+    let (out, completed) = throttled_copy_cancellable(src, dst, len, cfg, &never);
+    debug_assert!(completed, "uncancellable copy must complete");
+    out
+}
+
+/// [`throttled_copy`] with cooperative cancellation: the flag is checked
+/// between chunks, so a cancel takes effect within one chunk's worth of
+/// copying (the background migration engine aborts its in-flight move
+/// when the runtime shuts down mid-copy).
+///
+/// Returns the outcome (with `bytes` = bytes actually copied) and whether
+/// the copy ran to completion.
+///
+/// # Safety
+/// Same contract as [`throttled_copy`].
+pub unsafe fn throttled_copy_cancellable(
+    src: *const u8,
+    dst: *mut u8,
+    len: u64,
+    cfg: &CopyConfig,
+    cancel: &AtomicBool,
+) -> (CopyOutcome, bool) {
     let start = Instant::now();
     let chunk = cfg.chunk_bytes.max(1);
     let mut copied = 0u64;
     let mut chunks = 0u32;
     let mut throttle_ns = 0.0;
     while copied < len {
+        if cancel.load(Ordering::Relaxed) {
+            return (
+                CopyOutcome {
+                    bytes: copied,
+                    wall_ns: start.elapsed().as_nanos() as f64,
+                    throttle_ns,
+                    chunks,
+                },
+                false,
+            );
+        }
         let n = chunk.min(len - copied);
         std::ptr::copy_nonoverlapping(
             src.add(copied as usize),
@@ -80,12 +115,15 @@ pub unsafe fn throttled_copy(
             throttle_ns += pace_until(start, modelled);
         }
     }
-    CopyOutcome {
-        bytes: len,
-        wall_ns: start.elapsed().as_nanos() as f64,
-        throttle_ns,
-        chunks,
-    }
+    (
+        CopyOutcome {
+            bytes: len,
+            wall_ns: start.elapsed().as_nanos() as f64,
+            throttle_ns,
+            chunks,
+        },
+        true,
+    )
 }
 
 #[cfg(test)]
@@ -147,6 +185,34 @@ mod tests {
             modelled
         );
         assert!(out.throttle_ns > 0.0, "a slow modelled copy must throttle");
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn cancelled_copy_stops_at_a_chunk_boundary() {
+        let src = buf(64 << 10, 5);
+        let mut dst = buf(64 << 10, 0);
+        let cfg = CopyConfig {
+            bandwidth_gbps: f64::INFINITY,
+            latency_ns: 0.0,
+            chunk_bytes: 4096,
+        };
+        // Pre-set cancel: not a single chunk may be copied.
+        let cancel = AtomicBool::new(true);
+        let (out, completed) = unsafe {
+            throttled_copy_cancellable(src.as_ptr(), dst.as_mut_ptr(), 64 << 10, &cfg, &cancel)
+        };
+        assert!(!completed);
+        assert_eq!(out.bytes, 0);
+        assert_eq!(out.chunks, 0);
+        assert!(dst.iter().all(|&b| b == 0));
+        // Unset: completes and reports every byte.
+        cancel.store(false, Ordering::Relaxed);
+        let (out, completed) = unsafe {
+            throttled_copy_cancellable(src.as_ptr(), dst.as_mut_ptr(), 64 << 10, &cfg, &cancel)
+        };
+        assert!(completed);
+        assert_eq!(out.bytes, 64 << 10);
         assert_eq!(dst, src);
     }
 

@@ -15,6 +15,10 @@
 //!   degrading gracefully to pure emulation when it doesn't ([`numa`]).
 //! * [`RealBackend`] — the `tahoe_hms::TierBackend` implementation tying
 //!   the above together, with arena/copy events on `tahoe-obs`.
+//! * [`BackgroundMigrator`] — the paper's helper thread: a dedicated OS
+//!   thread draining a migration queue with cancellable throttled copies
+//!   over a `tahoe_hms::SharedHms`, overlapping data movement with task
+//!   execution ([`migrator`]).
 //! * Deterministic traffic synthesis ([`traffic`]) so measured-mode runs
 //!   produce checksums comparable bit-for-bit against a reference
 //!   execution on plain heap buffers.
@@ -25,6 +29,7 @@
 pub mod arena;
 pub mod backend;
 pub mod copy;
+pub mod migrator;
 pub mod numa;
 pub mod sys;
 pub mod throttle;
@@ -32,5 +37,6 @@ pub mod traffic;
 
 pub use arena::MmapArena;
 pub use backend::RealBackend;
-pub use copy::{throttled_copy, CopyConfig};
+pub use copy::{throttled_copy, throttled_copy_cancellable, CopyConfig};
+pub use migrator::{BackgroundMigrator, MigrationRequest, MigratorReport};
 pub use numa::NumaTopology;

@@ -1,0 +1,320 @@
+//! The background migration engine: the paper's helper thread.
+//!
+//! Tahoe overlaps data movement with computation by handing migration
+//! decisions to a dedicated thread that copies objects between tiers
+//! while workers keep executing tasks. [`BackgroundMigrator`] is that
+//! thread for measured mode: it drains a queue of migration requests,
+//! performs each as a two-phase move on a [`SharedHms`] (reserve →
+//! throttled copy outside the lock → commit), and produces wall-clock
+//! [`MigrationRecord`]s whose `needed_at` stamps come from workers that
+//! actually blocked — the ground truth behind the paper's
+//! overlapped-vs-exposed migration cost split.
+//!
+//! Shutdown is cooperative: [`BackgroundMigrator::finish`] closes the
+//! queue and joins (all queued moves complete), while
+//! [`BackgroundMigrator::cancel`] raises the cancel flag so the engine
+//! aborts mid-copy within one chunk and skips the rest of the queue.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tahoe_hms::{MigrationRecord, MigrationStats, ObjectId, SharedHms, TierKind};
+use tahoe_obs::{Emitter, Event, Tier};
+
+use crate::copy::{throttled_copy_cancellable, CopyConfig};
+
+/// One queued migration: move `object` to tier `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRequest {
+    /// Object to migrate.
+    pub object: ObjectId,
+    /// Destination tier.
+    pub to: TierKind,
+}
+
+/// What the migration thread did, returned by
+/// [`BackgroundMigrator::finish`].
+#[derive(Debug, Default, Clone)]
+pub struct MigratorReport {
+    /// Aggregate overlap accounting over all committed migrations.
+    pub stats: MigrationStats,
+    /// Every committed migration, in completion order.
+    pub records: Vec<MigrationRecord>,
+    /// Requests that were moot (already resident, destination full) or
+    /// failed to begin.
+    pub skipped: u64,
+    /// Requests abandoned because the cancel flag was raised (including
+    /// copies aborted mid-flight).
+    pub cancelled: u64,
+}
+
+/// Handle to the background migration thread.
+///
+/// Created by [`BackgroundMigrator::spawn`]; requests flow in through
+/// [`enqueue`](BackgroundMigrator::enqueue) and the final
+/// [`MigratorReport`] comes out of [`finish`](BackgroundMigrator::finish).
+#[derive(Debug)]
+pub struct BackgroundMigrator {
+    tx: mpsc::Sender<MigrationRequest>,
+    pending: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+    handle: JoinHandle<MigratorReport>,
+}
+
+impl BackgroundMigrator {
+    /// Start the migration thread over `shared`, copying with `copy_cfg`
+    /// and reporting each committed migration on `emitter` (a
+    /// `migration_issued` span plus a `migration_completed` instant, the
+    /// same events the virtual-time engine emits, here on wall-clock
+    /// time).
+    pub fn spawn(shared: Arc<SharedHms>, copy_cfg: CopyConfig, emitter: Emitter) -> Self {
+        let (tx, rx) = mpsc::channel::<MigrationRequest>();
+        let pending = Arc::new(AtomicUsize::new(0));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (p, c) = (Arc::clone(&pending), Arc::clone(&cancel));
+        let handle = std::thread::Builder::new()
+            .name("tahoe-migrator".into())
+            .spawn(move || run_engine(shared, rx, copy_cfg, emitter, p, c))
+            .expect("spawn migration thread");
+        BackgroundMigrator {
+            tx,
+            pending,
+            cancel,
+            handle,
+        }
+    }
+
+    /// Queue one migration. Requests are processed in order by the
+    /// single engine thread (the paper's copy channel is sequential).
+    pub fn enqueue(&self, object: ObjectId, to: TierKind) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // A closed channel only happens after finish(), which consumes
+        // self; unwrap communicates the invariant.
+        self.tx
+            .send(MigrationRequest { object, to })
+            .expect("migration engine alive");
+    }
+
+    /// Number of requests enqueued but not yet resolved.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Block until every queued request has been resolved (committed,
+    /// skipped, or cancelled). Workers keep running while this waits —
+    /// it is for synchronization points like end-of-run.
+    pub fn drain(&self) {
+        while self.pending() > 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Raise the cancel flag: the engine aborts any in-flight copy at
+    /// the next chunk boundary and skips everything still queued.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Close the queue, let the engine resolve everything still queued,
+    /// and return its report. (Call [`cancel`](Self::cancel) first for a
+    /// fast shutdown.)
+    pub fn finish(self) -> MigratorReport {
+        drop(self.tx);
+        self.handle.join().expect("migration thread panicked")
+    }
+}
+
+fn obs_tier(t: TierKind) -> Tier {
+    match t {
+        TierKind::Dram => Tier::Dram,
+        TierKind::Nvm => Tier::Nvm,
+    }
+}
+
+fn run_engine(
+    shared: Arc<SharedHms>,
+    rx: mpsc::Receiver<MigrationRequest>,
+    copy_cfg: CopyConfig,
+    emitter: Emitter,
+    pending: Arc<AtomicUsize>,
+    cancel: Arc<AtomicBool>,
+) -> MigratorReport {
+    let mut report = MigratorReport::default();
+    for req in rx {
+        if cancel.load(Ordering::Relaxed) {
+            report.cancelled += 1;
+            pending.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        match shared.begin_move_blocking(req.object, req.to, &cancel) {
+            Ok(Some(started)) => {
+                // The long copy runs with no lock held: workers execute
+                // and pin other objects concurrently; only this object
+                // is fenced (mid-move) until commit.
+                // SAFETY: `begin_move_blocking` resolved both ranges
+                // inside their arenas and fenced the object, so the
+                // source cannot be freed or written and the destination
+                // reservation is exclusive until commit/abort.
+                let (outcome, completed) = unsafe {
+                    throttled_copy_cancellable(
+                        started.src,
+                        started.dst,
+                        started.size(),
+                        &copy_cfg,
+                        &cancel,
+                    )
+                };
+                if completed {
+                    let rec = shared.commit_move(started, &outcome);
+                    emitter.emit(|| Event::MigrationIssued {
+                        t: rec.issued_at,
+                        object: rec.object.0,
+                        bytes: rec.bytes,
+                        from: obs_tier(rec.from),
+                        to: obs_tier(rec.to),
+                        start: rec.start,
+                        finish: rec.finish,
+                        queue_depth: pending.load(Ordering::SeqCst) as u32 - 1,
+                    });
+                    emitter.emit(|| Event::MigrationCompleted {
+                        t: rec.finish,
+                        object: rec.object.0,
+                        bytes: rec.bytes,
+                        overlap_ns: rec.overlapped_ns(),
+                    });
+                    report.stats.record(&rec);
+                    report.records.push(rec);
+                } else {
+                    shared.abort_move(started);
+                    report.cancelled += 1;
+                }
+            }
+            Ok(None) => {
+                if cancel.load(Ordering::Relaxed) {
+                    report.cancelled += 1;
+                } else {
+                    report.skipped += 1;
+                }
+            }
+            Err(_) => report.skipped += 1,
+        }
+        pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::{presets, Hms, HmsConfig};
+
+    use crate::backend::RealBackend;
+
+    fn shared(dram: u64, nvm: u64) -> Arc<SharedHms> {
+        let config = HmsConfig::new(presets::dram(dram), presets::optane_pmm(nvm), 5.0).unwrap();
+        let backend = RealBackend::new(&config).unwrap();
+        let mut hms = Hms::new(config);
+        hms.set_backend(Box::new(backend));
+        Arc::new(SharedHms::new(hms))
+    }
+
+    #[test]
+    fn queued_moves_commit_and_carry_bytes() {
+        let sh = shared(1 << 20, 1 << 22);
+        let a = sh.with(|h| h.alloc_object("a", 64 << 10, TierKind::Nvm, false).unwrap());
+        let b = sh.with(|h| h.alloc_object("b", 32 << 10, TierKind::Nvm, false).unwrap());
+        let pins = sh.pin_for_task(&[a]).unwrap();
+        unsafe { pins.objects[0].as_ptr().write_bytes(0x5A, 64 << 10) };
+        sh.unpin_task(&[a]);
+
+        let eng = BackgroundMigrator::spawn(
+            Arc::clone(&sh),
+            CopyConfig::unthrottled(),
+            Emitter::disabled(),
+        );
+        eng.enqueue(a, TierKind::Dram);
+        eng.enqueue(b, TierKind::Dram);
+        eng.drain();
+        assert_eq!(eng.pending(), 0);
+        let report = eng.finish();
+        assert_eq!(report.stats.count, 2);
+        assert_eq!(report.stats.bytes, (64 << 10) + (32 << 10));
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.cancelled, 0);
+
+        let sh = Arc::try_unwrap(sh).expect("engine joined");
+        let mut hms = sh.into_inner();
+        assert_eq!(hms.tier_of(a).unwrap(), TierKind::Dram);
+        assert_eq!(hms.tier_of(b).unwrap(), TierKind::Dram);
+        let bytes = hms.object_bytes(a).unwrap().expect("real backend");
+        assert!(bytes.iter().all(|&x| x == 0x5A), "bytes moved intact");
+        // External copies must land in backend stats like in-band ones.
+        assert_eq!(hms.backend_stats().copies, 2);
+    }
+
+    #[test]
+    fn moot_requests_are_skipped_not_fatal() {
+        let sh = shared(1 << 16, 1 << 20);
+        let d = sh.with(|h| h.alloc_object("d", 4096, TierKind::Dram, false).unwrap());
+        let eng = BackgroundMigrator::spawn(
+            Arc::clone(&sh),
+            CopyConfig::unthrottled(),
+            Emitter::disabled(),
+        );
+        eng.enqueue(d, TierKind::Dram); // already there
+        let report = eng.finish();
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.stats.count, 0);
+    }
+
+    #[test]
+    fn cancel_abandons_the_queue() {
+        let sh = shared(1 << 20, 1 << 22);
+        let a = sh.with(|h| {
+            h.alloc_object("a", 256 << 10, TierKind::Nvm, false)
+                .unwrap()
+        });
+        let eng = BackgroundMigrator::spawn(
+            Arc::clone(&sh),
+            // Slow enough (0.05 GB/s ⇒ ~5 ms for 256 KiB) that cancel
+            // lands mid-copy; 4 KiB chunks bound the abort latency.
+            CopyConfig {
+                bandwidth_gbps: 0.05,
+                latency_ns: 0.0,
+                chunk_bytes: 4096,
+            },
+            Emitter::disabled(),
+        );
+        eng.enqueue(a, TierKind::Dram);
+        std::thread::sleep(Duration::from_millis(1));
+        eng.cancel();
+        let report = eng.finish();
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.stats.count, 0);
+        sh.with(|h| {
+            assert_eq!(
+                h.tier_of(a).unwrap(),
+                TierKind::Nvm,
+                "aborted move stays put"
+            );
+            assert!(!h.is_moving(a).unwrap());
+        });
+    }
+
+    #[test]
+    fn committed_moves_emit_migration_events() {
+        let (emitter, buffer) = Emitter::buffered();
+        let sh = shared(1 << 20, 1 << 22);
+        let a = sh.with(|h| h.alloc_object("a", 8 << 10, TierKind::Nvm, false).unwrap());
+        let eng = BackgroundMigrator::spawn(Arc::clone(&sh), CopyConfig::unthrottled(), emitter);
+        eng.enqueue(a, TierKind::Dram);
+        let report = eng.finish();
+        assert_eq!(report.stats.count, 1);
+        let kinds: Vec<&str> = buffer.drain().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"migration_issued"));
+        assert!(kinds.contains(&"migration_completed"));
+    }
+}

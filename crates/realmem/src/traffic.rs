@@ -126,6 +126,31 @@ pub fn run_access(buf: &mut [u8], loads: u64, stores: u64, seed: u64) -> u64 {
     }
 }
 
+/// [`run_access`] through a raw pointer, for the parallel measured path.
+///
+/// Task-graph dependences give writers exclusive access, but concurrent
+/// *readers* of the same object are legal and common; materializing a
+/// `&mut [u8]` per reader (as `run_access` requires) would create
+/// aliasing exclusive references. This variant only forms a `&mut` for
+/// the mutating kernels and hands pure reads a shared slice.
+///
+/// # Safety
+/// `[ptr, ptr+len)` must be valid for reads (and, when `stores > 0`, for
+/// exclusive writes — the caller's dependence tracking must guarantee no
+/// concurrent access of any kind to a written object).
+pub unsafe fn run_access_ptr(ptr: *mut u8, len: usize, loads: u64, stores: u64, seed: u64) -> u64 {
+    if stores > 0 {
+        run_access(
+            std::slice::from_raw_parts_mut(ptr, len),
+            loads,
+            stores,
+            seed,
+        )
+    } else {
+        stream_read(std::slice::from_raw_parts(ptr, len))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

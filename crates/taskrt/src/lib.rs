@@ -42,3 +42,4 @@ pub use simsched::{NullHooks, SchedulerHooks, SimScheduler};
 pub use stats::SchedStats;
 pub use task::{AccessMode, TaskAccess, TaskClassId, TaskId, TaskSpec};
 pub use trace::{Trace, TraceHooks};
+pub use wsexec::{DataGate, NoGate, WsExecutor, WsStats};

@@ -32,21 +32,56 @@ pub struct WsStats {
     pub steals: u64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Total wall-clock ns workers spent blocked in the [`DataGate`]
+    /// (summed across workers; zero when no gate is used).
+    pub gate_wait_ns: f64,
+}
+
+/// A data-readiness gate consulted before each task runs.
+///
+/// The parallel measured runtime uses this to hold a task whose objects
+/// are mid-migration: the executor has already resolved the task's
+/// *control* dependences (its predecessors ran), and the gate resolves
+/// its *data* dependences (its bytes are not being copied between tiers
+/// right now). The returned wall-clock wait is the paper's *exposed*
+/// migration latency as the executor observes it.
+pub trait DataGate: Sync {
+    /// Block until `task`'s data is safe to access; return ns waited.
+    fn wait_ready(&self, task: &TaskSpec) -> f64;
+}
+
+/// The trivial gate: data is always ready (pure compute graphs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoGate;
+
+impl DataGate for NoGate {
+    fn wait_ready(&self, _task: &TaskSpec) -> f64 {
+        0.0
+    }
 }
 
 /// A work-stealing executor with a fixed number of OS threads.
 #[derive(Debug)]
 pub struct WsExecutor {
     threads: usize,
+    clamped: bool,
     metrics: tahoe_obs::Metrics,
 }
 
 impl WsExecutor {
-    /// An executor with `threads` worker threads (>= 1).
+    /// An executor with `threads` worker threads.
+    ///
+    /// `threads == 0` (e.g. a miscomputed `cores - N`) is clamped to one
+    /// worker with a warning on stderr rather than panicking — a
+    /// degraded run beats an aborted one, and the `wsexec.threads_clamped`
+    /// counter records that it happened.
     pub fn new(threads: usize) -> Self {
-        assert!(threads >= 1, "need at least one worker thread");
+        if threads == 0 {
+            eprintln!("wsexec: 0 worker threads requested; clamping to 1");
+        }
         WsExecutor {
-            threads,
+            threads: threads.max(1),
+            clamped: threads == 0,
             metrics: tahoe_obs::Metrics::disabled(),
         }
     }
@@ -74,26 +109,82 @@ impl WsExecutor {
     where
         F: Fn(&TaskSpec) + Sync,
     {
+        self.run_window(graph, None, &NoGate, |_, t| work(t))
+    }
+
+    /// Execute `graph` — or just one of its windows — under a
+    /// [`DataGate`], calling `work(worker, task)` exactly once per task.
+    ///
+    /// With `window: Some(w)` only that window's tasks run; dependences
+    /// on earlier windows are treated as satisfied (the measured runtime
+    /// executes windows as barriers, migrating between them). Each task
+    /// first passes `gate.wait_ready` — the hook where the parallel
+    /// measured path blocks on objects that are mid-migration — and the
+    /// summed wait is reported as [`WsStats::gate_wait_ns`].
+    pub fn run_window<G, F>(
+        &self,
+        graph: &TaskGraph,
+        window: Option<u32>,
+        gate: &G,
+        work: F,
+    ) -> WsStats
+    where
+        G: DataGate + ?Sized,
+        F: Fn(usize, &TaskSpec) + Sync,
+    {
         let n = graph.len();
         let started = Instant::now();
-        if n == 0 {
+        if self.clamped {
+            self.metrics.inc("wsexec.threads_clamped");
+        }
+        let in_set: Vec<bool> = match window {
+            None => vec![true; n],
+            Some(w) => {
+                let mut mask = vec![false; n];
+                for t in graph.window_tasks(w) {
+                    mask[t.index()] = true;
+                }
+                mask
+            }
+        };
+        let set_size = in_set.iter().filter(|&&b| b).count();
+        if set_size == 0 {
             return WsStats {
                 tasks_executed: 0,
                 steals: 0,
                 elapsed: started.elapsed(),
+                gate_wait_ns: 0.0,
             };
         }
 
+        // Pending counts consider only in-set predecessors: an earlier
+        // window has fully executed by the time its successor window is
+        // dispatched (windows are barriers).
         let pending: Vec<AtomicU32> = (0..n)
-            .map(|i| AtomicU32::new(graph.preds(TaskId(i as u32)).len() as u32))
+            .map(|i| {
+                let p = if in_set[i] {
+                    graph
+                        .preds(TaskId(i as u32))
+                        .iter()
+                        .filter(|p| in_set[p.index()])
+                        .count()
+                } else {
+                    0
+                };
+                AtomicU32::new(p as u32)
+            })
             .collect();
-        let remaining = AtomicUsize::new(n);
+        let remaining = AtomicUsize::new(set_size);
         let executed = AtomicU64::new(0);
         let steals = AtomicU64::new(0);
+        // Gate waits are f64 ns; whole-ns resolution is plenty for a sum.
+        let gate_wait = AtomicU64::new(0);
 
         let injector: Injector<TaskId> = Injector::new();
-        for t in graph.roots() {
-            injector.push(t);
+        for i in 0..n {
+            if in_set[i] && pending[i].load(Ordering::Relaxed) == 0 {
+                injector.push(TaskId(i as u32));
+            }
         }
 
         let locals: Vec<Worker<TaskId>> = (0..self.threads).map(|_| Worker::new_lifo()).collect();
@@ -104,9 +195,11 @@ impl WsExecutor {
                 let injector = &injector;
                 let stealers = &stealers;
                 let pending = &pending;
+                let in_set = &in_set;
                 let remaining = &remaining;
                 let executed = &executed;
                 let steals = &steals;
+                let gate_wait = &gate_wait;
                 let work = &work;
                 scope.spawn(move || {
                     let backoff = Backoff::new();
@@ -142,9 +235,16 @@ impl WsExecutor {
                             Some(tid) => {
                                 backoff.reset();
                                 let spec = graph.task(tid);
-                                work(spec);
+                                let waited = gate.wait_ready(spec);
+                                if waited > 0.0 {
+                                    gate_wait.fetch_add(waited as u64, Ordering::Relaxed);
+                                }
+                                work(me, spec);
                                 executed.fetch_add(1, Ordering::Relaxed);
                                 for &s in graph.succs(tid) {
+                                    if !in_set[s.index()] {
+                                        continue;
+                                    }
                                     // Release our writes; the zero-observer
                                     // acquires them before running `s`.
                                     if pending[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -166,12 +266,15 @@ impl WsExecutor {
             tasks_executed: executed.load(Ordering::Relaxed),
             steals: steals.load(Ordering::Relaxed),
             elapsed: started.elapsed(),
+            gate_wait_ns: gate_wait.load(Ordering::Relaxed) as f64,
         };
         self.metrics.add("wsexec.tasks", stats.tasks_executed);
         self.metrics.add("wsexec.steals", stats.steals);
         self.metrics.inc("wsexec.runs");
         self.metrics
             .gauge_add("wsexec.elapsed_ns", stats.elapsed.as_nanos() as f64);
+        self.metrics
+            .gauge_add("wsexec.gate_wait_ns", stats.gate_wait_ns);
         stats
     }
 }
@@ -293,6 +396,89 @@ mod tests {
         assert_eq!(snap.counter("wsexec.runs"), Some(1));
         assert_eq!(snap.counter("wsexec.steals"), Some(stats.steals));
         assert!(snap.gauge("wsexec.elapsed_ns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one_and_counts() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..10 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let m = tahoe_obs::Metrics::enabled();
+        let ex = WsExecutor::new(0).with_metrics(m.clone());
+        assert_eq!(ex.threads(), 1);
+        let stats = ex.run(&g, |_| {});
+        assert_eq!(stats.tasks_executed, 10);
+        assert_eq!(m.snapshot().counter("wsexec.threads_clamped"), Some(1));
+        // A sane request must not trip the counter.
+        let m2 = tahoe_obs::Metrics::enabled();
+        WsExecutor::new(2).with_metrics(m2.clone()).run(&g, |_| {});
+        assert_eq!(m2.snapshot().counter("wsexec.threads_clamped"), None);
+    }
+
+    #[test]
+    fn run_window_executes_only_that_window() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        let mut w1 = Vec::new();
+        for i in 0..8 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        g.mark_window();
+        for i in 0..8 {
+            // Window 1 reads window 0's objects: cross-window edges that
+            // run_window must treat as satisfied.
+            w1.push(g.add_task(c, vec![rd(i), wr(8 + i)], 0.0));
+        }
+        let ran = parking_lot::Mutex::new(Vec::new());
+        let stats = WsExecutor::new(4).run_window(&g, Some(1), &NoGate, |_, t| {
+            ran.lock().push(t.id);
+        });
+        assert_eq!(stats.tasks_executed, 8);
+        let mut ran = ran.into_inner();
+        ran.sort();
+        assert_eq!(ran, w1, "exactly window 1's tasks ran");
+    }
+
+    #[test]
+    fn gate_runs_before_every_task_and_waits_are_summed() {
+        struct CountingGate {
+            calls: AtomicU64,
+        }
+        impl DataGate for CountingGate {
+            fn wait_ready(&self, _t: &TaskSpec) -> f64 {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                5.0
+            }
+        }
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..20 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let gate = CountingGate {
+            calls: AtomicU64::new(0),
+        };
+        let stats = WsExecutor::new(4).run_window(&g, None, &gate, |_, _| {});
+        assert_eq!(gate.calls.load(Ordering::Relaxed), 20);
+        assert_eq!(stats.gate_wait_ns, 100.0);
+    }
+
+    #[test]
+    fn worker_index_is_in_range() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..100 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let bad = AtomicU64::new(0);
+        WsExecutor::new(3).run_window(&g, None, &NoGate, |w, _| {
+            if w >= 3 {
+                bad.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
     }
 
     #[test]
