@@ -1,0 +1,47 @@
+//! Perf-regression gate CLI: compare a fresh `BENCH_*.json` artifact
+//! against its committed baseline and fail on regression.
+//!
+//! ```sh
+//! cargo run -p tahoe-bench --release --bin benchgate -- \
+//!     baselines/BENCH_par.smoke.json target/par-artifact/BENCH_par.json
+//! ```
+//!
+//! Exit status: 0 when the gate passes, 1 on violations or structural
+//! errors (missing files, malformed JSON, schema mismatch).
+
+use std::process::ExitCode;
+
+use tahoe_bench::gate;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: benchgate <baseline.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"));
+    let (baseline, fresh) = match (read(baseline_path), read(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("benchgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gate::compare_text(&baseline, &fresh) {
+        Ok(violations) if violations.is_empty() => {
+            println!("benchgate: PASS ({fresh_path} vs {baseline_path})");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("benchgate: FAIL ({fresh_path} vs {baseline_path})");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("benchgate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

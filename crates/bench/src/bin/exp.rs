@@ -24,12 +24,17 @@ fn par_dir() -> String {
     std::env::var("PAR_DIR").unwrap_or_else(|_| "target/par-artifact".to_string())
 }
 
+/// Output directory for the `audit` artifact (override with `AUDIT_DIR`).
+fn audit_dir() -> String {
+    std::env::var("AUDIT_DIR").unwrap_or_else(|_| "target/audit-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     if args.is_empty() {
-        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real|par> [--smoke] [more experiments]");
+        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real|par|audit> [--smoke] [more experiments]");
         return ExitCode::FAILURE;
     }
     for arg in &args {
@@ -50,6 +55,12 @@ fn main() -> ExitCode {
             "par" => {
                 if let Err(e) = tahoe_bench::par(smoke, &par_dir()) {
                     eprintln!("par experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "audit" => {
+                if let Err(e) = tahoe_bench::audit(smoke, &audit_dir()) {
+                    eprintln!("audit experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

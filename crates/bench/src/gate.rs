@@ -1,0 +1,366 @@
+//! Perf-regression gate: compare a freshly produced `BENCH_*.json`
+//! artifact against the committed baseline under `baselines/`.
+//!
+//! The gate is schema-dispatched — each artifact family gets the
+//! comparison its numbers can bear:
+//!
+//! * `tahoe-bench-obs/v1` — the simulated capture is deterministic, so
+//!   the digest must match the baseline **exactly** (event counts per
+//!   kind, task count, makespan).
+//! * `tahoe-bench-real/v1` — wall clocks vary per machine; the gate
+//!   checks the consistency flags and that the DRAM/NVM throughput
+//!   ratio stays within a tolerance band of the baseline's ratio.
+//! * `tahoe-bench-par/v1` — consistency flags, Tahoe still migrates at
+//!   ≥2 workers, and the best migration overlap has not collapsed
+//!   relative to the baseline.
+//! * `tahoe-bench-audit/v1` — the model audit still audits objects, the
+//!   recorder's self-overhead stays under its ceiling, and MAPE /
+//!   sign-agreement have not regressed beyond the tolerance bands.
+//!
+//! [`compare`] returns the list of violations (empty = gate passes);
+//! structural problems (unparseable JSON, schema mismatch) are `Err`.
+
+use tahoe_obs::json::{self, Value};
+
+/// Hard ceiling on the flight recorder's self-overhead, percent.
+pub const OVERHEAD_CEILING_PCT: f64 = 5.0;
+
+/// Multiplicative tolerance band for the real-mode throughput ratio.
+pub const REAL_RATIO_BAND: f64 = 2.5;
+
+/// Fresh best-overlap must retain at least this fraction of baseline's.
+pub const PAR_OVERLAP_RETENTION: f64 = 0.2;
+
+fn field<'v>(v: &'v Value, path: &[&str]) -> Result<&'v Value, String> {
+    let mut cur = v;
+    for p in path {
+        cur = cur
+            .get(p)
+            .ok_or_else(|| format!("missing field `{}`", path.join(".")))?;
+    }
+    Ok(cur)
+}
+
+fn num(v: &Value, path: &[&str]) -> Result<f64, String> {
+    field(v, path)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{}` is not a number", path.join(".")))
+}
+
+fn flag(v: &Value, path: &[&str]) -> Result<bool, String> {
+    field(v, path)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{}` is not a bool", path.join(".")))
+}
+
+fn schema_of(v: &Value) -> Result<&str, String> {
+    field(v, &["schema"])?
+        .as_str()
+        .ok_or_else(|| "field `schema` is not a string".to_string())
+}
+
+/// Compare a fresh artifact against its committed baseline. Both must
+/// carry the same `schema` tag. Returns the violations found (an empty
+/// vector means the gate passes).
+pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let bs = schema_of(baseline)?;
+    let fs = schema_of(fresh)?;
+    if bs != fs {
+        return Err(format!("schema mismatch: baseline `{bs}` vs fresh `{fs}`"));
+    }
+    match bs {
+        "tahoe-bench-obs/v1" => compare_obs(baseline, fresh),
+        "tahoe-bench-real/v1" => compare_real(baseline, fresh),
+        "tahoe-bench-par/v1" => compare_par(baseline, fresh),
+        "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
+        other => Err(format!("unknown artifact schema `{other}`")),
+    }
+}
+
+/// Convenience wrapper over [`compare`] for raw JSON text.
+pub fn compare_text(baseline: &str, fresh: &str) -> Result<Vec<String>, String> {
+    let b = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let f = json::parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    compare(&b, &f)
+}
+
+fn compare_obs(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    // Deterministic capture: every digest field must match exactly.
+    for path in [
+        ["workload", "name"].as_slice(),
+        &["workload", "footprint_bytes"],
+        &["workload", "windows"],
+        &["workload", "tasks"],
+        &["events", "total"],
+        &["makespan_ns"],
+        &["migrations"],
+    ] {
+        let b = field(baseline, path)?;
+        let f = field(fresh, path)?;
+        if b != f {
+            violations.push(format!(
+                "obs digest field `{}` changed: baseline {b:?} vs fresh {f:?}",
+                path.join(".")
+            ));
+        }
+    }
+    let b_kinds = field(baseline, &["events", "by_kind"])?;
+    let f_kinds = field(fresh, &["events", "by_kind"])?;
+    if b_kinds != f_kinds {
+        violations.push(format!(
+            "obs per-kind event counts changed: baseline {b_kinds:?} vs fresh {f_kinds:?}"
+        ));
+    }
+    Ok(violations)
+}
+
+fn real_throughput(v: &Value, policy: &str) -> Result<f64, String> {
+    let runs = field(v, &["policies"])?
+        .as_array()
+        .ok_or("`policies` is not an array")?;
+    runs.iter()
+        .find(|r| r.get("policy").and_then(|p| p.as_str()) == Some(policy))
+        .and_then(|r| r.get("throughput_gbps").and_then(|t| t.as_f64()))
+        .ok_or_else(|| format!("policy `{policy}` missing from `policies`"))
+}
+
+fn compare_real(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    for path in [
+        ["consistency", "all_policies_match_reference"].as_slice(),
+        &["consistency", "dram_throughput_ge_nvm"],
+    ] {
+        if !flag(fresh, path)? {
+            violations.push(format!("fresh `{}` is false", path.join(".")));
+        }
+    }
+    let f_dram = real_throughput(fresh, "DRAM-only")?;
+    let f_nvm = real_throughput(fresh, "NVM-only")?;
+    if f_dram < f_nvm {
+        violations.push(format!(
+            "DRAM-only throughput {f_dram:.3} GB/s below NVM-emulated {f_nvm:.3} GB/s"
+        ));
+    }
+    // The absolute throughputs are machine-dependent, but the injected
+    // NVM slowdown ratio should be portable within a generous band.
+    let b_ratio =
+        (real_throughput(baseline, "DRAM-only")? / real_throughput(baseline, "NVM-only")?).max(1.0);
+    let f_ratio = (f_dram / f_nvm.max(f64::MIN_POSITIVE)).max(1.0);
+    let (lo, hi) = (
+        (b_ratio / REAL_RATIO_BAND).max(1.0),
+        b_ratio * REAL_RATIO_BAND,
+    );
+    if f_ratio < lo || f_ratio > hi {
+        violations.push(format!(
+            "NVM slowdown ratio {f_ratio:.3} outside [{lo:.3}, {hi:.3}] (baseline {b_ratio:.3})"
+        ));
+    }
+    Ok(violations)
+}
+
+fn par_best_overlap(v: &Value) -> Result<(f64, bool), String> {
+    let runs = field(v, &["runs"])?
+        .as_array()
+        .ok_or("`runs` is not an array")?;
+    let mut best = 0.0f64;
+    let mut migrated = false;
+    for r in runs {
+        let policy = r.get("policy").and_then(|p| p.as_str()).unwrap_or("");
+        let workers = r.get("workers").and_then(|w| w.as_f64()).unwrap_or(0.0);
+        if policy != "tahoe" || workers < 2.0 {
+            continue;
+        }
+        if r.get("migrations").and_then(|m| m.as_f64()).unwrap_or(0.0) > 0.0 {
+            migrated = true;
+        }
+        best = best.max(r.get("pct_overlap").and_then(|p| p.as_f64()).unwrap_or(0.0));
+    }
+    Ok((best, migrated))
+}
+
+fn compare_par(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    for path in [
+        ["consistency", "all_runs_match_reference"].as_slice(),
+        &["consistency", "tahoe_multiworker_overlapped"],
+    ] {
+        if !flag(fresh, path)? {
+            violations.push(format!("fresh `{}` is false", path.join(".")));
+        }
+    }
+    let (b_best, _) = par_best_overlap(baseline)?;
+    let (f_best, f_migrated) = par_best_overlap(fresh)?;
+    if !f_migrated {
+        violations.push("tahoe at >=2 workers performed no migrations".into());
+    }
+    let floor = b_best * PAR_OVERLAP_RETENTION;
+    if f_best < floor {
+        violations.push(format!(
+            "best tahoe overlap {f_best:.1}% collapsed below {floor:.1}% (baseline best {b_best:.1}%)"
+        ));
+    }
+    Ok(violations)
+}
+
+fn compare_audit(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    if num(fresh, &["audit", "audited"])? < 1.0 {
+        violations.push("audit covered zero objects".into());
+    }
+    if num(fresh, &["audit", "migrations"])? < 1.0 {
+        violations.push("audit run performed no migrations".into());
+    }
+    let overhead = num(fresh, &["overhead", "overhead_pct"])?;
+    if overhead > OVERHEAD_CEILING_PCT {
+        violations.push(format!(
+            "recorder self-overhead {overhead:.2}% exceeds {OVERHEAD_CEILING_PCT:.1}% ceiling"
+        ));
+    }
+    // Model accuracy: allow headroom over the committed baseline (wall
+    // clocks are noisy), but catch a model that has come apart.
+    let b_mape = num(baseline, &["audit", "mape_pct"])?;
+    let f_mape = num(fresh, &["audit", "mape_pct"])?;
+    let mape_limit = (b_mape * 2.0).max(b_mape + 25.0);
+    if f_mape > mape_limit {
+        violations.push(format!(
+            "MAPE {f_mape:.1}% exceeds limit {mape_limit:.1}% (baseline {b_mape:.1}%)"
+        ));
+    }
+    let b_sign = num(baseline, &["audit", "sign_agreement_pct"])?;
+    let f_sign = num(fresh, &["audit", "sign_agreement_pct"])?;
+    let sign_floor = (b_sign - 25.0).max(50.0);
+    if f_sign < sign_floor {
+        violations.push(format!(
+            "sign agreement {f_sign:.1}% below floor {sign_floor:.1}% (baseline {b_sign:.1}%)"
+        ));
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs_doc(total: u64, makespan: f64) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-obs/v1",
+                "workload": {{"name": "stream", "footprint_bytes": 786432, "windows": 6, "tasks": 24}},
+                "events": {{"total": {total}, "by_kind": {{"migration_issued": 4, "worker_task": 24}}}},
+                "makespan_ns": {makespan}, "migrations": 4}}"#
+        )
+    }
+
+    fn real_doc(dram_thr: f64, nvm_thr: f64) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-real/v1",
+                "policies": [
+                  {{"policy": "DRAM-only", "throughput_gbps": {dram_thr}}},
+                  {{"policy": "NVM-only", "throughput_gbps": {nvm_thr}}},
+                  {{"policy": "tahoe", "throughput_gbps": {dram_thr}}}
+                ],
+                "consistency": {{"all_policies_match_reference": true, "dram_throughput_ge_nvm": true}}}}"#
+        )
+    }
+
+    fn par_doc(overlap: f64, migrations: u64) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-par/v1",
+                "runs": [
+                  {{"policy": "DRAM-only", "workers": 2, "migrations": 0, "pct_overlap": 0.0}},
+                  {{"policy": "tahoe", "workers": 1, "migrations": 3, "pct_overlap": 0.0}},
+                  {{"policy": "tahoe", "workers": 2, "migrations": {migrations}, "pct_overlap": {overlap}}}
+                ],
+                "consistency": {{"all_runs_match_reference": true, "tahoe_multiworker_overlapped": true}}}}"#
+        )
+    }
+
+    fn audit_doc(mape: f64, sign: f64, overhead: f64) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-audit/v1",
+                "audit": {{"policy": "tahoe", "workers": 2, "run_seed": 0, "audited": 3,
+                           "mape_pct": {mape}, "sign_agreement_pct": {sign},
+                           "migrations": 4, "wall_ns": 1000000.0}},
+                "overhead": {{"off_wall_ns": 900000.0, "on_wall_ns": 910000.0,
+                              "overhead_pct": {overhead}, "reps": 3}}}}"#
+        )
+    }
+
+    #[test]
+    fn identical_artifacts_pass_every_schema() {
+        for doc in [
+            obs_doc(40, 123456.0),
+            real_doc(8.0, 2.0),
+            par_doc(60.0, 4),
+            audit_doc(40.0, 100.0, 1.0),
+        ] {
+            let v = compare_text(&doc, &doc).expect("well-formed");
+            assert!(v.is_empty(), "unexpected violations: {v:?}");
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_structural_error() {
+        let err = compare_text(&obs_doc(40, 1.0), &par_doc(60.0, 4)).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn obs_gate_demands_exact_equality() {
+        let v = compare_text(&obs_doc(40, 123456.0), &obs_doc(41, 123456.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("events.total")), "{v:?}");
+        let v = compare_text(&obs_doc(40, 123456.0), &obs_doc(40, 123457.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("makespan_ns")), "{v:?}");
+    }
+
+    #[test]
+    fn real_gate_catches_ratio_drift_and_inversion() {
+        // Baseline ratio 4.0; fresh ratio 16.0 breaks the 2.5x band.
+        let v = compare_text(&real_doc(8.0, 2.0), &real_doc(16.0, 1.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("slowdown ratio")), "{v:?}");
+        // DRAM slower than emulated NVM is always wrong.
+        let v = compare_text(&real_doc(8.0, 2.0), &real_doc(2.0, 3.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("below NVM-emulated")), "{v:?}");
+        // Mild drift within the band passes.
+        let v = compare_text(&real_doc(8.0, 2.0), &real_doc(8.0, 3.0)).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn par_gate_catches_overlap_collapse_and_lost_migrations() {
+        let v = compare_text(&par_doc(60.0, 4), &par_doc(5.0, 4)).unwrap();
+        assert!(v.iter().any(|m| m.contains("collapsed")), "{v:?}");
+        let v = compare_text(&par_doc(60.0, 4), &par_doc(60.0, 0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("no migrations")), "{v:?}");
+        // Retaining 20% of baseline overlap is enough.
+        let v = compare_text(&par_doc(60.0, 4), &par_doc(13.0, 4)).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn audit_gate_catches_model_and_overhead_regressions() {
+        let base = audit_doc(40.0, 100.0, 1.0);
+        // MAPE blowing past max(2x, +25) fails.
+        let v = compare_text(&base, &audit_doc(90.0, 100.0, 1.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("MAPE")), "{v:?}");
+        // ...but headroom within the band passes.
+        let v = compare_text(&base, &audit_doc(64.0, 100.0, 1.0)).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Sign agreement collapsing fails.
+        let v = compare_text(&base, &audit_doc(40.0, 40.0, 1.0)).unwrap();
+        assert!(v.iter().any(|m| m.contains("sign agreement")), "{v:?}");
+        // Recorder overhead over the ceiling fails.
+        let v = compare_text(&base, &audit_doc(40.0, 100.0, 7.5)).unwrap();
+        assert!(v.iter().any(|m| m.contains("self-overhead")), "{v:?}");
+    }
+
+    #[test]
+    fn missing_fields_are_structural_errors() {
+        let err = compare_text(
+            r#"{"schema": "tahoe-bench-audit/v1"}"#,
+            r#"{"schema": "tahoe-bench-audit/v1"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+}

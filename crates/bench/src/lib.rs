@@ -15,6 +15,8 @@ use tahoe_core::TahoeOptions;
 use tahoe_hms::ObjectId;
 use tahoe_workloads::{all_workloads, cg, stream, Scale};
 
+pub mod gate;
+
 /// DRAM budget used throughout the main experiments: a quarter of the
 /// application footprint (the paper's DRAM ≪ footprint regime).
 pub fn dram_budget(app: &App) -> u64 {
@@ -490,12 +492,43 @@ pub fn obs_artifact(dir: &str) -> Result<(), String> {
     let metrics = report.metrics.to_json();
     json::parse(&metrics).map_err(|e| format!("metrics.json: {e}"))?;
 
+    // BENCH_obs.json: the gate-comparable digest of the capture. The
+    // simulated run is deterministic (checked above), so the gate may
+    // demand exact equality against the committed baseline.
+    let mut by_kind = std::collections::BTreeMap::<&str, u64>::new();
+    for e in &capture.events {
+        *by_kind.entry(e.kind()).or_insert(0) += 1;
+    }
+    let mut summary = String::new();
+    summary.push_str("{\n  \"schema\": \"tahoe-bench-obs/v1\",\n");
+    summary.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"footprint_bytes\": {}, \"windows\": {}, \"tasks\": {}}},\n",
+        app.name,
+        app.footprint(),
+        app.windows(),
+        report.tasks
+    ));
+    summary.push_str(&format!(
+        "  \"events\": {{\"total\": {}, \"by_kind\": {{",
+        capture.events.len()
+    ));
+    for (i, (kind, n)) in by_kind.iter().enumerate() {
+        summary.push_str(&format!("{}\"{kind}\": {n}", if i > 0 { ", " } else { "" }));
+    }
+    summary.push_str("}},\n");
+    summary.push_str(&format!(
+        "  \"makespan_ns\": {:.1},\n  \"migrations\": {}\n}}\n",
+        report.makespan_ns, report.migrations.count
+    ));
+    json::parse(&summary).map_err(|e| format!("BENCH_obs.json self-check: {e}"))?;
+
     let path = std::path::Path::new(dir);
     std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
     for (name, text) in [
         ("events.jsonl", &jsonl),
         ("trace.json", &trace),
         ("metrics.json", &metrics),
+        ("BENCH_obs.json", &summary),
     ] {
         std::fs::write(path.join(name), text).map_err(|e| format!("write {name}: {e}"))?;
     }
@@ -506,6 +539,184 @@ pub fn obs_artifact(dir: &str) -> Result<(), String> {
         report.tasks,
         report.makespan_ns / 1e6
     );
+    Ok(())
+}
+
+/// `exp audit`: the model-accuracy audit. Calibrates the machine, runs
+/// the parallel measured Tahoe policy with the flight recorder on, pairs
+/// every placement decision's predicted per-access saving with the
+/// measured NVM-vs-DRAM wall-clock delta, probes the recorder's
+/// self-overhead, and writes a machine-readable `BENCH_audit.json`.
+pub fn audit(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::MeasuredRuntime;
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::json;
+
+    banner(if smoke {
+        "AUDIT model accuracy (smoke): predicted vs measured placement benefit"
+    } else {
+        "AUDIT model accuracy: predicted vs measured placement benefit"
+    });
+    let (app, cfg, workers, reps) = if smoke {
+        (
+            stream::app(Scale::Test),
+            WallClockConfig::smoke(),
+            2usize,
+            3u32,
+        )
+    } else {
+        (stream::app(Scale::Bench), WallClockConfig::full(), 4, 3)
+    };
+    let platform = platform_bw(&app, 0.25);
+    let rt = MeasuredRuntime::new(platform, cfg);
+    let cal = rt.calibrate()?;
+    println!(
+        "  fitted DRAM {:.2} GB/s / {:.1} ns, emulated NVM {:.2} GB/s / {:.1} ns, cf_bw {:.3}, cf_lat {:.3}",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    );
+
+    let run_seed = 0u64;
+    let audit = rt.run_model_audit(&app, &cal, workers, run_seed)?;
+    let probe = rt.probe_obs_overhead(&app, &cal, workers, run_seed, reps)?;
+
+    println!(
+        "  {:<8} {:>10} {:>7} {:>9} {:>13} {:>13} {:>9} {:>5}",
+        "object", "bytes", "chosen", "accesses", "pred ns/acc", "meas ns/acc", "ape%", "sign"
+    );
+    for r in &audit.rows {
+        println!(
+            "  {:<8} {:>10} {:>7} {:>9} {:>13.1} {:>13} {:>9} {:>5}",
+            r.name,
+            r.bytes,
+            r.chosen,
+            r.accesses,
+            r.predicted_saving_ns,
+            r.measured_saving_ns
+                .map_or("-".to_string(), |v| format!("{v:.1}")),
+            r.ape_pct.map_or("-".to_string(), |v| format!("{v:.1}")),
+            r.sign_agrees.map_or("-", |s| if s { "+" } else { "-" })
+        );
+    }
+    println!(
+        "  audited {} objects: MAPE {:.1}%, sign agreement {:.1}%, {} migrations, wall {:.3} ms",
+        audit.audited,
+        audit.mape_pct,
+        audit.sign_agreement_pct,
+        audit.migrations,
+        audit.wall_ns / 1e6
+    );
+    for (key, h) in &audit.hists {
+        println!(
+            "  hist {:<14} n={:<7} p50={:<10.0} p90={:<10.0} p99={:<10.0} max={:.0} ns",
+            key, h.count, h.p50, h.p90, h.p99, h.max
+        );
+    }
+    println!(
+        "  obs overhead: off {:.3} ms, on {:.3} ms -> {:.2}% (best of {})",
+        probe.off_wall_ns / 1e6,
+        probe.on_wall_ns / 1e6,
+        probe.overhead_pct,
+        probe.reps
+    );
+
+    // ---- acceptance invariants ------------------------------------
+    if audit.audited == 0 {
+        return Err("no object was auditable (no DRAM/NVM sample pair)".into());
+    }
+    if audit.migrations == 0 {
+        return Err("tahoe performed no migrations; audit exercises nothing".into());
+    }
+    if !audit.hists.iter().any(|(k, _)| k == "task_ns") {
+        return Err("flight recorder produced no task latency digest".into());
+    }
+
+    // ---- BENCH_audit.json ------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-audit/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"footprint_bytes\": {}, \"windows\": {}, \"tasks\": {}}},\n",
+        app.name,
+        app.footprint(),
+        app.windows(),
+        app.graph.len()
+    ));
+    out.push_str(&format!(
+        "  \"calibration\": {{\"dram_bw_gbps\": {:.6}, \"dram_lat_ns\": {:.6}, \"nvm_bw_gbps\": {:.6}, \"nvm_lat_ns\": {:.6}, \"cf_bw\": {:.6}, \"cf_lat\": {:.6}}},\n",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    ));
+    out.push_str(&format!(
+        "  \"audit\": {{\"policy\": \"{}\", \"workers\": {}, \"run_seed\": {}, \"audited\": {}, \"mape_pct\": {:.6}, \"sign_agreement_pct\": {:.6}, \"migrations\": {}, \"wall_ns\": {:.1}}},\n",
+        audit.policy,
+        audit.workers,
+        audit.run_seed,
+        audit.audited,
+        audit.mape_pct,
+        audit.sign_agreement_pct,
+        audit.migrations,
+        audit.wall_ns
+    ));
+    out.push_str("  \"objects\": [\n");
+    for (i, r) in audit.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"object\": {}, \"name\": \"{}\", \"bytes\": {}, \"chosen\": {}, \"accesses\": {}, \"predicted_saving_ns\": {:.6}, \"measured_saving_ns\": {}, \"ape_pct\": {}, \"sign_agrees\": {}}}{}\n",
+            r.object,
+            r.name,
+            r.bytes,
+            r.chosen,
+            r.accesses,
+            r.predicted_saving_ns,
+            r.measured_saving_ns
+                .map_or("null".to_string(), |v| format!("{v:.6}")),
+            r.ape_pct.map_or("null".to_string(), |v| format!("{v:.6}")),
+            r.sign_agrees
+                .map_or("null".to_string(), |b| b.to_string()),
+            if i + 1 < audit.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"histograms\": {");
+    for (i, (key, h)) in audit.hists.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {{\"count\": {}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}",
+            if i > 0 { ", " } else { "" },
+            key,
+            h.count,
+            h.p50,
+            h.p90,
+            h.p99,
+            h.max
+        ));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"overhead\": {{\"off_wall_ns\": {:.1}, \"on_wall_ns\": {:.1}, \"overhead_pct\": {:.6}, \"reps\": {}}}\n}}\n",
+        probe.off_wall_ns, probe.on_wall_ns, probe.overhead_pct, probe.reps
+    ));
+    json::parse(&out).map_err(|e| format!("BENCH_audit.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_audit.json"), &out)
+        .map_err(|e| format!("write BENCH_audit.json: {e}"))?;
+    println!("  -> {dir}/BENCH_audit.json");
     Ok(())
 }
 

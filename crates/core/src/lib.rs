@@ -61,6 +61,7 @@
 //! ```
 
 pub mod app;
+pub mod audit;
 pub mod config;
 pub mod driver;
 pub mod hwcache;
@@ -72,9 +73,10 @@ pub mod report;
 pub mod runtime;
 
 pub use app::{App, AppBuilder, ObjectSpec, TaskBuilder};
+pub use audit::{ModelAudit, ObjectAudit, ObsOverhead};
 pub use config::{Platform, RuntimeConfig, RuntimeMode};
 pub use measured::{MeasuredPolicyReport, MeasuredReport, MeasuredRuntime};
-pub use parallel::ParallelPolicyReport;
+pub use parallel::{AccessTierTiming, ParallelPolicyReport};
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
 pub use runtime::{ObsCapture, Runtime};

@@ -110,6 +110,10 @@ pub(crate) struct PreparedRun {
     pub(crate) ids: Vec<ObjectId>,
     pub(crate) tahoe_plan: Option<tahoe_placement::Solution>,
     pub(crate) copy_cfg: tahoe_realmem::CopyConfig,
+    /// Tahoe's per-object knapsack value (predicted ns saved by DRAM
+    /// residence over the whole run); `None` for non-Tahoe policies.
+    /// This is the prediction the model-accuracy audit scores.
+    pub(crate) plan_values: Option<Vec<f64>>,
 }
 
 /// Seed for object `i`'s initialization fill. `run_seed == 0` reproduces
@@ -122,8 +126,8 @@ pub(crate) fn init_seed(run_seed: u64, object: usize) -> u64 {
 /// ratios) plus kernel sizing.
 #[derive(Debug, Clone)]
 pub struct MeasuredRuntime {
-    platform: Platform,
-    kernel_cfg: WallClockConfig,
+    pub(crate) platform: Platform,
+    pub(crate) kernel_cfg: WallClockConfig,
     pub(crate) emitter: Emitter,
     pub(crate) metrics: Metrics,
 }
@@ -248,6 +252,7 @@ impl MeasuredRuntime {
 
         // Tahoe's plan: value of DRAM residence per object over the
         // whole run, from the ground-truth profiles on the fitted specs.
+        let mut plan_values: Option<Vec<f64>> = None;
         let tahoe_plan: Option<tahoe_placement::Solution> = match policy {
             PolicyKind::Tahoe(_) => {
                 let mut value = vec![0.0f64; app.objects.len()];
@@ -270,7 +275,9 @@ impl MeasuredRuntime {
                         value: value[i],
                     })
                     .collect();
-                Some(tahoe_placement::solve(&items, config.dram.capacity))
+                let solution = tahoe_placement::solve(&items, config.dram.capacity);
+                plan_values = Some(value);
+                Some(solution)
             }
             _ => None,
         };
@@ -281,6 +288,7 @@ impl MeasuredRuntime {
             ids,
             tahoe_plan,
             copy_cfg,
+            plan_values,
         })
     }
 

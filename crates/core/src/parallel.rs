@@ -80,13 +80,59 @@ use std::time::Instant;
 
 use tahoe_hms::{MigrationStats, ObjectId, SharedHms, TierKind};
 use tahoe_memprof::wallclock::WallClockCalibration;
-use tahoe_obs::Event;
+use tahoe_obs::{Emitter, Event, FlightRecorder};
 use tahoe_realmem::{traffic, BackgroundMigrator};
 use tahoe_taskrt::{DataGate, TaskSpec, WsExecutor};
 
 use crate::app::App;
 use crate::measured::{cf, fold, init_seed, site_seed, MeasuredRuntime, PreparedRun};
 use crate::policy::PolicyKind;
+
+/// Flight-recorder ring capacity per lane. At one event plus up to a
+/// few histogram samples per task, 16 Ki slots absorb any smoke-sized
+/// window without drops; overflow is counted, not blocking.
+const RING_CAPACITY: usize = 1 << 14;
+
+/// Histogram keys the parallel runtime records (per worker lane, merged
+/// at drain): task wall time, migration-gate waits, steal-search time,
+/// and background-copy chunk time.
+const HIST_KEYS: &[&str] = &["gate_wait_ns", "mig_chunk_ns", "steal_ns", "task_ns"];
+
+/// Per-(object, tier) wall-clock access timing, accumulated by the
+/// workers during a parallel measured run. The model-accuracy audit
+/// compares `mean_nvm_ns - mean_dram_ns` (measured per-access saving of
+/// DRAM residence) against the planner's prediction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AccessTierTiming {
+    /// Total wall ns of accesses that hit the object on DRAM.
+    pub dram_ns: f64,
+    /// Number of those accesses.
+    pub dram_samples: u64,
+    /// Total wall ns of accesses that hit the object on NVM (includes
+    /// the injected Quartz-style delay).
+    pub nvm_ns: f64,
+    /// Number of those accesses.
+    pub nvm_samples: u64,
+}
+
+impl AccessTierTiming {
+    /// Mean wall ns per DRAM access, if any were observed.
+    pub fn mean_dram_ns(&self) -> Option<f64> {
+        (self.dram_samples > 0).then(|| self.dram_ns / self.dram_samples as f64)
+    }
+
+    /// Mean wall ns per NVM access, if any were observed.
+    pub fn mean_nvm_ns(&self) -> Option<f64> {
+        (self.nvm_samples > 0).then(|| self.nvm_ns / self.nvm_samples as f64)
+    }
+
+    /// Measured per-access saving of DRAM over NVM residence, ns —
+    /// requires samples on both tiers (Tahoe's promoted objects have
+    /// both: NVM during profiling, DRAM after migration).
+    pub fn measured_saving_ns(&self) -> Option<f64> {
+        Some(self.mean_nvm_ns()? - self.mean_dram_ns()?)
+    }
+}
 
 /// One policy's parallel measured outcome at a given worker count.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +169,13 @@ pub struct ParallelPolicyReport {
     pub steals: u64,
     /// Objects resident in DRAM when the run finished.
     pub final_dram_objects: usize,
+    /// Per-object wall-clock access timing split by the tier the access
+    /// hit (indexed like `app.objects`). Always populated — two relaxed
+    /// atomic adds per access.
+    pub access_timing: Vec<AccessTierTiming>,
+    /// Events dropped because a flight-recorder ring filled (0 when
+    /// unobserved or never saturated).
+    pub obs_ring_dropped: u64,
 }
 
 /// The executor's data gate over a [`SharedHms`]: a task is
@@ -161,7 +214,16 @@ impl MeasuredRuntime {
             ids,
             tahoe_plan,
             copy_cfg,
+            plan_values,
         } = self.prepare(app, policy, cal)?;
+        let nw = workers.max(1);
+
+        // The flight recorder exists only when someone is listening:
+        // lanes 0..nw are the workers, lane nw the migration thread,
+        // lane nw+1 the driver (placement decisions). Hot-path emission
+        // is then an SPSC ring push — no global lock.
+        let recorder = (self.emitter.enabled() || self.metrics.is_enabled())
+            .then(|| FlightRecorder::new(nw + 2, RING_CAPACITY, HIST_KEYS));
 
         // One checksum slot per (task, access) site; workers fill slots
         // in racing order, the end re-folds them canonically.
@@ -176,6 +238,12 @@ impl MeasuredRuntime {
 
         let profile_windows = app.windows().saturating_sub(1).min(2);
         let bytes_touched = AtomicU64::new(0);
+        // Per-(object, tier) access timing: slot 2i is DRAM, 2i+1 NVM;
+        // whole-ns totals plus sample counts, two relaxed adds per
+        // access. Always on — the audit needs it on unobserved runs too,
+        // and the self-overhead probe charges it to both sides.
+        let acc_ns: Vec<AtomicU64> = (0..2 * ids.len()).map(|_| AtomicU64::new(0)).collect();
+        let acc_n: Vec<AtomicU64> = (0..2 * ids.len()).map(|_| AtomicU64::new(0)).collect();
         let start = Instant::now();
 
         // ---- init traffic (sequential, before the pool spins up) -----
@@ -192,8 +260,19 @@ impl MeasuredRuntime {
 
         // ---- parallel execution --------------------------------------
         let shared = Arc::new(SharedHms::new(hms));
-        let migrator =
-            BackgroundMigrator::spawn(Arc::clone(&shared), copy_cfg, self.emitter.clone());
+        // With a recorder, the migration thread writes its own lock-free
+        // lane (merged into the emitter at drain); the emitter handed to
+        // it is disabled so events are never double-reported.
+        let migrator = BackgroundMigrator::spawn_traced(
+            Arc::clone(&shared),
+            copy_cfg,
+            if recorder.is_some() {
+                Emitter::disabled()
+            } else {
+                self.emitter.clone()
+            },
+            recorder.as_ref().map(|r| r.handle(nw)),
+        );
         let executor = WsExecutor::new(workers).with_metrics(self.metrics.clone());
         let gate = HmsGate {
             shared: &shared,
@@ -208,78 +287,134 @@ impl MeasuredRuntime {
             // profiling boundary and keeps executing: the copies overlap
             // with this window's (and later windows') tasks.
             if let (Some(plan), true) = (&tahoe_plan, w == profile_windows) {
+                // Stamp every decision the planner took — chosen or not
+                // — with its predicted benefit; the audit pairs these
+                // with measured per-access deltas.
+                let t = shared.now_ns();
+                for (i, spec) in app.objects.iter().enumerate() {
+                    let predicted = plan_values.as_ref().map_or(0.0, |v| v[i]);
+                    let chosen = plan.chosen.iter().any(|o| o.index() == i);
+                    if !chosen && predicted <= 0.0 {
+                        continue;
+                    }
+                    let ev = Event::PlacementDecision {
+                        t,
+                        object: i as u32,
+                        bytes: spec.size,
+                        predicted_benefit_ns: predicted,
+                        chosen,
+                    };
+                    match &recorder {
+                        Some(rec) => {
+                            let _ = rec.emit(nw + 1, ev);
+                        }
+                        None => self.emitter.emit(|| ev),
+                    }
+                }
                 for oid in &plan.chosen {
                     migrator.enqueue(ids[oid.index()], TierKind::Dram);
                 }
             }
-            let stats = executor.run_window(&app.graph, Some(w), &gate, |worker, task| {
-                let t0 = Instant::now();
-                let obj_ids: Vec<ObjectId> =
-                    task.objects().iter().map(|o| ids[o.index()]).collect();
-                let pins = match shared.pin_for_task(&obj_ids) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        let mut slot = first_error.lock().expect("error slot");
-                        slot.get_or_insert_with(|| format!("pin task {}: {e}", task.id.0));
-                        return;
-                    }
-                };
-                for (ai, access) in task.accesses.iter().enumerate() {
-                    let hid = ids[access.object.index()];
-                    let pin = pins
-                        .objects
-                        .iter()
-                        .find(|p| p.id == hid)
-                        .expect("every access object is pinned");
-                    // Quartz-style software NVM emulation, same as the
-                    // sequential path: native-speed kernel, then inject
-                    // the cf-corrected slow-minus-fast model difference.
-                    let inject_ns = if pin.tier == TierKind::Nvm {
-                        let slow = access.profile.mem_time_ns(&config.nvm)
-                            * cf(cal, &access.profile, &config.nvm);
-                        let fast = access.profile.mem_time_ns(&config.dram)
-                            * cf(cal, &access.profile, &config.dram);
-                        (slow - fast).max(0.0)
-                    } else {
-                        0.0
+            let stats = executor.run_window_traced(
+                &app.graph,
+                Some(w),
+                &gate,
+                recorder.as_ref(),
+                |worker, task| {
+                    let t0 = Instant::now();
+                    let obj_ids: Vec<ObjectId> =
+                        task.objects().iter().map(|o| ids[o.index()]).collect();
+                    let pins = match shared.pin_for_task(&obj_ids) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            let mut slot = first_error.lock().expect("error slot");
+                            slot.get_or_insert_with(|| format!("pin task {}: {e}", task.id.0));
+                            return;
+                        }
                     };
-                    // SAFETY: the pin blocks moves and frees for the
-                    // whole task, the arenas never remap, and writes are
-                    // exclusive by the graph's derived dependences (a
-                    // writer's task is ordered against every other
-                    // toucher of the object).
-                    let c = unsafe {
-                        traffic::run_access_ptr(
-                            pin.as_ptr(),
-                            pin.len(),
-                            access.profile.loads,
-                            access.profile.stores,
-                            site_seed(run_seed, task.id.0, ai),
-                        )
-                    };
-                    slots[slot_base[task.id.index()] + ai].store(c, Ordering::Release);
-                    bytes_touched.fetch_add(pin.len() as u64, Ordering::Relaxed);
-                    if inject_ns > 0.0 {
-                        tahoe_realmem::throttle::pace_until(Instant::now(), inject_ns);
+                    for (ai, access) in task.accesses.iter().enumerate() {
+                        let hid = ids[access.object.index()];
+                        let pin = pins
+                            .objects
+                            .iter()
+                            .find(|p| p.id == hid)
+                            .expect("every access object is pinned");
+                        // Quartz-style software NVM emulation, same as the
+                        // sequential path: native-speed kernel, then inject
+                        // the cf-corrected slow-minus-fast model difference.
+                        let inject_ns = if pin.tier == TierKind::Nvm {
+                            let slow = access.profile.mem_time_ns(&config.nvm)
+                                * cf(cal, &access.profile, &config.nvm);
+                            let fast = access.profile.mem_time_ns(&config.dram)
+                                * cf(cal, &access.profile, &config.dram);
+                            (slow - fast).max(0.0)
+                        } else {
+                            0.0
+                        };
+                        // SAFETY: the pin blocks moves and frees for the
+                        // whole task, the arenas never remap, and writes are
+                        // exclusive by the graph's derived dependences (a
+                        // writer's task is ordered against every other
+                        // toucher of the object).
+                        let a_t0 = Instant::now();
+                        let c = unsafe {
+                            traffic::run_access_ptr(
+                                pin.as_ptr(),
+                                pin.len(),
+                                access.profile.loads,
+                                access.profile.stores,
+                                site_seed(run_seed, task.id.0, ai),
+                            )
+                        };
+                        slots[slot_base[task.id.index()] + ai].store(c, Ordering::Release);
+                        bytes_touched.fetch_add(pin.len() as u64, Ordering::Relaxed);
+                        if inject_ns > 0.0 {
+                            tahoe_realmem::throttle::pace_until(Instant::now(), inject_ns);
+                        }
+                        // Charge the access (kernel + injected delay) to the
+                        // tier it actually hit.
+                        let slot =
+                            2 * access.object.index() + usize::from(pin.tier == TierKind::Nvm);
+                        acc_ns[slot].fetch_add(a_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        acc_n[slot].fetch_add(1, Ordering::Relaxed);
                     }
-                }
-                shared.unpin_task(&obj_ids);
-                let t = shared.now_ns();
-                let (task_id, window, wall, waited) = (
-                    task.id.0,
-                    task.window,
-                    t0.elapsed().as_nanos() as f64,
-                    pins.waited_ns,
-                );
-                self.emitter.emit(|| Event::WorkerTask {
-                    t,
-                    worker: worker as u32,
-                    task: task_id,
-                    window,
-                    wall_ns: wall,
-                    gate_wait_ns: waited,
-                });
-            });
+                    shared.unpin_task(&obj_ids);
+                    let t = shared.now_ns();
+                    let (task_id, window, wall, waited) = (
+                        task.id.0,
+                        task.window,
+                        t0.elapsed().as_nanos() as f64,
+                        pins.waited_ns,
+                    );
+                    match &recorder {
+                        Some(rec) => {
+                            rec.record(worker, "task_ns", wall);
+                            if waited > 0.0 {
+                                rec.record(worker, "gate_wait_ns", waited);
+                            }
+                            let _ = rec.emit(
+                                worker,
+                                Event::WorkerTask {
+                                    t,
+                                    worker: worker as u32,
+                                    task: task_id,
+                                    window,
+                                    wall_ns: wall,
+                                    gate_wait_ns: waited,
+                                },
+                            );
+                        }
+                        None => self.emitter.emit(|| Event::WorkerTask {
+                            t,
+                            worker: worker as u32,
+                            task: task_id,
+                            window,
+                            wall_ns: wall,
+                            gate_wait_ns: waited,
+                        }),
+                    }
+                },
+            );
             gate_wait_ns += stats.gate_wait_ns;
             steals += stats.steals;
             if let Some(e) = first_error.lock().expect("error slot").take() {
@@ -295,6 +430,23 @@ impl MeasuredRuntime {
         let mig = migrator.finish();
         let shared = Arc::try_unwrap(shared).map_err(|_| "migration thread still holds hms")?;
         let hms = shared.into_inner();
+
+        // ---- flight-recorder drain -----------------------------------
+        // All producers (workers, migrator) have joined; drain the rings
+        // into one timestamp-merged stream, append it to the shared
+        // emitter, and fold the per-lane histograms into metrics.
+        let mut obs_ring_dropped = 0u64;
+        if let Some(rec) = &recorder {
+            let cap = rec.drain();
+            obs_ring_dropped = cap.total_dropped;
+            self.emitter.emit_many(cap.events);
+            for (key, data) in &cap.hists {
+                self.metrics.hist_fold(key, data);
+            }
+            if obs_ring_dropped > 0 {
+                self.metrics.add("obs.ring_dropped", obs_ring_dropped);
+            }
+        }
 
         // ---- canonical re-fold ---------------------------------------
         let mut checksum = 0u64;
@@ -316,6 +468,14 @@ impl MeasuredRuntime {
         let stats = hms.backend_stats();
         let final_dram_objects = hms.objects_on(TierKind::Dram).len();
         let bytes_touched = bytes_touched.load(Ordering::Relaxed);
+        let access_timing: Vec<AccessTierTiming> = (0..ids.len())
+            .map(|i| AccessTierTiming {
+                dram_ns: acc_ns[2 * i].load(Ordering::Relaxed) as f64,
+                dram_samples: acc_n[2 * i].load(Ordering::Relaxed),
+                nvm_ns: acc_ns[2 * i + 1].load(Ordering::Relaxed) as f64,
+                nvm_samples: acc_n[2 * i + 1].load(Ordering::Relaxed),
+            })
+            .collect();
         Ok(ParallelPolicyReport {
             policy: policy.name(),
             workers: workers.max(1),
@@ -332,6 +492,8 @@ impl MeasuredRuntime {
             gate_wait_ns,
             steals,
             final_dram_objects,
+            access_timing,
+            obs_ring_dropped,
         })
     }
 }

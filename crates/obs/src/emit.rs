@@ -16,7 +16,8 @@
 //!    for the single-threaded simulator that order is a pure function of
 //!    the inputs, which the JSONL determinism guarantee builds on.
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::event::Event;
 
@@ -45,6 +46,10 @@ impl Sink for VecSink {
 #[derive(Debug, Default)]
 struct Shared {
     buf: Mutex<Vec<Event>>,
+    /// Events dropped because the buffer mutex was poisoned (a worker
+    /// panicked mid-emit). Observability must never turn one panic into
+    /// an abort of the whole run, so emission degrades to counting.
+    poisoned: AtomicU64,
 }
 
 /// Clonable emission handle. See the module docs for the cost model.
@@ -78,15 +83,41 @@ impl Emitter {
 
     /// Emit one event. The closure runs only when enabled, so call sites
     /// pay nothing to *construct* events on unobserved runs.
+    ///
+    /// If the shared buffer's mutex is poisoned (another thread panicked
+    /// while emitting), the event is dropped and the
+    /// [`EventBuffer::poisoned`] counter incremented — emission never
+    /// propagates someone else's panic.
     #[inline]
     pub fn emit<F: FnOnce() -> Event>(&self, build: F) {
         if let Some(shared) = &self.shared {
             let event = build();
-            shared
-                .buf
-                .lock()
-                .expect("emitter buffer poisoned")
-                .push(event);
+            match shared.buf.lock() {
+                Ok(mut buf) => buf.push(event),
+                Err(_) => {
+                    shared.poisoned.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Append a batch of already-built events under one lock acquisition
+    /// (the flight recorder drains its merged stream through this). Same
+    /// poisoning degradation as [`emit`](Self::emit): on a poisoned
+    /// buffer the whole batch is dropped and counted.
+    pub fn emit_many(&self, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        if let Some(shared) = &self.shared {
+            match shared.buf.lock() {
+                Ok(mut buf) => buf.extend(events),
+                Err(_) => {
+                    shared
+                        .poisoned
+                        .fetch_add(events.len() as u64, Ordering::Relaxed);
+                }
+            }
         }
     }
 }
@@ -100,10 +131,12 @@ pub struct EventBuffer {
 impl EventBuffer {
     /// Number of buffered events.
     pub fn len(&self) -> usize {
+        // The buffer data (a Vec of plain events) is always consistent,
+        // so a poisoned lock is recovered rather than propagated.
         self.shared
             .buf
             .lock()
-            .expect("emitter buffer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 
@@ -112,9 +145,22 @@ impl EventBuffer {
         self.len() == 0
     }
 
-    /// Take every buffered event, leaving the buffer empty.
+    /// Events dropped because a panic poisoned the buffer mutex (the
+    /// `obs_poisoned` count).
+    pub fn poisoned(&self) -> u64 {
+        self.shared.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Take every buffered event, leaving the buffer empty. Events
+    /// emitted before a poisoning panic survive and are returned.
     pub fn drain(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.shared.buf.lock().expect("emitter buffer poisoned"))
+        std::mem::take(
+            &mut *self
+                .shared
+                .buf
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
     }
 
     /// Drain into a [`Sink`], flushing it at the end.
@@ -209,5 +255,36 @@ mod tests {
         let mut sink = VecSink::default();
         sink.accept(&ws(0.0, 0));
         assert_eq!(sink.events.len(), 1);
+    }
+
+    #[test]
+    fn emit_many_appends_in_order() {
+        let (e, buf) = Emitter::buffered();
+        e.emit(|| ws(0.0, 0));
+        e.emit_many(vec![ws(1.0, 1), ws(2.0, 2)]);
+        Emitter::disabled().emit_many(vec![ws(9.0, 9)]); // no-op, no panic
+        let events = buf.drain();
+        assert_eq!(events, vec![ws(0.0, 0), ws(1.0, 1), ws(2.0, 2)]);
+    }
+
+    #[test]
+    fn poisoned_buffer_degrades_to_counted_drops() {
+        let (e, buf) = Emitter::buffered();
+        e.emit(|| ws(1.0, 0));
+        // Poison the mutex: a thread panics while holding the guard.
+        let shared = Arc::clone(e.shared.as_ref().expect("enabled"));
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.buf.lock().unwrap();
+            panic!("simulated worker panic mid-emit");
+        })
+        .join();
+        // Emission after poisoning must not panic; it drops + counts.
+        e.emit(|| ws(2.0, 0));
+        e.emit_many(vec![ws(3.0, 0), ws(4.0, 0)]);
+        assert_eq!(buf.poisoned(), 3);
+        // Pre-poison events survive the drain; len/drain recover.
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.drain(), vec![ws(1.0, 0)]);
+        assert!(buf.is_empty());
     }
 }

@@ -277,6 +277,23 @@ pub enum Event {
         /// before the task could pin its objects (exposed latency).
         gate_wait_ns: Ns,
     },
+    /// The Tahoe planner's verdict on one object, stamped with the
+    /// model-predicted benefit of DRAM residence — the prediction side
+    /// of the model-accuracy audit (`exp audit` pairs it with measured
+    /// per-access wall-clock deltas).
+    PlacementDecision {
+        /// Wall-clock ns since the run's epoch (plan hand-off time).
+        t: Ns,
+        /// App object the decision is about.
+        object: u32,
+        /// Object size in bytes (the knapsack weight).
+        bytes: u64,
+        /// Model-predicted total saving of DRAM residence over the run,
+        /// ns (the knapsack value; ≥ 0 by construction).
+        predicted_benefit_ns: Ns,
+        /// Whether the plan promotes the object to DRAM.
+        chosen: bool,
+    },
     /// Calibration fitted a tier spec from measured kernel numbers.
     TierFitted {
         /// Wall-clock ns since the run's epoch.
@@ -312,6 +329,7 @@ impl Event {
             | Event::ArenaMapped { t, .. }
             | Event::RealCopyDone { t, .. }
             | Event::WorkerTask { t, .. }
+            | Event::PlacementDecision { t, .. }
             | Event::TierFitted { t, .. } => t,
         }
     }
@@ -335,6 +353,7 @@ impl Event {
             Event::ArenaMapped { .. } => "arena_mapped",
             Event::RealCopyDone { .. } => "real_copy_done",
             Event::WorkerTask { .. } => "worker_task",
+            Event::PlacementDecision { .. } => "placement_decision",
             Event::TierFitted { .. } => "tier_fitted",
         }
     }

@@ -179,6 +179,19 @@ pub fn event_to_json(e: &Event) -> String {
                 fnum(gate_wait_ns)
             );
         }
+        Event::PlacementDecision {
+            object,
+            bytes,
+            predicted_benefit_ns,
+            chosen,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"object\":{object},\"bytes\":{bytes},\"predicted_benefit_ns\":{},\"chosen\":{chosen}",
+                fnum(predicted_benefit_ns)
+            );
+        }
         Event::TierFitted {
             tier,
             read_bw_gbps,

@@ -1,0 +1,269 @@
+//! Log2-bucketed latency histograms.
+//!
+//! The flight recorder and the metrics registry both need a fixed-size,
+//! allocation-free way to summarize latency distributions (task wall
+//! time, gate waits, steal searches, migration copy chunks). A
+//! [`Histogram`] is 64 power-of-two buckets of `AtomicU64` counters plus
+//! an exact maximum: recording is two relaxed atomic ops, and per-lane
+//! instances are uncontended by construction. [`HistData`] is the plain
+//! (non-atomic) snapshot used for merging across lanes — bucket-wise
+//! addition, so merge order never changes the result — and
+//! [`HistSummary`] is the p50/p90/p99/max digest exported in reports.
+//!
+//! Percentiles are read off the cumulative bucket counts using a
+//! geometric representative per bucket (`1.5·2^i`, capped at the exact
+//! observed maximum), which is the standard trade: ≤ ±50% value error
+//! per bucket in exchange for constant memory and merge commutativity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: values up to `2^63` ns (≈ 292 years) land in
+/// a bucket, so no clamping path is ever taken in practice.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index of a nanosecond value: `floor(log2(v))`, with 0 and 1
+/// sharing bucket 0.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+/// Representative value reported for bucket `i` (geometric midpoint of
+/// `[2^i, 2^(i+1))`; bucket 0 holds {0, 1} and reports 1).
+#[inline]
+fn representative(i: usize) -> f64 {
+    if i == 0 {
+        1.0
+    } else {
+        1.5 * (i as f64).exp2()
+    }
+}
+
+/// A concurrent log2 histogram of nanosecond values.
+///
+/// Recording is wait-free (two relaxed atomic RMWs); snapshots are taken
+/// with [`Histogram::data`]. Negative and non-finite inputs count as 0.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one value (nanoseconds).
+    #[inline]
+    pub fn record(&self, ns: f64) {
+        // NaN.max(0.0) == 0.0 and `as u64` saturates, so any input lands
+        // in a bucket.
+        let v = ns.max(0.0) as u64;
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Snapshot the current counts.
+    pub fn data(&self) -> HistData {
+        let mut d = HistData::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            d.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        d.max = self.max.load(Ordering::Relaxed);
+        d
+    }
+}
+
+/// Plain (non-atomic) histogram counts: the mergeable snapshot form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    /// Count per log2 bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Exact maximum recorded value (ns, truncated to whole ns).
+    pub max: u64,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData {
+            buckets: [0; BUCKETS],
+            max: 0,
+        }
+    }
+}
+
+impl HistData {
+    /// Record one value (same semantics as [`Histogram::record`]).
+    pub fn record(&mut self, ns: f64) {
+        let v = ns.max(0.0) as u64;
+        self.buckets[bucket_index(v)] += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Fold `other` into `self`. Bucket-wise addition: merging lanes in
+    /// any order yields identical results.
+    pub fn merge(&mut self, other: &HistData) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at quantile `q` (0 < q ≤ 1): the representative of the
+    /// bucket holding the `ceil(q·count)`-th smallest sample, capped at
+    /// the exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return representative(i).min(self.max as f64).max(0.0);
+            }
+        }
+        self.max as f64
+    }
+
+    /// The p50/p90/p99/max digest.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max as f64,
+        }
+    }
+}
+
+/// Percentile digest of a histogram, embedded in metrics snapshots and
+/// bench artifacts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median (bucket representative), ns.
+    pub p50: f64,
+    /// 90th percentile, ns.
+    pub p90: f64,
+    /// 99th percentile, ns.
+    pub p99: f64,
+    /// Exact maximum, ns.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn record_and_summarize() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100.0);
+        }
+        for _ in 0..10 {
+            h.record(10_000.0);
+        }
+        let s = h.data().summary();
+        assert_eq!(s.count, 100);
+        // p50 lands in bucket 6 ([64,128)): representative 96.
+        assert_eq!(s.p50, 96.0);
+        assert_eq!(s.p90, 96.0);
+        // p99 lands in the 10k bucket ([8192,16384)): rep 12288, capped
+        // by the exact max 10000.
+        assert_eq!(s.p99, 10_000.0);
+        assert_eq!(s.max, 10_000.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_count_as_zero() {
+        let h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(0.0);
+        let d = h.data();
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.buckets[0], 3);
+        assert_eq!(d.max, 0);
+        assert_eq!(d.summary().p99, 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_union() {
+        let mut a = HistData::default();
+        let mut b = HistData::default();
+        let mut union = HistData::default();
+        for i in 0..1000u64 {
+            let v = (i * 37 % 5000) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            union.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, union);
+        assert_eq!(ab.summary(), union.summary());
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = HistData::default().summary();
+        assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut d = HistData::default();
+        for i in 0..10_000u64 {
+            d.record((i % 997) as f64 * 17.0);
+        }
+        let s = d.summary();
+        assert!(s.p50 <= s.p90);
+        assert!(s.p90 <= s.p99);
+        assert!(s.p99 <= s.max);
+    }
+}

@@ -14,9 +14,15 @@
 //!   shared buffer (usable from the work-stealing executor's threads).
 //! * [`emit::Sink`] — consumer interface for drained events; exporters
 //!   implement it.
-//! * [`metrics::Metrics`] — a registry of monotonic counters, gauges and
-//!   per-window series keyed by static names, snapshot into
-//!   [`metrics::MetricsSnapshot`] (embedded in run reports).
+//! * [`metrics::Metrics`] — a registry of monotonic counters, gauges,
+//!   per-window series and latency histograms keyed by static names,
+//!   snapshot into [`metrics::MetricsSnapshot`] (embedded in run reports).
+//! * [`hist::Histogram`] — fixed-size log2-bucketed latency histograms
+//!   with commutative merge and p50/p90/p99/max digests.
+//! * [`recorder::FlightRecorder`] — per-worker lock-free SPSC event rings
+//!   plus per-lane histograms for the parallel measured runtime's hot
+//!   path; drained into a deterministic timestamp-merged stream that
+//!   feeds the same exporters.
 //! * [`export`] — two exporters: deterministic JSONL (one event per line,
 //!   fixed field order — byte-identical across identical seeded runs) and
 //!   Chrome `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
@@ -30,10 +36,14 @@
 pub mod emit;
 pub mod event;
 pub mod export;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 
 pub use emit::{Emitter, EventBuffer, Sink, VecSink};
 pub use event::{Event, OverheadKind, ReplanReason, Tier};
 pub use export::{to_chrome_trace, to_jsonl, JsonlSink};
+pub use hist::{HistData, HistSummary, Histogram};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use recorder::{FlightCapture, FlightHandle, FlightRecorder};

@@ -10,11 +10,14 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use crate::hist::{HistData, HistSummary};
+
 #[derive(Debug, Default)]
 struct MetricsShared {
     counters: Mutex<BTreeMap<&'static str, u64>>,
     gauges: Mutex<BTreeMap<&'static str, f64>>,
     series: Mutex<BTreeMap<&'static str, Vec<(u32, f64)>>>,
+    hists: Mutex<BTreeMap<&'static str, HistData>>,
 }
 
 /// Clonable metrics handle shared across the instrumented crates.
@@ -100,6 +103,35 @@ impl Metrics {
         }
     }
 
+    /// Record one nanosecond value into a named latency histogram.
+    #[inline]
+    pub fn hist_record(&self, key: &'static str, ns: f64) {
+        if let Some(shared) = &self.shared {
+            shared
+                .hists
+                .lock()
+                .expect("metrics hists poisoned")
+                .entry(key)
+                .or_default()
+                .record(ns);
+        }
+    }
+
+    /// Fold a pre-merged histogram snapshot (e.g. a flight-recorder
+    /// drain) into a named histogram. Bucket-wise addition, so fold order
+    /// never changes the result.
+    pub fn hist_fold(&self, key: &'static str, data: &HistData) {
+        if let Some(shared) = &self.shared {
+            shared
+                .hists
+                .lock()
+                .expect("metrics hists poisoned")
+                .entry(key)
+                .or_default()
+                .merge(data);
+        }
+    }
+
     /// Snapshot every recorded value. A disabled registry snapshots empty.
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.shared {
@@ -126,6 +158,13 @@ impl Metrics {
                     .iter()
                     .map(|(k, v)| (k.to_string(), v.clone()))
                     .collect(),
+                histograms: shared
+                    .hists
+                    .lock()
+                    .expect("metrics hists poisoned")
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.summary()))
+                    .collect(),
             },
         }
     }
@@ -143,12 +182,17 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Per-window series, sorted by name; points in push order.
     pub series: Vec<(String, Vec<(u32, f64)>)>,
+    /// Latency-histogram digests (p50/p90/p99/max), sorted by name.
+    pub histograms: Vec<(String, HistSummary)>,
 }
 
 impl MetricsSnapshot {
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.series.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.series.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Look up a counter by name.
@@ -170,6 +214,14 @@ impl MetricsSnapshot {
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_slice())
+    }
+
+    /// Look up a histogram digest by name.
+    pub fn histogram(&self, key: &str) -> Option<&HistSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Deterministic JSON rendering (keys already sorted, fields in fixed
@@ -203,6 +255,17 @@ impl MetricsSnapshot {
                 let _ = write!(out, "[{w},{v}]");
             }
             out.push(']');
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{k}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                s.count, s.p50, s.p90, s.p99, s.max
+            );
         }
         out.push_str("}}");
         out
@@ -277,7 +340,7 @@ mod tests {
         assert_eq!(snap.counters[1].0, "zeta");
         assert_eq!(
             snap.to_json(),
-            "{\"counters\":{\"alpha\":1,\"zeta\":1},\"gauges\":{\"g\":2.5},\"series\":{\"s\":[[0,1]]}}"
+            "{\"counters\":{\"alpha\":1,\"zeta\":1},\"gauges\":{\"g\":2.5},\"series\":{\"s\":[[0,1]]},\"histograms\":{}}"
         );
         assert_eq!(snap.to_json(), m.snapshot().to_json());
     }
@@ -286,7 +349,33 @@ mod tests {
     fn empty_snapshot_json() {
         assert_eq!(
             MetricsSnapshot::default().to_json(),
-            "{\"counters\":{},\"gauges\":{},\"series\":{}}"
+            "{\"counters\":{},\"gauges\":{},\"series\":{},\"histograms\":{}}"
         );
+    }
+
+    #[test]
+    fn histograms_record_fold_and_export() {
+        let m = Metrics::enabled();
+        m.hist_record("task_ns", 100.0);
+        m.hist_record("task_ns", 100.0);
+        let mut extra = HistData::default();
+        extra.record(10_000.0);
+        m.hist_fold("task_ns", &extra);
+        let snap = m.snapshot();
+        let s = snap.histogram("task_ns").expect("histogram recorded");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 10_000.0);
+        assert_eq!(snap.histogram("missing"), None);
+        assert!(!snap.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"series\":{},\"histograms\":{\
+             \"task_ns\":{\"count\":3,\"p50\":96,\"p90\":10000,\"p99\":10000,\"max\":10000}}}"
+        );
+        // Disabled registries ignore histogram calls too.
+        let d = Metrics::disabled();
+        d.hist_record("task_ns", 1.0);
+        d.hist_fold("task_ns", &extra);
+        assert!(d.snapshot().is_empty());
     }
 }

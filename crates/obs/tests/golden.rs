@@ -94,6 +94,44 @@ fn golden_events() -> Vec<Event> {
             window: 6,
             reason: ReplanReason::UnseenClass,
         },
+        Event::ArenaMapped {
+            t: 0.0,
+            tier: Tier::Nvm,
+            bytes: 3145728,
+            numa_node: -1,
+        },
+        Event::TierFitted {
+            t: 100000.0,
+            tier: Tier::Dram,
+            read_bw_gbps: 12.5,
+            write_bw_gbps: 9.75,
+            read_lat_ns: 87.0,
+        },
+        Event::RealCopyDone {
+            t: 110000.0,
+            object: 7,
+            bytes: 65536,
+            from: Tier::Nvm,
+            to: Tier::Dram,
+            wall_ns: 1940.5,
+            throttle_ns: 320.25,
+            chunks: 16,
+        },
+        Event::WorkerTask {
+            t: 120000.0,
+            worker: 2,
+            task: 42,
+            window: 6,
+            wall_ns: 1525.25,
+            gate_wait_ns: 0.0,
+        },
+        Event::PlacementDecision {
+            t: 130000.0,
+            object: 7,
+            bytes: 65536,
+            predicted_benefit_ns: 41250.75,
+            chosen: true,
+        },
     ]
 }
 
@@ -119,5 +157,5 @@ fn golden_covers_every_event_kind() {
     let mut kinds: Vec<&str> = golden_events().iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 13, "one golden line per Event variant");
+    assert_eq!(kinds.len(), 18, "one golden line per Event variant");
 }

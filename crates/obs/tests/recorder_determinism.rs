@@ -1,0 +1,120 @@
+//! Determinism guarantee of the flight recorder's drain: for a fixed
+//! seeded event set, the merged stream and the histogram summaries are
+//! byte-identical regardless of how many worker lanes the events were
+//! spread across (1, 2 or 4) and regardless of the order in which the
+//! producing threads happen to finish. This is the property the JSONL
+//! byte-determinism story for parallel runs rests on.
+
+use std::sync::{Arc, Barrier};
+
+use tahoe_obs::{Event, FlightRecorder, HistSummary};
+
+const KEYS: &[&str] = &["task_ns", "gate_wait_ns"];
+
+/// Seeded event set with strictly increasing, distinct timestamps so the
+/// merged order is a pure function of the set, not the lane partition.
+fn seeded_events(seed: u64, n: u32) -> Vec<(f64, Event, f64)> {
+    let mut state = seed | 1;
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|i| {
+            // xorshift64*: deterministic, no external RNG needed.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            t += 1.0 + (r % 1000) as f64; // strictly increasing
+            let wall = 10.0 + (r % 100_000) as f64;
+            let ev = Event::WorkerTask {
+                t,
+                worker: 0, // rewritten per lane below
+                task: i,
+                window: 0,
+                wall_ns: wall,
+                gate_wait_ns: 0.0,
+            };
+            (t, ev, wall)
+        })
+        .collect()
+}
+
+/// Fill a recorder with the seeded set partitioned round-robin over
+/// `lanes` producer threads, each started behind a barrier and given a
+/// per-thread busy delay so completion order varies, then drain.
+fn run(seed: u64, lanes: usize, delay_rounds: &[u32]) -> (Vec<Event>, Vec<(String, HistSummary)>) {
+    let events = seeded_events(seed, 512);
+    let rec = Arc::new(FlightRecorder::new(lanes, 1 << 12, KEYS));
+    let barrier = Arc::new(Barrier::new(lanes));
+    std::thread::scope(|s| {
+        for lane in 0..lanes {
+            let rec = Arc::clone(&rec);
+            let barrier = Arc::clone(&barrier);
+            let mine: Vec<(f64, Event, f64)> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % lanes == lane)
+                .map(|(_, e)| e.clone())
+                .collect();
+            let spin = delay_rounds[lane % delay_rounds.len()];
+            s.spawn(move || {
+                barrier.wait();
+                // Vary completion order across configurations.
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_add(i as u64).rotate_left(7);
+                }
+                std::hint::black_box(acc);
+                let h = rec.handle(lane);
+                for (_, ev, wall) in mine {
+                    h.record("task_ns", wall);
+                    assert!(h.emit(ev), "ring must not overflow in this test");
+                }
+            });
+        }
+    });
+    let cap = rec.drain();
+    assert_eq!(cap.total_dropped, 0);
+    let hists = cap
+        .hists
+        .iter()
+        .map(|(k, d)| (k.to_string(), d.summary()))
+        .collect();
+    (cap.events, hists)
+}
+
+#[test]
+fn merged_stream_identical_across_lane_counts_and_finish_orders() {
+    let seed = 0x5EED_CAFE;
+    // Reference: single lane, no contention.
+    let (ref_events, ref_hists) = run(seed, 1, &[0]);
+    assert_eq!(ref_events.len(), 512);
+    // Timestamps must come out sorted.
+    for w in ref_events.windows(2) {
+        assert!(w[0].timestamp() <= w[1].timestamp());
+    }
+    for lanes in [2usize, 4] {
+        // Two delay profiles per lane count: fast-first and slow-first
+        // thread completion.
+        for delays in [
+            &[0u32, 200_000, 50_000, 400_000][..],
+            &[400_000, 0, 200_000, 50_000][..],
+        ] {
+            let (events, hists) = run(seed, lanes, delays);
+            assert_eq!(
+                events, ref_events,
+                "merged stream must not depend on lane count ({lanes}) or finish order"
+            );
+            assert_eq!(
+                hists, ref_hists,
+                "histogram summaries must not depend on lane count ({lanes}) or finish order"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_drains_of_identical_fills_are_identical() {
+    let a = run(0xABCD_EF01, 4, &[0, 100_000, 0, 100_000]);
+    let b = run(0xABCD_EF01, 4, &[100_000, 0, 100_000, 0]);
+    assert_eq!(a, b);
+}

@@ -79,6 +79,25 @@ pub unsafe fn throttled_copy_cancellable(
     cfg: &CopyConfig,
     cancel: &AtomicBool,
 ) -> (CopyOutcome, bool) {
+    throttled_copy_observed(src, dst, len, cfg, cancel, &mut |_| {})
+}
+
+/// [`throttled_copy_cancellable`] with a per-chunk observer: `on_chunk`
+/// receives the wall-clock ns each chunk took (memcpy + pacing), which
+/// the background migrator feeds into the flight recorder's
+/// `mig_chunk_ns` histogram. The observer runs outside any lock and must
+/// be cheap (two atomic adds in the recorder case).
+///
+/// # Safety
+/// Same contract as [`throttled_copy`].
+pub unsafe fn throttled_copy_observed(
+    src: *const u8,
+    dst: *mut u8,
+    len: u64,
+    cfg: &CopyConfig,
+    cancel: &AtomicBool,
+    on_chunk: &mut dyn FnMut(f64),
+) -> (CopyOutcome, bool) {
     let start = Instant::now();
     let chunk = cfg.chunk_bytes.max(1);
     let mut copied = 0u64;
@@ -96,6 +115,7 @@ pub unsafe fn throttled_copy_cancellable(
                 false,
             );
         }
+        let chunk_t0 = Instant::now();
         let n = chunk.min(len - copied);
         std::ptr::copy_nonoverlapping(
             src.add(copied as usize),
@@ -114,6 +134,7 @@ pub unsafe fn throttled_copy_cancellable(
                 };
             throttle_ns += pace_until(start, modelled);
         }
+        on_chunk(chunk_t0.elapsed().as_nanos() as f64);
     }
     (
         CopyOutcome {
@@ -213,6 +234,34 @@ mod tests {
         };
         assert!(completed);
         assert_eq!(out.bytes, 64 << 10);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn observer_sees_one_callback_per_chunk() {
+        let src = buf(10_000, 7);
+        let mut dst = buf(10_000, 0);
+        let cfg = CopyConfig {
+            bandwidth_gbps: f64::INFINITY,
+            latency_ns: 0.0,
+            chunk_bytes: 4096,
+        };
+        let mut samples = Vec::new();
+        let cancel = AtomicBool::new(false);
+        let (out, completed) = unsafe {
+            throttled_copy_observed(
+                src.as_ptr(),
+                dst.as_mut_ptr(),
+                10_000,
+                &cfg,
+                &cancel,
+                &mut |ns| samples.push(ns),
+            )
+        };
+        assert!(completed);
+        assert_eq!(samples.len() as u32, out.chunks);
+        assert_eq!(samples.len(), 3);
+        assert!(samples.iter().all(|&ns| ns >= 0.0));
         assert_eq!(dst, src);
     }
 

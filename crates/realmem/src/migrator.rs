@@ -21,9 +21,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tahoe_hms::{MigrationRecord, MigrationStats, ObjectId, SharedHms, TierKind};
-use tahoe_obs::{Emitter, Event, Tier};
+use tahoe_obs::{Emitter, Event, FlightHandle, Tier};
 
-use crate::copy::{throttled_copy_cancellable, CopyConfig};
+use crate::copy::{throttled_copy_observed, CopyConfig};
 
 /// One queued migration: move `object` to tier `to`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,13 +70,27 @@ impl BackgroundMigrator {
     /// same events the virtual-time engine emits, here on wall-clock
     /// time).
     pub fn spawn(shared: Arc<SharedHms>, copy_cfg: CopyConfig, emitter: Emitter) -> Self {
+        Self::spawn_traced(shared, copy_cfg, emitter, None)
+    }
+
+    /// [`spawn`](Self::spawn) with an optional flight-recorder lane: when
+    /// present, migration events go to the lock-free lane instead of the
+    /// emitter (merged into the shared stream at drain time) and each
+    /// copy chunk's wall time lands in the lane's `mig_chunk_ns`
+    /// histogram.
+    pub fn spawn_traced(
+        shared: Arc<SharedHms>,
+        copy_cfg: CopyConfig,
+        emitter: Emitter,
+        flight: Option<FlightHandle>,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<MigrationRequest>();
         let pending = Arc::new(AtomicUsize::new(0));
         let cancel = Arc::new(AtomicBool::new(false));
         let (p, c) = (Arc::clone(&pending), Arc::clone(&cancel));
         let handle = std::thread::Builder::new()
             .name("tahoe-migrator".into())
-            .spawn(move || run_engine(shared, rx, copy_cfg, emitter, p, c))
+            .spawn(move || run_engine(shared, rx, copy_cfg, emitter, flight, p, c))
             .expect("spawn migration thread");
         BackgroundMigrator {
             tx,
@@ -138,6 +152,7 @@ fn run_engine(
     rx: mpsc::Receiver<MigrationRequest>,
     copy_cfg: CopyConfig,
     emitter: Emitter,
+    flight: Option<FlightHandle>,
     pending: Arc<AtomicUsize>,
     cancel: Arc<AtomicBool>,
 ) -> MigratorReport {
@@ -158,17 +173,22 @@ fn run_engine(
                 // source cannot be freed or written and the destination
                 // reservation is exclusive until commit/abort.
                 let (outcome, completed) = unsafe {
-                    throttled_copy_cancellable(
+                    throttled_copy_observed(
                         started.src,
                         started.dst,
                         started.size(),
                         &copy_cfg,
                         &cancel,
+                        &mut |ns| {
+                            if let Some(f) = &flight {
+                                f.record("mig_chunk_ns", ns);
+                            }
+                        },
                     )
                 };
                 if completed {
                     let rec = shared.commit_move(started, &outcome);
-                    emitter.emit(|| Event::MigrationIssued {
+                    let issued = Event::MigrationIssued {
                         t: rec.issued_at,
                         object: rec.object.0,
                         bytes: rec.bytes,
@@ -177,13 +197,23 @@ fn run_engine(
                         start: rec.start,
                         finish: rec.finish,
                         queue_depth: pending.load(Ordering::SeqCst) as u32 - 1,
-                    });
-                    emitter.emit(|| Event::MigrationCompleted {
+                    };
+                    let done = Event::MigrationCompleted {
                         t: rec.finish,
                         object: rec.object.0,
                         bytes: rec.bytes,
                         overlap_ns: rec.overlapped_ns(),
-                    });
+                    };
+                    match &flight {
+                        Some(f) => {
+                            f.emit(issued);
+                            f.emit(done);
+                        }
+                        None => {
+                            emitter.emit(|| issued);
+                            emitter.emit(|| done);
+                        }
+                    }
                     report.stats.record(&rec);
                     report.records.push(rec);
                 } else {
@@ -302,6 +332,44 @@ mod tests {
             );
             assert!(!h.is_moving(a).unwrap());
         });
+    }
+
+    #[test]
+    fn traced_migrator_routes_events_and_chunk_times_to_the_flight_lane() {
+        use std::sync::Arc as StdArc;
+        let rec = StdArc::new(tahoe_obs::FlightRecorder::new(
+            1,
+            1 << 10,
+            &["mig_chunk_ns"],
+        ));
+        let sh = shared(1 << 20, 1 << 22);
+        let a = sh.with(|h| h.alloc_object("a", 16 << 10, TierKind::Nvm, false).unwrap());
+        let (emitter, buffer) = Emitter::buffered();
+        let eng = BackgroundMigrator::spawn_traced(
+            Arc::clone(&sh),
+            CopyConfig {
+                bandwidth_gbps: f64::INFINITY,
+                latency_ns: 0.0,
+                chunk_bytes: 4096,
+            },
+            emitter,
+            Some(rec.handle(0)),
+        );
+        eng.enqueue(a, TierKind::Dram);
+        let report = eng.finish();
+        assert_eq!(report.stats.count, 1);
+        // Events went to the flight lane, not the emitter.
+        assert!(buffer.is_empty());
+        let cap = rec.drain();
+        let kinds: Vec<&str> = cap.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"migration_issued"));
+        assert!(kinds.contains(&"migration_completed"));
+        let (_, chunks) = cap
+            .hists
+            .iter()
+            .find(|(k, _)| *k == "mig_chunk_ns")
+            .expect("chunk histogram recorded");
+        assert_eq!(chunks.count(), 4, "16 KiB / 4 KiB chunks");
     }
 
     #[test]

@@ -132,6 +132,27 @@ impl WsExecutor {
         G: DataGate + ?Sized,
         F: Fn(usize, &TaskSpec) + Sync,
     {
+        self.run_window_traced(graph, window, gate, None, work)
+    }
+
+    /// [`run_window`](Self::run_window) with an optional flight recorder:
+    /// every successful steal (injector or peer acquisition) records the
+    /// wall-clock ns the worker spent searching into the recorder's
+    /// `steal_ns` histogram on that worker's lane. The search timestamp
+    /// is only taken when a recorder is present, so the untraced hot path
+    /// is unchanged.
+    pub fn run_window_traced<G, F>(
+        &self,
+        graph: &TaskGraph,
+        window: Option<u32>,
+        gate: &G,
+        recorder: Option<&tahoe_obs::FlightRecorder>,
+        work: F,
+    ) -> WsStats
+    where
+        G: DataGate + ?Sized,
+        F: Fn(usize, &TaskSpec) + Sync,
+    {
         let n = graph.len();
         let started = Instant::now();
         if self.clamped {
@@ -209,6 +230,7 @@ impl WsExecutor {
                         }
                         // Local first, then injector, then peers.
                         let task = local.pop().or_else(|| {
+                            let search_t0 = recorder.map(|_| Instant::now());
                             std::iter::repeat_with(|| {
                                 injector.steal_batch_and_pop(&local).or_else(|| {
                                     stealers
@@ -227,6 +249,9 @@ impl WsExecutor {
                                     // peer count as steals (local pops are
                                     // handled above and excluded).
                                     steals.fetch_add(1, Ordering::Relaxed);
+                                    if let (Some(rec), Some(t0)) = (recorder, search_t0) {
+                                        rec.record(me, "steal_ns", t0.elapsed().as_nanos() as f64);
+                                    }
                                 }
                                 got
                             })
@@ -479,6 +504,29 @@ mod tests {
             }
         });
         assert_eq!(bad.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn traced_run_records_one_steal_sample_per_steal() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..200 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let rec = tahoe_obs::FlightRecorder::new(4, 1 << 12, &["steal_ns"]);
+        let stats = WsExecutor::new(4).run_window_traced(&g, None, &NoGate, Some(&rec), |_, _| {});
+        let cap = rec.drain();
+        assert_eq!(cap.total_dropped, 0);
+        // Roots come off the injector, so any nonempty graph steals at
+        // least once, and every steal records exactly one sample.
+        assert!(stats.steals > 0);
+        let (_, data) = cap
+            .hists
+            .iter()
+            .find(|(k, _)| *k == "steal_ns")
+            .expect("steal_ns histogram present");
+        assert_eq!(data.count(), stats.steals);
+        assert!(data.summary().max >= 1.0, "searches take nonzero time");
     }
 
     #[test]
