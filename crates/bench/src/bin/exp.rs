@@ -29,12 +29,19 @@ fn audit_dir() -> String {
     std::env::var("AUDIT_DIR").unwrap_or_else(|_| "target/audit-artifact".to_string())
 }
 
+/// Output directory for the `sanitize` artifact (override with `SANITIZE_DIR`).
+fn sanitize_dir() -> String {
+    std::env::var("SANITIZE_DIR").unwrap_or_else(|_| "target/sanitize-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     if args.is_empty() {
-        eprintln!("usage: exp <all|e1|e2|...|e13|obs|real|par|audit> [--smoke] [more experiments]");
+        eprintln!(
+            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize> [--smoke] [more experiments]"
+        );
         return ExitCode::FAILURE;
     }
     for arg in &args {
@@ -61,6 +68,12 @@ fn main() -> ExitCode {
             "audit" => {
                 if let Err(e) = tahoe_bench::audit(smoke, &audit_dir()) {
                     eprintln!("audit experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "sanitize" => {
+                if let Err(e) = tahoe_bench::sanitize(smoke, &sanitize_dir()) {
+                    eprintln!("sanitize experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -16,6 +16,10 @@
 //! * `tahoe-bench-audit/v1` — the model audit still audits objects, the
 //!   recorder's self-overhead stays under its ceiling, and MAPE /
 //!   sign-agreement have not regressed beyond the tolerance bands.
+//! * `tahoe-bench-sanitize/v1` — violation counts are deterministic by
+//!   construction (schedule-independent reports), so the whole digest
+//!   — fuzz coverage, static pass, per-fixture violation sets — must
+//!   match the baseline **exactly**.
 //!
 //! [`compare`] returns the list of violations (empty = gate passes);
 //! structural problems (unparseable JSON, schema mismatch) are `Err`.
@@ -73,6 +77,7 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         "tahoe-bench-real/v1" => compare_real(baseline, fresh),
         "tahoe-bench-par/v1" => compare_par(baseline, fresh),
         "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
+        "tahoe-bench-sanitize/v1" => compare_sanitize(baseline, fresh),
         other => Err(format!("unknown artifact schema `{other}`")),
     }
 }
@@ -238,6 +243,36 @@ fn compare_audit(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String>
     Ok(violations)
 }
 
+fn compare_sanitize(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    // Self-reported health flags must hold on the fresh run.
+    for path in [
+        ["static", "clean"].as_slice(),
+        &["fuzz", "clean"],
+        &["consistency", "correct_workloads_clean"],
+        &["consistency", "fixtures_exact"],
+    ] {
+        if !flag(fresh, path)? {
+            violations.push(format!("fresh `{}` is false", path.join(".")));
+        }
+    }
+    // Everything the sanitizer reports is schedule-independent, so the
+    // digest must match the baseline exactly: same workloads verified,
+    // same fuzz coverage and shadowed-access count, same per-fixture
+    // violation sets.
+    for path in [["static"].as_slice(), &["fuzz"], &["fixtures"]] {
+        let b = field(baseline, path)?;
+        let f = field(fresh, path)?;
+        if b != f {
+            violations.push(format!(
+                "sanitize digest `{}` changed: baseline {b:?} vs fresh {f:?}",
+                path.join(".")
+            ));
+        }
+    }
+    Ok(violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +321,21 @@ mod tests {
         )
     }
 
+    fn sanitize_doc(accesses: u64, wur: u64, fixtures_exact: bool) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-sanitize/v1",
+                "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "smoke": true}},
+                "static": {{"workloads_verified": 12, "clean": true}},
+                "fuzz": {{"workloads": 1, "workers": [1, 2, 4], "seeds": [0, 1, 2],
+                          "runs": 9, "accesses_checked": {accesses}, "clean": true}},
+                "fixtures": [
+                  {{"name": "hidden_writer", "runs": 2, "static_match": true, "dynamic_match": {fixtures_exact},
+                    "violations": {{"unordered_conflict": 1, "write_under_read": {wur}}}}}
+                ],
+                "consistency": {{"correct_workloads_clean": true, "fixtures_exact": {fixtures_exact}}}}}"#
+        )
+    }
+
     #[test]
     fn identical_artifacts_pass_every_schema() {
         for doc in [
@@ -293,10 +343,24 @@ mod tests {
             real_doc(8.0, 2.0),
             par_doc(60.0, 4),
             audit_doc(40.0, 100.0, 1.0),
+            sanitize_doc(216, 1, true),
         ] {
             let v = compare_text(&doc, &doc).expect("well-formed");
             assert!(v.is_empty(), "unexpected violations: {v:?}");
         }
+    }
+
+    #[test]
+    fn sanitize_gate_demands_exact_violation_sets() {
+        // A changed fixture violation count is a digest change.
+        let v = compare_text(&sanitize_doc(216, 1, true), &sanitize_doc(216, 2, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("fixtures")), "{v:?}");
+        // Shadowed-access coverage shrinking is a digest change too.
+        let v = compare_text(&sanitize_doc(216, 1, true), &sanitize_doc(215, 1, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("fuzz")), "{v:?}");
+        // A fresh run that failed its own exactness check always fails.
+        let v = compare_text(&sanitize_doc(216, 1, true), &sanitize_doc(216, 1, false)).unwrap();
+        assert!(v.iter().any(|m| m.contains("fixtures_exact")), "{v:?}");
     }
 
     #[test]

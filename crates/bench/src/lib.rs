@@ -10,6 +10,9 @@
 //! cargo run -p tahoe-bench --release --bin exp -- e4
 //! ```
 
+// The harness only drives the runtime crates; it never needs raw memory.
+#![forbid(unsafe_code)]
+
 use tahoe_core::prelude::*;
 use tahoe_core::TahoeOptions;
 use tahoe_hms::ObjectId;
@@ -1020,6 +1023,243 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
     std::fs::write(path.join("BENCH_par.json"), &out)
         .map_err(|e| format!("write BENCH_par.json: {e}"))?;
     println!("  -> {dir}/BENCH_par.json");
+    Ok(())
+}
+
+/// Exact-count check: every violation kind in `rep` must carry exactly
+/// the expected count (kinds absent from `expected` must be zero).
+fn sanitize_counts_match(
+    rep: &tahoe_core::SanitizeReport,
+    expected: &[(&'static str, u64)],
+) -> bool {
+    rep.by_kind().iter().all(|(tag, n)| {
+        let want = expected
+            .iter()
+            .find(|(t, _)| t == tag)
+            .map_or(0, |(_, c)| *c);
+        *n == want
+    })
+}
+
+/// `exp sanitize`: the task-graph race detector + access sanitizer with
+/// schedule fuzzing. Three passes:
+///
+/// 1. **Static** — the graph verifier must find nothing wrong with any
+///    real workload's declared DAG.
+/// 2. **Fuzz** — correct workloads execute in sanitize mode across
+///    worker counts × seeds; every run must report *zero* violations
+///    and still reproduce the sequential reference checksum.
+/// 3. **Fixtures** — the committed buggy workloads must produce their
+///    *exact* expected violation sets, identically at every allowed
+///    worker count and seed (schedule independence).
+///
+/// Any deviation is an error; the summary lands in
+/// `BENCH_sanitize.json`, gated by `benchgate` with exact equality.
+pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::{reference_checksum_seeded, MeasuredRuntime};
+    use tahoe_core::SanitizeReport;
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::json;
+    use tahoe_sanitize::{verify_graph, StaticContext};
+    use tahoe_workloads::fixtures::all_fixtures;
+
+    banner(if smoke {
+        "SANITIZE race detector + access sanitizer (smoke): fuzz + fixtures"
+    } else {
+        "SANITIZE race detector + access sanitizer: fuzz + fixtures"
+    });
+    let mk_cfg = || {
+        if smoke {
+            WallClockConfig::smoke()
+        } else {
+            WallClockConfig::full()
+        }
+    };
+    let static_ctx = |app: &App| {
+        let plat = platform_bw(app, 0.25);
+        StaticContext::new(
+            app.objects.iter().map(|o| o.size).collect(),
+            plat.dram.capacity,
+            plat.nvm.capacity,
+        )
+    };
+
+    // ---- pass 1: static graph verification --------------------------
+    let mut static_verified = 0u64;
+    for app in all_workloads(Scale::Test) {
+        let rep = verify_graph(&app.graph, &static_ctx(&app));
+        if !rep.is_clean() {
+            return Err(format!(
+                "static verifier flagged correct workload {}: {:?}",
+                app.name, rep.violations
+            ));
+        }
+        static_verified += 1;
+    }
+    println!("  static: {static_verified} workload graphs verified clean");
+
+    // ---- pass 2: schedule fuzz over correct workloads ----------------
+    let apps: Vec<App> = if smoke {
+        vec![stream::app(Scale::Test)]
+    } else {
+        vec![stream::app(Scale::Bench), cg::app(Scale::Test)]
+    };
+    let worker_counts: &[usize] = &[1, 2, 4];
+    let seeds: &[u64] = &[0, 1, 2];
+    let mut fuzz_runs = 0u64;
+    let mut accesses_checked = 0u64;
+    for app in &apps {
+        let rt = MeasuredRuntime::new(platform_bw(app, 0.25), mk_cfg());
+        let cal = rt.calibrate()?;
+        for &workers in worker_counts {
+            for &seed in seeds {
+                let (rep, san) =
+                    rt.run_policy_sanitized(app, &PolicyKind::tahoe(), &cal, workers, seed, &[])?;
+                if !san.is_clean() {
+                    return Err(format!(
+                        "{} @ {workers} workers seed {seed}: sanitizer flagged a correct workload: {:?}",
+                        app.name, san.violations
+                    ));
+                }
+                let want = reference_checksum_seeded(app, seed);
+                if rep.checksum != want {
+                    return Err(format!(
+                        "{} @ {workers} workers seed {seed}: checksum {:016x} != reference {want:016x} under sanitize mode",
+                        app.name, rep.checksum
+                    ));
+                }
+                fuzz_runs += 1;
+                accesses_checked += san.accesses_checked;
+            }
+        }
+        println!(
+            "  fuzz: {:<10} clean across {:?} workers x {:?} seeds",
+            app.name, worker_counts, seeds
+        );
+    }
+
+    // ---- pass 3: committed buggy fixtures ----------------------------
+    struct FixtureRow {
+        name: &'static str,
+        runs: u64,
+        static_match: bool,
+        dynamic_match: bool,
+        by_kind: Vec<(&'static str, u64)>,
+    }
+    let fixture_seeds: &[u64] = &[0, 1];
+    let mut rows = Vec::new();
+    for f in all_fixtures() {
+        let srep = verify_graph(&f.app.graph, &static_ctx(&f.app));
+        let static_match = sanitize_counts_match(&srep, &f.expected_static);
+        let rt = MeasuredRuntime::new(platform_bw(&f.app, 0.25), mk_cfg());
+        let cal = rt.calibrate()?;
+        let allowed: Vec<usize> = worker_counts
+            .iter()
+            .copied()
+            .filter(|w| *w <= f.max_workers)
+            .collect();
+        let mut dynamic_match = true;
+        let mut first: Option<SanitizeReport> = None;
+        let mut runs = 0u64;
+        for &workers in &allowed {
+            for &seed in fixture_seeds {
+                let (_, san) = rt.run_policy_sanitized(
+                    &f.app,
+                    &PolicyKind::DramOnly,
+                    &cal,
+                    workers,
+                    seed,
+                    &f.extra,
+                )?;
+                if !sanitize_counts_match(&san, &f.expected_dynamic) {
+                    dynamic_match = false;
+                }
+                match &first {
+                    None => first = Some(san),
+                    // Schedule independence: byte-identical reports at
+                    // every worker count and seed.
+                    Some(prev) if *prev != san => dynamic_match = false,
+                    Some(_) => {}
+                }
+                runs += 1;
+            }
+        }
+        let rep = first.ok_or_else(|| format!("fixture {} never ran", f.name))?;
+        println!(
+            "  fixture: {:<20} {} runs, static {}, dynamic {} ({} violations)",
+            f.name,
+            runs,
+            if static_match { "ok" } else { "MISMATCH" },
+            if dynamic_match { "ok" } else { "MISMATCH" },
+            rep.violations.len() + srep.violations.len()
+        );
+        if !static_match || !dynamic_match {
+            return Err(format!(
+                "fixture {} deviated from its expected violation set: static {:?}, dynamic {:?}",
+                f.name, srep.violations, rep.violations
+            ));
+        }
+        let mut by_kind = srep.by_kind();
+        for (i, (_, n)) in rep.by_kind().into_iter().enumerate() {
+            by_kind[i].1 += n;
+        }
+        rows.push(FixtureRow {
+            name: f.name,
+            runs,
+            static_match,
+            dynamic_match,
+            by_kind,
+        });
+    }
+
+    // ---- BENCH_sanitize.json -----------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-sanitize/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"static\": {{\"workloads_verified\": {static_verified}, \"clean\": true}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"fuzz\": {{\"workloads\": {}, \"workers\": [1, 2, 4], \"seeds\": [0, 1, 2], \"runs\": {fuzz_runs}, \"accesses_checked\": {accesses_checked}, \"clean\": true}},\n",
+        apps.len()
+    ));
+    out.push_str("  \"fixtures\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"static_match\": {}, \"dynamic_match\": {}, \"violations\": {{",
+            r.name, r.runs, r.static_match, r.dynamic_match
+        ));
+        for (j, (tag, n)) in r.by_kind.iter().enumerate() {
+            out.push_str(&format!("{}\"{tag}\": {n}", if j > 0 { ", " } else { "" }));
+        }
+        out.push_str(&format!(
+            "}}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"consistency\": {\"correct_workloads_clean\": true, \"fixtures_exact\": true}\n}\n",
+    );
+    json::parse(&out).map_err(|e| format!("BENCH_sanitize.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_sanitize.json"), &out)
+        .map_err(|e| format!("write BENCH_sanitize.json: {e}"))?;
+    println!(
+        "  {} fuzz runs clean ({} accesses shadowed), {} fixtures exact -> {dir}/BENCH_sanitize.json",
+        fuzz_runs,
+        accesses_checked,
+        rows.len()
+    );
     Ok(())
 }
 

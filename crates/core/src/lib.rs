@@ -37,6 +37,11 @@
 //!   [`runtime::ObsCapture`] with the typed event stream (exportable as
 //!   deterministic JSONL or a Chrome/Perfetto trace) and a metrics
 //!   snapshot covering every layer of the pipeline.
+//! * [`MeasuredRuntime::run_policy_sanitized`](measured::MeasuredRuntime::run_policy_sanitized)
+//!   — a parallel measured run with the [`tahoe_sanitize`] access
+//!   sanitizer shadowing every access (happens-before race scan,
+//!   undeclared-access / write-under-read / mid-move checks); the
+//!   plain parallel path compiles the checks away entirely.
 //!
 //! ```
 //! use tahoe_core::prelude::*;
@@ -60,6 +65,11 @@
 //! assert!(report.makespan_ns > 0.0);
 //! ```
 
+// Unsafe is the exception here, not the rule: only the two measured-mode
+// sites that hand raw arena memory to the traffic kernel may use it, each
+// behind a scoped `#[allow(unsafe_code)]` with a SAFETY comment.
+#![deny(unsafe_code)]
+
 pub mod app;
 pub mod audit;
 pub mod config;
@@ -80,6 +90,7 @@ pub use parallel::{AccessTierTiming, ParallelPolicyReport};
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
 pub use runtime::{ObsCapture, Runtime};
+pub use tahoe_sanitize::{ExtraAccess, SanitizeReport, Violation, ViolationKind};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {

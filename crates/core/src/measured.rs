@@ -161,6 +161,7 @@ impl MeasuredRuntime {
             .ok_or_else(|| "scratch arena too small".to_string())?;
         // SAFETY: the arena maps at least `bytes` writable bytes and
         // lives until after the measurement returns.
+        #[allow(unsafe_code)]
         let buf = unsafe { std::slice::from_raw_parts_mut(ptr, bytes as usize) };
         let measured = measure_tier(buf, &self.kernel_cfg)?;
         let cal = fit_calibration(

@@ -82,6 +82,7 @@ use tahoe_hms::{MigrationStats, ObjectId, SharedHms, TierKind};
 use tahoe_memprof::wallclock::WallClockCalibration;
 use tahoe_obs::{Emitter, Event, FlightRecorder};
 use tahoe_realmem::{traffic, BackgroundMigrator};
+use tahoe_sanitize::{AccessSanitizer, ExtraAccess, NoSanitize, SanitizeHook, SanitizeReport};
 use tahoe_taskrt::{DataGate, TaskSpec, WsExecutor};
 
 use crate::app::App;
@@ -178,6 +179,24 @@ pub struct ParallelPolicyReport {
     pub obs_ring_dropped: u64,
 }
 
+/// Static counter key for a violation-kind tag (the metrics registry
+/// stores `&'static str` keys; [`tahoe_sanitize::ViolationKind::tag`]
+/// values are the source of truth for the suffixes).
+fn violation_counter_key(tag: &str) -> &'static str {
+    match tag {
+        "dependency_cycle" => "sanitize.violations.dependency_cycle",
+        "unordered_conflict" => "sanitize.violations.unordered_conflict",
+        "use_after_free" => "sanitize.violations.use_after_free",
+        "infeasible_footprint" => "sanitize.violations.infeasible_footprint",
+        "dead_declaration" => "sanitize.violations.dead_declaration",
+        "undeclared_access" => "sanitize.violations.undeclared_access",
+        "write_under_read" => "sanitize.violations.write_under_read",
+        "mid_move_access" => "sanitize.violations.mid_move_access",
+        "pinned_copy" => "sanitize.violations.pinned_copy",
+        _ => "sanitize.violations.other",
+    }
+}
+
 /// The executor's data gate over a [`SharedHms`]: a task is
 /// data-ready when none of its objects is mid-migration.
 struct HmsGate<'a> {
@@ -207,6 +226,78 @@ impl MeasuredRuntime {
         cal: &WallClockCalibration,
         workers: usize,
         run_seed: u64,
+    ) -> Result<ParallelPolicyReport, String> {
+        // `NoSanitize` has `ENABLED = false`: every hook call below is an
+        // empty inlined function behind `if S::ENABLED`, so this path
+        // compiles to exactly the pre-sanitizer runtime — no shadow
+        // state, no per-access branches on live data.
+        self.run_policy_parallel_impl(app, policy, cal, workers, run_seed, &NoSanitize)
+    }
+
+    /// Like [`run_policy_parallel`](Self::run_policy_parallel), but with
+    /// the dynamic access sanitizer shadowing every memory access.
+    ///
+    /// Every access a worker performs is checked against the declared
+    /// task graph: it must be covered by a declaration on its task, a
+    /// `Read` declaration must never store, and the object must not be
+    /// mid-migration (the pin discipline makes that impossible unless
+    /// the runtime itself is broken — which is exactly what the check
+    /// would catch). The migration engine's move-start events are
+    /// observed too, flagging any copy that begins while the object has
+    /// live pins. `extra` registers accesses the *application claims to
+    /// perform beyond its declarations* (committed buggy fixtures use
+    /// this); they are checked and fed to the schedule-independent race
+    /// scan without touching real memory.
+    ///
+    /// Returns the normal report plus the [`SanitizeReport`]; violations
+    /// are also emitted as `sanitize_violation` events and counted in
+    /// `sanitize.violations.*` metrics.
+    pub fn run_policy_sanitized(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+        workers: usize,
+        run_seed: u64,
+        extra: &[ExtraAccess],
+    ) -> Result<(ParallelPolicyReport, SanitizeReport), String> {
+        let mut san = AccessSanitizer::from_graph(&app.graph);
+        for e in extra {
+            san.note_extra_access(e);
+        }
+        let hook = Arc::new(san);
+        let report = self.run_policy_parallel_impl(app, policy, cal, workers, run_seed, &hook)?;
+        // The move observer's Arc clone died with the SharedHms inside
+        // the impl; ours is the last reference.
+        let san = Arc::try_unwrap(hook).map_err(|_| "sanitizer still referenced after run")?;
+        let sanitize = san.finish();
+        for v in &sanitize.violations {
+            self.emitter.emit(|| Event::SanitizeViolation {
+                t: report.wall_ns,
+                kind: v.kind.tag().to_string(),
+                task: v.task.unwrap_or(u32::MAX),
+                object: v.object.unwrap_or(u32::MAX),
+                detail: v.detail.clone(),
+            });
+        }
+        for (tag, n) in sanitize.by_kind() {
+            if n > 0 {
+                self.metrics.add(violation_counter_key(tag), n);
+            }
+        }
+        self.metrics
+            .add("sanitize.accesses_checked", sanitize.accesses_checked);
+        Ok((report, sanitize))
+    }
+
+    fn run_policy_parallel_impl<S: SanitizeHook>(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+        workers: usize,
+        run_seed: u64,
+        hook: &S,
     ) -> Result<ParallelPolicyReport, String> {
         let PreparedRun {
             config,
@@ -260,6 +351,13 @@ impl MeasuredRuntime {
 
         // ---- parallel execution --------------------------------------
         let shared = Arc::new(SharedHms::new(hms));
+        // Register before the migrator spawns so no move-start can slip
+        // past the sanitizer's pinned-copy check.
+        if S::ENABLED {
+            if let Some(obs) = hook.move_observer() {
+                shared.set_move_observer(obs);
+            }
+        }
         // With a recorder, the migration thread writes its own lock-free
         // lane (merged into the emitter at drain); the emitter handed to
         // it is disabled so events are never double-reported.
@@ -351,12 +449,21 @@ impl MeasuredRuntime {
                         } else {
                             0.0
                         };
+                        if S::ENABLED {
+                            hook.on_access(
+                                task.id.0,
+                                ai,
+                                access.object.index() as u32,
+                                shared.is_mid_move(hid),
+                            );
+                        }
                         // SAFETY: the pin blocks moves and frees for the
                         // whole task, the arenas never remap, and writes are
                         // exclusive by the graph's derived dependences (a
                         // writer's task is ordered against every other
                         // toucher of the object).
                         let a_t0 = Instant::now();
+                        #[allow(unsafe_code)]
                         let c = unsafe {
                             traffic::run_access_ptr(
                                 pin.as_ptr(),

@@ -29,6 +29,11 @@
 //! unit, a bandwidth of 1 GB/s is numerically 1 byte/ns, which keeps the
 //! arithmetic in the timing model free of unit conversions.
 
+// Raw object pointers cross this crate's pin/move API; every unsafe
+// operation must sit in an explicit `unsafe` block with a SAFETY
+// justification, even inside `unsafe fn` bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod alloc;
 pub mod backend;
 pub mod error;
@@ -46,7 +51,7 @@ pub use error::HmsError;
 pub use memory::{Hms, HmsConfig, MoveTicket, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};
 pub use object::{ObjectId, ObjectMeta};
-pub use sync::{PinnedObject, SharedHms, StartedMove, TaskPins};
+pub use sync::{MoveObserver, PinnedObject, SharedHms, StartedMove, TaskPins};
 pub use tier::{TierKind, TierSpec};
 pub use timing::AccessProfile;
 pub use wear::WearStats;

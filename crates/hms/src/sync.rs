@@ -32,8 +32,8 @@
 //! the pin/mid-move discipline, not by the lock.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
 use std::time::{Duration, Instant};
 
 use crate::backend::CopyOutcome;
@@ -135,12 +135,39 @@ impl StartedMove {
     }
 }
 
+/// Callback invoked when a background migration actually starts:
+/// `(object, pin count at start)`. Installed by sanitize mode to catch a
+/// migrator copying bytes a task is using (the count is 0 whenever the
+/// pin/mid-move discipline holds). Must not call back into the
+/// [`SharedHms`] that invokes it.
+pub type MoveObserver = Box<dyn Fn(ObjectId, u64) + Send + Sync>;
+
 /// A [`Hms`] shareable across worker threads and one migration thread.
-#[derive(Debug)]
+///
+/// **Lock poisoning.** A worker that panics while holding the table
+/// lock poisons it. Every mutation under the lock is complete before
+/// any panic-capable call, so the table state is consistent at every
+/// unlock point; the wrapper therefore *recovers* the guard instead of
+/// cascading the panic into every other worker and the migration
+/// thread, and counts the recovery ([`SharedHms::poisoned`]) the same
+/// way the obs emitter degrades since PR 4.
 pub struct SharedHms {
     state: Mutex<State>,
     changed: Condvar,
     epoch: Instant,
+    /// Times a poisoned lock was recovered instead of panicking.
+    poisoned: AtomicU64,
+    /// Migration-start observer (sanitize mode), if installed.
+    move_observer: Mutex<Option<MoveObserver>>,
+}
+
+impl std::fmt::Debug for SharedHms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedHms")
+            .field("state", &self.state)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
 }
 
 /// How long a blocked migration re-checks its cancel flag while waiting
@@ -158,7 +185,76 @@ impl SharedHms {
             }),
             changed: Condvar::new(),
             epoch: Instant::now(),
+            poisoned: AtomicU64::new(0),
+            move_observer: Mutex::new(None),
         }
+    }
+
+    /// Acquire the table lock, recovering (and counting) a poisoned
+    /// guard instead of propagating the panic.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(e) => {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                e.into_inner()
+            }
+        }
+    }
+
+    /// Condvar wait with the same poison recovery as [`Self::lock_state`].
+    fn wait_changed<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        match self.changed.wait(guard) {
+            Ok(guard) => guard,
+            Err(e) => {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                e.into_inner()
+            }
+        }
+    }
+
+    /// Timed condvar wait with poison recovery.
+    fn wait_changed_timeout<'a>(
+        &self,
+        guard: MutexGuard<'a, State>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, State>, WaitTimeoutResult) {
+        match self.changed.wait_timeout(guard, dur) {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                e.into_inner()
+            }
+        }
+    }
+
+    /// Times a poisoned lock was recovered (a worker panicked while
+    /// holding it). Nonzero means a worker died, not that the table is
+    /// inconsistent.
+    pub fn poisoned(&self) -> u64 {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Install a migration-start observer (sanitize mode). The callback
+    /// runs on the migration thread with no table lock held.
+    pub fn set_move_observer(&self, obs: MoveObserver) {
+        *self
+            .move_observer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(obs);
+    }
+
+    /// Whether a background migration of `id` is currently in flight
+    /// (begun, not yet committed or aborted).
+    pub fn is_mid_move(&self, id: ObjectId) -> bool {
+        self.lock_state().inflight.contains_key(&id)
+    }
+
+    /// Every object currently mid-move, ascending.
+    pub fn mid_move_objects(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.lock_state().inflight.keys().copied().collect();
+        v.sort();
+        v
     }
 
     /// Wall-clock ns since this wrapper was created — the time axis of
@@ -170,13 +266,16 @@ impl SharedHms {
     /// Run `f` with exclusive access to the underlying [`Hms`] (setup,
     /// final reporting).
     pub fn with<R>(&self, f: impl FnOnce(&mut Hms) -> R) -> R {
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         f(&mut st.hms)
     }
 
     /// Unwrap the inner [`Hms`] (after all threads are joined).
     pub fn into_inner(self) -> Hms {
-        self.state.into_inner().expect("hms lock").hms
+        self.state
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .hms
     }
 
     /// The executor's data-ready gate: block until none of `ids` is
@@ -184,7 +283,7 @@ impl SharedHms {
     /// made us wait. Returns wall-clock ns waited.
     pub fn wait_ready(&self, ids: &[ObjectId]) -> Ns {
         let t0 = self.now_ns();
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         loop {
             let mut blocked = false;
             for id in ids {
@@ -198,7 +297,7 @@ impl SharedHms {
             if !blocked {
                 return self.now_ns() - t0;
             }
-            st = self.changed.wait(st).expect("hms lock");
+            st = self.wait_changed(st);
         }
     }
 
@@ -210,7 +309,7 @@ impl SharedHms {
     /// thread waiting for pins to drain.
     pub fn pin_for_task(&self, ids: &[ObjectId]) -> Result<TaskPins, HmsError> {
         let t0 = self.now_ns();
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         loop {
             let mut blocked = false;
             for id in ids {
@@ -224,7 +323,7 @@ impl SharedHms {
             if !blocked {
                 break;
             }
-            st = self.changed.wait(st).expect("hms lock");
+            st = self.wait_changed(st);
         }
         let mut objects = Vec::with_capacity(ids.len());
         for (i, id) in ids.iter().enumerate() {
@@ -256,7 +355,7 @@ impl SharedHms {
     /// Release the pins a task took with [`SharedHms::pin_for_task`] and
     /// wake anyone waiting (a migration blocked on the pin count).
     pub fn unpin_task(&self, ids: &[ObjectId]) {
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         for id in ids {
             let _ = st.hms.unpin(*id);
         }
@@ -278,7 +377,7 @@ impl SharedHms {
         cancel: &AtomicBool,
     ) -> Result<Option<StartedMove>, HmsError> {
         let issued_at = self.now_ns();
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         loop {
             if cancel.load(Ordering::Relaxed) {
                 return Ok(None);
@@ -290,6 +389,7 @@ impl SharedHms {
                         return Ok(None);
                     };
                     let started_at = self.now_ns();
+                    let pins = u64::from(st.hms.pin_count(id).unwrap_or(0));
                     st.inflight.insert(
                         id,
                         InFlight {
@@ -298,6 +398,17 @@ impl SharedHms {
                             needed_at: None,
                         },
                     );
+                    // Report the start with the table lock released so
+                    // the observer cannot deadlock against it.
+                    drop(st);
+                    if let Some(obs) = self
+                        .move_observer
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_ref()
+                    {
+                        obs(id, pins);
+                    }
                     return Ok(Some(StartedMove {
                         ticket,
                         src,
@@ -308,10 +419,7 @@ impl SharedHms {
                 }
                 Err(HmsError::Pinned(_)) => {
                     // Wait for unpins, polling the cancel flag.
-                    let (guard, _) = self
-                        .changed
-                        .wait_timeout(st, CANCEL_POLL)
-                        .expect("hms lock");
+                    let (guard, _) = self.wait_changed_timeout(st, CANCEL_POLL);
                     st = guard;
                 }
                 Err(HmsError::AlreadyResident(..)) | Err(HmsError::OutOfMemory { .. }) => {
@@ -327,7 +435,7 @@ impl SharedHms {
     /// waiting workers, and return the wall-clock [`MigrationRecord`]
     /// (with `needed_at` stamped if any worker blocked on it).
     pub fn commit_move(&self, started: StartedMove, outcome: &CopyOutcome) -> MigrationRecord {
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         let object = started.ticket.object();
         let (from, to, bytes) = (
             started.ticket.from(),
@@ -357,7 +465,7 @@ impl SharedHms {
     /// stays put, the destination reservation is released, and waiting
     /// workers are woken.
     pub fn abort_move(&self, started: StartedMove) {
-        let mut st = self.state.lock().expect("hms lock");
+        let mut st = self.lock_state();
         let object = started.ticket.object();
         st.hms.abort_move(started.ticket);
         st.inflight.remove(&object);
@@ -414,6 +522,7 @@ mod tests {
             if addr.checked_add(len)? > buf.len() as u64 {
                 return None;
             }
+            // SAFETY: the range was just bounds-checked against the buffer.
             Some(unsafe { buf.as_mut_ptr().add(addr as usize) })
         }
 
@@ -466,6 +575,7 @@ mod tests {
         let id = sh.with(|h| h.alloc_object("x", 8192, TierKind::Nvm, false).unwrap());
         // Fill through a pin so the copy has recognizable contents.
         let pins = sh.pin_for_task(&[id]).unwrap();
+        // SAFETY: the pin guarantees 8192 exclusive writable bytes.
         unsafe { pins.objects[0].as_ptr().write_bytes(0xCD, 8192) };
         sh.unpin_task(&[id]);
 
@@ -479,12 +589,15 @@ mod tests {
         let waiter = std::thread::spawn(move || {
             let pins = sh2.pin_for_task(&[id]).unwrap();
             let tier = pins.objects[0].tier;
+            // SAFETY: the pin guarantees the object's bytes are readable.
             let first = unsafe { *pins.objects[0].as_ptr() };
             sh2.unpin_task(&[id]);
             (tier, first, pins.waited_ns)
         });
         // Give the waiter time to block, then finish the copy.
         std::thread::sleep(Duration::from_millis(20));
+        // SAFETY: `begin_move_blocking` resolved both disjoint ranges and
+        // fenced the object until commit.
         unsafe { std::ptr::copy_nonoverlapping(sm.src, sm.dst, sm.size() as usize) };
         let rec = sh.commit_move(
             sm,
@@ -563,5 +676,70 @@ mod tests {
         let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
         let waited = sh.wait_ready(&[id]);
         assert!(waited < 1e9, "no in-flight move, no real wait");
+    }
+
+    #[test]
+    fn mid_move_introspection_tracks_inflight_set() {
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        assert!(!sh.is_mid_move(id));
+        assert!(sh.mid_move_objects().is_empty());
+        let cancel = AtomicBool::new(false);
+        let sm = sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .unwrap();
+        assert!(sh.is_mid_move(id));
+        assert_eq!(sh.mid_move_objects(), vec![id]);
+        sh.abort_move(sm);
+        assert!(!sh.is_mid_move(id), "abort clears the in-flight set");
+    }
+
+    #[test]
+    fn move_observer_sees_each_start_with_zero_pins() {
+        use std::sync::atomic::AtomicU64;
+        let sh = shared(1 << 16, 1 << 18);
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let starts = Arc::new(AtomicU64::new(0));
+        let max_pins = Arc::new(AtomicU64::new(0));
+        let (s2, p2) = (Arc::clone(&starts), Arc::clone(&max_pins));
+        sh.set_move_observer(Box::new(move |_id, pins| {
+            s2.fetch_add(1, Ordering::Relaxed);
+            p2.fetch_max(pins, Ordering::Relaxed);
+        }));
+        let cancel = AtomicBool::new(false);
+        let sm = sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .unwrap();
+        sh.abort_move(sm);
+        assert_eq!(starts.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            max_pins.load(Ordering::Relaxed),
+            0,
+            "the correct migrator never starts a move with live pins"
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_degrades_to_counted_recovery() {
+        let sh = Arc::new(shared(1 << 16, 1 << 18));
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        // A worker panics while holding the table lock.
+        let sh2 = Arc::clone(&sh);
+        let _ = std::thread::spawn(move || {
+            sh2.with(|_h| panic!("worker died holding the hms lock"));
+        })
+        .join();
+        // Other workers keep operating on the recovered (consistent)
+        // table instead of cascading the panic.
+        let pins = sh.pin_for_task(&[id]).expect("pin after poison");
+        assert_eq!(pins.objects.len(), 1);
+        sh.unpin_task(&[id]);
+        assert!(sh.poisoned() >= 1, "recovery must be counted");
+        assert_eq!(sh.with(|h| h.pin_count(id).unwrap()), 0);
+        // And the consuming path recovers too.
+        let sh = Arc::try_unwrap(sh).expect("sole owner");
+        let _hms = sh.into_inner();
     }
 }

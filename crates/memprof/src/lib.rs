@@ -27,6 +27,10 @@
 //!   kernels on real buffers and fits a `TierSpec` + correction factors
 //!   from wall-clock timings.
 
+// Unsafe is confined to the wall-clock calibration's byte→word views
+// (`wallclock`); each site carries `#[allow(unsafe_code)]` + SAFETY.
+#![deny(unsafe_code)]
+
 pub mod aggregate;
 pub mod calibrate;
 pub mod kernels;

@@ -96,6 +96,7 @@ pub fn measure_tier(buf: &mut [u8], cfg: &WallClockConfig) -> Result<MeasuredTie
     // guaranteed 8-byte aligned; align_to sheds the ragged edges).
     // SAFETY: f64 tolerates any bit pattern and the aligned middle is
     // properly aligned by construction.
+    #[allow(unsafe_code)]
     let (_, words, _) = unsafe { buf.align_to_mut::<f64>() };
     let n = cfg.stream_elems;
     let (abc, rest) = words.split_at_mut(3 * n);
@@ -125,6 +126,7 @@ pub fn measure_tier(buf: &mut [u8], cfg: &WallClockConfig) -> Result<MeasuredTie
 
     // Chase cycle lives in the remaining words, bit-cast to u64 indices.
     // SAFETY: same-size plain-old-data reinterpretation.
+    #[allow(unsafe_code)]
     let (_, chase_words, _) = unsafe { rest.align_to_mut::<u64>() };
     let nodes = cfg.chase_nodes.min(chase_words.len());
     let cycle = kernels::chase_cycle(nodes, 0xC0FFEE);

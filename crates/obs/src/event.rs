@@ -294,6 +294,25 @@ pub enum Event {
         /// Whether the plan promotes the object to DRAM.
         chosen: bool,
     },
+    /// The access sanitizer flagged a violation of the declared-footprint
+    /// discipline (race, undeclared access, mid-move access, pinned
+    /// copy, …). `kind` is the stable `ViolationKind` tag from
+    /// `tahoe-sanitize`; this crate sits below it, so the tag travels as
+    /// a string.
+    SanitizeViolation {
+        /// Wall-clock ns since the run's epoch (at detection).
+        t: Ns,
+        /// Stable snake_case violation-kind tag (e.g.
+        /// `"unordered_conflict"`).
+        kind: String,
+        /// Offending task id, or `u32::MAX` when not task-attributable.
+        task: u32,
+        /// Offending app object, or `u32::MAX` when not
+        /// object-attributable.
+        object: u32,
+        /// Human-readable description of the finding.
+        detail: String,
+    },
     /// Calibration fitted a tier spec from measured kernel numbers.
     TierFitted {
         /// Wall-clock ns since the run's epoch.
@@ -330,6 +349,7 @@ impl Event {
             | Event::RealCopyDone { t, .. }
             | Event::WorkerTask { t, .. }
             | Event::PlacementDecision { t, .. }
+            | Event::SanitizeViolation { t, .. }
             | Event::TierFitted { t, .. } => t,
         }
     }
@@ -354,6 +374,7 @@ impl Event {
             Event::RealCopyDone { .. } => "real_copy_done",
             Event::WorkerTask { .. } => "worker_task",
             Event::PlacementDecision { .. } => "placement_decision",
+            Event::SanitizeViolation { .. } => "sanitize_violation",
             Event::TierFitted { .. } => "tier_fitted",
         }
     }

@@ -27,6 +27,27 @@ fn fnum(x: f64) -> String {
     format!("{x}")
 }
 
+/// Escape a free-form string for embedding in a JSON string literal.
+/// Violation details are ASCII prose, but quotes/backslashes/control
+/// characters must not break the line format.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Serialize one event as a single JSON object with fixed field order.
 pub fn event_to_json(e: &Event) -> String {
     let mut s = String::with_capacity(96);
@@ -190,6 +211,20 @@ pub fn event_to_json(e: &Event) -> String {
                 s,
                 ",\"object\":{object},\"bytes\":{bytes},\"predicted_benefit_ns\":{},\"chosen\":{chosen}",
                 fnum(predicted_benefit_ns)
+            );
+        }
+        Event::SanitizeViolation {
+            ref kind,
+            task,
+            object,
+            ref detail,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{}\",\"task\":{task},\"object\":{object},\"detail\":\"{}\"",
+                jstr(kind),
+                jstr(detail)
             );
         }
         Event::TierFitted {
@@ -608,6 +643,22 @@ mod tests {
         assert_eq!(span.get("tid").and_then(|v| v.as_f64()), Some(3.0));
         assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(1.0));
         assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(4.0));
+    }
+
+    #[test]
+    fn sanitize_violation_serializes_with_escaped_detail() {
+        let line = event_to_json(&Event::SanitizeViolation {
+            t: 7.0,
+            kind: "write_under_read".to_string(),
+            task: 3,
+            object: 1,
+            detail: "t3 stores to \"obj\"".to_string(),
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"sanitize_violation\",\"t\":7,\"kind\":\"write_under_read\",\"task\":3,\"object\":1,\"detail\":\"t3 stores to \\\"obj\\\"\"}"
+        );
+        crate::json::parse(&line).expect("valid JSON");
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //! (memory substrate, task runtime, profiler, policy driver) can depend
 //! on it without cycles.
 
+// Unsafe is confined to the flight recorder's SPSC ring (`recorder`);
+// every site carries a scoped `#[allow(unsafe_code)]` + SAFETY comment.
+#![deny(unsafe_code)]
+
 pub mod emit;
 pub mod event;
 pub mod export;

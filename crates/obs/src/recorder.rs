@@ -51,7 +51,9 @@ struct Lane {
 // read strictly before it is overwritten (tail Release/Acquire). `Event`
 // holds no heap data, so slots abandoned in the ring at drop are
 // trivially forgotten.
+#[allow(unsafe_code)]
 unsafe impl Send for Lane {}
+#[allow(unsafe_code)]
 unsafe impl Sync for Lane {}
 
 impl Lane {
@@ -79,6 +81,7 @@ impl Lane {
         // SAFETY: single producer per lane (module contract); the slot at
         // `head` is not readable until the Release store below, and the
         // capacity check above proves the consumer is done with it.
+        #[allow(unsafe_code)]
         unsafe {
             (*self.slots[head % self.slots.len()].get()).write(ev);
         }
@@ -96,6 +99,7 @@ impl Lane {
         // SAFETY: single consumer (module contract); the Acquire load of
         // `head` above synchronizes with the producer's Release store, so
         // the slot at `tail` is fully written.
+        #[allow(unsafe_code)]
         let ev = unsafe { (*self.slots[tail % self.slots.len()].get()).assume_init_read() };
         self.tail.store(tail.wrapping_add(1), Ordering::Release);
         Some(ev)

@@ -132,6 +132,13 @@ fn golden_events() -> Vec<Event> {
             predicted_benefit_ns: 41250.75,
             chosen: true,
         },
+        Event::SanitizeViolation {
+            t: 140000.0,
+            kind: "write_under_read".to_string(),
+            task: 42,
+            object: 7,
+            detail: "t42 access #0 stores 8 lines to object 7 declared read-only".to_string(),
+        },
     ]
 }
 
@@ -157,5 +164,5 @@ fn golden_covers_every_event_kind() {
     let mut kinds: Vec<&str> = golden_events().iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 18, "one golden line per Event variant");
+    assert_eq!(kinds.len(), 19, "one golden line per Event variant");
 }

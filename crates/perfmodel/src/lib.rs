@@ -19,6 +19,9 @@
 //! 5. **Task-time prediction** — roofline combination of the corrected
 //!    bandwidth and latency terms, used to compare placement plans.
 
+// Pure arithmetic over profiled estimates: safe by construction.
+#![forbid(unsafe_code)]
+
 pub mod benefit;
 pub mod cost;
 pub mod demand;

@@ -19,6 +19,9 @@
 //! * [`chunk`] — large-object decomposition, so part of an object bigger
 //!   than DRAM can still be placed.
 
+// Pure combinatorial-optimization logic: no raw-memory access anywhere.
+#![forbid(unsafe_code)]
+
 pub mod bnb;
 pub mod chunk;
 pub mod knapsack;

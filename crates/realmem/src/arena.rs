@@ -128,6 +128,7 @@ mod tests {
         let mut a = MmapArena::new(TierKind::Dram, 1 << 16).unwrap();
         a.on_alloc(0, 1 << 12);
         let p = a.data_ptr(100, 8).unwrap();
+        // SAFETY: `data_ptr` bounds-checked 8 writable bytes at `p`.
         unsafe {
             p.write_bytes(0x5A, 8);
             assert_eq!(*p, 0x5A);
@@ -135,6 +136,7 @@ mod tests {
         // Freeing a *different* range must not clobber live data.
         a.on_alloc(1 << 12, 1 << 12);
         a.on_free(1 << 12, 1 << 12);
+        // SAFETY: same in-bounds pointer; the arena mapping is still live.
         unsafe {
             assert_eq!(*p, 0x5A);
         }

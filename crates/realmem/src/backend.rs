@@ -236,10 +236,12 @@ mod tests {
         let mut b = RealBackend::new(&config()).unwrap();
         b.set_copy_config(CopyConfig::unthrottled());
         let src = b.data_ptr(TierKind::Nvm, 128, 4096).unwrap();
+        // SAFETY: `data_ptr` bounds-checked 4096 writable bytes at `src`.
         unsafe { src.write_bytes(0x77, 4096) };
         let out = b.copy(1, TierKind::Nvm, 128, TierKind::Dram, 256, 4096);
         assert_eq!(out.bytes, 4096);
         let dst = b.data_ptr(TierKind::Dram, 256, 4096).unwrap();
+        // SAFETY: `data_ptr` bounds-checked 4096 readable bytes at `dst`.
         let got = unsafe { std::slice::from_raw_parts(dst, 4096) };
         assert!(got.iter().all(|&x| x == 0x77));
         let st = b.stats();

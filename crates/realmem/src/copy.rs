@@ -57,7 +57,8 @@ pub unsafe fn throttled_copy(
     cfg: &CopyConfig,
 ) -> CopyOutcome {
     let never = AtomicBool::new(false);
-    let (out, completed) = throttled_copy_cancellable(src, dst, len, cfg, &never);
+    // SAFETY: forwards the caller's contract verbatim.
+    let (out, completed) = unsafe { throttled_copy_cancellable(src, dst, len, cfg, &never) };
     debug_assert!(completed, "uncancellable copy must complete");
     out
 }
@@ -79,7 +80,8 @@ pub unsafe fn throttled_copy_cancellable(
     cfg: &CopyConfig,
     cancel: &AtomicBool,
 ) -> (CopyOutcome, bool) {
-    throttled_copy_observed(src, dst, len, cfg, cancel, &mut |_| {})
+    // SAFETY: forwards the caller's contract verbatim.
+    unsafe { throttled_copy_observed(src, dst, len, cfg, cancel, &mut |_| {}) }
 }
 
 /// [`throttled_copy_cancellable`] with a per-chunk observer: `on_chunk`
@@ -117,11 +119,15 @@ pub unsafe fn throttled_copy_observed(
         }
         let chunk_t0 = Instant::now();
         let n = chunk.min(len - copied);
-        std::ptr::copy_nonoverlapping(
-            src.add(copied as usize),
-            dst.add(copied as usize),
-            n as usize,
-        );
+        // SAFETY: `copied + n <= len`, so both ranges stay inside the
+        // caller-guaranteed `len`-byte regions, which do not overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.add(copied as usize),
+                dst.add(copied as usize),
+                n as usize,
+            );
+        }
         copied += n;
         chunks += 1;
         // Where should the modelled copy be by now?

@@ -26,6 +26,11 @@
 //! No external crates: the few syscalls used are declared directly in
 //! [`sys`] (std already links libc).
 
+// This crate owns the raw mmap/FFI surface; every unsafe operation must
+// sit in an explicit `unsafe` block with its own SAFETY justification,
+// even inside `unsafe fn` bodies.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod arena;
 pub mod backend;
 pub mod copy;

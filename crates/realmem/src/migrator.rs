@@ -256,6 +256,7 @@ mod tests {
         let a = sh.with(|h| h.alloc_object("a", 64 << 10, TierKind::Nvm, false).unwrap());
         let b = sh.with(|h| h.alloc_object("b", 32 << 10, TierKind::Nvm, false).unwrap());
         let pins = sh.pin_for_task(&[a]).unwrap();
+        // SAFETY: the pin guarantees 64 KiB of exclusive writable bytes.
         unsafe { pins.objects[0].as_ptr().write_bytes(0x5A, 64 << 10) };
         sh.unpin_task(&[a]);
 

@@ -106,6 +106,7 @@ mod tests {
         let m = crate::sys::map_anonymous(crate::sys::page_size() as usize).unwrap();
         let bound = bind_to_node(m.as_ptr(), m.len(), 0);
         assert!(bound == Some(0) || bound.is_none());
+        // SAFETY: the mapping is at least one writable page.
         unsafe {
             *m.as_ptr() = 0x42;
             assert_eq!(*m.as_ptr(), 0x42);

@@ -56,6 +56,7 @@ pub enum Advice {
 pub fn page_size() -> u64 {
     #[cfg(unix)]
     {
+        // SAFETY: sysconf takes no pointers and cannot fault.
         let ps = unsafe { ffi::sysconf(ffi::_SC_PAGESIZE) };
         if ps > 0 {
             return ps as u64;
@@ -74,8 +75,9 @@ pub struct Mapping {
     layout: std::alloc::Layout,
 }
 
-// The mapping is plain anonymous memory; ownership semantics are those
-// of a `Vec<u8>` buffer.
+// SAFETY: the mapping is plain anonymous memory owned exclusively by
+// this struct; ownership semantics are those of a `Vec<u8>` buffer, so
+// moving it to another thread is sound.
 unsafe impl Send for Mapping {}
 
 impl Mapping {
@@ -97,6 +99,8 @@ impl Mapping {
 
 impl Drop for Mapping {
     fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` (and off Unix, `layout`) are exactly what
+        // `map_anonymous` obtained; Drop runs once, so no double free.
         #[cfg(unix)]
         unsafe {
             ffi::munmap(self.ptr.cast(), self.len);
@@ -115,6 +119,8 @@ pub fn map_anonymous(len: usize) -> Result<Mapping, String> {
     }
     #[cfg(unix)]
     {
+        // SAFETY: anonymous private mapping with a null hint — no file
+        // descriptor, no existing memory touched; failure is checked.
         let ptr = unsafe {
             ffi::mmap(
                 core::ptr::null_mut(),
@@ -140,6 +146,7 @@ pub fn map_anonymous(len: usize) -> Result<Mapping, String> {
     {
         let layout = std::alloc::Layout::from_size_align(len, page_size() as usize)
             .map_err(|e| e.to_string())?;
+        // SAFETY: `layout` has nonzero size (len == 0 rejected above).
         let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
         if ptr.is_null() {
             return Err(format!("allocation of {len} B failed"));
@@ -164,6 +171,8 @@ pub fn advise(mapping: &Mapping, offset: usize, len: usize, advice: Advice) {
         let ps = page_size() as usize;
         let start = offset / ps * ps;
         let end = offset + len;
+        // SAFETY: `[start, end)` was bounds-checked against the mapping
+        // and rounded to whole pages inside it; madvise never writes.
         unsafe {
             ffi::madvise(mapping.ptr.add(start).cast(), end - start, adv);
         }
@@ -186,6 +195,9 @@ pub fn syscall6(
     a5: c_long,
     a6: c_long,
 ) -> c_long {
+    // SAFETY: the caller supplies a valid syscall number and arguments;
+    // the kernel validates pointers and returns -EFAULT on bad ones
+    // rather than faulting the process.
     unsafe { ffi::syscall(num, a1, a2, a3, a4, a5, a6) }
 }
 
@@ -242,6 +254,7 @@ mod tests {
     fn map_is_zeroed_writable_and_page_aligned() {
         let m = map_anonymous(3 * page_size() as usize).unwrap();
         assert_eq!(m.as_ptr() as usize % page_size() as usize, 0);
+        // SAFETY: `m` maps exactly `len` writable bytes and outlives the view.
         let bytes = unsafe { std::slice::from_raw_parts_mut(m.as_ptr(), m.len()) };
         assert!(bytes.iter().all(|&b| b == 0));
         bytes[0] = 0xAB;

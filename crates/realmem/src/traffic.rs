@@ -140,14 +140,18 @@ pub fn run_access(buf: &mut [u8], loads: u64, stores: u64, seed: u64) -> u64 {
 /// concurrent access of any kind to a written object).
 pub unsafe fn run_access_ptr(ptr: *mut u8, len: usize, loads: u64, stores: u64, seed: u64) -> u64 {
     if stores > 0 {
+        // SAFETY: the caller guarantees exclusive access for writes, so
+        // the `&mut` view aliases nothing for its whole lifetime.
         run_access(
-            std::slice::from_raw_parts_mut(ptr, len),
+            unsafe { std::slice::from_raw_parts_mut(ptr, len) },
             loads,
             stores,
             seed,
         )
     } else {
-        stream_read(std::slice::from_raw_parts(ptr, len))
+        // SAFETY: shared view; the caller guarantees read validity and no
+        // concurrent writer (writers are exclusive by dependence order).
+        stream_read(unsafe { std::slice::from_raw_parts(ptr, len) })
     }
 }
 

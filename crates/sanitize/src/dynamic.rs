@@ -1,0 +1,425 @@
+//! Dynamic access sanitizer: shadow every object access of a measured
+//! run with checks derived from the declared DAG.
+//!
+//! The runtime threads a [`SanitizeHook`] through its per-access hot
+//! path. [`NoSanitize`] is the production hook: `ENABLED == false` and
+//! empty inline bodies, so the monomorphized run carries *no* shadow
+//! work — the off-mode is zero-cost by construction, not by branch.
+//! [`AccessSanitizer`] is the real hook, used by sanitize mode.
+//!
+//! **Determinism.** Violation counts must be identical across schedules,
+//! worker counts and seeds — otherwise the fuzzer could not gate on
+//! exact expected sets. Schedule-dependent evidence (which racing write
+//! a reader happened to observe) is therefore never used: races are
+//! derived from the *actual-behavior access index* (declared traffic
+//! plus registered extra accesses) against the happens-before relation,
+//! and flagged once per conflicting pair at the later task. The
+//! runtime-observed checks (mid-move access, pinned copy, undeclared
+//! access) are violations the correct runtime can never produce at all
+//! — pins wait out moves, moves wait out pins, and the executor only
+//! issues declared accesses — so they are deterministically zero on
+//! correct runs and only fire when the discipline itself is broken.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use tahoe_hms::{MoveObserver, ObjectId};
+use tahoe_taskrt::{TaskGraph, TaskId};
+
+use crate::hb::HappensBefore;
+use crate::report::{SanitizeReport, Violation, ViolationKind};
+use crate::verify::{unordered_conflicts, ObjectAccess};
+
+/// An access a workload performs *beyond* its declarations — the way
+/// buggy fixture workloads express under-declared footprints without
+/// performing genuinely racy memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtraAccess {
+    /// The task performing the access.
+    pub task: u32,
+    /// The object touched (app index).
+    pub object: u32,
+    /// Whether the access writes (else it reads).
+    pub writes: bool,
+}
+
+/// Per-access shadow hook the parallel measured runtime is generic
+/// over.
+///
+/// `ENABLED` gates every call site: with [`NoSanitize`] the checks
+/// monomorphize away entirely (no pin-table queries, no atomics, no
+/// branches in the access loop).
+pub trait SanitizeHook: Sync {
+    /// Whether this hook observes accesses at all.
+    const ENABLED: bool;
+
+    /// One object access is about to run on a worker. `mid_move` is the
+    /// runtime's own answer to "is a background migration of this
+    /// object in flight right now?".
+    fn on_access(&self, task: u32, access_index: usize, object: u32, mid_move: bool);
+
+    /// Observer to install on the shared HMS so migration starts are
+    /// reported (object, pin count at start).
+    fn move_observer(&self) -> Option<MoveObserver> {
+        None
+    }
+}
+
+/// The production no-op hook: compiles to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSanitize;
+
+impl SanitizeHook for NoSanitize {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_access(&self, _task: u32, _access_index: usize, _object: u32, _mid_move: bool) {}
+}
+
+/// The sanitize-mode hook: checks every access against the declared
+/// DAG and collects violations for a deterministic [`SanitizeReport`].
+#[derive(Debug)]
+pub struct AccessSanitizer {
+    hb: HappensBefore,
+    /// `(task, object)` pairs with any declaration.
+    declared: HashSet<(u32, u32)>,
+    /// Violations derivable before the run (write-under-read, fixture
+    /// undeclared accesses).
+    pre: Vec<Violation>,
+    /// Actual-behavior access index: declared traffic plus registered
+    /// extra accesses; the race scan runs over this.
+    behavior: Vec<ObjectAccess>,
+    /// Violations observed during execution (mid-move access, pinned
+    /// copy, runtime undeclared access) — zero on correct runs.
+    observed: Mutex<Vec<Violation>>,
+    checked: AtomicU64,
+}
+
+impl AccessSanitizer {
+    /// Build the shadow state for one app's graph.
+    ///
+    /// Declared accesses whose profile stores under a `Read` declaration
+    /// are flagged immediately ([`ViolationKind::WriteUnderRead`]), and
+    /// their write enters the behavior index — so the races such hidden
+    /// writes create are found by the same pair scan as everything else.
+    pub fn from_graph(g: &TaskGraph) -> Self {
+        let hb = HappensBefore::from_graph(g);
+        let mut declared = HashSet::new();
+        let mut pre = Vec::new();
+        let mut behavior = Vec::new();
+        for t in g.tasks() {
+            for (ai, a) in t.accesses.iter().enumerate() {
+                declared.insert((t.id.0, a.object.0));
+                let reads = a.profile.loads > 0;
+                let writes = a.profile.stores > 0;
+                if writes && !a.mode.writes() {
+                    pre.push(Violation {
+                        kind: ViolationKind::WriteUnderRead,
+                        task: Some(t.id.0),
+                        object: Some(a.object.0),
+                        detail: format!(
+                            "t{} access #{ai} stores {} lines to object {} declared read-only",
+                            t.id.0, a.profile.stores, a.object.0
+                        ),
+                    });
+                }
+                if reads || writes {
+                    behavior.push(ObjectAccess {
+                        task: t.id,
+                        object: a.object.0,
+                        reads,
+                        writes,
+                    });
+                }
+            }
+        }
+        AccessSanitizer {
+            hb,
+            declared,
+            pre,
+            behavior,
+            observed: Mutex::new(Vec::new()),
+            checked: AtomicU64::new(0),
+        }
+    }
+
+    /// Register an access the workload performs beyond its declarations
+    /// (fixture bug injection). Undeclared `(task, object)` pairs are
+    /// flagged; either way the access enters the behavior index so its
+    /// races are detected.
+    pub fn note_extra_access(&mut self, e: &ExtraAccess) {
+        if !self.declared.contains(&(e.task, e.object)) {
+            self.pre.push(Violation {
+                kind: ViolationKind::UndeclaredAccess,
+                task: Some(e.task),
+                object: Some(e.object),
+                detail: format!(
+                    "t{} {} object {} without declaring it",
+                    e.task,
+                    if e.writes { "writes" } else { "reads" },
+                    e.object
+                ),
+            });
+        }
+        self.behavior.push(ObjectAccess {
+            task: TaskId(e.task),
+            object: e.object,
+            reads: !e.writes,
+            writes: e.writes,
+        });
+    }
+
+    fn push_observed(&self, v: Violation) {
+        self.observed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(v);
+    }
+
+    /// Shadow one access (runtime hot path in sanitize mode).
+    pub fn check_access(&self, task: u32, access_index: usize, object: u32, mid_move: bool) {
+        self.checked.fetch_add(1, Ordering::Relaxed);
+        if !self.declared.contains(&(task, object)) {
+            self.push_observed(Violation {
+                kind: ViolationKind::UndeclaredAccess,
+                task: Some(task),
+                object: Some(object),
+                detail: format!(
+                    "t{task} executed undeclared access #{access_index} to object {object}"
+                ),
+            });
+        }
+        if mid_move {
+            self.push_observed(Violation {
+                kind: ViolationKind::MidMoveAccess,
+                task: Some(task),
+                object: Some(object),
+                detail: format!(
+                    "t{task} accessed object {object} while a background migration of it was in flight"
+                ),
+            });
+        }
+    }
+
+    /// The migrator started moving `object` with `pins` live pins —
+    /// anything nonzero means it is copying bytes a task is using.
+    pub fn note_move_started(&self, object: u32, pins: u64) {
+        if pins > 0 {
+            self.push_observed(Violation {
+                kind: ViolationKind::PinnedCopy,
+                task: None,
+                object: Some(object),
+                detail: format!("migrator began copying object {object} with {pins} live pins"),
+            });
+        }
+    }
+
+    /// Consume the shadow state into the canonical report: pre-run
+    /// findings, the race scan over the behavior index, and everything
+    /// observed during execution.
+    pub fn finish(self) -> SanitizeReport {
+        let mut violations = self.pre;
+        violations.extend(unordered_conflicts(&self.behavior, &self.hb));
+        violations.extend(
+            self.observed
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        let mut report = SanitizeReport::new(violations);
+        report.accesses_checked = self.checked.load(Ordering::Relaxed);
+        report
+    }
+}
+
+impl SanitizeHook for Arc<AccessSanitizer> {
+    const ENABLED: bool = true;
+
+    fn on_access(&self, task: u32, access_index: usize, object: u32, mid_move: bool) {
+        self.check_access(task, access_index, object, mid_move);
+    }
+
+    fn move_observer(&self) -> Option<MoveObserver> {
+        let me = Arc::clone(self);
+        Some(Box::new(move |id: ObjectId, pins: u64| {
+            me.note_move_started(id.0, pins)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::{AccessProfile, ObjectId};
+    use tahoe_taskrt::{AccessMode, TaskAccess};
+
+    fn acc(o: u32, mode: AccessMode, loads: u64, stores: u64) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), mode, AccessProfile::streaming(loads, stores))
+    }
+
+    /// A well-formed two-window pipeline.
+    fn clean_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.class("step");
+        g.add_task(c, vec![acc(0, AccessMode::Write, 0, 64)], 1.0);
+        g.add_task(
+            c,
+            vec![
+                acc(0, AccessMode::Read, 64, 0),
+                acc(1, AccessMode::Write, 0, 64),
+            ],
+            1.0,
+        );
+        g.mark_window();
+        g.add_task(c, vec![acc(1, AccessMode::ReadWrite, 64, 64)], 1.0);
+        g
+    }
+
+    /// Replay every declared access of `g` through the hook, the way
+    /// the runtime does, with no mid-move conditions.
+    fn replay(g: &TaskGraph, s: &AccessSanitizer) {
+        for t in g.tasks() {
+            for (ai, a) in t.accesses.iter().enumerate() {
+                s.check_access(t.id.0, ai, a.object.0, false);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_is_clean_and_counts_accesses() {
+        let g = clean_graph();
+        let s = AccessSanitizer::from_graph(&g);
+        replay(&g, &s);
+        let r = s.finish();
+        assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+        assert_eq!(r.accesses_checked, 4);
+    }
+
+    #[test]
+    fn write_under_read_is_flagged_and_races() {
+        // t0 declares Read but stores; t1 honestly reads. The tracker
+        // saw Read/Read and derived no edge, so the hidden write races
+        // the read.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0, AccessMode::Read, 64, 8)], 1.0);
+        g.add_task(c, vec![acc(0, AccessMode::Read, 64, 0)], 1.0);
+        let s = AccessSanitizer::from_graph(&g);
+        replay(&g, &s);
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::WriteUnderRead), 1);
+        assert_eq!(r.count(ViolationKind::UnorderedConflict), 1);
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn undeclared_extra_access_is_flagged_with_its_races() {
+        let g = clean_graph();
+        let mut s = AccessSanitizer::from_graph(&g);
+        // Task 2 (window 1) also writes object 0 — never declared. Task
+        // 1 reads object 0 in window 0, ordered by the barrier; task 0
+        // writes it in window 0: also ordered. So: undeclared, no race.
+        s.note_extra_access(&ExtraAccess {
+            task: 2,
+            object: 0,
+            writes: true,
+        });
+        replay(&g, &s);
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::UndeclaredAccess), 1);
+        assert_eq!(r.count(ViolationKind::UnorderedConflict), 0);
+
+        // Same-window undeclared write does race: task 1 writes object
+        // 0 while task 0's writer is its only order — but t0 -> t1 edge
+        // exists via object 0... use a disjoint victim: task 0 writes
+        // object 1 undeclared while task 1 declares a write of it with
+        // no edge from t0 (their declared objects 0 are chained t0->t1;
+        // edge exists, so they're ordered). Use clean_graph's t1/t2
+        // cross-window? Barrier orders. Build a dedicated graph: two
+        // tasks on disjoint declared objects, one sneaks a write into
+        // the other's.
+        let mut g2 = TaskGraph::new();
+        let c2 = g2.class("x");
+        g2.add_task(c2, vec![acc(0, AccessMode::Write, 0, 64)], 1.0);
+        g2.add_task(c2, vec![acc(1, AccessMode::Write, 0, 64)], 1.0);
+        let mut s2 = AccessSanitizer::from_graph(&g2);
+        s2.note_extra_access(&ExtraAccess {
+            task: 0,
+            object: 1,
+            writes: true,
+        });
+        let r2 = s2.finish();
+        assert_eq!(r2.count(ViolationKind::UndeclaredAccess), 1);
+        assert_eq!(
+            r2.count(ViolationKind::UnorderedConflict),
+            1,
+            "the sneaked write races t1's declared write"
+        );
+    }
+
+    #[test]
+    fn runtime_undeclared_access_is_flagged() {
+        let g = clean_graph();
+        let s = AccessSanitizer::from_graph(&g);
+        s.check_access(0, 1, 1, false);
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::UndeclaredAccess), 1);
+    }
+
+    #[test]
+    fn mid_move_access_is_flagged() {
+        let g = clean_graph();
+        let s = AccessSanitizer::from_graph(&g);
+        s.check_access(0, 0, 0, true);
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::MidMoveAccess), 1);
+        assert_eq!(r.violations[0].task, Some(0));
+    }
+
+    #[test]
+    fn pinned_copy_is_flagged_only_with_live_pins() {
+        let g = clean_graph();
+        let s = AccessSanitizer::from_graph(&g);
+        s.note_move_started(1, 0);
+        s.note_move_started(1, 2);
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::PinnedCopy), 1);
+        assert!(r.violations[0].detail.contains("2 live pins"));
+    }
+
+    #[test]
+    fn reports_are_schedule_independent() {
+        // Replaying accesses in reversed order yields the identical
+        // report — the property the fuzzer's exact-equality gate needs.
+        let g = clean_graph();
+        let forward = {
+            let s = AccessSanitizer::from_graph(&g);
+            replay(&g, &s);
+            s.finish()
+        };
+        let backward = {
+            let s = AccessSanitizer::from_graph(&g);
+            for t in g.tasks().iter().rev() {
+                for (ai, a) in t.accesses.iter().enumerate().rev() {
+                    s.check_access(t.id.0, ai, a.object.0, false);
+                }
+            }
+            s.finish()
+        };
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn arc_hook_reports_through_move_observer() {
+        let g = clean_graph();
+        let s = Arc::new(AccessSanitizer::from_graph(&g));
+        let obs = s.move_observer().expect("sanitizer provides an observer");
+        obs(ObjectId(0), 3);
+        s.on_access(0, 0, 0, false);
+        drop(obs);
+        let s = Arc::try_unwrap(s).expect("observer dropped");
+        let r = s.finish();
+        assert_eq!(r.count(ViolationKind::PinnedCopy), 1);
+        assert_eq!(r.accesses_checked, 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Static graph verifier: structural defects a task graph can carry
+//! before a single task runs.
+
+use std::collections::HashMap;
+
+use tahoe_taskrt::{TaskGraph, TaskId};
+
+use crate::hb::HappensBefore;
+use crate::report::{SanitizeReport, Violation, ViolationKind};
+
+/// Allocation-side facts the graph alone cannot know: which objects
+/// exist, how large they are, what the tiers can hold, and when objects
+/// are freed.
+#[derive(Debug, Clone, Default)]
+pub struct StaticContext {
+    /// Size of object `i` in bytes; accesses to indices past the end are
+    /// accesses to objects that were never allocated.
+    pub object_sizes: Vec<u64>,
+    /// DRAM tier capacity, bytes.
+    pub dram_capacity: u64,
+    /// NVM tier capacity, bytes.
+    pub nvm_capacity: u64,
+    /// `object index → window`: the object is freed before this window
+    /// starts, so any access from that window on is use-after-free.
+    pub freed_before_window: HashMap<u32, u32>,
+}
+
+impl StaticContext {
+    /// Context for an app whose objects all live for the whole run.
+    pub fn new(object_sizes: Vec<u64>, dram_capacity: u64, nvm_capacity: u64) -> Self {
+        StaticContext {
+            object_sizes,
+            dram_capacity,
+            nvm_capacity,
+            freed_before_window: HashMap::new(),
+        }
+    }
+
+    /// Mark object `object` as freed before window `window`.
+    pub fn free_before_window(mut self, object: u32, window: u32) -> Self {
+        self.freed_before_window.insert(object, window);
+        self
+    }
+}
+
+/// One task's merged access behavior on one object — the unit both the
+/// static verifier (declared modes) and the dynamic sanitizer (actual
+/// traffic) feed to the conflict scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectAccess {
+    /// The accessing task.
+    pub task: TaskId,
+    /// The accessed object (app index).
+    pub object: u32,
+    /// Whether the task reads the object.
+    pub reads: bool,
+    /// Whether the task writes the object.
+    pub writes: bool,
+}
+
+/// Scan `accesses` for same-object conflicting pairs (at least one side
+/// writes) that `hb` leaves unordered. Each pair is reported once,
+/// attributed to the later task — deterministic whatever schedule the
+/// accesses were observed under.
+pub fn unordered_conflicts(accesses: &[ObjectAccess], hb: &HappensBefore) -> Vec<Violation> {
+    // Merge per (task, object) first so multiple declared accesses of
+    // one object by one task cannot double-report a pair.
+    let mut by_object: HashMap<u32, Vec<(TaskId, bool, bool)>> = HashMap::new();
+    for a in accesses {
+        let entry = by_object.entry(a.object).or_default();
+        match entry.iter_mut().find(|(id, _, _)| *id == a.task) {
+            Some((_, r, w)) => {
+                *r |= a.reads;
+                *w |= a.writes;
+            }
+            None => entry.push((a.task, a.reads, a.writes)),
+        }
+    }
+    let mut objects: Vec<u32> = by_object.keys().copied().collect();
+    objects.sort_unstable();
+    let mut violations = Vec::new();
+    for obj in objects {
+        let tasks = &by_object[&obj];
+        for (i, &(a, _, aw)) in tasks.iter().enumerate() {
+            for &(b, _, bw) in &tasks[i + 1..] {
+                if (aw || bw) && !hb.ordered(a, b) {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    violations.push(Violation {
+                        kind: ViolationKind::UnorderedConflict,
+                        task: Some(hi.0),
+                        object: Some(obj),
+                        detail: format!(
+                            "t{} and t{} conflict on object {obj} with no ordering path",
+                            lo.0, hi.0
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Find a dependency cycle in a raw edge list, if one exists; returns
+/// the cycle as a task-id path (first == last).
+///
+/// [`TaskGraph`] cannot represent a cycle (its edges point forward by
+/// construction), but the verifier still runs this pass so graph sources
+/// that bypass the tracker — imported traces, hand-built fixtures — get
+/// the deadlock diagnosis rather than a hung executor.
+pub fn find_cycle(n: usize, edges: &[(u32, u32)]) -> Option<Vec<u32>> {
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        succs[a as usize].push(b);
+    }
+    // Iterative three-color DFS; the gray stack is kept so the cycle can
+    // be reported as an actual task sequence.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // (node, next successor index) stack.
+        let mut stack: Vec<(u32, usize)> = vec![(root as u32, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if let Some(&succ) = succs[node as usize].get(*next) {
+                *next += 1;
+                match color[succ as usize] {
+                    WHITE => {
+                        color[succ as usize] = GRAY;
+                        stack.push((succ, 0));
+                    }
+                    GRAY => {
+                        // Back edge: the gray stack from `succ` down to
+                        // `node`, plus the edge back, is the cycle.
+                        let start = stack.iter().position(|&(v, _)| v == succ).expect("gray");
+                        let mut cycle: Vec<u32> = stack[start..].iter().map(|&(v, _)| v).collect();
+                        cycle.push(succ);
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node as usize] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Run every static check on `g` under `ctx` and return the canonical
+/// report.
+pub fn verify_graph(g: &TaskGraph, ctx: &StaticContext) -> SanitizeReport {
+    let mut violations = Vec::new();
+
+    // ---- dependency cycles (deadlock) --------------------------------
+    let edges: Vec<(u32, u32)> = g
+        .tasks()
+        .iter()
+        .flat_map(|t| g.preds(t.id).iter().map(move |p| (p.0, t.id.0)))
+        .collect();
+    if let Some(cycle) = find_cycle(g.len(), &edges) {
+        violations.push(Violation {
+            kind: ViolationKind::DependencyCycle,
+            task: cycle.iter().copied().max(),
+            object: None,
+            detail: format!(
+                "dependency cycle would deadlock execution: {}",
+                cycle
+                    .iter()
+                    .map(|t| format!("t{t}"))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            ),
+        });
+    }
+
+    // ---- unordered conflicting accesses (declared races) -------------
+    let hb = HappensBefore::from_graph(g);
+    let declared: Vec<ObjectAccess> = g
+        .tasks()
+        .iter()
+        .flat_map(|t| {
+            t.accesses.iter().map(move |a| ObjectAccess {
+                task: t.id,
+                object: a.object.0,
+                reads: a.mode.reads(),
+                writes: a.mode.writes(),
+            })
+        })
+        .collect();
+    violations.extend(unordered_conflicts(&declared, &hb));
+
+    // ---- use-after-free / never-allocated ----------------------------
+    for t in g.tasks() {
+        for a in &t.accesses {
+            let obj = a.object.0;
+            if a.object.index() >= ctx.object_sizes.len() {
+                violations.push(Violation {
+                    kind: ViolationKind::UseAfterFree,
+                    task: Some(t.id.0),
+                    object: Some(obj),
+                    detail: format!(
+                        "t{} accesses object {obj}, which was never allocated",
+                        t.id.0
+                    ),
+                });
+            } else if let Some(&freed) = ctx.freed_before_window.get(&obj) {
+                if t.window >= freed {
+                    violations.push(Violation {
+                        kind: ViolationKind::UseAfterFree,
+                        task: Some(t.id.0),
+                        object: Some(obj),
+                        detail: format!(
+                            "t{} (window {}) accesses object {obj}, freed before window {freed}",
+                            t.id.0, t.window
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- infeasible footprint ----------------------------------------
+    let footprint: u64 = ctx.object_sizes.iter().sum();
+    let total = ctx.dram_capacity + ctx.nvm_capacity;
+    if footprint > total && total > 0 {
+        violations.push(Violation {
+            kind: ViolationKind::InfeasibleFootprint,
+            task: None,
+            object: None,
+            detail: format!(
+                "footprint {footprint} B exceeds total tier capacity {total} B: no placement fits"
+            ),
+        });
+    }
+
+    // ---- dead declarations -------------------------------------------
+    for t in g.tasks() {
+        for (ai, a) in t.accesses.iter().enumerate() {
+            if a.profile.accesses() == 0 {
+                violations.push(Violation {
+                    kind: ViolationKind::DeadDeclaration,
+                    task: Some(t.id.0),
+                    object: Some(a.object.0),
+                    detail: format!(
+                        "t{} access #{ai} declares object {} but carries no traffic",
+                        t.id.0, a.object.0
+                    ),
+                });
+            }
+        }
+    }
+
+    SanitizeReport::new(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::{AccessProfile, ObjectId};
+    use tahoe_taskrt::{AccessMode, TaskAccess};
+
+    fn acc(o: u32, mode: AccessMode) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), mode, AccessProfile::streaming(16, 8))
+    }
+
+    fn ctx_for(g: &TaskGraph) -> StaticContext {
+        let n = g
+            .referenced_objects()
+            .iter()
+            .map(|o| o.index() + 1)
+            .max()
+            .unwrap_or(0);
+        StaticContext::new(vec![4096; n], 1 << 20, 1 << 22)
+    }
+
+    #[test]
+    fn detects_dependency_cycle() {
+        // TaskGraph cannot hold a cycle, so exercise the raw-edge entry
+        // the verifier shares: 0 -> 1 -> 2 -> 0.
+        let cycle = find_cycle(3, &[(0, 1), (1, 2), (2, 0)]).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 4, "path must walk the whole loop");
+        assert!(find_cycle(3, &[(0, 1), (1, 2), (0, 2)]).is_none());
+        // A graph built through the tracker reports none.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        g.add_task(c, vec![acc(0, AccessMode::ReadWrite)], 1.0);
+        let r = verify_graph(&g, &ctx_for(&g));
+        assert_eq!(r.count(ViolationKind::DependencyCycle), 0);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn detects_unordered_conflict() {
+        let oa = |task: u32, object: u32, reads: bool, writes: bool| ObjectAccess {
+            task: TaskId(task),
+            object,
+            reads,
+            writes,
+        };
+        // Two writers of one object, no edge between them: race.
+        let unordered = HappensBefore::from_edges(2, &[]);
+        let v = unordered_conflicts(&[oa(0, 0, false, true), oa(1, 0, false, true)], &unordered);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::UnorderedConflict);
+        assert_eq!(v[0].task, Some(1), "attributed to the later task");
+        assert_eq!(v[0].object, Some(0));
+        // Same pair with the ordering edge restored: clean.
+        let ordered = HappensBefore::from_edges(2, &[(0, 1)]);
+        assert!(
+            unordered_conflicts(&[oa(0, 0, false, true), oa(1, 0, false, true)], &ordered)
+                .is_empty()
+        );
+        // Unordered readers never conflict.
+        assert!(
+            unordered_conflicts(&[oa(0, 0, true, false), oa(1, 0, true, false)], &unordered)
+                .is_empty()
+        );
+        // Disjoint objects never conflict.
+        assert!(
+            unordered_conflicts(&[oa(0, 0, false, true), oa(1, 1, false, true)], &unordered)
+                .is_empty()
+        );
+        // Negative control: a tracker-built graph orders every declared
+        // conflict, so verify_graph finds none.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        let r = verify_graph(&g, &ctx_for(&g));
+        assert_eq!(r.count(ViolationKind::UnorderedConflict), 0);
+    }
+
+    #[test]
+    fn detects_use_after_free() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        g.mark_window();
+        g.add_task(c, vec![acc(0, AccessMode::ReadWrite)], 1.0);
+        let ctx = StaticContext::new(vec![4096], 1 << 20, 1 << 22).free_before_window(0, 1);
+        let r = verify_graph(&g, &ctx);
+        assert_eq!(r.count(ViolationKind::UseAfterFree), 1);
+        assert_eq!(r.violations[0].task, Some(1));
+
+        // Never-allocated object: the context knows fewer objects than
+        // the graph references.
+        let ctx2 = StaticContext::new(vec![], 1 << 20, 1 << 22);
+        let r2 = verify_graph(&g, &ctx2);
+        assert_eq!(
+            r2.count(ViolationKind::UseAfterFree),
+            2,
+            "both tasks flagged"
+        );
+    }
+
+    #[test]
+    fn detects_infeasible_footprint() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        let ctx = StaticContext::new(vec![1 << 30], 1 << 10, 1 << 12);
+        let r = verify_graph(&g, &ctx);
+        assert_eq!(r.count(ViolationKind::InfeasibleFootprint), 1);
+        assert!(r.violations[0].detail.contains("exceeds"));
+    }
+
+    #[test]
+    fn detects_dead_declaration() {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(
+            c,
+            vec![TaskAccess::new(
+                ObjectId(0),
+                AccessMode::Read,
+                AccessProfile::new(0, 0, 1.0),
+            )],
+            1.0,
+        );
+        let r = verify_graph(&g, &ctx_for(&g));
+        assert_eq!(r.count(ViolationKind::DeadDeclaration), 1);
+    }
+
+    #[test]
+    fn clean_graph_is_clean() {
+        let mut g = TaskGraph::new();
+        let c = g.class("step");
+        g.add_task(c, vec![acc(0, AccessMode::Write)], 1.0);
+        g.add_task(
+            c,
+            vec![acc(0, AccessMode::Read), acc(1, AccessMode::Write)],
+            1.0,
+        );
+        g.mark_window();
+        g.add_task(c, vec![acc(1, AccessMode::ReadWrite)], 1.0);
+        let r = verify_graph(&g, &ctx_for(&g));
+        assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    }
+}

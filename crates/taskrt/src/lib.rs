@@ -26,6 +26,10 @@
 //!   structured event stream (task start/finish, window boundaries,
 //!   dispatch stalls) through `tahoe-obs`.
 
+// Pure graph/scheduling logic: nothing here touches raw memory, so the
+// whole crate stays safe by construction.
+#![forbid(unsafe_code)]
+
 pub mod deps;
 pub mod graph;
 pub mod lookahead;

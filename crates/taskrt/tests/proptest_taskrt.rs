@@ -2,6 +2,10 @@
 //! sound DAGs, the virtual-time scheduler must obey scheduling laws, and
 //! the real executor must agree with both.
 
+// The cross-check tests walk (task, task) index pairs over several
+// parallel structures at once; explicit indices are the clearer idiom.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 
 use tahoe_hms::{AccessProfile, ObjectId};
@@ -113,6 +117,105 @@ proptest! {
         });
         prop_assert_eq!(violations.load(Ordering::Relaxed), 0, "dependence violated");
         prop_assert!(ran.iter().all(|r| r.load(Ordering::Relaxed) == 1));
+    }
+
+    // Cross-check against the sanitizer's independently built
+    // happens-before closure: the bitset ancestor rows must agree exactly
+    // with plain BFS reachability over the derived dependence edges.
+    #[test]
+    fn happens_before_closure_matches_bfs_reachability(
+        tasks in proptest::collection::vec(task_strategy(), 1..40),
+    ) {
+        let g = build_graph(&tasks);
+        let hb = tahoe_sanitize::HappensBefore::from_graph(&g);
+        let n = g.len();
+        // Reference closure: BFS from every task along predecessor edges.
+        let mut reach = vec![vec![false; n]; n];
+        for t in 0..n {
+            let mut stack: Vec<usize> = g.preds(tahoe_taskrt::TaskId(t as u32))
+                .iter().map(|p| p.index()).collect();
+            while let Some(p) = stack.pop() {
+                if !reach[t][p] {
+                    reach[t][p] = true;
+                    stack.extend(g.preds(tahoe_taskrt::TaskId(p as u32)).iter().map(|q| q.index()));
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    hb.happens_before(tahoe_taskrt::TaskId(a as u32), tahoe_taskrt::TaskId(b as u32)),
+                    reach[b][a],
+                    "hb({}, {}) disagrees with BFS reachability", a, b
+                );
+            }
+        }
+    }
+
+    // Soundness of dependence derivation, judged by the sanitizer: every
+    // declared pair that conflicts on an object (at least one writer)
+    // must come out *ordered* in the happens-before relation — the exact
+    // property the dynamic race detector relies on.
+    #[test]
+    fn derived_deps_order_every_declared_conflict(
+        tasks in proptest::collection::vec(task_strategy(), 1..40),
+    ) {
+        let g = build_graph(&tasks);
+        let hb = tahoe_sanitize::HappensBefore::from_graph(&g);
+        let writes = |m: u8| m == 1 || m == 2; // Write | ReadWrite
+        for (i, a) in tasks.iter().enumerate() {
+            for (j, b) in tasks.iter().enumerate().skip(i + 1) {
+                let conflict = a.accesses.iter().any(|&(oa, ma)|
+                    b.accesses.iter().any(|&(ob, mb)| oa == ob && (writes(ma) || writes(mb))));
+                if conflict {
+                    prop_assert!(
+                        hb.ordered(tahoe_taskrt::TaskId(i as u32), tahoe_taskrt::TaskId(j as u32)),
+                        "conflicting tasks {} and {} are unordered", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    // Window barriers order tasks across windows even with no dependence
+    // path between them.
+    #[test]
+    fn window_barriers_order_cross_window_tasks(
+        sizes in proptest::collection::vec(1usize..6, 2..5),
+    ) {
+        let mut g = TaskGraph::new();
+        let c = g.class("w");
+        let mut window_of = Vec::new();
+        for (w, &n) in sizes.iter().enumerate() {
+            for k in 0..n {
+                // Disjoint objects: no dependence edges at all.
+                g.add_task(
+                    c,
+                    vec![TaskAccess::new(
+                        ObjectId((w * 8 + k) as u32),
+                        AccessMode::ReadWrite,
+                        AccessProfile::EMPTY,
+                    )],
+                    1.0,
+                );
+                window_of.push(w as u32);
+            }
+            if w + 1 < sizes.len() {
+                g.mark_window();
+            }
+        }
+        let hb = tahoe_sanitize::HappensBefore::from_graph(&g);
+        for a in 0..g.len() {
+            for b in 0..g.len() {
+                let (ta, tb) = (tahoe_taskrt::TaskId(a as u32), tahoe_taskrt::TaskId(b as u32));
+                prop_assert_eq!(
+                    hb.happens_before(ta, tb),
+                    window_of[a] < window_of[b],
+                    "window ordering wrong for tasks {} (w{}) and {} (w{})",
+                    a, window_of[a], b, window_of[b]
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Committed buggy workloads for the sanitizer's schedule fuzzer.
+//!
+//! Each fixture is a small app with a *known, deliberately injected*
+//! defect and the exact violation set the sanitizer must report for it
+//! — at every worker count, every seed, every schedule. The fuzzer in
+//! `tahoe-bench` runs them alongside the correct workloads and gates on
+//! exact equality; a sanitizer that over- or under-reports fails CI.
+//!
+//! Two injection mechanisms keep the fixtures safe to *actually run* on
+//! live memory:
+//!
+//! * **Hidden writes** — an access declared `Read` whose profile stores
+//!   lines anyway. The traffic kernel really performs the stores, so
+//!   these fixtures cap `max_workers` at 1: the defect is in the
+//!   *declaration* (the tracker derived no ordering for the write), not
+//!   in what a sequential execution does to the bytes.
+//! * **Extra accesses** — `(task, object, writes)` records the workload
+//!   claims to perform beyond its declarations. They are fed to the
+//!   sanitizer's behavior index but never touch real memory, so they
+//!   are safe at any worker count.
+//!
+//! This module only exists under the `fixtures` feature, and nothing
+//! here is reachable from [`crate::all_workloads`].
+
+use tahoe_core::app::{App, AppBuilder};
+use tahoe_core::ExtraAccess;
+use tahoe_hms::AccessProfile;
+use tahoe_taskrt::AccessMode;
+
+/// One buggy workload plus its expected sanitizer findings.
+#[derive(Debug)]
+pub struct Fixture {
+    /// Stable fixture name (appears in `BENCH_sanitize.json`).
+    pub name: &'static str,
+    /// The app with the injected defect.
+    pub app: App,
+    /// Accesses claimed beyond the declarations (never executed).
+    pub extra: Vec<ExtraAccess>,
+    /// Exact nonzero `(kind tag, count)` pairs the *static* verifier
+    /// must report (all other kinds must be zero).
+    pub expected_static: Vec<(&'static str, u64)>,
+    /// Exact nonzero `(kind tag, count)` pairs the *dynamic* sanitizer
+    /// must report (all other kinds must be zero).
+    pub expected_dynamic: Vec<(&'static str, u64)>,
+    /// Highest worker count the fixture may execute at (1 when the
+    /// injected defect performs real stores that must stay sequential).
+    pub max_workers: usize,
+}
+
+/// A "reader" that sneaks stores into an object it declared `Read`,
+/// racing an honest reader of the same object: the dependence tracker
+/// saw `Read`/`Read` and derived no edge.
+fn hidden_writer() -> Fixture {
+    let mut b = AppBuilder::new("fx-hidden-writer");
+    let x = b.object("x", 8 << 10);
+    let c = b.class("reader");
+    b.task(c)
+        .access(x, AccessMode::Read, AccessProfile::streaming(64, 8))
+        .submit();
+    b.task(c)
+        .access(x, AccessMode::Read, AccessProfile::streaming(64, 0))
+        .submit();
+    Fixture {
+        name: "hidden_writer",
+        app: b.build(),
+        extra: vec![],
+        expected_static: vec![],
+        expected_dynamic: vec![("write_under_read", 1), ("unordered_conflict", 1)],
+        max_workers: 1,
+    }
+}
+
+/// Three "readers" of a shared accumulator all store into it: every
+/// pair of hidden writes is an unordered conflict.
+fn racy_reduction() -> Fixture {
+    let mut b = AppBuilder::new("fx-racy-reduction");
+    let acc = b.object("acc", 8 << 10);
+    let c = b.class("sum");
+    for _ in 0..3 {
+        b.task(c)
+            .access(acc, AccessMode::Read, AccessProfile::streaming(64, 4))
+            .submit();
+    }
+    Fixture {
+        name: "racy_reduction",
+        app: b.build(),
+        extra: vec![],
+        expected_static: vec![],
+        expected_dynamic: vec![("write_under_read", 3), ("unordered_conflict", 3)],
+        max_workers: 1,
+    }
+}
+
+/// Two writers on disjoint objects; task 0 also claims to write task
+/// 1's object without declaring it — undeclared, and racing t1's
+/// declared write. Extra accesses never execute, so any worker count
+/// is safe.
+fn undeclared_neighbor() -> Fixture {
+    let mut b = AppBuilder::new("fx-undeclared-neighbor");
+    let x = b.object("x", 8 << 10);
+    let y = b.object("y", 8 << 10);
+    let c = b.class("w");
+    b.task(c).write_streaming(x, 64).submit();
+    b.task(c).write_streaming(y, 64).submit();
+    Fixture {
+        name: "undeclared_neighbor",
+        app: b.build(),
+        extra: vec![ExtraAccess {
+            task: 0,
+            object: 1,
+            writes: true,
+        }],
+        expected_static: vec![],
+        expected_dynamic: vec![("undeclared_access", 1), ("unordered_conflict", 1)],
+        max_workers: 4,
+    }
+}
+
+/// A stale annotation: one declared access carries no memory traffic,
+/// ordering the graph without ever executing. A static-pass defect;
+/// the dynamic run is clean (the empty access is harmless to execute).
+fn stale_annotation() -> Fixture {
+    let mut b = AppBuilder::new("fx-stale-annotation");
+    let x = b.object("x", 8 << 10);
+    let y = b.object("y", 8 << 10);
+    let c = b.class("step");
+    b.task(c).write_streaming(x, 64).submit();
+    b.task(c)
+        .read_streaming(x, 64)
+        .access(y, AccessMode::Write, AccessProfile::new(0, 0, 1.0))
+        .submit();
+    Fixture {
+        name: "stale_annotation",
+        app: b.build(),
+        extra: vec![],
+        expected_static: vec![("dead_declaration", 1)],
+        expected_dynamic: vec![],
+        max_workers: 4,
+    }
+}
+
+/// Every committed fixture, in a fixed order.
+pub fn all_fixtures() -> Vec<Fixture> {
+    vec![
+        hidden_writer(),
+        racy_reduction(),
+        undeclared_neighbor(),
+        stale_annotation(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_validate_and_have_unique_names() {
+        let fixtures = all_fixtures();
+        let mut names: Vec<&str> = fixtures.iter().map(|f| f.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        for f in all_fixtures() {
+            f.app
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert!(f.max_workers >= 1);
+            assert!(
+                !f.expected_static.is_empty() || !f.expected_dynamic.is_empty(),
+                "{} injects no defect",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn real_store_fixtures_stay_sequential() {
+        // Any fixture whose declared profiles store under a Read
+        // declaration performs those stores for real — it must pin
+        // max_workers to 1.
+        for f in all_fixtures() {
+            let hidden_stores = f.app.graph.tasks().iter().any(|t| {
+                t.accesses
+                    .iter()
+                    .any(|a| a.profile.stores > 0 && !a.mode.writes())
+            });
+            if hidden_stores {
+                assert_eq!(f.max_workers, 1, "{} must stay sequential", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_names_never_collide_with_real_workloads() {
+        let real: Vec<String> = crate::all_workloads(crate::Scale::Test)
+            .into_iter()
+            .map(|a| a.name)
+            .collect();
+        for f in all_fixtures() {
+            assert!(
+                !real.contains(&f.app.name),
+                "{} shadows a real workload",
+                f.name
+            );
+        }
+    }
+}

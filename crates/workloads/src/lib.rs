@@ -26,10 +26,15 @@
 // index *is* the domain decomposition, so range loops are the clearer
 // idiom here.
 #![allow(clippy::needless_range_loop)]
+// Workload generators only build task graphs and access declarations;
+// the kernels that touch memory live in tahoe-core.
+#![forbid(unsafe_code)]
 
 pub mod cg;
 pub mod cholesky;
 pub mod fft;
+#[cfg(feature = "fixtures")]
+pub mod fixtures;
 pub mod health;
 pub mod lu;
 pub mod nqueens;
