@@ -11,8 +11,10 @@
 //!   checks the consistency flags and that the DRAM/NVM throughput
 //!   ratio stays within a tolerance band of the baseline's ratio.
 //! * `tahoe-bench-par/v1` — consistency flags, Tahoe still migrates at
-//!   ≥2 workers, and the best migration overlap has not collapsed
-//!   relative to the baseline.
+//!   ≥2 workers, the best migration overlap has not collapsed relative
+//!   to the baseline, and — when the fresh machine actually has ≥2
+//!   cores — DRAM-only parallel speedup clears its floor at 2 workers
+//!   and does not degrade as workers grow (up to the core count).
 //! * `tahoe-bench-audit/v1` — the model audit still audits objects, the
 //!   recorder's self-overhead stays under its ceiling, and MAPE /
 //!   sign-agreement have not regressed beyond the tolerance bands.
@@ -34,6 +36,14 @@ pub const REAL_RATIO_BAND: f64 = 2.5;
 
 /// Fresh best-overlap must retain at least this fraction of baseline's.
 pub const PAR_OVERLAP_RETENTION: f64 = 0.2;
+
+/// On a multicore machine, DRAM-only must reach at least this speedup
+/// at 2 workers over its own 1-worker run.
+pub const PAR_SPEEDUP_2W_FLOOR: f64 = 1.3;
+
+/// Speedup may not degrade by more than this factor between consecutive
+/// measured worker counts (both within the machine's core count).
+pub const PAR_SCALING_SLACK: f64 = 0.9;
 
 fn field<'v>(v: &'v Value, path: &[&str]) -> Result<&'v Value, String> {
     let mut cur = v;
@@ -184,6 +194,30 @@ fn par_best_overlap(v: &Value) -> Result<(f64, bool), String> {
     Ok((best, migrated))
 }
 
+/// Measured `(workers, wall_ns)` points for one policy, sorted by
+/// worker count. Runs without both fields are skipped (older artifacts
+/// did not record `wall_ns` per parallel run).
+fn par_policy_walls(v: &Value, policy: &str) -> Result<Vec<(f64, f64)>, String> {
+    let runs = field(v, &["runs"])?
+        .as_array()
+        .ok_or("`runs` is not an array")?;
+    let mut pts: Vec<(f64, f64)> = Vec::new();
+    for r in runs {
+        if r.get("policy").and_then(|p| p.as_str()) != Some(policy) {
+            continue;
+        }
+        let workers = r.get("workers").and_then(|w| w.as_f64());
+        let wall = r.get("wall_ns").and_then(|w| w.as_f64());
+        if let (Some(w), Some(wall)) = (workers, wall) {
+            if w >= 1.0 && wall > 0.0 {
+                pts.push((w, wall));
+            }
+        }
+    }
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    Ok(pts)
+}
+
 fn compare_par(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
     let mut violations = Vec::new();
     for path in [
@@ -204,6 +238,45 @@ fn compare_par(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         violations.push(format!(
             "best tahoe overlap {f_best:.1}% collapsed below {floor:.1}% (baseline best {b_best:.1}%)"
         ));
+    }
+    // Parallel-scaling band. Speedups are recomputed from the fresh
+    // run's own wall clocks (never trusted from the recorded `speedup`
+    // field) and only enforced where the machine had real cores to
+    // scale onto: a 1-CPU box oversubscribes the spin-paced compute and
+    // legitimately slows down, as do worker counts beyond the core
+    // count, so those points are exempt.
+    let cpus = fresh
+        .get("machine")
+        .and_then(|m| m.get("cpus"))
+        .and_then(|c| c.as_f64())
+        .unwrap_or(1.0);
+    if cpus >= 2.0 {
+        let pts = par_policy_walls(fresh, "DRAM-only")?;
+        if let Some(&(_, base)) = pts.iter().find(|(w, _)| *w == 1.0) {
+            let speedups: Vec<(f64, f64)> = pts
+                .iter()
+                .filter(|(w, _)| *w <= cpus)
+                .map(|&(w, wall)| (w, base / wall))
+                .collect();
+            if let Some(&(_, s2)) = speedups.iter().find(|(w, _)| *w == 2.0) {
+                if s2 < PAR_SPEEDUP_2W_FLOOR {
+                    violations.push(format!(
+                        "DRAM-only speedup at 2 workers is {s2:.2}x, below the \
+                         {PAR_SPEEDUP_2W_FLOOR:.1}x floor ({cpus:.0} cpus)"
+                    ));
+                }
+            }
+            for pair in speedups.windows(2) {
+                let ((wa, sa), (wb, sb)) = (pair[0], pair[1]);
+                if sb < sa * PAR_SCALING_SLACK {
+                    violations.push(format!(
+                        "DRAM-only speedup degrades from {sa:.2}x at {wa:.0} workers to \
+                         {sb:.2}x at {wb:.0} (floor {:.2}x)",
+                        sa * PAR_SCALING_SLACK
+                    ));
+                }
+            }
+        }
     }
     Ok(violations)
 }
@@ -310,6 +383,28 @@ mod tests {
         )
     }
 
+    /// A par artifact with a machine section and per-run wall clocks,
+    /// as the current `exp par` writer emits. `dram_walls` gives the
+    /// DRAM-only (workers, wall_ns) ladder.
+    fn par_scaling_doc(cpus: u64, dram_walls: &[(u64, f64)]) -> String {
+        let mut runs = String::new();
+        for (w, wall) in dram_walls {
+            runs.push_str(&format!(
+                r#"{{"policy": "DRAM-only", "workers": {w}, "wall_ns": {wall}, "migrations": 0, "pct_overlap": 0.0}}, "#
+            ));
+        }
+        runs.push_str(
+            r#"{"policy": "tahoe", "workers": 1, "wall_ns": 120000.0, "migrations": 3, "pct_overlap": 0.0},
+               {"policy": "tahoe", "workers": 2, "wall_ns": 70000.0, "migrations": 4, "pct_overlap": 60.0}"#,
+        );
+        format!(
+            r#"{{"schema": "tahoe-bench-par/v1",
+                "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "cpus": {cpus}, "smoke": true}},
+                "runs": [{runs}],
+                "consistency": {{"all_runs_match_reference": true, "tahoe_multiworker_overlapped": true}}}}"#
+        )
+    }
+
     fn audit_doc(mape: f64, sign: f64, overhead: f64) -> String {
         format!(
             r#"{{"schema": "tahoe-bench-audit/v1",
@@ -398,6 +493,48 @@ mod tests {
         assert!(v.iter().any(|m| m.contains("no migrations")), "{v:?}");
         // Retaining 20% of baseline overlap is enough.
         let v = compare_text(&par_doc(60.0, 4), &par_doc(13.0, 4)).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn par_gate_enforces_scaling_on_multicore() {
+        let healthy = par_scaling_doc(4, &[(1, 100_000.0), (2, 55_000.0), (4, 30_000.0)]);
+        // A healthy ladder (s2 = 1.82x, s4 = 3.33x) passes cleanly.
+        let v = compare_text(&healthy, &healthy).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Injected regression: 2-worker speedup collapses to 1.11x.
+        let slow2 = par_scaling_doc(4, &[(1, 100_000.0), (2, 90_000.0), (4, 30_000.0)]);
+        let v = compare_text(&healthy, &slow2).unwrap();
+        assert!(
+            v.iter().any(|m| m.contains("below the 1.3x floor")),
+            "{v:?}"
+        );
+        // Injected regression: scaling goes backwards past 2 workers
+        // (s2 = 2.0x but s4 = 1.25x).
+        let sag4 = par_scaling_doc(4, &[(1, 100_000.0), (2, 50_000.0), (4, 80_000.0)]);
+        let v = compare_text(&healthy, &sag4).unwrap();
+        assert!(v.iter().any(|m| m.contains("speedup degrades")), "{v:?}");
+        // Mild sag within the 0.9x slack band passes.
+        let flat = par_scaling_doc(4, &[(1, 100_000.0), (2, 50_000.0), (4, 52_000.0)]);
+        let v = compare_text(&healthy, &flat).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn par_gate_skips_scaling_where_cores_are_absent() {
+        let healthy = par_scaling_doc(4, &[(1, 100_000.0), (2, 55_000.0), (4, 30_000.0)]);
+        // A 1-CPU box oversubscribes the spin-paced compute: terrible
+        // "speedups" are expected and must not fail the gate.
+        let single = par_scaling_doc(1, &[(1, 100_000.0), (2, 190_000.0), (4, 390_000.0)]);
+        let v = compare_text(&healthy, &single).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Worker counts beyond the core count are exempt too: with 2
+        // cpus the 4-worker sag is ignored, the in-core band enforced.
+        let two = par_scaling_doc(2, &[(1, 100_000.0), (2, 55_000.0), (4, 120_000.0)]);
+        let v = compare_text(&healthy, &two).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Legacy artifacts without a machine section skip the band.
+        let v = compare_text(&par_doc(60.0, 4), &par_doc(60.0, 4)).unwrap();
         assert!(v.is_empty(), "{v:?}");
     }
 

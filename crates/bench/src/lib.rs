@@ -51,6 +51,31 @@ fn banner(title: &str) {
     println!("================================================================");
 }
 
+/// Parse a comma-separated numeric list from env var `name`, falling
+/// back to `default` when unset. Lets CI jobs widen an experiment's
+/// matrix (e.g. the stress-fuzz schedule sweep) without a code change.
+fn env_list<T>(name: &str, default: &[T]) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr + Copy,
+    <T as std::str::FromStr>::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(raw) => {
+            let v = raw
+                .split(',')
+                .map(|s| s.trim())
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<T>().map_err(|e| format!("{name}={raw}: {e}")))
+                .collect::<Result<Vec<T>, String>>()?;
+            if v.is_empty() {
+                return Err(format!("{name} set but empty"));
+            }
+            Ok(v)
+        }
+        Err(_) => Ok(default.to_vec()),
+    }
+}
+
 /// E1 — NVM-only slowdown vs DRAM-only under bandwidth-limited NVM
 /// (paper's "performance on NVM with various bandwidth" figure).
 pub fn e1() {
@@ -916,18 +941,27 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
     ];
 
     println!(
-        "  {:<12} {:>7} {:>10} {:>10} {:>6} {:>9} {:>9}",
-        "policy", "threads", "wall ms", "GB/s", "migr", "%overlap", "gate ms"
+        "  {:<12} {:>7} {:>10} {:>8} {:>10} {:>6} {:>9} {:>9}",
+        "policy", "threads", "wall ms", "speedup", "GB/s", "migr", "%overlap", "gate ms"
     );
     let mut runs = Vec::new();
     for p in &policies {
+        let mut base_wall = None;
         for &workers in worker_counts {
             let r = rt.run_policy_parallel(&app, p, &cal, workers, 0)?;
+            if r.workers == 1 {
+                base_wall = Some(r.wall_ns);
+            }
+            // Parallel speedup over this policy's own 1-worker run:
+            // wall(1w)/wall(Nw). The compare_par gate band enforces the
+            // DRAM-only scaling floor on multi-core machines.
+            let speedup = base_wall.map_or(1.0, |b| b / r.wall_ns);
             println!(
-                "  {:<12} {:>7} {:>10.3} {:>10.2} {:>6} {:>8.1}% {:>9.3}",
+                "  {:<12} {:>7} {:>10.3} {:>7.2}x {:>10.2} {:>6} {:>8.1}% {:>9.3}",
                 r.policy,
                 r.workers,
                 r.wall_ns / 1e6,
+                speedup,
                 r.throughput_gbps,
                 r.migration.count,
                 r.migration.pct_overlap(),
@@ -967,11 +1001,15 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
     let topo = tahoe_realmem::numa::probe();
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"tahoe-bench-par/v1\",\n");
+    // The CPU count travels with the artifact: the benchgate only holds
+    // the scaling band against runs from machines that can scale.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!(
-        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"cpus\": {}, \"smoke\": {}}},\n",
         std::env::consts::ARCH,
         std::env::consts::OS,
         topo.nodes,
+        cpus,
         smoke
     ));
     out.push_str(&format!(
@@ -992,11 +1030,16 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
     ));
     out.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
+        let base = runs
+            .iter()
+            .find(|b| b.policy == r.policy && b.workers == 1)
+            .map_or(r.wall_ns, |b| b.wall_ns);
         out.push_str(&format!(
-            "    {{\"policy\": \"{}\", \"workers\": {}, \"wall_ns\": {:.1}, \"bytes_touched\": {}, \"throughput_gbps\": {:.6}, \"checksum\": \"{:016x}\", \"migrations\": {}, \"migrated_bytes\": {}, \"copy_wall_ns\": {:.1}, \"overlapped_ns\": {:.1}, \"exposed_ns\": {:.1}, \"pct_overlap\": {:.3}, \"gate_wait_ns\": {:.1}, \"steals\": {}, \"final_dram_objects\": {}}}{}\n",
+            "    {{\"policy\": \"{}\", \"workers\": {}, \"wall_ns\": {:.1}, \"speedup\": {:.6}, \"bytes_touched\": {}, \"throughput_gbps\": {:.6}, \"checksum\": \"{:016x}\", \"migrations\": {}, \"migrated_bytes\": {}, \"copy_wall_ns\": {:.1}, \"overlapped_ns\": {:.1}, \"exposed_ns\": {:.1}, \"pct_overlap\": {:.3}, \"gate_wait_ns\": {:.1}, \"steals\": {}, \"cas_retries\": {}, \"parks\": {}, \"unparks\": {}, \"final_dram_objects\": {}}}{}\n",
             r.policy,
             r.workers,
             r.wall_ns,
+            base / r.wall_ns,
             r.bytes_touched,
             r.throughput_gbps,
             r.checksum,
@@ -1008,6 +1051,9 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
             r.migration.pct_overlap(),
             r.gate_wait_ns,
             r.steals,
+            r.contention.pin_cas_retries,
+            r.contention.parks,
+            r.contention.unparks,
             r.final_dram_objects,
             if i + 1 < runs.len() { "," } else { "" }
         ));
@@ -1104,8 +1150,11 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
     } else {
         vec![stream::app(Scale::Bench), cg::app(Scale::Test)]
     };
-    let worker_counts: &[usize] = &[1, 2, 4];
-    let seeds: &[u64] = &[0, 1, 2];
+    // CI's stress-fuzz job widens the schedule matrix (8 workers, more
+    // seeds) through these env overrides without a separate code path.
+    let worker_counts: Vec<usize> = env_list("SANITIZE_FUZZ_WORKERS", &[1, 2, 4])?;
+    let seeds: Vec<u64> = env_list("SANITIZE_FUZZ_SEEDS", &[0, 1, 2])?;
+    let (worker_counts, seeds) = (&worker_counts[..], &seeds[..]);
     let mut fuzz_runs = 0u64;
     let mut accesses_checked = 0u64;
     for app in &apps {
@@ -1226,9 +1275,17 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
     out.push_str(&format!(
         "  \"static\": {{\"workloads_verified\": {static_verified}, \"clean\": true}},\n"
     ));
+    let fmt_list = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     out.push_str(&format!(
-        "  \"fuzz\": {{\"workloads\": {}, \"workers\": [1, 2, 4], \"seeds\": [0, 1, 2], \"runs\": {fuzz_runs}, \"accesses_checked\": {accesses_checked}, \"clean\": true}},\n",
-        apps.len()
+        "  \"fuzz\": {{\"workloads\": {}, \"workers\": [{}], \"seeds\": [{}], \"runs\": {fuzz_runs}, \"accesses_checked\": {accesses_checked}, \"clean\": true}},\n",
+        apps.len(),
+        fmt_list(&worker_counts.iter().map(|w| *w as u64).collect::<Vec<_>>()),
+        fmt_list(seeds)
     ));
     out.push_str("  \"fixtures\": [\n");
     for (i, r) in rows.iter().enumerate() {

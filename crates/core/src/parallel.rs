@@ -177,6 +177,9 @@ pub struct ParallelPolicyReport {
     /// Events dropped because a flight-recorder ring filled (0 when
     /// unobserved or never saturated).
     pub obs_ring_dropped: u64,
+    /// Contention counters of the lock-free pin/move state machines
+    /// (CAS retries, shard parks/unparks, mid-move waits).
+    pub contention: tahoe_hms::ContentionStats,
 }
 
 /// Static counter key for a violation-kind tag (the metrics registry
@@ -485,14 +488,13 @@ impl MeasuredRuntime {
                         acc_ns[slot].fetch_add(a_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         acc_n[slot].fetch_add(1, Ordering::Relaxed);
                     }
-                    shared.unpin_task(&obj_ids);
+                    let waited = pins.waited_ns;
+                    // RAII unpin: releases every pin even if a kernel
+                    // above panicked and we unwound past this point.
+                    drop(pins);
                     let t = shared.now_ns();
-                    let (task_id, window, wall, waited) = (
-                        task.id.0,
-                        task.window,
-                        t0.elapsed().as_nanos() as f64,
-                        pins.waited_ns,
-                    );
+                    let (task_id, window, wall) =
+                        (task.id.0, task.window, t0.elapsed().as_nanos() as f64);
                     match &recorder {
                         Some(rec) => {
                             rec.record(worker, "task_ns", wall);
@@ -536,6 +538,14 @@ impl MeasuredRuntime {
         // (with no consumer left to block, it counts as fully hidden).
         let mig = migrator.finish();
         let shared = Arc::try_unwrap(shared).map_err(|_| "migration thread still holds hms")?;
+        // How contended were the lock-free paths? Folded into the obs
+        // metrics so a scaling regression is diagnosable from artifacts.
+        let contention = shared.contention();
+        self.metrics
+            .add("hms.pin_cas_retries", contention.pin_cas_retries);
+        self.metrics.add("hms.parks", contention.parks);
+        self.metrics.add("hms.unparks", contention.unparks);
+        self.metrics.add("hms.move_waits", contention.move_waits);
         let hms = shared.into_inner();
 
         // ---- flight-recorder drain -----------------------------------
@@ -601,6 +611,7 @@ impl MeasuredRuntime {
             final_dram_objects,
             access_timing,
             obs_ring_dropped,
+            contention,
         })
     }
 }

@@ -37,6 +37,7 @@
 pub mod alloc;
 pub mod backend;
 pub mod error;
+pub mod lockfree;
 pub mod memory;
 pub mod migrate;
 pub mod object;
@@ -51,7 +52,7 @@ pub use error::HmsError;
 pub use memory::{Hms, HmsConfig, MoveTicket, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};
 pub use object::{ObjectId, ObjectMeta};
-pub use sync::{MoveObserver, PinnedObject, SharedHms, StartedMove, TaskPins};
+pub use sync::{ContentionStats, MoveObserver, PinnedObject, SharedHms, StartedMove, TaskPins};
 pub use tier::{TierKind, TierSpec};
 pub use timing::AccessProfile;
 pub use wear::WearStats;

@@ -568,6 +568,13 @@ impl Hms {
         self.allocator_ref(tier).fragmentation()
     }
 
+    /// One past the highest object id ever allocated (ids are dense and
+    /// never reused, so every live id is below this watermark). The
+    /// shared wrapper's slot table syncs against it.
+    pub fn peak_object_id(&self) -> u32 {
+        self.next_id
+    }
+
     /// Ids of all live objects, ascending.
     pub fn live_objects(&self) -> Vec<ObjectId> {
         let mut v: Vec<ObjectId> = self.objects.keys().copied().collect();

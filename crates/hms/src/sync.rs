@@ -9,63 +9,57 @@
 //! * **the migration thread** begins a two-phase move, performs the long
 //!   throttled copy *outside* any lock, and commits the residency flip.
 //!
-//! [`SharedHms`] arbitrates them with one mutex over the object table and
-//! a condition variable for the two blocking edges:
+//! Since PR 6 the arbitration is lock-free on the hot path. Every object
+//! owns a packed `AtomicU64` state word ([`crate::lockfree::word`]) in a
+//! sharded slot table: workers pin and unpin with a single CAS, and the
+//! word's `MOVING` bit is the mid-move fence. The slot also caches the
+//! object's resolved location (pointer, length, tier), so the pin path
+//! never touches a mutex. Blocking is reserved for the two genuinely
+//! blocking edges, and parks on the object's *shard* event-count rather
+//! than one global condvar:
 //!
-//! * a worker that needs an object **mid-move** waits until the move
+//! * a worker that needs an object **mid-move** parks until the move
 //!   commits (the executor must not run a task while its data is being
 //!   copied) — the first such wait stamps the migration's `needed_at`,
 //!   which is exactly the paper's exposed-vs-overlapped boundary;
-//! * the migration thread that finds its object **pinned** waits until
-//!   the pin count drains (never move bytes a task is touching).
+//! * the migration thread that finds its object **pinned** sets the
+//!   `PARKED` bit and parks until an unpin drains the count to zero
+//!   (never move bytes a task is touching).
 //!
 //! Deadlock-freedom: both waits happen while holding *no* pins and no
-//! tickets (workers pin all-or-nothing under one lock acquisition; the
-//! migrator owns at most one ticket and never waits while holding it), so
-//! every wait is resolved by a thread that itself never blocks on the
-//! waiter.
+//! tickets. Workers pin all-or-nothing — if the migrator claims `MOVING`
+//! mid-acquisition they roll their pins back and re-wait — and the
+//! single migrator owns at most one ticket and never waits while holding
+//! it (`commit_move`/`abort_move` never block), so every wait is
+//! resolved by a thread that itself never blocks on the waiter.
 //!
-//! Why this is a single mutex rather than sharding: the lock only covers
-//! table bookkeeping (pin counts, residency flips, pointer resolution) —
-//! microseconds — while the expensive parts (traffic kernels, throttled
-//! copies) run lock-free on raw pointers whose stability is guaranteed by
-//! the pin/mid-move discipline, not by the lock.
+//! The inner `Mutex<Hms>` survives only for the *slow* paths — the
+//! allocator bookkeeping of a move's reserve/commit/abort, and the
+//! [`SharedHms::with`] escape hatch for setup and reporting. No worker
+//! takes it during a run, so a worker panic can no longer convoy the
+//! whole pool behind a poisoned table lock; pins themselves are released
+//! by [`TaskPins`]' RAII drop even when the holder panics.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::backend::CopyOutcome;
 use crate::error::HmsError;
-use crate::memory::{Hms, MoveTicket};
+use crate::lockfree::{word, Counters, ShardedTable, Slot, TIER_DRAM, TIER_NVM};
+use crate::memory::Hms;
 use crate::migrate::MigrationRecord;
 use crate::object::ObjectId;
 use crate::tier::TierKind;
 use crate::Ns;
 
-/// Bookkeeping for one in-flight background migration.
-#[derive(Debug)]
-struct InFlight {
-    /// Wall-clock ns (run epoch) the copy started.
-    started_at: Ns,
-    /// Wall-clock ns the request was issued to the engine.
-    issued_at: Ns,
-    /// First wall-clock ns a worker blocked needing the object, if any.
-    needed_at: Option<Ns>,
-}
-
-#[derive(Debug)]
-struct State {
-    hms: Hms,
-    inflight: HashMap<ObjectId, InFlight>,
-}
+pub use crate::lockfree::ContentionStats;
 
 /// One object pinned for a task and resolved to raw bytes.
 ///
 /// Created and consumed on the same worker thread; the pointer stays
-/// valid until the matching [`SharedHms::unpin_task`] because the pin
-/// blocks moves and frees, and arenas never remap.
+/// valid until the owning [`TaskPins`] drops because the pin blocks
+/// moves and frees, and arenas never remap.
 #[derive(Debug)]
 pub struct PinnedObject {
     /// The pinned object.
@@ -95,24 +89,38 @@ impl PinnedObject {
 
 /// The set of objects one task pinned, plus how long it had to wait for
 /// in-flight migrations before it could start.
+///
+/// RAII: dropping releases every pin (and wakes a parked migrator), so
+/// a worker panic unwinding through a task body cannot leak a pin and
+/// wedge the migration engine.
 #[derive(Debug)]
-pub struct TaskPins {
+#[must_use = "pins release on drop; binding to _ releases them immediately"]
+pub struct TaskPins<'h> {
+    shared: &'h SharedHms,
     /// One entry per requested object, in request order.
     pub objects: Vec<PinnedObject>,
     /// Wall-clock ns spent blocked on mid-move objects before pinning.
     pub waited_ns: Ns,
 }
 
+impl Drop for TaskPins<'_> {
+    fn drop(&mut self) {
+        for o in &self.objects {
+            self.shared.unpin_one(o.id);
+        }
+    }
+}
+
 /// A begun background migration: ticket plus resolved raw pointers.
 ///
 /// Produced by [`SharedHms::begin_move_blocking`] on the migration
-/// thread, which copies `size` bytes from `src` to `dst` with the lock
-/// released and then resolves via [`SharedHms::commit_move`] or
+/// thread, which copies `size` bytes from `src` to `dst` with no lock
+/// held and then resolves via [`SharedHms::commit_move`] or
 /// [`SharedHms::abort_move`].
 #[derive(Debug)]
 #[must_use = "resolve with commit_move or abort_move"]
 pub struct StartedMove {
-    ticket: MoveTicket,
+    ticket: crate::memory::MoveTicket,
     /// Source bytes (live until commit/abort).
     pub src: *const u8,
     /// Destination bytes (reserved until commit/abort).
@@ -144,56 +152,78 @@ pub type MoveObserver = Box<dyn Fn(ObjectId, u64) + Send + Sync>;
 
 /// A [`Hms`] shareable across worker threads and one migration thread.
 ///
-/// **Lock poisoning.** A worker that panics while holding the table
-/// lock poisons it. Every mutation under the lock is complete before
-/// any panic-capable call, so the table state is consistent at every
-/// unlock point; the wrapper therefore *recovers* the guard instead of
-/// cascading the panic into every other worker and the migration
-/// thread, and counts the recovery ([`SharedHms::poisoned`]) the same
-/// way the obs emitter degrades since PR 4.
+/// **Lock poisoning.** Workers never take the inner mutex during a run,
+/// but a closure passed to [`SharedHms::with`] can still panic while
+/// holding it. Every mutation under the lock is complete before any
+/// panic-capable call, so the state is consistent at every unlock
+/// point; the wrapper therefore *recovers* the guard instead of
+/// cascading the panic, and counts the recovery
+/// ([`SharedHms::poisoned`]) the same way the obs emitter degrades
+/// since PR 4.
 pub struct SharedHms {
-    state: Mutex<State>,
-    changed: Condvar,
+    /// Slow-path allocator/bookkeeping state (setup, reporting, and the
+    /// reserve/commit/abort edges of a move).
+    inner: Mutex<Hms>,
+    /// Lock-free per-object state words + location caches.
+    table: ShardedTable,
+    /// Object-id watermark already mirrored into the slot table (ids
+    /// are dense, so this is just the synced prefix length).
+    synced: AtomicU32,
     epoch: Instant,
     /// Times a poisoned lock was recovered instead of panicking.
     poisoned: AtomicU64,
     /// Migration-start observer (sanitize mode), if installed.
     move_observer: Mutex<Option<MoveObserver>>,
+    counters: Counters,
 }
 
 impl std::fmt::Debug for SharedHms {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedHms")
-            .field("state", &self.state)
+            .field("synced", &self.synced)
             .field("poisoned", &self.poisoned)
             .finish_non_exhaustive()
     }
 }
 
-/// How long a blocked migration re-checks its cancel flag while waiting
-/// for pins to drain.
+/// How long a blocked migration re-checks its cancel flag while parked
+/// waiting for pins to drain.
 const CANCEL_POLL: Duration = Duration::from_millis(20);
+
+/// Backstop timeout for workers parked on a mid-move object (they are
+/// notified on commit/abort; the timeout only covers lost races).
+const PARK_POLL: Duration = Duration::from_millis(5);
+
+/// Outcome of a single pin attempt on one object.
+enum PinBlock {
+    /// The object went mid-move under us; roll back and re-wait.
+    Moving,
+    /// A real error (missing object, saturated pin field).
+    Hard(HmsError),
+}
 
 impl SharedHms {
     /// Wrap an [`Hms`] (with its backend already installed and objects
     /// allocated) for shared use.
     pub fn new(hms: Hms) -> Self {
-        SharedHms {
-            state: Mutex::new(State {
-                hms,
-                inflight: HashMap::new(),
-            }),
-            changed: Condvar::new(),
+        let sh = SharedHms {
+            table: ShardedTable::new(),
+            synced: AtomicU32::new(0),
+            inner: Mutex::new(hms),
             epoch: Instant::now(),
             poisoned: AtomicU64::new(0),
             move_observer: Mutex::new(None),
-        }
+            counters: Counters::default(),
+        };
+        // Mirror any pre-allocated objects into the slot table.
+        sh.with(|_| {});
+        sh
     }
 
-    /// Acquire the table lock, recovering (and counting) a poisoned
+    /// Acquire the inner lock, recovering (and counting) a poisoned
     /// guard instead of propagating the panic.
-    fn lock_state(&self) -> MutexGuard<'_, State> {
-        match self.state.lock() {
+    fn lock_inner(&self) -> MutexGuard<'_, Hms> {
+        match self.inner.lock() {
             Ok(guard) => guard,
             Err(e) => {
                 self.poisoned.fetch_add(1, Ordering::Relaxed);
@@ -202,41 +232,20 @@ impl SharedHms {
         }
     }
 
-    /// Condvar wait with the same poison recovery as [`Self::lock_state`].
-    fn wait_changed<'a>(&self, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
-        match self.changed.wait(guard) {
-            Ok(guard) => guard,
-            Err(e) => {
-                self.poisoned.fetch_add(1, Ordering::Relaxed);
-                e.into_inner()
-            }
-        }
-    }
-
-    /// Timed condvar wait with poison recovery.
-    fn wait_changed_timeout<'a>(
-        &self,
-        guard: MutexGuard<'a, State>,
-        dur: Duration,
-    ) -> (MutexGuard<'a, State>, WaitTimeoutResult) {
-        match self.changed.wait_timeout(guard, dur) {
-            Ok(pair) => pair,
-            Err(e) => {
-                self.poisoned.fetch_add(1, Ordering::Relaxed);
-                e.into_inner()
-            }
-        }
-    }
-
-    /// Times a poisoned lock was recovered (a worker panicked while
-    /// holding it). Nonzero means a worker died, not that the table is
-    /// inconsistent.
+    /// Times a poisoned lock was recovered (a `with` closure panicked
+    /// while holding it). Nonzero means a thread died, not that the
+    /// table is inconsistent.
     pub fn poisoned(&self) -> u64 {
         self.poisoned.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of the lock-free paths' contention counters.
+    pub fn contention(&self) -> ContentionStats {
+        self.counters.snapshot()
+    }
+
     /// Install a migration-start observer (sanitize mode). The callback
-    /// runs on the migration thread with no table lock held.
+    /// runs on the migration thread with no lock held.
     pub fn set_move_observer(&self, obs: MoveObserver) {
         *self
             .move_observer
@@ -245,16 +254,28 @@ impl SharedHms {
     }
 
     /// Whether a background migration of `id` is currently in flight
-    /// (begun, not yet committed or aborted).
+    /// (begun, not yet committed or aborted). Lock-free: one load of
+    /// the object's state word.
     pub fn is_mid_move(&self, id: ObjectId) -> bool {
-        self.lock_state().inflight.contains_key(&id)
+        self.table
+            .slot(id)
+            .is_some_and(|s| word::is_moving(s.state.load(Ordering::SeqCst)))
     }
 
     /// Every object currently mid-move, ascending.
     pub fn mid_move_objects(&self) -> Vec<ObjectId> {
-        let mut v: Vec<ObjectId> = self.lock_state().inflight.keys().copied().collect();
-        v.sort();
-        v
+        let peak = self.synced.load(Ordering::Acquire);
+        (0..peak)
+            .map(ObjectId)
+            .filter(|id| self.is_mid_move(*id))
+            .collect()
+    }
+
+    /// Live pins currently held on `id` (0 for unknown objects).
+    pub fn pin_count(&self, id: ObjectId) -> u32 {
+        self.table
+            .slot(id)
+            .map_or(0, |s| word::pins(s.state.load(Ordering::SeqCst)))
     }
 
     /// Wall-clock ns since this wrapper was created — the time axis of
@@ -264,18 +285,174 @@ impl SharedHms {
     }
 
     /// Run `f` with exclusive access to the underlying [`Hms`] (setup,
-    /// final reporting).
+    /// final reporting), then re-mirror the object table into the
+    /// lock-free slots — `f` may have allocated, freed or moved objects
+    /// behind the slot caches. Must not race live pin holders (the
+    /// measured runtime only calls this outside task windows).
     pub fn with<R>(&self, f: impl FnOnce(&mut Hms) -> R) -> R {
-        let mut st = self.lock_state();
-        f(&mut st.hms)
+        let mut hms = self.lock_inner();
+        let r = f(&mut hms);
+        self.refresh_slots(&mut hms);
+        r
     }
 
     /// Unwrap the inner [`Hms`] (after all threads are joined).
     pub fn into_inner(self) -> Hms {
-        self.state
+        self.inner
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
-            .hms
+    }
+
+    /// Mirror liveness and resolved locations of every object into the
+    /// slot table. Caller holds the inner lock.
+    fn refresh_slots(&self, hms: &mut Hms) {
+        let peak = hms.peak_object_id();
+        for raw in 0..peak {
+            let id = ObjectId(raw);
+            let slot = self.table.ensure_slot(id);
+            match hms.object_ptr(id) {
+                Ok(Some((ptr, len, tier))) => {
+                    slot.ptr.store(ptr, Ordering::SeqCst);
+                    slot.len.store(len, Ordering::SeqCst);
+                    slot.tier.store(encode_tier(tier), Ordering::SeqCst);
+                    slot.live.store(1, Ordering::SeqCst);
+                }
+                Ok(None) => {
+                    // Live object on a byte-less (virtual) substrate.
+                    slot.ptr.store(std::ptr::null_mut(), Ordering::SeqCst);
+                    if let Ok(size) = hms.size_of(id) {
+                        slot.len.store(size, Ordering::SeqCst);
+                    }
+                    if let Ok(tier) = hms.tier_of(id) {
+                        slot.tier.store(encode_tier(tier), Ordering::SeqCst);
+                    }
+                    slot.live.store(1, Ordering::SeqCst);
+                }
+                Err(_) => slot.live.store(0, Ordering::SeqCst),
+            }
+        }
+        self.synced.store(peak, Ordering::Release);
+    }
+
+    /// Slot for `id`, syncing the table from the inner [`Hms`] if the
+    /// id is newer than the mirrored prefix.
+    fn slot_or_sync(&self, id: ObjectId) -> Result<&Slot, HmsError> {
+        if id.0 >= self.synced.load(Ordering::Acquire) {
+            let mut hms = self.lock_inner();
+            self.refresh_slots(&mut hms);
+        }
+        match self.table.slot(id) {
+            Some(s) if s.live.load(Ordering::SeqCst) == 1 => Ok(s),
+            _ => Err(HmsError::NoSuchObject(id)),
+        }
+    }
+
+    /// Park until `id` is not mid-move, stamping the migration's
+    /// `needed_at` on first block. No-op for unknown objects (pinning
+    /// reports those).
+    fn wait_not_moving(&self, id: ObjectId) {
+        let Some(slot) = self.table.slot(id) else {
+            return;
+        };
+        let mut blocked = false;
+        loop {
+            let w = slot.state.load(Ordering::SeqCst);
+            if !word::is_moving(w) {
+                return;
+            }
+            if !blocked {
+                blocked = true;
+                self.counters.move_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            // Stamp the first wall-clock instant anyone needed the
+            // object: the paper's exposed-migration boundary.
+            let _ = slot.needed_at.compare_exchange(
+                0,
+                self.now_ns().to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            if !word::has_waiters(w)
+                && slot
+                    .state
+                    .compare_exchange(w, word::set_waiters(w), Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+            {
+                self.counters
+                    .pin_cas_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.counters.parks.fetch_add(1, Ordering::Relaxed);
+            self.table.shard(id).parker.park_while(PARK_POLL, || {
+                word::is_moving(slot.state.load(Ordering::SeqCst))
+            });
+        }
+    }
+
+    /// One CAS pin attempt on `id`.
+    fn try_pin(&self, id: ObjectId) -> Result<(), PinBlock> {
+        let slot = match self.slot_or_sync(id) {
+            Ok(s) => s,
+            Err(e) => return Err(PinBlock::Hard(e)),
+        };
+        loop {
+            let w = slot.state.load(Ordering::SeqCst);
+            match word::pin(w) {
+                Ok(nw) => {
+                    if slot
+                        .state
+                        .compare_exchange(w, nw, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        return Ok(());
+                    }
+                    self.counters
+                        .pin_cas_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(word::WordError::Moving) => return Err(PinBlock::Moving),
+                // A 16-bit pin field saturating means a task leak, not
+                // a placement problem; surface it as the pinned error.
+                Err(_) => return Err(PinBlock::Hard(HmsError::Pinned(id))),
+            }
+        }
+    }
+
+    /// Release one pin on `id`, waking a parked migrator when the count
+    /// drains to zero.
+    fn unpin_one(&self, id: ObjectId) {
+        let Some(slot) = self.table.slot(id) else {
+            debug_assert!(false, "unpin of unknown {id:?}");
+            return;
+        };
+        loop {
+            let w = slot.state.load(Ordering::SeqCst);
+            match word::unpin(w) {
+                Ok(nw) => {
+                    if slot
+                        .state
+                        .compare_exchange(w, nw, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        if word::pins(nw) == 0
+                            && word::is_parked(nw)
+                            && self.table.shard(id).parker.notify()
+                        {
+                            self.counters.unparks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return;
+                    }
+                    self.counters
+                        .pin_cas_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    debug_assert!(false, "unbalanced unpin of {id:?}");
+                    return;
+                }
+            }
+        }
     }
 
     /// The executor's data-ready gate: block until none of `ids` is
@@ -283,88 +460,76 @@ impl SharedHms {
     /// made us wait. Returns wall-clock ns waited.
     pub fn wait_ready(&self, ids: &[ObjectId]) -> Ns {
         let t0 = self.now_ns();
-        let mut st = self.lock_state();
-        loop {
-            let mut blocked = false;
-            for id in ids {
-                if let Some(inf) = st.inflight.get_mut(id) {
-                    blocked = true;
-                    if inf.needed_at.is_none() {
-                        inf.needed_at = Some(self.now_ns());
-                    }
-                }
-            }
-            if !blocked {
-                return self.now_ns() - t0;
-            }
-            st = self.wait_changed(st);
+        for id in ids {
+            self.wait_not_moving(*id);
         }
+        self.now_ns() - t0
     }
 
     /// Pin every object in `ids` for one task and resolve each to raw
     /// bytes, waiting out any in-flight migration of them first.
     ///
-    /// All-or-nothing under a single lock acquisition: while waiting the
-    /// task holds no pins, so it cannot deadlock against the migration
-    /// thread waiting for pins to drain.
-    pub fn pin_for_task(&self, ids: &[ObjectId]) -> Result<TaskPins, HmsError> {
+    /// All-or-nothing without a lock: the task first waits (holding no
+    /// pins) until none of its objects is mid-move, then CAS-pins each;
+    /// if the migrator claims one mid-acquisition the partial pins are
+    /// rolled back and the wait restarts, so a task never holds a pin
+    /// while blocked and cannot deadlock against the migration thread
+    /// waiting for pins to drain.
+    pub fn pin_for_task(&self, ids: &[ObjectId]) -> Result<TaskPins<'_>, HmsError> {
         let t0 = self.now_ns();
-        let mut st = self.lock_state();
-        loop {
-            let mut blocked = false;
+        'acquire: loop {
             for id in ids {
-                if let Some(inf) = st.inflight.get_mut(id) {
-                    blocked = true;
-                    if inf.needed_at.is_none() {
-                        inf.needed_at = Some(self.now_ns());
+                self.wait_not_moving(*id);
+            }
+            for (i, id) in ids.iter().enumerate() {
+                match self.try_pin(*id) {
+                    Ok(()) => {}
+                    Err(PinBlock::Moving) => {
+                        for done in &ids[..i] {
+                            self.unpin_one(*done);
+                        }
+                        continue 'acquire;
+                    }
+                    Err(PinBlock::Hard(e)) => {
+                        for done in &ids[..i] {
+                            self.unpin_one(*done);
+                        }
+                        return Err(e);
                     }
                 }
             }
-            if !blocked {
-                break;
-            }
-            st = self.wait_changed(st);
+            break;
         }
+        // Every id is pinned: locations in the slot caches are fenced
+        // against moves until the pins drop.
         let mut objects = Vec::with_capacity(ids.len());
-        for (i, id) in ids.iter().enumerate() {
-            match st.hms.pin(*id) {
-                Ok(()) => {}
-                Err(e) => {
-                    for done in &ids[..i] {
-                        let _ = st.hms.unpin(*done);
-                    }
-                    return Err(e);
-                }
-            }
-        }
         for id in ids {
-            let (ptr, len, tier) = st.hms.object_ptr(*id)?.ok_or(HmsError::NoSuchObject(*id))?;
+            let slot = self.table.slot(*id).expect("pinned object has a slot");
+            let ptr = slot.ptr.load(Ordering::SeqCst);
+            if ptr.is_null() {
+                // Byte-less substrate: same contract as the old
+                // `object_ptr` resolution failure.
+                for done in ids {
+                    self.unpin_one(*done);
+                }
+                return Err(HmsError::NoSuchObject(*id));
+            }
             objects.push(PinnedObject {
                 id: *id,
-                tier,
+                tier: decode_tier(slot.tier.load(Ordering::SeqCst)),
                 ptr,
-                len,
+                len: slot.len.load(Ordering::SeqCst),
             });
         }
         Ok(TaskPins {
+            shared: self,
             objects,
             waited_ns: self.now_ns() - t0,
         })
     }
 
-    /// Release the pins a task took with [`SharedHms::pin_for_task`] and
-    /// wake anyone waiting (a migration blocked on the pin count).
-    pub fn unpin_task(&self, ids: &[ObjectId]) {
-        let mut st = self.lock_state();
-        for id in ids {
-            let _ = st.hms.unpin(*id);
-        }
-        drop(st);
-        self.changed.notify_all();
-    }
-
-    /// Begin a background migration of `id` to `to`, waiting for its pin
-    /// count to drain first.
+    /// Begin a background migration of `id` to `to`, parking until its
+    /// pin count drains first.
     ///
     /// Returns `Ok(None)` when the move is moot (already resident, no
     /// destination space, byte-less substrate) or when `cancel` was set
@@ -377,87 +542,131 @@ impl SharedHms {
         cancel: &AtomicBool,
     ) -> Result<Option<StartedMove>, HmsError> {
         let issued_at = self.now_ns();
-        let mut st = self.lock_state();
+        let slot = self.slot_or_sync(id)?;
         loop {
             if cancel.load(Ordering::Relaxed) {
+                self.clear_parked(slot);
                 return Ok(None);
             }
-            match st.hms.begin_move(id, to) {
-                Ok(ticket) => {
-                    let Some((src, dst)) = st.hms.move_ptrs(&ticket) else {
-                        st.hms.abort_move(ticket);
-                        return Ok(None);
-                    };
+            let w = slot.state.load(Ordering::SeqCst);
+            match word::begin_move(w) {
+                Ok(nw) => {
+                    if slot
+                        .state
+                        .compare_exchange(w, nw, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    self.counters
+                        .pin_cas_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(word::WordError::Pinned(_)) => {
+                    if !word::is_parked(w)
+                        && slot
+                            .state
+                            .compare_exchange(
+                                w,
+                                word::set_parked(w),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_err()
+                    {
+                        self.counters
+                            .pin_cas_retries
+                            .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.counters.parks.fetch_add(1, Ordering::Relaxed);
+                    self.table.shard(id).parker.park_while(CANCEL_POLL, || {
+                        word::pins(slot.state.load(Ordering::SeqCst)) > 0
+                    });
+                }
+                // A second in-flight move of the same object means two
+                // migrators — a wiring bug, not a race to wait out.
+                Err(word::WordError::AlreadyMoving) => return Err(HmsError::Moving(id)),
+                Err(_) => unreachable!("begin_move only fails Pinned/AlreadyMoving"),
+            }
+        }
+        // `MOVING` is claimed: no pins exist and none can be taken.
+        // Reserve the destination under the inner (slow-path) lock.
+        let mut hms = self.lock_inner();
+        match hms.begin_move(id, to) {
+            Ok(ticket) => match hms.move_ptrs(&ticket) {
+                Some((src, dst)) => {
                     let started_at = self.now_ns();
-                    let pins = u64::from(st.hms.pin_count(id).unwrap_or(0));
-                    st.inflight.insert(
-                        id,
-                        InFlight {
-                            started_at,
-                            issued_at,
-                            needed_at: None,
-                        },
-                    );
-                    // Report the start with the table lock released so
-                    // the observer cannot deadlock against it.
-                    drop(st);
+                    drop(hms);
+                    // Report the start with no lock held so the
+                    // observer cannot deadlock against us.
                     if let Some(obs) = self
                         .move_observer
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
                         .as_ref()
                     {
-                        obs(id, pins);
+                        obs(id, u64::from(word::pins(slot.state.load(Ordering::SeqCst))));
                     }
-                    return Ok(Some(StartedMove {
+                    Ok(Some(StartedMove {
                         ticket,
                         src,
                         dst,
                         issued_at,
                         started_at,
-                    }));
+                    }))
                 }
-                Err(HmsError::Pinned(_)) => {
-                    // Wait for unpins, polling the cancel flag.
-                    let (guard, _) = self.wait_changed_timeout(st, CANCEL_POLL);
-                    st = guard;
+                None => {
+                    hms.abort_move(ticket);
+                    drop(hms);
+                    self.release_move(id);
+                    Ok(None)
                 }
-                Err(HmsError::AlreadyResident(..)) | Err(HmsError::OutOfMemory { .. }) => {
-                    return Ok(None)
-                }
-                Err(e) => return Err(e),
+            },
+            Err(HmsError::AlreadyResident(..)) | Err(HmsError::OutOfMemory { .. }) => {
+                drop(hms);
+                self.release_move(id);
+                Ok(None)
+            }
+            Err(e) => {
+                drop(hms);
+                self.release_move(id);
+                Err(e)
             }
         }
     }
 
     /// Commit a background migration whose bytes have been copied:
-    /// flip residency, fold `outcome` into the backend stats, wake
-    /// waiting workers, and return the wall-clock [`MigrationRecord`]
-    /// (with `needed_at` stamped if any worker blocked on it).
+    /// flip residency, refresh the slot's location cache, wake waiting
+    /// workers, and return the wall-clock [`MigrationRecord`] (with
+    /// `needed_at` stamped if any worker blocked on it).
     pub fn commit_move(&self, started: StartedMove, outcome: &CopyOutcome) -> MigrationRecord {
-        let mut st = self.lock_state();
         let object = started.ticket.object();
         let (from, to, bytes) = (
             started.ticket.from(),
             started.ticket.to(),
             started.ticket.size(),
         );
-        st.hms.commit_move(started.ticket, outcome);
-        let inf = st
-            .inflight
-            .remove(&object)
-            .expect("committed move must be in flight");
-        drop(st);
-        self.changed.notify_all();
+        let slot = self.table.slot(object).expect("moved object has a slot");
+        let mut hms = self.lock_inner();
+        hms.commit_move(started.ticket, outcome);
+        if let Ok(Some((ptr, len, tier))) = hms.object_ptr(object) {
+            slot.ptr.store(ptr, Ordering::SeqCst);
+            slot.len.store(len, Ordering::SeqCst);
+            slot.tier.store(encode_tier(tier), Ordering::SeqCst);
+        }
+        drop(hms);
+        let needed_bits = slot.needed_at.swap(0, Ordering::Relaxed);
+        self.release_move(object);
         MigrationRecord {
             object,
             bytes,
             from,
             to,
-            issued_at: inf.issued_at,
-            start: inf.started_at,
+            issued_at: started.issued_at,
+            start: started.started_at,
             finish: self.now_ns(),
-            needed_at: inf.needed_at,
+            needed_at: (needed_bits != 0).then(|| f64::from_bits(needed_bits)),
         }
     }
 
@@ -465,20 +674,75 @@ impl SharedHms {
     /// stays put, the destination reservation is released, and waiting
     /// workers are woken.
     pub fn abort_move(&self, started: StartedMove) {
-        let mut st = self.lock_state();
         let object = started.ticket.object();
-        st.hms.abort_move(started.ticket);
-        st.inflight.remove(&object);
-        drop(st);
-        self.changed.notify_all();
+        let mut hms = self.lock_inner();
+        hms.abort_move(started.ticket);
+        drop(hms);
+        if let Some(slot) = self.table.slot(object) {
+            slot.needed_at.store(0, Ordering::Relaxed);
+        }
+        self.release_move(object);
+    }
+
+    /// Complete the in-flight move on `id`'s state word (epoch bump)
+    /// and wake every worker parked on it.
+    fn release_move(&self, id: ObjectId) {
+        let slot = self.table.slot(id).expect("released move has a slot");
+        loop {
+            let w = slot.state.load(Ordering::SeqCst);
+            let nw = word::end_move(w).expect("release requires an in-flight move");
+            if slot
+                .state
+                .compare_exchange(w, nw, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if word::has_waiters(w) && self.table.shard(id).parker.notify() {
+                    self.counters.unparks.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            self.counters
+                .pin_cas_retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop a stale `PARKED` announcement (cancelled before claiming).
+    fn clear_parked(&self, slot: &Slot) {
+        loop {
+            let w = slot.state.load(Ordering::SeqCst);
+            if !word::is_parked(w)
+                || slot
+                    .state
+                    .compare_exchange(w, w & !word::PARKED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+fn encode_tier(t: TierKind) -> u32 {
+    match t {
+        TierKind::Dram => TIER_DRAM,
+        TierKind::Nvm => TIER_NVM,
+    }
+}
+
+fn decode_tier(t: u32) -> TierKind {
+    if t == TIER_NVM {
+        TierKind::Nvm
+    } else {
+        TierKind::Dram
     }
 }
 
 // SAFETY: `PinnedObject`/`StartedMove` carry raw pointers but are created
 // and consumed on a single thread; they are deliberately !Send by default
 // and we do not override that. `SharedHms` itself is Send + Sync because
-// `Hms: Send` (the backend trait requires it) and all interior access
-// goes through the mutex.
+// `Hms: Send` (the backend trait requires it), the slot table only holds
+// atomics, and all non-atomic interior access goes through the mutexes.
 
 #[cfg(test)]
 mod tests {
@@ -558,15 +822,15 @@ mod tests {
         assert_eq!(pins.objects.len(), 1);
         assert_eq!(pins.objects[0].tier, TierKind::Nvm);
         assert_eq!(pins.objects[0].len(), 4096);
-        // A pinned object rejects begin_move outright on the plain Hms.
-        sh.with(|h| {
-            assert_eq!(
-                h.begin_move(id, TierKind::Dram).unwrap_err(),
-                HmsError::Pinned(id)
-            )
-        });
-        sh.unpin_task(&[id]);
-        sh.with(|h| assert_eq!(h.pin_count(id).unwrap(), 0));
+        assert_eq!(sh.pin_count(id), 1);
+        // A pinned object rejects a (cancelled) migration outright.
+        let cancel = AtomicBool::new(true);
+        assert!(sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .is_none());
+        drop(pins);
+        assert_eq!(sh.pin_count(id), 0);
     }
 
     #[test]
@@ -577,7 +841,7 @@ mod tests {
         let pins = sh.pin_for_task(&[id]).unwrap();
         // SAFETY: the pin guarantees 8192 exclusive writable bytes.
         unsafe { pins.objects[0].as_ptr().write_bytes(0xCD, 8192) };
-        sh.unpin_task(&[id]);
+        drop(pins);
 
         let cancel = AtomicBool::new(false);
         let sm = sh
@@ -591,8 +855,9 @@ mod tests {
             let tier = pins.objects[0].tier;
             // SAFETY: the pin guarantees the object's bytes are readable.
             let first = unsafe { *pins.objects[0].as_ptr() };
-            sh2.unpin_task(&[id]);
-            (tier, first, pins.waited_ns)
+            let waited = pins.waited_ns;
+            drop(pins);
+            (tier, first, waited)
         });
         // Give the waiter time to block, then finish the copy.
         std::thread::sleep(Duration::from_millis(20));
@@ -618,6 +883,9 @@ mod tests {
         let stats = sh.with(|h| h.backend_stats());
         assert_eq!(stats.copies, 1);
         assert_eq!(stats.copied_bytes, 8192);
+        let c = sh.contention();
+        assert!(c.move_waits >= 1, "blocked pin must count a move wait");
+        assert!(c.parks >= 1, "blocked pin must park, not spin");
     }
 
     #[test]
@@ -631,6 +899,28 @@ mod tests {
             .begin_move_blocking(id, TierKind::Dram, &cancel)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn begin_move_parks_until_pins_drain() {
+        let sh = Arc::new(shared(1 << 16, 1 << 18));
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let pins = sh.pin_for_task(&[id]).unwrap();
+        let sh2 = Arc::clone(&sh);
+        let mover = std::thread::spawn(move || {
+            let cancel = AtomicBool::new(false);
+            let sm = sh2
+                .begin_move_blocking(id, TierKind::Dram, &cancel)
+                .unwrap()
+                .expect("move must start once pins drain");
+            sh2.abort_move(sm);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(pins); // unpin-to-zero must wake the parked migrator
+        mover.join().unwrap();
+        assert_eq!(sh.pin_count(id), 0);
+        let c = sh.contention();
+        assert!(c.parks >= 1, "pinned begin_move must park");
     }
 
     #[test]
@@ -648,6 +938,7 @@ mod tests {
             assert!(!h.is_moving(id).unwrap());
             assert_eq!(h.used(TierKind::Dram), 0, "reservation released");
         });
+        assert!(!sh.is_mid_move(id));
     }
 
     #[test]
@@ -668,6 +959,9 @@ mod tests {
             .begin_move_blocking(big, TierKind::Dram, &cancel)
             .unwrap()
             .is_none());
+        // Both skips fully released the move state.
+        assert!(!sh.is_mid_move(there) && !sh.is_mid_move(big));
+        let _ = sh.pin_for_task(&[there, big]).unwrap();
     }
 
     #[test]
@@ -692,12 +986,11 @@ mod tests {
         assert!(sh.is_mid_move(id));
         assert_eq!(sh.mid_move_objects(), vec![id]);
         sh.abort_move(sm);
-        assert!(!sh.is_mid_move(id), "abort clears the in-flight set");
+        assert!(!sh.is_mid_move(id), "abort clears the in-flight state");
     }
 
     #[test]
     fn move_observer_sees_each_start_with_zero_pins() {
-        use std::sync::atomic::AtomicU64;
         let sh = shared(1 << 16, 1 << 18);
         let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
         let starts = Arc::new(AtomicU64::new(0));
@@ -722,22 +1015,45 @@ mod tests {
     }
 
     #[test]
+    fn panicking_pin_holder_releases_pins() {
+        let sh = Arc::new(shared(1 << 16, 1 << 18));
+        let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
+        let sh2 = Arc::clone(&sh);
+        let _ = std::thread::spawn(move || {
+            let _pins = sh2.pin_for_task(&[id]).unwrap();
+            panic!("worker died mid-task");
+        })
+        .join();
+        // The RAII guard unwound: no leaked pin can wedge the migrator.
+        assert_eq!(sh.pin_count(id), 0);
+        let cancel = AtomicBool::new(false);
+        let sm = sh
+            .begin_move_blocking(id, TierKind::Dram, &cancel)
+            .unwrap()
+            .expect("migration proceeds after the panicked worker");
+        sh.abort_move(sm);
+    }
+
+    #[test]
     fn poisoned_lock_degrades_to_counted_recovery() {
         let sh = Arc::new(shared(1 << 16, 1 << 18));
         let id = sh.with(|h| h.alloc_object("x", 4096, TierKind::Nvm, false).unwrap());
-        // A worker panics while holding the table lock.
+        // A thread panics while holding the inner lock.
         let sh2 = Arc::clone(&sh);
         let _ = std::thread::spawn(move || {
-            sh2.with(|_h| panic!("worker died holding the hms lock"));
+            sh2.with(|_h| panic!("died holding the hms lock"));
         })
         .join();
-        // Other workers keep operating on the recovered (consistent)
-        // table instead of cascading the panic.
+        // Workers never take the inner lock, so pinning is entirely
+        // unaffected by the poisoning.
         let pins = sh.pin_for_task(&[id]).expect("pin after poison");
         assert_eq!(pins.objects.len(), 1);
-        sh.unpin_task(&[id]);
+        drop(pins);
+        // The next slow-path lock recovers the (consistent) state and
+        // counts the recovery instead of cascading the panic.
+        sh.with(|h| h.check_invariants().expect("table consistent"));
         assert!(sh.poisoned() >= 1, "recovery must be counted");
-        assert_eq!(sh.with(|h| h.pin_count(id).unwrap()), 0);
+        assert_eq!(sh.pin_count(id), 0);
         // And the consuming path recovers too.
         let sh = Arc::try_unwrap(sh).expect("sole owner");
         let _hms = sh.into_inner();

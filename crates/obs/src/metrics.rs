@@ -4,8 +4,11 @@
 //! Same enable/disable shape as [`crate::emit::Emitter`]: a disabled
 //! registry is a `None` and every call is one branch. Keys are static
 //! strings agreed on by the instrumented crates (see the README's metric
-//! table); storage is `BTreeMap` so snapshots iterate in a deterministic
-//! order without a sort pass.
+//! table — e.g. the lock-free `SharedHms` contention family
+//! `hms.pin_cas_retries` / `hms.parks` / `hms.unparks` /
+//! `hms.move_waits` added by the parallel measured runtime); storage is
+//! `BTreeMap` so snapshots iterate in a deterministic order without a
+//! sort pass.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

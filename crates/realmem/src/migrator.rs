@@ -258,7 +258,7 @@ mod tests {
         let pins = sh.pin_for_task(&[a]).unwrap();
         // SAFETY: the pin guarantees 64 KiB of exclusive writable bytes.
         unsafe { pins.objects[0].as_ptr().write_bytes(0x5A, 64 << 10) };
-        sh.unpin_task(&[a]);
+        drop(pins);
 
         let eng = BackgroundMigrator::spawn(
             Arc::clone(&sh),
