@@ -34,13 +34,18 @@ fn sanitize_dir() -> String {
     std::env::var("SANITIZE_DIR").unwrap_or_else(|_| "target/sanitize-artifact".to_string())
 }
 
+/// Output directory for the `tenant` artifact (override with `TENANT_DIR`).
+fn tenant_dir() -> String {
+    std::env::var("TENANT_DIR").unwrap_or_else(|_| "target/tenant-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
     if args.is_empty() {
         eprintln!(
-            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize> [--smoke] [more experiments]"
+            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant> [--smoke] [more experiments]"
         );
         return ExitCode::FAILURE;
     }
@@ -74,6 +79,12 @@ fn main() -> ExitCode {
             "sanitize" => {
                 if let Err(e) = tahoe_bench::sanitize(smoke, &sanitize_dir()) {
                     eprintln!("sanitize experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "tenant" => {
+                if let Err(e) = tahoe_bench::tenant(smoke, &tenant_dir()) {
+                    eprintln!("tenant experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -22,6 +22,13 @@
 //!   construction (schedule-independent reports), so the whole digest
 //!   — fuzz coverage, static pass, per-fixture violation sets — must
 //!   match the baseline **exactly**.
+//! * `tahoe-bench-tenant/v1` — walls are machine-dependent, so the gate
+//!   re-derives the arbiter's case from the fresh run's own numbers:
+//!   checksums match the solo references, quota mode beats free-for-all
+//!   on the worst per-tenant p99, aggregate throughput retains ≥90% of
+//!   free-for-all, the Jain fairness index clears its floor (and does
+//!   not collapse relative to the baseline), the quota arbiter
+//!   preempted while free-for-all never does, and the burst shed.
 //!
 //! [`compare`] returns the list of violations (empty = gate passes);
 //! structural problems (unparseable JSON, schema mismatch) are `Err`.
@@ -44,6 +51,16 @@ pub const PAR_SPEEDUP_2W_FLOOR: f64 = 1.3;
 /// Speedup may not degrade by more than this factor between consecutive
 /// measured worker counts (both within the machine's core count).
 pub const PAR_SCALING_SLACK: f64 = 0.9;
+
+/// Jain fairness floor for the quota-arbitrated multi-tenant run.
+pub const TENANT_JAIN_FLOOR: f64 = 0.9;
+
+/// Quota mode must retain at least this fraction of free-for-all's
+/// aggregate throughput.
+pub const TENANT_THROUGHPUT_RETENTION: f64 = 0.9;
+
+/// Fresh quota-mode Jain may not drop more than this below baseline's.
+pub const TENANT_JAIN_DRIFT: f64 = 0.05;
 
 fn field<'v>(v: &'v Value, path: &[&str]) -> Result<&'v Value, String> {
     let mut cur = v;
@@ -88,6 +105,7 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         "tahoe-bench-par/v1" => compare_par(baseline, fresh),
         "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
         "tahoe-bench-sanitize/v1" => compare_sanitize(baseline, fresh),
+        "tahoe-bench-tenant/v1" => compare_tenant(baseline, fresh),
         other => Err(format!("unknown artifact schema `{other}`")),
     }
 }
@@ -346,6 +364,72 @@ fn compare_sanitize(baseline: &Value, fresh: &Value) -> Result<Vec<String>, Stri
     Ok(violations)
 }
 
+/// Locate one arbitration mode's block in a tenant artifact.
+fn tenant_mode<'v>(v: &'v Value, mode: &str) -> Result<&'v Value, String> {
+    field(v, &["modes"])?
+        .as_array()
+        .ok_or("`modes` is not an array")?
+        .iter()
+        .find(|m| m.get("mode").and_then(|s| s.as_str()) == Some(mode))
+        .ok_or_else(|| format!("mode `{mode}` missing from `modes`"))
+}
+
+fn compare_tenant(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    // Self-reported consistency flags must hold on the fresh run.
+    for name in [
+        "checksums_match_solo",
+        "quota_beats_ffa_worst_p99",
+        "throughput_within_10pct",
+        "jain_quota_ge_090",
+        "quota_preempts",
+        "ffa_never_preempts",
+        "burst_sheds",
+    ] {
+        if !flag(fresh, &["consistency", name])? {
+            violations.push(format!("fresh `consistency.{name}` is false"));
+        }
+    }
+    // Re-derive the arbiter's case from the fresh per-mode numbers —
+    // never trust the flags alone.
+    let fq = tenant_mode(fresh, "quota")?;
+    let ff = tenant_mode(fresh, "free_for_all")?;
+    let (q_p99, f_p99) = (num(fq, &["worst_p99_ms"])?, num(ff, &["worst_p99_ms"])?);
+    if q_p99 >= f_p99 {
+        violations.push(format!(
+            "quota worst p99 {q_p99:.2} ms does not beat free-for-all {f_p99:.2} ms"
+        ));
+    }
+    let (q_thr, f_thr) = (
+        num(fq, &["aggregate_graphs_per_s"])?,
+        num(ff, &["aggregate_graphs_per_s"])?,
+    );
+    if q_thr < TENANT_THROUGHPUT_RETENTION * f_thr {
+        violations.push(format!(
+            "quota throughput {q_thr:.1} graphs/s retains less than {:.0}% of free-for-all's {f_thr:.1}",
+            TENANT_THROUGHPUT_RETENTION * 100.0
+        ));
+    }
+    let q_jain = num(fq, &["jain"])?;
+    let b_jain = num(tenant_mode(baseline, "quota")?, &["jain"])?;
+    let jain_floor = TENANT_JAIN_FLOOR.max(b_jain - TENANT_JAIN_DRIFT);
+    if q_jain < jain_floor {
+        violations.push(format!(
+            "quota Jain index {q_jain:.3} below floor {jain_floor:.3} (baseline {b_jain:.3})"
+        ));
+    }
+    if num(fq, &["preempted"])? < 1.0 {
+        violations.push("quota mode performed no preemptions".into());
+    }
+    if num(ff, &["preempted"])? > 0.0 {
+        violations.push("free-for-all mode preempted".into());
+    }
+    if num(fq, &["shed"])? < 1.0 {
+        violations.push("quota burst shed nothing".into());
+    }
+    Ok(violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +515,41 @@ mod tests {
         )
     }
 
+    /// A tenant artifact with tunable quota-side numbers; the
+    /// free-for-all side stays fixed (worst p99 12 ms, 90 graphs/s,
+    /// zero preemptions) unless `ffa_preempted` says otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn tenant_doc(
+        q_jain: f64,
+        q_p99: f64,
+        q_thr: f64,
+        q_preempted: u64,
+        q_shed: u64,
+        ffa_preempted: u64,
+        flags_true: bool,
+    ) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-tenant/v1",
+                "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "cpus": 2, "smoke": true}},
+                "modes": [
+                  {{"mode": "quota", "wall_ms": 50.0, "aggregate_graphs_per_s": {q_thr},
+                    "jain": {q_jain}, "worst_p99_ms": {q_p99}, "preempted": {q_preempted}, "shed": {q_shed},
+                    "checksums_match_solo": true, "tenants": []}},
+                  {{"mode": "free_for_all", "wall_ms": 50.0, "aggregate_graphs_per_s": 90.0,
+                    "jain": 0.85, "worst_p99_ms": 12.0, "preempted": {ffa_preempted}, "shed": 0,
+                    "checksums_match_solo": true, "tenants": []}}
+                ],
+                "consistency": {{"checksums_match_solo": {flags_true}, "quota_beats_ffa_worst_p99": {flags_true},
+                                 "throughput_within_10pct": {flags_true}, "jain_quota_ge_090": {flags_true},
+                                 "quota_preempts": {flags_true}, "ffa_never_preempts": {flags_true},
+                                 "burst_sheds": {flags_true}}}}}"#
+        )
+    }
+
+    fn healthy_tenant_doc() -> String {
+        tenant_doc(0.98, 8.0, 88.0, 2, 3, 0, true)
+    }
+
     #[test]
     fn identical_artifacts_pass_every_schema() {
         for doc in [
@@ -439,10 +558,44 @@ mod tests {
             par_doc(60.0, 4),
             audit_doc(40.0, 100.0, 1.0),
             sanitize_doc(216, 1, true),
+            healthy_tenant_doc(),
         ] {
             let v = compare_text(&doc, &doc).expect("well-formed");
             assert!(v.is_empty(), "unexpected violations: {v:?}");
         }
+    }
+
+    #[test]
+    fn tenant_gate_rederives_the_arbiter_case() {
+        let base = healthy_tenant_doc();
+        // Fairness collapse: jain below both the absolute floor and the
+        // baseline band.
+        let v = compare_text(&base, &tenant_doc(0.7, 8.0, 88.0, 2, 3, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("Jain index")), "{v:?}");
+        // Jain above the absolute floor but collapsed vs baseline 0.98.
+        let v = compare_text(&base, &tenant_doc(0.91, 8.0, 88.0, 2, 3, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("Jain index")), "{v:?}");
+        // Worst p99 no longer beats free-for-all's 12 ms.
+        let v = compare_text(&base, &tenant_doc(0.98, 13.0, 88.0, 2, 3, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("does not beat")), "{v:?}");
+        // Aggregate throughput gives up more than 10% vs 90 graphs/s.
+        let v = compare_text(&base, &tenant_doc(0.98, 8.0, 70.0, 2, 3, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("retains less than")), "{v:?}");
+        // The arbiter stopped preempting / the burst stopped shedding.
+        let v = compare_text(&base, &tenant_doc(0.98, 8.0, 88.0, 0, 3, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("no preemptions")), "{v:?}");
+        let v = compare_text(&base, &tenant_doc(0.98, 8.0, 88.0, 2, 0, 0, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("shed nothing")), "{v:?}");
+        // Free-for-all preempting means the baseline policy is broken.
+        let v = compare_text(&base, &tenant_doc(0.98, 8.0, 88.0, 2, 3, 1, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("free-for-all mode")), "{v:?}");
+        // A fresh run that failed its own self-validation always fails.
+        let v = compare_text(&base, &tenant_doc(0.98, 8.0, 88.0, 2, 3, 0, false)).unwrap();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("consistency.checksums_match_solo")),
+            "{v:?}"
+        );
     }
 
     #[test]

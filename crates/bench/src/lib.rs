@@ -1130,10 +1130,27 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
         )
     };
 
+    // Two-tenant interleaving: the server's cross-tenant composition as
+    // one ordinary graph, so the schedule fuzz covers tasks of
+    // different tenants sharing windows (and workers) on disjoint
+    // objects — a window barrier leaking across tenants or a dependence
+    // miscounted between interleaved tasks shows up as a violation.
+    let two_tenant = {
+        let (a, b) = if smoke {
+            (stream::app(Scale::Test), stream::app(Scale::Test))
+        } else {
+            (stream::app(Scale::Test), cg::app(Scale::Test))
+        };
+        tahoe_server::interleave(&[(&a, "t0"), (&b, "t1")])
+    };
+
     // ---- pass 1: static graph verification --------------------------
     let mut static_verified = 0u64;
-    for app in all_workloads(Scale::Test) {
-        let rep = verify_graph(&app.graph, &static_ctx(&app));
+    for app in all_workloads(Scale::Test)
+        .iter()
+        .chain(std::iter::once(&two_tenant))
+    {
+        let rep = verify_graph(&app.graph, &static_ctx(app));
         if !rep.is_clean() {
             return Err(format!(
                 "static verifier flagged correct workload {}: {:?}",
@@ -1146,9 +1163,9 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
 
     // ---- pass 2: schedule fuzz over correct workloads ----------------
     let apps: Vec<App> = if smoke {
-        vec![stream::app(Scale::Test)]
+        vec![stream::app(Scale::Test), two_tenant]
     } else {
-        vec![stream::app(Scale::Bench), cg::app(Scale::Test)]
+        vec![stream::app(Scale::Bench), cg::app(Scale::Test), two_tenant]
     };
     // CI's stress-fuzz job widens the schedule matrix (8 workers, more
     // seeds) through these env overrides without a separate code path.
@@ -1316,6 +1333,441 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
         fuzz_runs,
         accesses_checked,
         rows.len()
+    );
+    Ok(())
+}
+
+/// Geometry of the multi-tenant fairness bench: every tenant runs the
+/// same app shape, so solo references and cross-tenant comparisons are
+/// apples-to-apples.
+struct TenantGeometry {
+    /// Hot objects per tenant (each updated in full by every task).
+    pieces: u32,
+    /// Size of each hot object.
+    piece_bytes: u64,
+    windows: u32,
+    tasks_per_window: u32,
+    /// Pure compute per task, microseconds (spin-paced). Sized so a
+    /// graph's compute is about twice its full-NVM inject: memory
+    /// placement decides the latency spread, while the compute floor
+    /// keeps free-for-all's cheap winner graphs from inflating its
+    /// aggregate throughput.
+    compute_us: f64,
+    /// Closed-loop window, milliseconds (time-bounded so fast tenants
+    /// never exit early and relieve the losers).
+    run_ms: u64,
+    /// Solo graphs the cold tenant runs before the actives join.
+    warmup_graphs: usize,
+    /// Open-loop burst length for the admission-control phase.
+    burst: usize,
+}
+
+impl TenantGeometry {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Self {
+                pieces: 4,
+                piece_bytes: 256 << 10,
+                windows: 3,
+                tasks_per_window: 2,
+                compute_us: 1900.0,
+                run_ms: 300,
+                warmup_graphs: 2,
+                burst: 6,
+            }
+        } else {
+            Self {
+                pieces: 4,
+                piece_bytes: 256 << 10,
+                windows: 4,
+                tasks_per_window: 3,
+                compute_us: 1900.0,
+                run_ms: 700,
+                warmup_graphs: 2,
+                burst: 6,
+            }
+        }
+    }
+
+    /// One tenant's hot-set size.
+    fn hot_bytes(&self) -> u64 {
+        self.pieces as u64 * self.piece_bytes
+    }
+
+    /// Global DRAM budget: half the combined active hot sets (4 active
+    /// tenants, budget = 2 hot sets) plus a little allocator slack —
+    /// enough that the quota arbiter gives every active tenant half its
+    /// pieces, while free-for-all lets two tenants take everything.
+    fn dram_budget(&self) -> u64 {
+        2 * self.hot_bytes() + 2048
+    }
+
+    /// The per-tenant app: `pieces` equally-hot objects, every task
+    /// streams an update over all of them plus a compute phase.
+    fn app(&self, name: &str) -> App {
+        let mut b = AppBuilder::new(name);
+        let ids: Vec<ObjectId> = (0..self.pieces)
+            .map(|i| b.object(&format!("hot{i}"), self.piece_bytes))
+            .collect();
+        let c = b.class("work");
+        let lines = self.piece_bytes / 64;
+        for w in 0..self.windows {
+            if w > 0 {
+                b.next_window();
+            }
+            for _ in 0..self.tasks_per_window {
+                let mut tb = b.task(c).compute_us(self.compute_us);
+                for id in &ids {
+                    tb = tb.update_streaming(*id, lines);
+                }
+                tb.submit();
+            }
+        }
+        b.build()
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample.
+fn pctile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Per-tenant digest of one arbitration mode's run.
+struct TenantRow {
+    tenant: u32,
+    name: String,
+    role: &'static str,
+    graphs: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    preempted: u64,
+    shed: u64,
+    quota_bytes: u64,
+    promoted_bytes: u64,
+    demoted_bytes: u64,
+}
+
+/// Whole-mode digest: aggregate throughput, fairness, and per-tenant rows.
+struct TenantModeStats {
+    mode: &'static str,
+    wall_ms: f64,
+    aggregate_gps: f64,
+    jain: f64,
+    worst_p99_ms: f64,
+    preempted: u64,
+    shed: u64,
+    checksums_ok: bool,
+}
+
+/// Run one arbitration mode end-to-end: a cold tenant warms up solo
+/// (promoting its whole hot set), four active tenants then drive the
+/// server closed-loop at saturation, and — in quota mode — one tenant
+/// bursts past the queue bound so admission control sheds.
+fn tenant_mode(
+    mode_name: &'static str,
+    mode: tahoe_server::ArbiterMode,
+    geo: &TenantGeometry,
+    base_seed: u64,
+) -> Result<(TenantModeStats, Vec<TenantRow>), String> {
+    use tahoe_core::measured::reference_checksum_seeded;
+    use tahoe_hms::TierSpec;
+    use tahoe_memprof::wallclock::{MeasuredTier, WallClockCalibration};
+    use tahoe_obs::{Emitter, Metrics};
+    use tahoe_server::{driver, jain, ServerConfig, TahoeServer, TenantSpec};
+
+    // Synthetic calibration — machine-independent and strongly
+    // NVM-bound: DRAM 10 GB/s / 100 ns, NVM 0.25 GB/s / 500 ns, so a
+    // full hot-set update on NVM injects ~40x the DRAM memory time and
+    // the placement decision, not scheduler noise, sets the latency
+    // spread between the modes: the structural p99 gap must dwarf the
+    // multi-ms OS scheduling jitter of a loaded CI box.
+    let cal = WallClockCalibration {
+        dram: TierSpec::symmetric("dram", 100.0, 10.0, 1 << 20),
+        nvm: TierSpec::symmetric("nvm", 500.0, 0.25, 1 << 26),
+        cf_bw: 1.0,
+        cf_lat: 1.0,
+        measured: MeasuredTier {
+            stream_bw_gbps: 10.0,
+            chase_lat_ns: 100.0,
+            stream_wall_ns: 1000.0,
+            chase_wall_ns: 1000.0,
+        },
+    };
+    let srv = TahoeServer::new(
+        ServerConfig {
+            workers: 2,
+            dram_budget: geo.dram_budget(),
+            nvm_capacity: 1 << 26,
+            mode,
+            max_queue: 2,
+        },
+        cal,
+        Emitter::disabled(),
+        Metrics::disabled(),
+    )?;
+
+    // Tenant 0 is the cold tenant; 1..=4 are the active fleet.
+    let names: Vec<String> = std::iter::once("cold".to_string())
+        .chain((1..=4).map(|i| format!("t{i}")))
+        .collect();
+    let handles: Vec<_> = names
+        .iter()
+        .map(|n| {
+            srv.register_tenant(TenantSpec::new(n, 1.0), geo.app(n))
+                .map_err(|e| format!("register {n}: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let refs: Vec<u64> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            reference_checksum_seeded(
+                &geo.app(&names[i]),
+                driver::tenant_seed(base_seed, h.tenant()),
+            )
+        })
+        .collect();
+
+    // Phase 1: the cold tenant runs alone and wins the whole budget.
+    let cold_out = driver::warmup(&handles[0], geo.warmup_graphs, base_seed);
+
+    // Phase 2: saturating closed loop across the four active tenants,
+    // pipelined two-deep (every tenant stays busy-or-queued, so the
+    // arbiter sees a stable active set) and time-bounded (fast tenants
+    // keep submitting instead of finishing early and handing the
+    // losers an uncontended tail).
+    let actives: Vec<&_> = handles[1..].iter().collect();
+    let t0 = std::time::Instant::now();
+    let outcomes = driver::closed_loop_timed(
+        &actives,
+        std::time::Duration::from_millis(geo.run_ms),
+        2,
+        base_seed,
+    );
+    let wall_ns = t0.elapsed().as_nanos() as f64;
+
+    // Phase 3 (quota mode only): open-loop burst past the queue bound.
+    let burst_out = if geo.burst > 0 && mode_name == "quota" {
+        let seed = driver::tenant_seed(base_seed, handles[1].tenant());
+        Some(driver::burst(&handles[1], geo.burst, seed))
+    } else {
+        None
+    };
+
+    let report = srv.shutdown();
+
+    // Validate every checksum against its tenant's solo reference.
+    let mut checksums_ok = true;
+    for o in cold_out
+        .iter()
+        .chain(outcomes.iter())
+        .chain(burst_out.iter().flat_map(|(v, _)| v.iter()))
+    {
+        if o.checksum != refs[o.tenant as usize] {
+            checksums_ok = false;
+        }
+    }
+
+    // Per-active-tenant latency samples from the contended phase only
+    // (exact values; the per-tenant histogram digests in the report
+    // stay available for observability).
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    let mut worst_p99_ms = 0.0f64;
+    for (i, t) in report.tenants.iter().enumerate() {
+        let role = if i == 0 { "cold" } else { "active" };
+        let mut lat: Vec<f64> = if i == 0 {
+            cold_out.iter().map(|o| o.latency_ns).collect()
+        } else {
+            outcomes
+                .iter()
+                .filter(|o| o.tenant == t.tenant)
+                .map(|o| o.latency_ns)
+                .collect()
+        };
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let mean_ns = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+        let p99_ms = pctile(&lat, 0.99) / 1e6;
+        if i > 0 {
+            rates.push(1e9 / mean_ns.max(1.0));
+            worst_p99_ms = worst_p99_ms.max(p99_ms);
+        }
+        rows.push(TenantRow {
+            tenant: t.tenant,
+            name: t.name.clone(),
+            role,
+            graphs: lat.len() as u64,
+            p50_ms: pctile(&lat, 0.50) / 1e6,
+            p99_ms,
+            mean_ms: mean_ns / 1e6,
+            preempted: t.preempted,
+            shed: t.shed,
+            quota_bytes: t.last_quota,
+            promoted_bytes: t.promoted_bytes,
+            demoted_bytes: t.demoted_bytes,
+        });
+    }
+    let stats = TenantModeStats {
+        mode: mode_name,
+        wall_ms: wall_ns / 1e6,
+        aggregate_gps: outcomes.len() as f64 / (wall_ns / 1e9),
+        jain: jain(&rates),
+        worst_p99_ms,
+        preempted: report.preempted_total(),
+        shed: report.shed_total(),
+        checksums_ok,
+    };
+    Ok((stats, rows))
+}
+
+/// TENANT — the multi-tenant fairness experiment (`exp tenant`).
+///
+/// Five tenants share one server: a cold tenant warms its hot set into
+/// DRAM and goes idle, then four active tenants drive the server
+/// closed-loop at saturation. The same load runs twice — once under
+/// the cross-tenant quota arbiter (demand-proportional with 50%
+/// weighted floors), once under free-for-all (keep-what-you-have,
+/// never preempt) — and the run self-validates the arbiter's case:
+///
+/// 1. every graph's checksum is bit-identical to the tenant running
+///    alone (determinism survives contention and preemption),
+/// 2. quota mode beats free-for-all on the worst per-tenant p99,
+/// 3. aggregate throughput gives up at most 10% for that fairness,
+/// 4. the Jain index across active tenants' service rates is ≥ 0.9,
+/// 5. the arbiter preempted the cold tenant's DRAM (and free-for-all
+///    never preempts),
+/// 6. an open-loop burst past the queue bound sheds at admission.
+///
+/// The digest lands in `BENCH_tenant.json` (schema
+/// `tahoe-bench-tenant/v1`), gated by `benchgate`.
+pub fn tenant(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_obs::json;
+    use tahoe_server::{ArbiterMode, QuotaPolicy};
+
+    banner(if smoke {
+        "TENANT multi-tenant fairness (smoke): quota arbiter vs free-for-all"
+    } else {
+        "TENANT multi-tenant fairness: quota arbiter vs free-for-all"
+    });
+    let geo = TenantGeometry::new(smoke);
+    let base_seed = 40;
+    let quota = ArbiterMode::Quota(QuotaPolicy::DemandProportional { floor_frac: 0.5 });
+    let modes = [
+        tenant_mode("quota", quota, &geo, base_seed)?,
+        tenant_mode("free_for_all", ArbiterMode::FreeForAll, &geo, base_seed)?,
+    ];
+
+    for (stats, rows) in &modes {
+        println!(
+            "  {:<13} wall {:>8.1} ms  agg {:>6.1} graphs/s  jain {:.3}  worst p99 {:>8.2} ms  preempted {}  shed {}",
+            stats.mode, stats.wall_ms, stats.aggregate_gps, stats.jain, stats.worst_p99_ms,
+            stats.preempted, stats.shed
+        );
+        for r in rows {
+            println!(
+                "    {:<6} {:<7} graphs {:>2}  p50 {:>8.2} ms  p99 {:>8.2} ms  quota {:>7} B  prom {:>7} B  dem {:>7} B",
+                r.name, r.role, r.graphs, r.p50_ms, r.p99_ms, r.quota_bytes,
+                r.promoted_bytes, r.demoted_bytes
+            );
+        }
+    }
+
+    // ---- self-validation: the quota arbiter must earn its keep ------
+    let (q, f) = (&modes[0].0, &modes[1].0);
+    let checksums_match_solo = q.checksums_ok && f.checksums_ok;
+    if !checksums_match_solo {
+        return Err("a tenant checksum diverged from its solo reference".into());
+    }
+    if q.worst_p99_ms >= f.worst_p99_ms {
+        return Err(format!(
+            "quota worst p99 {:.2} ms does not beat free-for-all {:.2} ms",
+            q.worst_p99_ms, f.worst_p99_ms
+        ));
+    }
+    if q.aggregate_gps < 0.9 * f.aggregate_gps {
+        return Err(format!(
+            "quota aggregate throughput {:.1} graphs/s gave up more than 10% vs free-for-all {:.1}",
+            q.aggregate_gps, f.aggregate_gps
+        ));
+    }
+    if q.jain < 0.9 {
+        return Err(format!(
+            "quota Jain index {:.3} below the 0.9 floor",
+            q.jain
+        ));
+    }
+    if q.preempted == 0 {
+        return Err("quota mode never preempted the cold tenant".into());
+    }
+    if f.preempted != 0 {
+        return Err(format!("free-for-all preempted {} times", f.preempted));
+    }
+    if q.shed == 0 {
+        return Err("the burst past the queue bound shed nothing".into());
+    }
+
+    // ---- BENCH_tenant.json ------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-tenant/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"cpus\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        cpus,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"active_tenants\": 4, \"cold_tenants\": 1, \"pieces\": {}, \"piece_bytes\": {}, \"windows\": {}, \"tasks_per_window\": {}, \"compute_us\": {:.1}, \"run_ms\": {}, \"warmup_graphs\": {}, \"burst\": {}, \"dram_budget\": {}}},\n",
+        geo.pieces, geo.piece_bytes, geo.windows, geo.tasks_per_window, geo.compute_us,
+        geo.run_ms, geo.warmup_graphs, geo.burst, geo.dram_budget()
+    ));
+    out.push_str(
+        "  \"calibration\": {\"dram_gbps\": 10.0, \"nvm_gbps\": 0.25, \"dram_lat_ns\": 100.0, \"nvm_lat_ns\": 500.0},\n",
+    );
+    out.push_str("  \"modes\": [\n");
+    for (mi, (stats, rows)) in modes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"wall_ms\": {:.3}, \"aggregate_graphs_per_s\": {:.3}, \"jain\": {:.4}, \"worst_p99_ms\": {:.3}, \"preempted\": {}, \"shed\": {}, \"checksums_match_solo\": {}, \"tenants\": [\n",
+            stats.mode, stats.wall_ms, stats.aggregate_gps, stats.jain, stats.worst_p99_ms,
+            stats.preempted, stats.shed, stats.checksums_ok
+        ));
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"tenant\": {}, \"name\": \"{}\", \"role\": \"{}\", \"graphs\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"preempted\": {}, \"shed\": {}, \"quota_bytes\": {}, \"promoted_bytes\": {}, \"demoted_bytes\": {}}}{}\n",
+                r.tenant, r.name, r.role, r.graphs, r.p50_ms, r.p99_ms, r.mean_ms,
+                r.preempted, r.shed, r.quota_bytes, r.promoted_bytes, r.demoted_bytes,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if mi + 1 < modes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"consistency\": {{\"checksums_match_solo\": true, \"quota_beats_ffa_worst_p99\": true, \"throughput_within_10pct\": true, \"jain_quota_ge_090\": true, \"quota_preempts\": true, \"ffa_never_preempts\": true, \"burst_sheds\": true, \"quota_worst_p99_ms\": {:.3}, \"ffa_worst_p99_ms\": {:.3}, \"throughput_ratio\": {:.4}}}\n}}\n",
+        q.worst_p99_ms,
+        f.worst_p99_ms,
+        q.aggregate_gps / f.aggregate_gps
+    ));
+    json::parse(&out).map_err(|e| format!("BENCH_tenant.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_tenant.json"), &out)
+        .map_err(|e| format!("write BENCH_tenant.json: {e}"))?;
+    println!(
+        "  quota beats free-for-all on worst p99 ({:.2} vs {:.2} ms), jain {:.3} -> {dir}/BENCH_tenant.json",
+        q.worst_p99_ms, f.worst_p99_ms, q.jain
     );
     Ok(())
 }

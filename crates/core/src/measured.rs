@@ -42,7 +42,10 @@ use crate::policy::PolicyKind;
 /// by a run seed so the stress suite can vary the traffic contents.
 /// `run_seed == 0` reproduces the historical unseeded site key exactly,
 /// so existing artifacts stay comparable.
-pub(crate) fn site_seed(run_seed: u64, task: u32, access: usize) -> u64 {
+///
+/// Public so out-of-crate executors (the multi-tenant server) can run
+/// the exact traffic stream the sequential reference folds.
+pub fn site_seed(run_seed: u64, task: u32, access: usize) -> u64 {
     let mut z = ((task as u64) << 20)
         ^ access as u64
         ^ 0xA5A5_0000_0000
@@ -57,7 +60,10 @@ fn seed(task: u32, access: usize) -> u64 {
     site_seed(0, task, access)
 }
 
-pub(crate) fn fold(acc: u64, x: u64) -> u64 {
+/// The canonical checksum fold. Not commutative — equality with the
+/// reference requires folding in the canonical order (object inits,
+/// then windows → window tasks → accesses).
+pub fn fold(acc: u64, x: u64) -> u64 {
     acc.rotate_left(7) ^ x
 }
 
@@ -118,7 +124,7 @@ pub(crate) struct PreparedRun {
 
 /// Seed for object `i`'s initialization fill. `run_seed == 0` reproduces
 /// the historical per-object seed (`i` itself).
-pub(crate) fn init_seed(run_seed: u64, object: usize) -> u64 {
+pub fn init_seed(run_seed: u64, object: usize) -> u64 {
     object as u64 ^ run_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
@@ -419,7 +425,7 @@ impl MeasuredRuntime {
 }
 
 /// Which correction factor applies to a profile on a spec.
-pub(crate) fn cf(
+pub fn cf(
     cal: &WallClockCalibration,
     profile: &tahoe_hms::AccessProfile,
     spec: &tahoe_hms::TierSpec,

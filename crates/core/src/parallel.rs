@@ -505,6 +505,8 @@ impl MeasuredRuntime {
                                 worker,
                                 Event::WorkerTask {
                                     t,
+                                    // Single-tenant runtime: tenant 0.
+                                    tenant: 0,
                                     worker: worker as u32,
                                     task: task_id,
                                     window,
@@ -515,6 +517,7 @@ impl MeasuredRuntime {
                         }
                         None => self.emitter.emit(|| Event::WorkerTask {
                             t,
+                            tenant: 0,
                             worker: worker as u32,
                             task: task_id,
                             window,

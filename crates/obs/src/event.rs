@@ -261,10 +261,14 @@ pub enum Event {
     /// A worker thread completed one task in the parallel measured
     /// runtime. One complete span per task (emitted at finish; start is
     /// `t - wall_ns`), tagged with the worker that ran it so the trace
-    /// exporter can lay tasks out one track per worker.
+    /// exporter can lay tasks out one track per worker, and with the
+    /// tenant the task ran for so multi-tenant server traces show which
+    /// client occupied each worker lane (single-tenant runs use 0).
     WorkerTask {
         /// Wall-clock ns since the run's epoch, at task finish.
         t: Ns,
+        /// Tenant the task belongs to (0 for single-tenant runs).
+        tenant: u32,
         /// Worker thread index (0-based).
         worker: u32,
         /// Task id.
@@ -326,6 +330,71 @@ pub enum Event {
         /// Fitted dependent-read latency, ns.
         read_lat_ns: f64,
     },
+    /// The multi-tenant server admitted one graph submission past
+    /// admission control and handed it to the shared worker pool.
+    GraphAdmitted {
+        /// Wall-clock ns since the server's epoch.
+        t: Ns,
+        /// Tenant that submitted the graph.
+        tenant: u32,
+        /// Per-tenant graph sequence number.
+        graph: u64,
+        /// Wall-clock ns the submission waited in the tenant's queue
+        /// before admission (0 when admitted immediately).
+        queue_wait_ns: Ns,
+        /// DRAM quota granted to the tenant at admission time, bytes.
+        quota_bytes: u64,
+    },
+    /// A tenant's admitted graph ran to completion on the shared pool.
+    GraphDone {
+        /// Wall-clock ns since the server's epoch, at completion.
+        t: Ns,
+        /// Tenant the graph belongs to.
+        tenant: u32,
+        /// Per-tenant graph sequence number.
+        graph: u64,
+        /// Submission-to-completion wall latency, ns (includes queueing).
+        latency_ns: Ns,
+        /// Admission-to-completion execution wall time, ns.
+        wall_ns: Ns,
+    },
+    /// Admission control shed a submission instead of queueing it (the
+    /// tenant's pending queue was already at its configured depth).
+    GraphShed {
+        /// Wall-clock ns since the server's epoch.
+        t: Ns,
+        /// Tenant whose submission was shed.
+        tenant: u32,
+        /// Per-tenant graph sequence number of the shed submission.
+        graph: u64,
+        /// Submissions already queued for the tenant when it was shed.
+        queued: u32,
+    },
+    /// The cross-tenant arbiter recomputed one tenant's DRAM quota.
+    TenantQuota {
+        /// Wall-clock ns since the server's epoch.
+        t: Ns,
+        /// Tenant the quota applies to.
+        tenant: u32,
+        /// Granted DRAM quota, bytes.
+        quota_bytes: u64,
+        /// The tenant's declared DRAM demand (bytes of positive-value
+        /// objects) the demand-proportional split saw.
+        demand_bytes: u64,
+    },
+    /// The arbiter preempted one DRAM-resident object of a tenant,
+    /// demoting it back to NVM to make room under the new quotas.
+    TenantPreempt {
+        /// Wall-clock ns since the server's epoch (at enqueue of the
+        /// demotion; the background migrator performs the copy).
+        t: Ns,
+        /// Tenant that lost DRAM residency (the preemption victim).
+        tenant: u32,
+        /// Global HMS object id that was demoted.
+        object: u32,
+        /// Size of the demoted object, bytes.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -350,7 +419,12 @@ impl Event {
             | Event::WorkerTask { t, .. }
             | Event::PlacementDecision { t, .. }
             | Event::SanitizeViolation { t, .. }
-            | Event::TierFitted { t, .. } => t,
+            | Event::TierFitted { t, .. }
+            | Event::GraphAdmitted { t, .. }
+            | Event::GraphDone { t, .. }
+            | Event::GraphShed { t, .. }
+            | Event::TenantQuota { t, .. }
+            | Event::TenantPreempt { t, .. } => t,
         }
     }
 
@@ -376,6 +450,11 @@ impl Event {
             Event::PlacementDecision { .. } => "placement_decision",
             Event::SanitizeViolation { .. } => "sanitize_violation",
             Event::TierFitted { .. } => "tier_fitted",
+            Event::GraphAdmitted { .. } => "graph_admitted",
+            Event::GraphDone { .. } => "graph_done",
+            Event::GraphShed { .. } => "graph_shed",
+            Event::TenantQuota { .. } => "tenant_quota",
+            Event::TenantPreempt { .. } => "tenant_preempt",
         }
     }
 }

@@ -186,6 +186,7 @@ pub fn event_to_json(e: &Event) -> String {
             );
         }
         Event::WorkerTask {
+            tenant,
             worker,
             task,
             window,
@@ -195,7 +196,7 @@ pub fn event_to_json(e: &Event) -> String {
         } => {
             let _ = write!(
                 s,
-                ",\"worker\":{worker},\"task\":{task},\"window\":{window},\"wall_ns\":{},\"gate_wait_ns\":{}",
+                ",\"tenant\":{tenant},\"worker\":{worker},\"task\":{task},\"window\":{window},\"wall_ns\":{},\"gate_wait_ns\":{}",
                 fnum(wall_ns),
                 fnum(gate_wait_ns)
             );
@@ -241,6 +242,66 @@ pub fn event_to_json(e: &Event) -> String {
                 fnum(read_bw_gbps),
                 fnum(write_bw_gbps),
                 fnum(read_lat_ns)
+            );
+        }
+        Event::GraphAdmitted {
+            tenant,
+            graph,
+            queue_wait_ns,
+            quota_bytes,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tenant\":{tenant},\"graph\":{graph},\"queue_wait_ns\":{},\"quota_bytes\":{quota_bytes}",
+                fnum(queue_wait_ns)
+            );
+        }
+        Event::GraphDone {
+            tenant,
+            graph,
+            latency_ns,
+            wall_ns,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tenant\":{tenant},\"graph\":{graph},\"latency_ns\":{},\"wall_ns\":{}",
+                fnum(latency_ns),
+                fnum(wall_ns)
+            );
+        }
+        Event::GraphShed {
+            tenant,
+            graph,
+            queued,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tenant\":{tenant},\"graph\":{graph},\"queued\":{queued}"
+            );
+        }
+        Event::TenantQuota {
+            tenant,
+            quota_bytes,
+            demand_bytes,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tenant\":{tenant},\"quota_bytes\":{quota_bytes},\"demand_bytes\":{demand_bytes}"
+            );
+        }
+        Event::TenantPreempt {
+            tenant,
+            object,
+            bytes,
+            ..
+        } => {
+            let _ = write!(
+                s,
+                ",\"tenant\":{tenant},\"object\":{object},\"bytes\":{bytes}"
             );
         }
     }
@@ -418,6 +479,7 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
         match *e {
             Event::WorkerTask {
                 t,
+                tenant,
                 worker,
                 task,
                 window,
@@ -427,7 +489,7 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                 sep(&mut out);
                 let _ = write!(
                     out,
-                    "{{\"name\":\"task {task} w{window}\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,\"tid\":{worker},\"ts\":{},\"dur\":{},\"args\":{{\"task\":{task},\"window\":{window},\"gate_wait_ns\":{}}}}}",
+                    "{{\"name\":\"T{tenant} task {task} w{window}\",\"cat\":\"task\",\"ph\":\"X\",\"pid\":1,\"tid\":{worker},\"ts\":{},\"dur\":{},\"args\":{{\"tenant\":{tenant},\"task\":{task},\"window\":{window},\"gate_wait_ns\":{}}}}}",
                     fnum((t - wall_ns) / NS_PER_US),
                     fnum(wall_ns / NS_PER_US),
                     fnum(gate_wait_ns)
@@ -614,6 +676,7 @@ mod tests {
     fn worker_task_serializes_and_gets_its_own_trace_lane() {
         let e = Event::WorkerTask {
             t: 5000.0,
+            tenant: 7,
             worker: 3,
             task: 9,
             window: 2,
@@ -622,7 +685,7 @@ mod tests {
         };
         assert_eq!(
             event_to_json(&e),
-            "{\"ev\":\"worker_task\",\"t\":5000,\"worker\":3,\"task\":9,\"window\":2,\"wall_ns\":4000,\"gate_wait_ns\":250}"
+            "{\"ev\":\"worker_task\",\"t\":5000,\"tenant\":7,\"worker\":3,\"task\":9,\"window\":2,\"wall_ns\":4000,\"gate_wait_ns\":250}"
         );
         let trace = to_chrome_trace(&[e]);
         let parsed = crate::json::parse(&trace).expect("valid JSON");
@@ -643,6 +706,71 @@ mod tests {
         assert_eq!(span.get("tid").and_then(|v| v.as_f64()), Some(3.0));
         assert_eq!(span.get("ts").and_then(|v| v.as_f64()), Some(1.0));
         assert_eq!(span.get("dur").and_then(|v| v.as_f64()), Some(4.0));
+        // The worker lane span names and tags the tenant the task ran
+        // for, so multi-tenant server traces are readable per client.
+        assert_eq!(
+            span.get("name").and_then(|v| v.as_str()),
+            Some("T7 task 9 w2")
+        );
+        let args = span.get("args").expect("span args");
+        assert_eq!(args.get("tenant").and_then(|v| v.as_f64()), Some(7.0));
+    }
+
+    #[test]
+    fn tenant_events_serialize() {
+        let line = event_to_json(&Event::GraphAdmitted {
+            t: 10.0,
+            tenant: 2,
+            graph: 5,
+            queue_wait_ns: 1500.0,
+            quota_bytes: 65536,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"graph_admitted\",\"t\":10,\"tenant\":2,\"graph\":5,\"queue_wait_ns\":1500,\"quota_bytes\":65536}"
+        );
+        let line = event_to_json(&Event::GraphDone {
+            t: 20.0,
+            tenant: 2,
+            graph: 5,
+            latency_ns: 9000.5,
+            wall_ns: 7500.0,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"graph_done\",\"t\":20,\"tenant\":2,\"graph\":5,\"latency_ns\":9000.5,\"wall_ns\":7500}"
+        );
+        let line = event_to_json(&Event::GraphShed {
+            t: 30.0,
+            tenant: 1,
+            graph: 6,
+            queued: 2,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"graph_shed\",\"t\":30,\"tenant\":1,\"graph\":6,\"queued\":2}"
+        );
+        let line = event_to_json(&Event::TenantQuota {
+            t: 40.0,
+            tenant: 0,
+            quota_bytes: 131072,
+            demand_bytes: 262144,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"tenant_quota\",\"t\":40,\"tenant\":0,\"quota_bytes\":131072,\"demand_bytes\":262144}"
+        );
+        let line = event_to_json(&Event::TenantPreempt {
+            t: 50.0,
+            tenant: 3,
+            object: 12,
+            bytes: 65536,
+        });
+        assert_eq!(
+            line,
+            "{\"ev\":\"tenant_preempt\",\"t\":50,\"tenant\":3,\"object\":12,\"bytes\":65536}"
+        );
+        crate::json::parse(&line).expect("valid JSON");
     }
 
     #[test]

@@ -119,6 +119,7 @@ fn golden_events() -> Vec<Event> {
         },
         Event::WorkerTask {
             t: 120000.0,
+            tenant: 1,
             worker: 2,
             task: 42,
             window: 6,
@@ -138,6 +139,38 @@ fn golden_events() -> Vec<Event> {
             task: 42,
             object: 7,
             detail: "t42 access #0 stores 8 lines to object 7 declared read-only".to_string(),
+        },
+        Event::GraphAdmitted {
+            t: 150000.0,
+            tenant: 1,
+            graph: 3,
+            queue_wait_ns: 2200.5,
+            quota_bytes: 131072,
+        },
+        Event::TenantQuota {
+            t: 150000.0,
+            tenant: 1,
+            quota_bytes: 131072,
+            demand_bytes: 262144,
+        },
+        Event::TenantPreempt {
+            t: 151000.0,
+            tenant: 0,
+            object: 9,
+            bytes: 65536,
+        },
+        Event::GraphShed {
+            t: 152000.0,
+            tenant: 2,
+            graph: 4,
+            queued: 2,
+        },
+        Event::GraphDone {
+            t: 160000.0,
+            tenant: 1,
+            graph: 3,
+            latency_ns: 12000.75,
+            wall_ns: 9800.0,
         },
     ]
 }
@@ -164,5 +197,5 @@ fn golden_covers_every_event_kind() {
     let mut kinds: Vec<&str> = golden_events().iter().map(|e| e.kind()).collect();
     kinds.sort_unstable();
     kinds.dedup();
-    assert_eq!(kinds.len(), 19, "one golden line per Event variant");
+    assert_eq!(kinds.len(), 24, "one golden line per Event variant");
 }

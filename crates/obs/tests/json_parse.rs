@@ -113,6 +113,7 @@ proptest! {
     #[test]
     fn exporter_output_round_trips(
         t in 0.0f64..1e12,
+        tenant in 0u32..64,
         worker in 0u32..256,
         task in 0u32..100_000,
         window in 0u32..1000,
@@ -126,6 +127,7 @@ proptest! {
         let events = vec![
             Event::WorkerTask {
                 t,
+                tenant,
                 worker,
                 task,
                 window,
@@ -147,6 +149,7 @@ proptest! {
         let wt = parse(lines[0]).unwrap();
         prop_assert_eq!(wt.get("ev").and_then(Value::as_str), Some("worker_task"));
         prop_assert_eq!(wt.get("t").and_then(Value::as_f64), Some(t));
+        prop_assert_eq!(wt.get("tenant").and_then(Value::as_f64), Some(tenant as f64));
         prop_assert_eq!(wt.get("worker").and_then(Value::as_f64), Some(worker as f64));
         prop_assert_eq!(wt.get("task").and_then(Value::as_f64), Some(task as f64));
         prop_assert_eq!(wt.get("wall_ns").and_then(Value::as_f64), Some(wall));

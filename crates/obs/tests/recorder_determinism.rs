@@ -27,6 +27,7 @@ fn seeded_events(seed: u64, n: u32) -> Vec<(f64, Event, f64)> {
             let wall = 10.0 + (r % 100_000) as f64;
             let ev = Event::WorkerTask {
                 t,
+                tenant: 0,
                 worker: 0, // rewritten per lane below
                 task: i,
                 window: 0,

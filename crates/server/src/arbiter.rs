@@ -1,0 +1,255 @@
+//! Cross-tenant DRAM arbitration: pure quota math.
+//!
+//! The server's admission path calls [`quotas`] every time a graph is
+//! admitted: given the global DRAM budget and each tenant's weight,
+//! declared demand and activity, it returns the per-tenant byte quotas
+//! the knapsack planner and the preemption pass enforce. Keeping the
+//! math pure (no locks, no server state) makes the fairness properties
+//! unit-testable in isolation:
+//!
+//! * **Feasibility** — quotas never sum to more than the budget.
+//! * **Starvation-freeness** — every *active* tenant with nonzero
+//!   weight receives at least its weighted floor, so a noisy neighbour
+//!   can never arbitrate an active tenant down to zero.
+//! * **Work conservation** — bytes not needed by one tenant (demand
+//!   below its share) flow to tenants that do need them under
+//!   [`QuotaPolicy::DemandProportional`].
+//!
+//! Inactive tenants get a quota of zero: their DRAM-resident objects
+//! are fair game for preemption (demotion to NVM) the moment an active
+//! tenant needs the space.
+
+/// How the arbiter splits the DRAM budget across active tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuotaPolicy {
+    /// Fixed weighted shares: active tenant `i` gets
+    /// `budget * w_i / Σ w` regardless of how much it can use.
+    Static,
+    /// Weighted floors plus demand-proportional distribution of the
+    /// rest: active tenant `i` is guaranteed
+    /// `floor_frac * budget * w_i / Σ w`, and the remaining
+    /// `(1 - floor_frac) * budget` is split in proportion to declared
+    /// demand (bytes of objects whose DRAM residence has positive
+    /// predicted value). `floor_frac` is clamped to `[0, 1]`.
+    DemandProportional {
+        /// Fraction of the budget reserved as guaranteed floors.
+        floor_frac: f64,
+    },
+}
+
+/// One tenant's standing at arbitration time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantDemand {
+    /// Static share weight (from registration).
+    pub weight: f64,
+    /// Bytes of objects whose DRAM residence the planner values.
+    pub demand: u64,
+    /// Whether the tenant currently has a graph running or queued.
+    pub active: bool,
+}
+
+/// Per-tenant DRAM quotas in bytes. Inactive or zero-weight tenants
+/// get zero; the result always satisfies `sum(quotas) <= budget`.
+pub fn quotas(policy: &QuotaPolicy, budget: u64, tenants: &[TenantDemand]) -> Vec<u64> {
+    let mut q = vec![0u64; tenants.len()];
+    let weight_sum: f64 = tenants
+        .iter()
+        .filter(|t| t.active && t.weight > 0.0)
+        .map(|t| t.weight)
+        .sum();
+    if weight_sum <= 0.0 {
+        return q;
+    }
+    let share = |w: f64| budget as f64 * w / weight_sum;
+    match policy {
+        QuotaPolicy::Static => {
+            for (qi, t) in q.iter_mut().zip(tenants) {
+                if t.active && t.weight > 0.0 {
+                    *qi = share(t.weight) as u64;
+                }
+            }
+        }
+        QuotaPolicy::DemandProportional { floor_frac } => {
+            let ff = floor_frac.clamp(0.0, 1.0);
+            let floor_total: f64 = budget as f64 * ff;
+            let leftover = budget as f64 - floor_total;
+            let demand_sum: f64 = tenants
+                .iter()
+                .filter(|t| t.active && t.weight > 0.0)
+                .map(|t| t.demand as f64)
+                .sum();
+            for (qi, t) in q.iter_mut().zip(tenants) {
+                if !(t.active && t.weight > 0.0) {
+                    continue;
+                }
+                let floor = floor_total * t.weight / weight_sum;
+                let extra = if demand_sum > 0.0 {
+                    leftover * t.demand as f64 / demand_sum
+                } else {
+                    // Nobody declared demand: fall back to weights so
+                    // the budget is not wasted.
+                    leftover * t.weight / weight_sum
+                };
+                *qi = (floor + extra) as u64;
+            }
+        }
+    }
+    // Truncation keeps each quota at or below its real-valued share,
+    // but guard against accumulated floating-point excess anyway.
+    let mut total: u64 = q.iter().sum();
+    while total > budget {
+        let i = q
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let cut = (total - budget).min(q[i]);
+        q[i] -= cut;
+        total -= cut;
+    }
+    q
+}
+
+/// Jain's fairness index over per-tenant allocations or rates:
+/// `(Σx)² / (n · Σx²)`. Ranges from `1/n` (one tenant gets
+/// everything) to `1.0` (perfectly equal); an empty or all-zero input
+/// is perfectly fair by convention.
+pub fn jain(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(weight: f64, demand: u64, active: bool) -> TenantDemand {
+        TenantDemand {
+            weight,
+            demand,
+            active,
+        }
+    }
+
+    const BUDGET: u64 = 1 << 20;
+
+    #[test]
+    fn quotas_never_exceed_budget() {
+        for policy in [
+            QuotaPolicy::Static,
+            QuotaPolicy::DemandProportional { floor_frac: 0.5 },
+            QuotaPolicy::DemandProportional { floor_frac: 0.0 },
+            QuotaPolicy::DemandProportional { floor_frac: 1.0 },
+        ] {
+            for n in 1..7 {
+                let tenants: Vec<TenantDemand> = (0..n)
+                    .map(|i| t(1.0 + i as f64, (i as u64) * 100_000, i % 3 != 2))
+                    .collect();
+                let q = quotas(&policy, BUDGET, &tenants);
+                assert!(
+                    q.iter().sum::<u64>() <= BUDGET,
+                    "{policy:?} with {n} tenants oversubscribed: {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn static_split_is_weight_proportional() {
+        let q = quotas(
+            &QuotaPolicy::Static,
+            BUDGET,
+            &[t(1.0, 0, true), t(3.0, 0, true)],
+        );
+        assert_eq!(q[0], BUDGET / 4);
+        assert_eq!(q[1], 3 * (BUDGET / 4));
+    }
+
+    #[test]
+    fn inactive_and_zero_weight_tenants_get_zero() {
+        for policy in [
+            QuotaPolicy::Static,
+            QuotaPolicy::DemandProportional { floor_frac: 0.5 },
+        ] {
+            let q = quotas(
+                &policy,
+                BUDGET,
+                &[t(1.0, 500, false), t(0.0, 500, true), t(1.0, 500, true)],
+            );
+            assert_eq!(q[0], 0, "inactive tenant must hold no quota");
+            assert_eq!(q[1], 0, "zero-weight tenant must hold no quota");
+            assert!(q[2] > 0);
+        }
+    }
+
+    #[test]
+    fn demand_proportional_respects_floors() {
+        // Starvation-freeness: tenant 0 declares no demand but is
+        // active, so it keeps its weighted floor; the greedy tenant
+        // cannot take it.
+        let q = quotas(
+            &QuotaPolicy::DemandProportional { floor_frac: 0.5 },
+            BUDGET,
+            &[t(1.0, 0, true), t(1.0, u64::MAX / 2, true)],
+        );
+        let floor_each = (BUDGET as f64 * 0.5 / 2.0) as u64;
+        assert!(
+            q[0] >= floor_each,
+            "active tenant starved below its floor: {} < {floor_each}",
+            q[0]
+        );
+        assert!(q[1] > q[0], "demand must attract the leftover");
+    }
+
+    #[test]
+    fn demand_proportional_splits_leftover_by_demand() {
+        let q = quotas(
+            &QuotaPolicy::DemandProportional { floor_frac: 0.0 },
+            BUDGET,
+            &[t(1.0, 100, true), t(1.0, 300, true)],
+        );
+        // No floors: pure demand split, 1:3.
+        assert_eq!(q[0], BUDGET / 4);
+        assert_eq!(q[1], 3 * (BUDGET / 4));
+    }
+
+    #[test]
+    fn zero_total_demand_falls_back_to_weights() {
+        let q = quotas(
+            &QuotaPolicy::DemandProportional { floor_frac: 0.25 },
+            BUDGET,
+            &[t(1.0, 0, true), t(1.0, 0, true)],
+        );
+        assert_eq!(q[0], BUDGET / 2);
+        assert_eq!(q[1], BUDGET / 2);
+    }
+
+    #[test]
+    fn all_inactive_means_all_zero() {
+        let q = quotas(
+            &QuotaPolicy::Static,
+            BUDGET,
+            &[t(1.0, 10, false), t(2.0, 10, false)],
+        );
+        assert_eq!(q, vec![0, 0]);
+    }
+
+    #[test]
+    fn jain_bounds_and_known_points() {
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+        assert!((jain(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogging everything: J = 1/n.
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        let j = jain(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(j > 0.25 && j < 1.0, "mid fairness must be interior: {j}");
+    }
+}

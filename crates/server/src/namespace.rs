@@ -1,0 +1,231 @@
+//! Per-tenant object namespaces over the shared memory system.
+//!
+//! Every tenant describes its graph against its *own* dense object ids
+//! (`ObjectId(0..n)` indexing its `App::objects`); the server maps
+//! those to globally unique [`tahoe_hms::ObjectId`]s at registration.
+//! Isolation is enforced *at admission time*: a graph that references
+//! an object index outside the tenant's declared set — the only way a
+//! tenant could name another tenant's memory, since the global ids are
+//! never exposed — is rejected with [`AdmitError::ForeignObject`]
+//! before anything is allocated or scheduled. Nothing about a buggy or
+//! malicious tenant graph can reach the runtime data path.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tahoe_core::app::App;
+use tahoe_hms::ObjectId;
+
+/// Why a tenant registration or submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// A task references an object index the tenant never declared —
+    /// in a multi-tenant server that is an attempted cross-tenant
+    /// reference, rejected before allocation or scheduling.
+    ForeignObject {
+        /// Offending tenant.
+        tenant: u32,
+        /// Task whose access list names the foreign object.
+        task: u32,
+        /// The undeclared object index.
+        object: u32,
+        /// How many objects the tenant actually declared.
+        owned: usize,
+    },
+    /// The task graph failed structural validation (e.g. a dependence
+    /// cycle).
+    InvalidGraph {
+        /// Offending tenant.
+        tenant: u32,
+        /// Validator message.
+        detail: String,
+    },
+    /// Backing allocation failed (NVM capacity exhausted).
+    AllocFailed {
+        /// Offending tenant.
+        tenant: u32,
+        /// Object name that failed to allocate.
+        object: String,
+        /// Allocator message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::ForeignObject {
+                tenant,
+                task,
+                object,
+                owned,
+            } => write!(
+                f,
+                "tenant {tenant}: task {task} references object {object} \
+                 outside the tenant's namespace ({owned} objects declared); \
+                 rejected at admission"
+            ),
+            AdmitError::InvalidGraph { tenant, detail } => {
+                write!(f, "tenant {tenant}: invalid task graph: {detail}")
+            }
+            AdmitError::AllocFailed {
+                tenant,
+                object,
+                detail,
+            } => write!(f, "tenant {tenant}: allocating {object:?} failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Admission-time validation of a tenant's application against its own
+/// namespace: every declared access must target one of the tenant's
+/// `owned` object indices, and the graph must be structurally valid.
+pub fn validate_app(tenant: u32, app: &App) -> Result<(), AdmitError> {
+    let owned = app.objects.len();
+    for t in app.graph.tasks() {
+        for a in &t.accesses {
+            if a.object.index() >= owned {
+                return Err(AdmitError::ForeignObject {
+                    tenant,
+                    task: t.id.0,
+                    object: a.object.0,
+                    owned,
+                });
+            }
+        }
+    }
+    app.validate()
+        .map_err(|detail| AdmitError::InvalidGraph { tenant, detail })
+}
+
+/// Registry of which tenant owns which global object id.
+///
+/// The shared [`tahoe_hms::Hms`] hands out globally unique ids; this
+/// registry pins down the ownership invariant — no global id is ever
+/// owned by two tenants — so the data path can assume any id a
+/// tenant's dispatch maps to is the tenant's own memory.
+#[derive(Debug, Default)]
+pub struct Namespace {
+    owner: HashMap<u32, u32>,
+    per_tenant: Vec<Vec<ObjectId>>,
+}
+
+impl Namespace {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record tenant `tenant`'s global ids. Panics if any id is
+    /// already owned — that would mean the shared allocator recycled a
+    /// live id, which the server never frees.
+    pub fn register(&mut self, tenant: u32, ids: &[ObjectId]) {
+        for id in ids {
+            let prev = self.owner.insert(id.0, tenant);
+            assert!(
+                prev.is_none(),
+                "global object {id:?} already owned by tenant {prev:?}"
+            );
+        }
+        assert_eq!(self.per_tenant.len(), tenant as usize, "dense tenant ids");
+        self.per_tenant.push(ids.to_vec());
+    }
+
+    /// Who owns a global id, if anyone.
+    pub fn owner_of(&self, id: ObjectId) -> Option<u32> {
+        self.owner.get(&id.0).copied()
+    }
+
+    /// Translate a tenant-local object index to the global id.
+    pub fn resolve(&self, tenant: u32, local: usize) -> Option<ObjectId> {
+        self.per_tenant
+            .get(tenant as usize)
+            .and_then(|v| v.get(local))
+            .copied()
+    }
+
+    /// Number of registered tenants.
+    pub fn tenants(&self) -> usize {
+        self.per_tenant.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_core::app::AppBuilder;
+    use tahoe_hms::AccessProfile;
+    use tahoe_taskrt::{AccessMode, TaskAccess, TaskGraph};
+
+    #[test]
+    fn valid_app_passes() {
+        let mut b = AppBuilder::new("ok");
+        let x = b.object("x", 4096);
+        let c = b.class("s");
+        b.task(c).read_streaming(x, 8).submit();
+        validate_app(0, &b.build()).expect("valid app");
+    }
+
+    #[test]
+    fn foreign_object_reference_is_rejected() {
+        // Bypass the builder (which validates) to model a malicious or
+        // buggy tenant handing over a graph that names object 99 while
+        // declaring a single object.
+        let mut graph = TaskGraph::new();
+        let c = graph.class("evil");
+        graph.add_task(
+            c,
+            vec![TaskAccess::new(
+                ObjectId(99),
+                AccessMode::Write,
+                AccessProfile::streaming(0, 8),
+            )],
+            0.0,
+        );
+        let app = App {
+            name: "evil".into(),
+            objects: vec![tahoe_core::app::ObjectSpec {
+                name: "only".into(),
+                size: 4096,
+                chunkable: false,
+                est_refs: None,
+            }],
+            graph,
+        };
+        let err = validate_app(3, &app).expect_err("must reject");
+        assert_eq!(
+            err,
+            AdmitError::ForeignObject {
+                tenant: 3,
+                task: 0,
+                object: 99,
+                owned: 1,
+            }
+        );
+        assert!(err.to_string().contains("rejected at admission"));
+    }
+
+    #[test]
+    fn namespace_tracks_ownership_and_resolution() {
+        let mut ns = Namespace::new();
+        ns.register(0, &[ObjectId(10), ObjectId(11)]);
+        ns.register(1, &[ObjectId(12)]);
+        assert_eq!(ns.owner_of(ObjectId(10)), Some(0));
+        assert_eq!(ns.owner_of(ObjectId(12)), Some(1));
+        assert_eq!(ns.owner_of(ObjectId(13)), None);
+        assert_eq!(ns.resolve(0, 1), Some(ObjectId(11)));
+        assert_eq!(ns.resolve(1, 0), Some(ObjectId(12)));
+        assert_eq!(ns.resolve(1, 1), None);
+        assert_eq!(ns.tenants(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_ownership_panics() {
+        let mut ns = Namespace::new();
+        ns.register(0, &[ObjectId(10)]);
+        ns.register(1, &[ObjectId(10)]);
+    }
+}

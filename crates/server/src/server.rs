@@ -1,0 +1,998 @@
+//! The multi-tenant runtime server.
+//!
+//! One [`TahoeServer`] owns the process-wide runtime resources: a
+//! shared [`TaskPool`] of workers, one [`SharedHms`] two-tier memory
+//! system whose DRAM capacity is the *global* budget, and one
+//! background migration engine. Tenants register once with an
+//! [`App`] — their objects are allocated NVM-resident for the server's
+//! lifetime — and then submit graph executions through their
+//! [`TenantHandle`], concurrently with every other tenant.
+//!
+//! **Admission control.** Each submission passes through the arbiter
+//! under one lock: per-tenant DRAM quotas are recomputed over the
+//! currently *active* tenants ([`arbiter::quotas`]), the tenant's own
+//! objects are re-planned with the knapsack solver against its quota,
+//! and the resulting tier moves are handed to the FIFO migration
+//! engine — space-freeing demotions strictly before the promotions
+//! that need the space. A tenant whose previous graph is still running
+//! queues (bounded by [`ServerConfig::max_queue`]) or is shed.
+//!
+//! **Preemption.** Quota modes may demote *other* tenants' DRAM
+//! residents, but only objects held above their owner's current quota
+//! — an idle tenant's quota is zero, so its cached hot set is
+//! reclaimed the moment an active tenant needs the bytes, while an
+//! active tenant can never be pushed below its guaranteed floor
+//! (starvation-freeness, tested in [`crate::arbiter`]).
+//!
+//! **Determinism.** Every graph execution re-initializes the tenant's
+//! objects from the seeded fill and folds per-access checksums in the
+//! canonical order of
+//! [`reference_checksum_seeded`](tahoe_core::measured::reference_checksum_seeded)
+//! — so a tenant's result under full cross-tenant contention, arbitrary
+//! preemption and any worker interleaving is bit-identical to the same
+//! app running alone.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tahoe_core::app::App;
+use tahoe_core::measured::{cf, fold, init_seed, site_seed};
+use tahoe_hms::{
+    ContentionStats, Hms, HmsConfig, MigrationStats, Ns, ObjectId, SharedHms, TierKind,
+};
+use tahoe_memprof::wallclock::WallClockCalibration;
+use tahoe_obs::{Emitter, Event, HistData, Histogram, Metrics};
+use tahoe_placement::Item;
+use tahoe_realmem::{traffic, BackgroundMigrator, RealBackend};
+use tahoe_taskrt::{DataGate, JobSpec, TaskGraph, TaskPool, TaskSpec};
+
+use crate::arbiter::{self, QuotaPolicy, TenantDemand};
+use crate::namespace::{self, AdmitError, Namespace};
+
+/// How the server arbitrates the shared DRAM budget across tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArbiterMode {
+    /// Quota-arbitrated: per-tenant quotas from [`arbiter::quotas`],
+    /// enforced by the admission knapsack and over-quota preemption.
+    Quota(QuotaPolicy),
+    /// No arbitration: each admission may grab whatever DRAM is free
+    /// (first come, first served — the rich-get-richer baseline the
+    /// fairness bench compares against). No preemption ever happens.
+    FreeForAll,
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Worker threads in the shared pool (0 clamps to 1).
+    pub workers: usize,
+    /// Global DRAM budget in bytes, shared by all tenants.
+    pub dram_budget: u64,
+    /// NVM capacity in bytes; every tenant's full footprint must fit.
+    pub nvm_capacity: u64,
+    /// DRAM arbitration mode.
+    pub mode: ArbiterMode,
+    /// Graphs a tenant may hold queued behind a running one before
+    /// further submissions are shed.
+    pub max_queue: usize,
+}
+
+/// Registration-time description of a tenant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (reports, traces).
+    pub name: String,
+    /// Arbitration weight (relative DRAM share).
+    pub weight: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given name and weight.
+    pub fn new(name: &str, weight: f64) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight,
+        }
+    }
+}
+
+/// Immutable per-tenant state fixed at registration.
+struct TenantInfo {
+    id: u32,
+    name: String,
+    weight: f64,
+    graph: Arc<TaskGraph>,
+    /// Global hms ids, indexed by the tenant's local object index.
+    ids: Arc<Vec<ObjectId>>,
+    sizes: Vec<u64>,
+    /// Predicted whole-run value of DRAM residence per object.
+    values: Vec<f64>,
+    /// Bytes of objects with positive value (declared DRAM demand).
+    demand: u64,
+    slot_base: Vec<usize>,
+    n_slots: usize,
+    windows: u32,
+}
+
+/// Completed-execution record delivered through a [`GraphTicket`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphOutcome {
+    /// Tenant that ran the graph.
+    pub tenant: u32,
+    /// Server-wide submission sequence number.
+    pub graph: u64,
+    /// Seed that parameterized the traffic.
+    pub run_seed: u64,
+    /// Canonical re-fold of every access checksum; must equal
+    /// [`reference_checksum_seeded`](tahoe_core::measured::reference_checksum_seeded)
+    /// for the tenant's app and seed.
+    pub checksum: u64,
+    /// Submission wall time (server epoch, ns).
+    pub submitted_ns: Ns,
+    /// Admission wall time, ns.
+    pub admitted_ns: Ns,
+    /// Completion wall time, ns.
+    pub finished_ns: Ns,
+    /// `finished - submitted`: the latency the tenant observed.
+    pub latency_ns: Ns,
+    /// `admitted - submitted`: time spent queued behind the tenant's
+    /// own previous graph.
+    pub queue_wait_ns: Ns,
+}
+
+#[derive(Default)]
+struct TicketCell {
+    slot: Mutex<Option<GraphOutcome>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    fn fulfil(&self, outcome: GraphOutcome) {
+        let mut slot = self.slot.lock().expect("ticket slot");
+        *slot = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one accepted (admitted or queued) graph submission.
+pub struct GraphTicket {
+    cell: Arc<TicketCell>,
+}
+
+impl GraphTicket {
+    /// Block until the graph completed; returns its outcome.
+    pub fn wait(&self) -> GraphOutcome {
+        let mut slot = self.cell.slot.lock().expect("ticket slot");
+        loop {
+            if let Some(o) = slot.as_ref() {
+                return o.clone();
+            }
+            slot = self.cell.cv.wait(slot).expect("ticket slot");
+        }
+    }
+
+    /// The outcome, if the graph already completed (non-blocking).
+    pub fn try_get(&self) -> Option<GraphOutcome> {
+        self.cell.slot.lock().expect("ticket slot").clone()
+    }
+}
+
+/// Result of [`TenantHandle::submit`].
+pub enum Submission {
+    /// Dispatched immediately.
+    Admitted(GraphTicket),
+    /// Accepted but queued behind the tenant's running graph.
+    Queued(GraphTicket),
+    /// Rejected: the tenant's queue was full.
+    Shed {
+        /// Tenant whose submission was shed.
+        tenant: u32,
+        /// Sequence number the submission would have had.
+        graph: u64,
+    },
+}
+
+impl Submission {
+    /// The ticket, unless the submission was shed.
+    pub fn ticket(&self) -> Option<&GraphTicket> {
+        match self {
+            Submission::Admitted(t) | Submission::Queued(t) => Some(t),
+            Submission::Shed { .. } => None,
+        }
+    }
+
+    /// Whether the submission was rejected.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Submission::Shed { .. })
+    }
+}
+
+struct Pending {
+    seq: u64,
+    run_seed: u64,
+    submitted_ns: Ns,
+    ticket: Arc<TicketCell>,
+}
+
+/// Everything admission needs to hand a graph to the pool, computed
+/// under the server lock but executed outside it (object init and
+/// pool submission can block on in-flight migrations).
+struct DispatchPlan {
+    info: Arc<TenantInfo>,
+    seq: u64,
+    run_seed: u64,
+    submitted_ns: Ns,
+    ticket: Arc<TicketCell>,
+    quota: u64,
+}
+
+struct TenantState {
+    info: Arc<TenantInfo>,
+    /// A graph of this tenant is currently dispatched.
+    busy: bool,
+    queue: VecDeque<Pending>,
+    /// Local indices of objects the arbiter intends DRAM-resident.
+    /// Intent, not ground truth: the invariant is that the sum of
+    /// planned bytes across tenants never exceeds the budget, and
+    /// every planned transition was enqueued to the FIFO migration
+    /// engine with demotions ahead of the promotions they make room
+    /// for — so the engine can always honour the intent.
+    planned: BTreeSet<usize>,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    /// Objects of *this* tenant demoted by other tenants' admissions.
+    preempted: u64,
+    promoted_bytes: u64,
+    demoted_bytes: u64,
+    last_quota: u64,
+    hist: Histogram,
+    latencies: Vec<f64>,
+}
+
+fn planned_bytes(t: &TenantState) -> u64 {
+    t.planned.iter().map(|&i| t.info.sizes[i]).sum()
+}
+
+struct Inner {
+    tenants: Vec<TenantState>,
+    namespace: Namespace,
+    seq: u64,
+}
+
+struct ServerShared {
+    cfg: ServerConfig,
+    cal: WallClockCalibration,
+    hms_cfg: HmsConfig,
+    hms: Arc<SharedHms>,
+    emitter: Emitter,
+    metrics: Metrics,
+    pool: Mutex<Option<TaskPool>>,
+    migrator: Mutex<Option<BackgroundMigrator>>,
+    inner: Mutex<Inner>,
+}
+
+/// Per-tenant slice of the final [`ServerReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Registration name.
+    pub name: String,
+    /// Arbitration weight.
+    pub weight: f64,
+    /// Graphs submitted (including shed ones).
+    pub submitted: u64,
+    /// Graphs run to completion.
+    pub completed: u64,
+    /// Submissions rejected with a full queue.
+    pub shed: u64,
+    /// This tenant's objects demoted by other tenants' admissions.
+    pub preempted: u64,
+    /// Bytes promoted to DRAM for this tenant.
+    pub promoted_bytes: u64,
+    /// Bytes demoted to NVM (self-demotions plus preemptions).
+    pub demoted_bytes: u64,
+    /// DRAM quota at the last arbitration this tenant saw.
+    pub last_quota: u64,
+    /// Exact end-to-end latency of every completed graph, ns.
+    pub latencies_ns: Vec<f64>,
+    /// Log-bucketed digest of the same latencies (mergeable across
+    /// runs, same shape the flight-recorder histograms use).
+    pub hist: HistData,
+}
+
+impl TenantReport {
+    /// Exact latency quantile (nearest-rank on the recorded samples);
+    /// 0 when the tenant completed nothing.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.latencies_ns.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+}
+
+/// Lifetime summary returned by [`TahoeServer::shutdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerReport {
+    /// One entry per registered tenant.
+    pub tenants: Vec<TenantReport>,
+    /// Shared pool statistics.
+    pub pool: tahoe_taskrt::PoolStats,
+    /// Wall-clock overlap accounting of all migrations.
+    pub migration: MigrationStats,
+    /// Migration requests that were moot (already resident, no space).
+    pub migrations_skipped: u64,
+    /// Lock-free pin/move contention counters.
+    pub contention: ContentionStats,
+    /// Server lifetime, ns.
+    pub wall_ns: Ns,
+}
+
+impl ServerReport {
+    /// Total graphs completed across tenants.
+    pub fn completed_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total preemption demotions suffered across tenants.
+    pub fn preempted_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.preempted).sum()
+    }
+
+    /// Total shed submissions across tenants.
+    pub fn shed_total(&self) -> u64 {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
+    /// Jain fairness index over per-tenant completion counts.
+    pub fn jain_by_completions(&self) -> f64 {
+        let xs: Vec<f64> = self.tenants.iter().map(|t| t.completed as f64).collect();
+        arbiter::jain(&xs)
+    }
+}
+
+/// The executor's data gate for one tenant's job: a task is
+/// data-ready when none of its (global) objects is mid-migration.
+struct ServerGate {
+    hms: Arc<SharedHms>,
+    ids: Arc<Vec<ObjectId>>,
+}
+
+impl DataGate for ServerGate {
+    fn wait_ready(&self, task: &TaskSpec) -> f64 {
+        let ids: Vec<ObjectId> = task.objects().iter().map(|o| self.ids[o.index()]).collect();
+        self.hms.wait_ready(&ids)
+    }
+}
+
+/// The long-lived multi-tenant runtime server.
+pub struct TahoeServer {
+    sh: Arc<ServerShared>,
+}
+
+/// A tenant's submission interface. Clone-free by design: one handle
+/// per tenant, shareable by reference across driver threads.
+pub struct TenantHandle {
+    sh: Arc<ServerShared>,
+    tenant: u32,
+}
+
+impl TahoeServer {
+    /// Build the server: shared worker pool, shared two-tier memory
+    /// (DRAM capacity = `cfg.dram_budget`, NVM = `cfg.nvm_capacity`)
+    /// and the background migration engine, all tagged observability
+    /// through `emitter`/`metrics`.
+    pub fn new(
+        cfg: ServerConfig,
+        cal: WallClockCalibration,
+        emitter: Emitter,
+        metrics: Metrics,
+    ) -> Result<Self, String> {
+        let mut dram = cal.dram.clone();
+        dram.capacity = cfg.dram_budget;
+        let mut nvm = cal.nvm.clone();
+        nvm.capacity = cfg.nvm_capacity;
+        let copy_bw = nvm.write_bw_gbps.min(dram.read_bw_gbps) * 0.8;
+        let hms_cfg = HmsConfig::new(dram, nvm, copy_bw).map_err(|e| e.to_string())?;
+        let backend = RealBackend::with_observability(&hms_cfg, emitter.clone(), metrics.clone())?;
+        let copy_cfg = backend.copy_config();
+        let mut hms = Hms::new(hms_cfg.clone());
+        hms.set_backend(Box::new(backend));
+        let hms = Arc::new(SharedHms::new(hms));
+        let migrator =
+            BackgroundMigrator::spawn_traced(Arc::clone(&hms), copy_cfg, emitter.clone(), None);
+        let pool = TaskPool::new(cfg.workers);
+        Ok(TahoeServer {
+            sh: Arc::new(ServerShared {
+                cfg,
+                cal,
+                hms_cfg,
+                hms,
+                emitter,
+                metrics,
+                pool: Mutex::new(Some(pool)),
+                migrator: Mutex::new(Some(migrator)),
+                inner: Mutex::new(Inner {
+                    tenants: Vec::new(),
+                    namespace: Namespace::new(),
+                    seq: 0,
+                }),
+            }),
+        })
+    }
+
+    /// Register a tenant. Validates the app against the tenant's own
+    /// namespace (any access outside it — the only way to name another
+    /// tenant's memory — is rejected here, before anything is
+    /// allocated or scheduled) and allocates its objects NVM-resident
+    /// for the server's lifetime.
+    pub fn register_tenant(&self, spec: TenantSpec, app: App) -> Result<TenantHandle, AdmitError> {
+        let mut inner = self.sh.inner.lock().expect("server state");
+        let tid = inner.tenants.len() as u32;
+        namespace::validate_app(tid, &app)?;
+        let mut ids: Vec<ObjectId> = Vec::with_capacity(app.objects.len());
+        let mut fail: Option<AdmitError> = None;
+        self.sh.hms.with(|hms| {
+            for spec in &app.objects {
+                match hms.alloc_object(
+                    &format!("t{tid}.{}", spec.name),
+                    spec.size,
+                    TierKind::Nvm,
+                    false,
+                ) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => {
+                        fail = Some(AdmitError::AllocFailed {
+                            tenant: tid,
+                            object: spec.name.clone(),
+                            detail: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            if fail.is_some() {
+                // Roll back the partial registration.
+                for id in &ids {
+                    let _ = hms.free_object(*id);
+                }
+            }
+        });
+        if let Some(e) = fail {
+            return Err(e);
+        }
+        inner.namespace.register(tid, &ids);
+
+        // Predicted value of DRAM residence per object — the same
+        // ground-truth model the single-tenant planner uses.
+        let mut values = vec![0.0f64; app.objects.len()];
+        for t in app.graph.tasks() {
+            for a in &t.accesses {
+                let on_nvm = a.profile.mem_time_ns(&self.sh.hms_cfg.nvm)
+                    * cf(&self.sh.cal, &a.profile, &self.sh.hms_cfg.nvm);
+                let on_dram = a.profile.mem_time_ns(&self.sh.hms_cfg.dram)
+                    * cf(&self.sh.cal, &a.profile, &self.sh.hms_cfg.dram);
+                values[a.object.index()] += (on_nvm - on_dram).max(0.0);
+            }
+        }
+        let demand = app
+            .objects
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| values[*i] > 0.0)
+            .map(|(_, o)| o.size)
+            .sum();
+        let mut slot_base = vec![0usize; app.graph.len()];
+        let mut n_slots = 0usize;
+        for t in app.graph.tasks() {
+            slot_base[t.id.index()] = n_slots;
+            n_slots += t.accesses.len();
+        }
+        let windows = app.windows();
+        let App { objects, graph, .. } = app;
+        let info = Arc::new(TenantInfo {
+            id: tid,
+            name: spec.name,
+            weight: spec.weight,
+            graph: Arc::new(graph),
+            ids: Arc::new(ids),
+            sizes: objects.iter().map(|o| o.size).collect(),
+            values,
+            demand,
+            slot_base,
+            n_slots,
+            windows,
+        });
+        inner.tenants.push(TenantState {
+            info,
+            busy: false,
+            queue: VecDeque::new(),
+            planned: BTreeSet::new(),
+            submitted: 0,
+            completed: 0,
+            shed: 0,
+            preempted: 0,
+            promoted_bytes: 0,
+            demoted_bytes: 0,
+            last_quota: 0,
+            hist: Histogram::new(),
+            latencies: Vec::new(),
+        });
+        Ok(TenantHandle {
+            sh: Arc::clone(&self.sh),
+            tenant: tid,
+        })
+    }
+
+    /// Number of registered tenants.
+    pub fn tenants(&self) -> usize {
+        self.sh.inner.lock().expect("server state").tenants.len()
+    }
+
+    /// Drain all in-flight and queued graphs, stop the pool and the
+    /// migration engine, and return the lifetime report.
+    pub fn shutdown(self) -> ServerReport {
+        loop {
+            let idle = {
+                let inner = self.sh.inner.lock().expect("server state");
+                inner.tenants.iter().all(|t| !t.busy && t.queue.is_empty())
+            };
+            if idle {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let pool = self
+            .sh
+            .pool
+            .lock()
+            .expect("pool slot")
+            .take()
+            .expect("pool live until shutdown");
+        let pool_stats = pool.shutdown();
+        let mig = self
+            .sh
+            .migrator
+            .lock()
+            .expect("migrator slot")
+            .take()
+            .expect("migrator live until shutdown")
+            .finish();
+        let contention = self.sh.hms.contention();
+        let wall_ns = self.sh.hms.now_ns();
+        let inner = self.sh.inner.lock().expect("server state");
+        let tenants = inner
+            .tenants
+            .iter()
+            .map(|t| TenantReport {
+                tenant: t.info.id,
+                name: t.info.name.clone(),
+                weight: t.info.weight,
+                submitted: t.submitted,
+                completed: t.completed,
+                shed: t.shed,
+                preempted: t.preempted,
+                promoted_bytes: t.promoted_bytes,
+                demoted_bytes: t.demoted_bytes,
+                last_quota: t.last_quota,
+                latencies_ns: t.latencies.clone(),
+                hist: t.hist.data(),
+            })
+            .collect();
+        ServerReport {
+            tenants,
+            pool: pool_stats,
+            migration: mig.stats,
+            migrations_skipped: mig.skipped,
+            contention,
+            wall_ns,
+        }
+    }
+}
+
+impl TenantHandle {
+    /// This handle's tenant id.
+    pub fn tenant(&self) -> u32 {
+        self.tenant
+    }
+
+    /// Submit one graph execution with the given traffic seed.
+    ///
+    /// Per-tenant executions are serialized (cross-tenant concurrency
+    /// is the server's parallelism axis): if the tenant's previous
+    /// graph is still running the submission queues, and once the
+    /// queue holds [`ServerConfig::max_queue`] entries it is shed.
+    pub fn submit(&self, run_seed: u64) -> Submission {
+        let submitted_ns = self.sh.hms.now_ns();
+        let tid = self.tenant as usize;
+        let (plan, cell) = {
+            let mut inner = self.sh.inner.lock().expect("server state");
+            inner.seq += 1;
+            let seq = inner.seq;
+            inner.tenants[tid].submitted += 1;
+            let cell = Arc::new(TicketCell::default());
+            let pend = Pending {
+                seq,
+                run_seed,
+                submitted_ns,
+                ticket: Arc::clone(&cell),
+            };
+            if inner.tenants[tid].busy {
+                if inner.tenants[tid].queue.len() >= self.sh.cfg.max_queue {
+                    inner.tenants[tid].shed += 1;
+                    let queued = inner.tenants[tid].queue.len() as u32;
+                    let (t, tenant) = (self.sh.hms.now_ns(), self.tenant);
+                    self.sh.emitter.emit(|| Event::GraphShed {
+                        t,
+                        tenant,
+                        graph: seq,
+                        queued,
+                    });
+                    self.sh.metrics.add("server.graphs_shed", 1);
+                    return Submission::Shed {
+                        tenant: self.tenant,
+                        graph: seq,
+                    };
+                }
+                inner.tenants[tid].queue.push_back(pend);
+                return Submission::Queued(GraphTicket { cell });
+            }
+            (self.sh.admit_locked(&mut inner, tid, pend), cell)
+        };
+        dispatch(&self.sh, plan);
+        Submission::Admitted(GraphTicket { cell })
+    }
+}
+
+impl ServerShared {
+    /// Arbitrate and plan one admission. Caller holds the server lock
+    /// and has verified the tenant is not busy; this marks it busy,
+    /// recomputes quotas, re-plans the tenant's placement within its
+    /// quota, preempts over-quota victims if allowed, and enqueues the
+    /// ordered move list to the FIFO migration engine — all under the
+    /// lock, so concurrent admissions observe consistent intent and
+    /// the engine sees space-freeing demotions before the promotions
+    /// that rely on them.
+    fn admit_locked(&self, inner: &mut Inner, tid: usize, pend: Pending) -> DispatchPlan {
+        inner.tenants[tid].busy = true;
+        let budget = self.cfg.dram_budget;
+        let now = self.hms.now_ns();
+        let total_planned: u64 = inner.tenants.iter().map(planned_bytes).sum();
+        let mut free = budget.saturating_sub(total_planned);
+        let quotas: Option<Vec<u64>> = match &self.cfg.mode {
+            ArbiterMode::Quota(policy) => {
+                let demands: Vec<TenantDemand> = inner
+                    .tenants
+                    .iter()
+                    .map(|t| TenantDemand {
+                        weight: t.info.weight,
+                        demand: t.info.demand,
+                        active: t.busy || !t.queue.is_empty(),
+                    })
+                    .collect();
+                let q = arbiter::quotas(policy, budget, &demands);
+                for (i, t) in inner.tenants.iter_mut().enumerate() {
+                    if q[i] != t.last_quota {
+                        t.last_quota = q[i];
+                        let (tenant, demand) = (t.info.id, t.info.demand);
+                        self.emitter.emit(|| Event::TenantQuota {
+                            t: now,
+                            tenant,
+                            quota_bytes: q[i],
+                            demand_bytes: demand,
+                        });
+                    }
+                }
+                Some(q)
+            }
+            ArbiterMode::FreeForAll => None,
+        };
+        let info = Arc::clone(&inner.tenants[tid].info);
+        let cap = match &quotas {
+            Some(q) => q[tid],
+            // Free-for-all: keep what you have, grab what's free.
+            None => planned_bytes(&inner.tenants[tid]) + free,
+        };
+        let items: Vec<Item> = info
+            .sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| Item {
+                id: ObjectId(i as u32),
+                size,
+                value: info.values[i],
+            })
+            .collect();
+        let solution = tahoe_placement::solve(&items, cap);
+        let chosen: BTreeSet<usize> = solution.chosen.iter().map(|o| o.index()).collect();
+        let mut moves: Vec<(ObjectId, TierKind)> = Vec::new();
+
+        // Self-demotions: planned residents the new plan dropped.
+        let drops: Vec<usize> = inner.tenants[tid]
+            .planned
+            .iter()
+            .copied()
+            .filter(|i| !chosen.contains(i))
+            .collect();
+        for i in drops {
+            inner.tenants[tid].planned.remove(&i);
+            inner.tenants[tid].demoted_bytes += info.sizes[i];
+            free += info.sizes[i];
+            moves.push((info.ids[i], TierKind::Nvm));
+        }
+
+        // Promotions, highest predicted value first; under quota modes
+        // make room by preempting objects other tenants hold above
+        // their own quota (lowest-value victim first), otherwise drop
+        // promotions that do not fit.
+        let mut promote: Vec<usize> = chosen
+            .iter()
+            .copied()
+            .filter(|i| !inner.tenants[tid].planned.contains(i))
+            .collect();
+        promote.sort_by(|a, b| {
+            info.values[*b]
+                .partial_cmp(&info.values[*a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in promote {
+            let sz = info.sizes[i];
+            if let Some(q) = &quotas {
+                while free < sz {
+                    let mut best: Option<(usize, usize, f64)> = None;
+                    for (j, t) in inner.tenants.iter().enumerate() {
+                        if j == tid || planned_bytes(t) <= q[j] {
+                            continue;
+                        }
+                        for &oi in &t.planned {
+                            let v = t.info.values[oi];
+                            if best.is_none_or(|(_, _, bv)| v < bv) {
+                                best = Some((j, oi, v));
+                            }
+                        }
+                    }
+                    let Some((j, oi, _)) = best else { break };
+                    let victim = &mut inner.tenants[j];
+                    victim.planned.remove(&oi);
+                    victim.preempted += 1;
+                    let bytes = victim.info.sizes[oi];
+                    victim.demoted_bytes += bytes;
+                    free += bytes;
+                    moves.push((victim.info.ids[oi], TierKind::Nvm));
+                    let tenant = victim.info.id;
+                    self.emitter.emit(|| Event::TenantPreempt {
+                        t: now,
+                        tenant,
+                        object: oi as u32,
+                        bytes,
+                    });
+                    self.metrics.add("server.preemptions", 1);
+                }
+            }
+            if free >= sz {
+                inner.tenants[tid].planned.insert(i);
+                inner.tenants[tid].promoted_bytes += sz;
+                free -= sz;
+                moves.push((info.ids[i], TierKind::Dram));
+            }
+        }
+
+        if !moves.is_empty() {
+            let mig = self.migrator.lock().expect("migrator slot");
+            let mig = mig.as_ref().expect("migrator live until shutdown");
+            for (id, tier) in &moves {
+                mig.enqueue(*id, *tier);
+            }
+        }
+        DispatchPlan {
+            info,
+            seq: pend.seq,
+            run_seed: pend.run_seed,
+            submitted_ns: pend.submitted_ns,
+            ticket: pend.ticket,
+            quota: cap,
+        }
+    }
+}
+
+/// Execute an admission plan: emit the admission event, re-initialize
+/// the tenant's objects with the seeded deterministic fill, and hand
+/// the graph to the shared pool. Runs outside the server lock (the
+/// init fill and pool hand-off may block briefly on in-flight
+/// migrations of the same objects).
+fn dispatch(sh: &Arc<ServerShared>, plan: DispatchPlan) {
+    let DispatchPlan {
+        info,
+        seq,
+        run_seed,
+        submitted_ns,
+        ticket,
+        quota,
+    } = plan;
+    let tenant = info.id;
+    let admitted_ns = sh.hms.now_ns();
+    let queue_wait_ns = (admitted_ns - submitted_ns).max(0.0);
+    sh.emitter.emit(|| Event::GraphAdmitted {
+        t: admitted_ns,
+        tenant,
+        graph: seq,
+        queue_wait_ns,
+        quota_bytes: quota,
+    });
+
+    // Seeded re-init: every execution starts from the same fill a solo
+    // run would, so the canonical checksum is comparable run to run.
+    let mut init_sums = Vec::with_capacity(info.ids.len());
+    {
+        let pins = sh
+            .hms
+            .pin_for_task(&info.ids)
+            .expect("tenant objects are never freed");
+        for (i, pin) in pins.objects.iter().enumerate() {
+            // SAFETY: the pin blocks migration for every object, the
+            // arenas never remap, tenant objects are never freed, and
+            // per-tenant serialization plus cross-tenant disjointness
+            // make this the only live reference to these bytes.
+            #[allow(unsafe_code)]
+            let buf = unsafe { std::slice::from_raw_parts_mut(pin.as_ptr(), pin.len()) };
+            init_sums.push(traffic::init_fill(buf, init_seed(run_seed, i)));
+        }
+    }
+
+    let slots: Arc<Vec<AtomicU64>> =
+        Arc::new((0..info.n_slots).map(|_| AtomicU64::new(0)).collect());
+    let gate = Arc::new(ServerGate {
+        hms: Arc::clone(&sh.hms),
+        ids: Arc::clone(&info.ids),
+    });
+
+    let work = {
+        let sh = Arc::clone(sh);
+        let info = Arc::clone(&info);
+        let slots = Arc::clone(&slots);
+        Arc::new(move |worker: usize, tag: u32, task: &TaskSpec| {
+            let t0 = Instant::now();
+            let obj_ids: Vec<ObjectId> =
+                task.objects().iter().map(|o| info.ids[o.index()]).collect();
+            let pins = sh
+                .hms
+                .pin_for_task(&obj_ids)
+                .expect("tenant objects are never freed");
+            for (ai, access) in task.accesses.iter().enumerate() {
+                let hid = info.ids[access.object.index()];
+                let pin = pins
+                    .objects
+                    .iter()
+                    .find(|p| p.id == hid)
+                    .expect("every access object is pinned");
+                // Quartz-style software NVM emulation, identical to the
+                // single-tenant parallel path: native-speed kernel, then
+                // inject the cf-corrected slow-minus-fast difference.
+                let inject_ns = if pin.tier == TierKind::Nvm {
+                    let slow = access.profile.mem_time_ns(&sh.hms_cfg.nvm)
+                        * cf(&sh.cal, &access.profile, &sh.hms_cfg.nvm);
+                    let fast = access.profile.mem_time_ns(&sh.hms_cfg.dram)
+                        * cf(&sh.cal, &access.profile, &sh.hms_cfg.dram);
+                    (slow - fast).max(0.0)
+                } else {
+                    0.0
+                };
+                // SAFETY: the pin blocks moves and frees for the whole
+                // task, the arenas never remap, writes are exclusive by
+                // the graph's derived dependences, and tenants only ever
+                // reach their own (disjoint) objects — enforced at
+                // admission by the namespace check.
+                #[allow(unsafe_code)]
+                let c = unsafe {
+                    traffic::run_access_ptr(
+                        pin.as_ptr(),
+                        pin.len(),
+                        access.profile.loads,
+                        access.profile.stores,
+                        site_seed(run_seed, task.id.0, ai),
+                    )
+                };
+                slots[info.slot_base[task.id.index()] + ai].store(c, Ordering::Release);
+                if inject_ns > 0.0 {
+                    tahoe_realmem::throttle::pace_until(Instant::now(), inject_ns);
+                }
+            }
+            let waited = pins.waited_ns;
+            drop(pins);
+            let t = sh.hms.now_ns();
+            let (task_id, window, wall) = (task.id.0, task.window, t0.elapsed().as_nanos() as f64);
+            sh.emitter.emit(|| Event::WorkerTask {
+                t,
+                tenant: tag,
+                worker: worker as u32,
+                task: task_id,
+                window,
+                wall_ns: wall,
+                gate_wait_ns: waited,
+            });
+        })
+    };
+
+    let on_done: Box<dyn FnOnce() + Send> = {
+        let sh = Arc::clone(sh);
+        let info = Arc::clone(&info);
+        let slots = Arc::clone(&slots);
+        Box::new(move || {
+            // Canonical re-fold: init sums in object order, then every
+            // access slot in window/task/access order — the reference
+            // checksum's exact fold sequence.
+            let mut checksum = 0u64;
+            for s in &init_sums {
+                checksum = fold(checksum, *s);
+            }
+            for w in 0..info.windows {
+                for tid in info.graph.window_tasks(w) {
+                    let task = info.graph.task(tid);
+                    for ai in 0..task.accesses.len() {
+                        checksum = fold(
+                            checksum,
+                            slots[info.slot_base[tid.index()] + ai].load(Ordering::Acquire),
+                        );
+                    }
+                }
+            }
+            let finished_ns = sh.hms.now_ns();
+            let latency_ns = (finished_ns - submitted_ns).max(0.0);
+            let wall_ns = (finished_ns - admitted_ns).max(0.0);
+            sh.emitter.emit(|| Event::GraphDone {
+                t: finished_ns,
+                tenant,
+                graph: seq,
+                latency_ns,
+                wall_ns,
+            });
+            sh.metrics.add("server.graphs_completed", 1);
+            let next = {
+                let mut inner = sh.inner.lock().expect("server state");
+                {
+                    let st = &mut inner.tenants[tenant as usize];
+                    st.completed += 1;
+                    st.latencies.push(latency_ns);
+                    st.hist.record(latency_ns);
+                    st.busy = false;
+                }
+                let pend = inner.tenants[tenant as usize].queue.pop_front();
+                pend.map(|p| sh.admit_locked(&mut inner, tenant as usize, p))
+            };
+            // Fulfil before dispatching the next queued graph so a
+            // closed-loop submitter wakes as soon as its result exists.
+            ticket.fulfil(GraphOutcome {
+                tenant,
+                graph: seq,
+                run_seed,
+                checksum,
+                submitted_ns,
+                admitted_ns,
+                finished_ns,
+                latency_ns,
+                queue_wait_ns,
+            });
+            if let Some(p) = next {
+                dispatch(&sh, p);
+            }
+        })
+    };
+
+    let job = JobSpec {
+        tag: tenant,
+        graph: Arc::clone(&info.graph),
+        gate,
+        work,
+        on_window: None,
+        on_done: Some(on_done),
+    };
+    let pool = sh.pool.lock().expect("pool slot");
+    pool.as_ref().expect("pool live until shutdown").submit(job);
+}

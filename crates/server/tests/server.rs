@@ -1,0 +1,321 @@
+//! End-to-end multi-tenant server tests: isolation at admission,
+//! bit-exact determinism under cross-tenant contention, preemption of
+//! cold tenants, and admission-control shedding.
+
+use tahoe_core::app::{App, AppBuilder, ObjectSpec};
+use tahoe_core::measured::reference_checksum_seeded;
+use tahoe_hms::{AccessProfile, ObjectId, TierSpec};
+use tahoe_memprof::wallclock::{MeasuredTier, WallClockCalibration};
+use tahoe_obs::{Emitter, Metrics};
+use tahoe_server::{
+    driver, AdmitError, ArbiterMode, QuotaPolicy, ServerConfig, TahoeServer, TenantSpec,
+};
+use tahoe_taskrt::{AccessMode, TaskAccess, TaskGraph};
+
+/// Synthetic calibration (no kernel measurement): DRAM 10 GB/s /
+/// 100 ns, NVM 3x slower, correction factors 1.0 — machine-independent
+/// and fast.
+fn cal() -> WallClockCalibration {
+    WallClockCalibration {
+        dram: TierSpec::symmetric("dram", 100.0, 10.0, 1 << 20),
+        nvm: TierSpec::symmetric("nvm", 300.0, 3.0, 1 << 24),
+        cf_bw: 1.0,
+        cf_lat: 1.0,
+        measured: MeasuredTier {
+            stream_bw_gbps: 10.0,
+            chase_lat_ns: 100.0,
+            stream_wall_ns: 1000.0,
+            chase_wall_ns: 1000.0,
+        },
+    }
+}
+
+fn config(mode: ArbiterMode, dram_budget: u64, max_queue: usize) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        dram_budget,
+        nvm_capacity: 1 << 24,
+        mode,
+        max_queue,
+    }
+}
+
+fn quota_mode() -> ArbiterMode {
+    ArbiterMode::Quota(QuotaPolicy::DemandProportional { floor_frac: 0.5 })
+}
+
+/// A tenant app: one hot object touched by every task plus `cold`
+/// rarely-touched objects, across `windows` windows of `tasks_per_w`
+/// tasks.
+fn tenant_app(name: &str, hot_bytes: u64, cold: u32, windows: u32, tasks_per_w: u32) -> App {
+    let mut b = AppBuilder::new(name);
+    let hot = b.object("hot", hot_bytes);
+    let colds: Vec<ObjectId> = (0..cold)
+        .map(|i| b.object(&format!("cold{i}"), hot_bytes))
+        .collect();
+    let c = b.class("work");
+    for w in 0..windows {
+        if w > 0 {
+            b.next_window();
+        }
+        for t in 0..tasks_per_w {
+            let mut tb = b.task(c).update_streaming(hot, 256);
+            if t == 0 {
+                if let Some(cid) = colds.get((w as usize) % colds.len().max(1)) {
+                    tb = tb.read_streaming(*cid, 16);
+                }
+            }
+            tb.submit();
+        }
+    }
+    b.build()
+}
+
+fn server(cfg: ServerConfig) -> TahoeServer {
+    TahoeServer::new(cfg, cal(), Emitter::disabled(), Metrics::disabled()).expect("server")
+}
+
+#[test]
+fn foreign_object_reference_is_rejected_at_admission() {
+    let srv = server(config(quota_mode(), 64 << 10, 1));
+    // A well-behaved tenant registers fine.
+    let good = srv
+        .register_tenant(
+            TenantSpec::new("good", 1.0),
+            tenant_app("good", 8 << 10, 1, 2, 2),
+        )
+        .expect("valid tenant");
+
+    // A malicious/buggy tenant hands over a graph referencing object
+    // index 42 while declaring a single object — the only way to name
+    // another tenant's memory, since global ids are never exposed.
+    let mut graph = TaskGraph::new();
+    let c = graph.class("evil");
+    graph.add_task(
+        c,
+        vec![TaskAccess::new(
+            ObjectId(42),
+            AccessMode::Write,
+            AccessProfile::streaming(0, 64),
+        )],
+        0.0,
+    );
+    let evil = App {
+        name: "evil".into(),
+        objects: vec![ObjectSpec {
+            name: "only".into(),
+            size: 4096,
+            chunkable: false,
+            est_refs: None,
+        }],
+        graph,
+    };
+    let err = match srv.register_tenant(TenantSpec::new("evil", 1.0), evil) {
+        Err(e) => e,
+        Ok(_) => panic!("foreign reference must be rejected"),
+    };
+    assert!(
+        matches!(
+            err,
+            AdmitError::ForeignObject {
+                object: 42,
+                owned: 1,
+                ..
+            }
+        ),
+        "wrong rejection: {err}"
+    );
+
+    // The rejection left no trace: the good tenant still runs and its
+    // result is still bit-exact.
+    let outcome = good.submit(5).ticket().expect("admitted").wait();
+    assert_eq!(
+        outcome.checksum,
+        reference_checksum_seeded(&tenant_app("good", 8 << 10, 1, 2, 2), 5)
+    );
+    let report = srv.shutdown();
+    assert_eq!(report.tenants.len(), 1, "evil tenant was never registered");
+    assert_eq!(report.completed_total(), 1);
+}
+
+#[test]
+fn checksums_under_contention_match_solo_references() {
+    // Budget fits roughly half the hot sets: constant arbitration,
+    // migration and preemption while three tenants run closed-loop.
+    let hot = 16 << 10;
+    let srv = server(config(quota_mode(), 2 * hot + 4096, 2));
+    let apps: Vec<App> = (0..3)
+        .map(|i| tenant_app(&format!("t{i}"), hot, 2, 3, 2))
+        .collect();
+    let handles: Vec<_> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            srv.register_tenant(
+                TenantSpec::new(&format!("t{i}"), 1.0),
+                tenant_app(&format!("t{i}"), hot, 2, 3, 2),
+            )
+            .expect("register")
+        })
+        .collect();
+    let refs: Vec<u64> = handles
+        .iter()
+        .zip(&apps)
+        .map(|(h, app)| reference_checksum_seeded(app, driver::tenant_seed(11, h.tenant())))
+        .collect();
+
+    let outcomes = driver::closed_loop(&handles.iter().collect::<Vec<_>>(), 4, 11);
+    assert_eq!(outcomes.len(), 12);
+    for o in &outcomes {
+        assert_eq!(
+            o.checksum, refs[o.tenant as usize],
+            "tenant {} graph {} diverged from its solo reference",
+            o.tenant, o.graph
+        );
+    }
+    let report = srv.shutdown();
+    assert_eq!(report.completed_total(), 12);
+    for t in &report.tenants {
+        assert_eq!(t.completed, 4);
+        assert_eq!(t.shed, 0, "closed loop never sheds");
+        assert_eq!(t.latencies_ns.len(), 4);
+        assert_eq!(t.hist.count(), 4);
+    }
+}
+
+#[test]
+fn idle_tenant_hot_set_is_preempted_by_active_tenant() {
+    // Budget holds exactly one hot object: whoever is active should
+    // own it, and an idle tenant's cached copy must be demoted.
+    let hot = 16 << 10;
+    let srv = server(config(quota_mode(), hot + 2048, 1));
+    let a = srv
+        .register_tenant(TenantSpec::new("a", 1.0), tenant_app("a", hot, 1, 2, 2))
+        .expect("register a");
+    let b = srv
+        .register_tenant(TenantSpec::new("b", 1.0), tenant_app("b", hot, 1, 2, 2))
+        .expect("register b");
+
+    // Tenant a runs alone: as the only active tenant it gets the whole
+    // budget and promotes its hot object...
+    driver::warmup(&a, 2, 3);
+    // ...then goes idle (quota zero). Tenant b's admissions must be
+    // able to reclaim the DRAM.
+    let b_out = driver::warmup(&b, 2, 3);
+    assert_eq!(
+        b_out[0].checksum,
+        reference_checksum_seeded(&tenant_app("b", hot, 1, 2, 2), driver::tenant_seed(3, 1))
+    );
+    let report = srv.shutdown();
+    let ta = &report.tenants[0];
+    assert!(
+        ta.promoted_bytes >= hot,
+        "solo warmup must promote a's hot object (promoted {})",
+        ta.promoted_bytes
+    );
+    assert!(
+        report.preempted_total() >= 1,
+        "b's admission must preempt idle a's DRAM residents"
+    );
+    let tb = &report.tenants[1];
+    assert!(
+        tb.promoted_bytes >= hot,
+        "b must win the DRAM once a is idle (promoted {})",
+        tb.promoted_bytes
+    );
+}
+
+#[test]
+fn full_queue_sheds_and_counts() {
+    let srv = server(config(quota_mode(), 32 << 10, 1));
+    let h = srv
+        .register_tenant(
+            TenantSpec::new("bursty", 1.0),
+            tenant_app("bursty", 16 << 10, 1, 3, 4),
+        )
+        .expect("register");
+    // Back-to-back burst of 5 with a queue bound of 1: one runs, one
+    // queues, the rest shed at admission.
+    let (done, shed) = driver::burst(&h, 5, 1);
+    assert!(shed >= 1, "burst past the queue bound must shed");
+    assert_eq!(done.len() as u64 + shed, 5);
+    let report = srv.shutdown();
+    let t = &report.tenants[0];
+    assert_eq!(t.submitted, 5);
+    assert_eq!(t.shed, shed);
+    assert_eq!(t.completed, done.len() as u64);
+    assert_eq!(report.shed_total(), shed);
+}
+
+#[test]
+fn free_for_all_mode_never_preempts_but_still_validates() {
+    let hot = 16 << 10;
+    let srv = server(config(ArbiterMode::FreeForAll, hot + 2048, 2));
+    let apps: Vec<App> = (0..2)
+        .map(|i| tenant_app(&format!("f{i}"), hot, 1, 2, 2))
+        .collect();
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            srv.register_tenant(
+                TenantSpec::new(&format!("f{i}"), 1.0),
+                tenant_app(&format!("f{i}"), hot, 1, 2, 2),
+            )
+            .expect("register")
+        })
+        .collect();
+    let outcomes = driver::closed_loop(&handles.iter().collect::<Vec<_>>(), 3, 21);
+    for o in &outcomes {
+        assert_eq!(
+            o.checksum,
+            reference_checksum_seeded(&apps[o.tenant as usize], driver::tenant_seed(21, o.tenant)),
+            "free-for-all still deterministic"
+        );
+    }
+    let report = srv.shutdown();
+    assert_eq!(report.preempted_total(), 0, "free-for-all never preempts");
+    assert_eq!(report.completed_total(), 6);
+}
+
+#[test]
+fn submission_sequence_numbers_are_unique_and_outcomes_consistent() {
+    let srv = server(config(quota_mode(), 48 << 10, 2));
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            srv.register_tenant(
+                TenantSpec::new(&format!("s{i}"), 1.0 + i as f64),
+                tenant_app(&format!("s{i}"), 8 << 10, 1, 2, 2),
+            )
+            .expect("register")
+        })
+        .collect();
+    let outcomes = driver::closed_loop(&handles.iter().collect::<Vec<_>>(), 3, 0);
+    let mut seqs: Vec<u64> = outcomes.iter().map(|o| o.graph).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 9, "sequence numbers are globally unique");
+    for o in &outcomes {
+        assert!(o.latency_ns >= o.queue_wait_ns);
+        assert!(o.finished_ns >= o.admitted_ns);
+        assert!(o.admitted_ns >= o.submitted_ns);
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn queued_submission_runs_after_the_busy_graph() {
+    let srv = server(config(quota_mode(), 32 << 10, 2));
+    let h = srv
+        .register_tenant(TenantSpec::new("q", 1.0), tenant_app("q", 8 << 10, 1, 3, 3))
+        .expect("register");
+    let first = h.submit(1);
+    let second = h.submit(1);
+    // The second submission either queued behind the first or (if the
+    // first finished already) was admitted; both must complete.
+    assert!(!second.is_shed());
+    let o1 = first.ticket().expect("first").wait();
+    let o2 = second.ticket().expect("second").wait();
+    assert_eq!(o1.checksum, o2.checksum, "same seed, same result");
+    assert!(o2.finished_ns >= o1.finished_ns);
+    let report = srv.shutdown();
+    assert_eq!(report.tenants[0].completed, 2);
+}

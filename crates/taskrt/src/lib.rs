@@ -20,6 +20,9 @@
 //! * [`wsexec`] — a real work-stealing executor (crossbeam deques, real
 //!   threads) used by the examples and tests to demonstrate that the same
 //!   task graphs execute correctly under genuine parallelism.
+//! * [`pool`] — a long-lived multi-graph work-stealing pool: one set of
+//!   worker threads executing many tagged task graphs concurrently with
+//!   per-job window barriers (the multi-tenant server's executor).
 //! * [`lookahead`] — deterministic extraction of the "soon-to-run" task
 //!   window the proactive migration planner consumes.
 //! * [`obs`] — a [`simsched::SchedulerHooks`] decorator that emits the
@@ -34,6 +37,7 @@ pub mod deps;
 pub mod graph;
 pub mod lookahead;
 pub mod obs;
+pub mod pool;
 pub mod simsched;
 pub mod stats;
 pub mod task;
@@ -42,6 +46,7 @@ pub mod wsexec;
 
 pub use graph::TaskGraph;
 pub use obs::ObsHooks;
+pub use pool::{JobHandle, JobSpec, PoolStats, TaskPool};
 pub use simsched::{NullHooks, SchedulerHooks, SimScheduler};
 pub use stats::SchedStats;
 pub use task::{AccessMode, TaskAccess, TaskClassId, TaskId, TaskSpec};

@@ -1,0 +1,659 @@
+//! Long-lived work-stealing pool executing many task graphs at once.
+//!
+//! [`crate::wsexec`] spawns scoped threads per run and executes one graph
+//! (or one window) to completion — the right shape for a single
+//! measured-mode run. A multi-tenant server needs the opposite shape: one
+//! set of worker threads that outlives every submission, onto which task
+//! graphs from different tenants are dispatched *concurrently*, so one
+//! tenant's window barrier never stalls another tenant's ready tasks.
+//!
+//! [`TaskPool`] is that executor. Each submitted [`JobSpec`] carries its
+//! own graph, [`DataGate`], work closure and a caller-chosen `tag`
+//! (the tenant id in the server); the pool interleaves ready tasks from
+//! all active jobs over the shared Chase–Lev deques. Window barriers are
+//! *per job*: the worker that retires a job's last task of window `w`
+//! advances that job to `w + 1` (running its `on_window` hook — the
+//! server's plan hand-off point) and seeds the next window's roots,
+//! while tasks of other jobs keep flowing around it.
+//!
+//! Dependence counting uses the same release/acquire discipline as
+//! `wsexec`: the decrement a finishing task performs on each same-window
+//! successor's pending count releases its writes, and the worker that
+//! drops the count to zero acquires them.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use crossbeam::utils::Backoff;
+
+use crate::graph::TaskGraph;
+use crate::task::{TaskId, TaskSpec};
+use crate::wsexec::DataGate;
+
+/// One schedulable unit: a task of a specific job.
+type Unit = (Arc<JobState>, TaskId);
+
+/// Work closure: `(worker index, job tag, task)`. The tag is the
+/// caller's routing key — the multi-tenant server passes the tenant id,
+/// so every executed task knows which tenant it ran for.
+pub type PoolWork = dyn Fn(usize, u32, &TaskSpec) + Send + Sync;
+
+/// Per-window hook, called by the advancing worker when the job crosses
+/// the barrier *into* the given window (never for window 0 — the caller
+/// observes submission itself).
+pub type WindowHook = dyn Fn(u32) + Send + Sync;
+
+/// A task graph submission for the pool.
+pub struct JobSpec {
+    /// Caller's routing key, handed to every `work` call (tenant id).
+    pub tag: u32,
+    /// The graph to execute, window barriers respected per job.
+    pub graph: Arc<TaskGraph>,
+    /// Data-readiness gate consulted before every task.
+    pub gate: Arc<dyn DataGate + Send + Sync>,
+    /// Per-task work closure.
+    pub work: Arc<PoolWork>,
+    /// Barrier hook: runs on the advancing worker when the job enters
+    /// window `w` (1-based in practice), before that window's roots are
+    /// published. The server enqueues its migration plan here.
+    pub on_window: Option<Box<WindowHook>>,
+    /// Completion hook: runs exactly once, on the worker that retires
+    /// the job's last task, before `JobHandle::wait` unblocks.
+    pub on_done: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// Internal per-job execution state.
+struct JobState {
+    tag: u32,
+    graph: Arc<TaskGraph>,
+    gate: Arc<dyn DataGate + Send + Sync>,
+    work: Arc<PoolWork>,
+    on_window: Option<Box<WindowHook>>,
+    on_done: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+    /// Pending same-window predecessor counts, indexed by task.
+    pending: Vec<AtomicU32>,
+    /// Tasks left in the current window.
+    remaining: AtomicUsize,
+    /// Current window.
+    window: AtomicU32,
+    /// Summed gate wait, whole ns.
+    gate_wait: AtomicU64,
+    /// Completion flag + wakeup for `JobHandle::wait`.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl JobState {
+    /// Count `t`'s predecessors inside window `w` (cross-window edges
+    /// are satisfied by the per-job barrier).
+    fn in_window_preds(&self, t: TaskId, w: u32) -> u32 {
+        self.graph
+            .preds(t)
+            .iter()
+            .filter(|p| self.graph.task(**p).window == w)
+            .count() as u32
+    }
+}
+
+/// Handle to one submitted job.
+pub struct JobHandle {
+    state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// Block until the job's last task retired (and its `on_done` hook
+    /// returned).
+    pub fn wait(&self) {
+        let mut done = self.state.done.lock().expect("job done flag");
+        while !*done {
+            done = self.state.done_cv.wait(done).expect("job done flag");
+        }
+    }
+
+    /// Whether the job has completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        *self.state.done.lock().expect("job done flag")
+    }
+
+    /// Total wall-clock ns this job's tasks spent blocked in the gate.
+    pub fn gate_wait_ns(&self) -> f64 {
+        self.state.gate_wait.load(Ordering::Relaxed) as f64
+    }
+
+    /// The job's routing tag.
+    pub fn tag(&self) -> u32 {
+        self.state.tag
+    }
+}
+
+/// Aggregate statistics over the pool's lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks executed across all jobs.
+    pub tasks_executed: u64,
+    /// Successful steals (injector or peer acquisitions).
+    pub steals: u64,
+    /// Jobs run to completion.
+    pub jobs_completed: u64,
+}
+
+/// Shared worker-side state.
+struct PoolShared {
+    injector: Injector<Unit>,
+    stealers: Vec<Stealer<Unit>>,
+    shutdown: AtomicBool,
+    active_jobs: AtomicUsize,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    jobs_completed: AtomicU64,
+}
+
+/// A long-lived multi-graph work-stealing pool.
+///
+/// Workers are real OS threads spawned at construction and joined at
+/// [`shutdown`](TaskPool::shutdown); submissions interleave freely.
+pub struct TaskPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// A pool with `threads` workers (`0` clamps to 1, like
+    /// [`crate::wsexec::WsExecutor::new`]).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let locals: Vec<Worker<Unit>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Unit>> = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            active_jobs: AtomicUsize::new(0),
+            tasks_executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tahoe-pool-{me}"))
+                    .spawn(move || worker_loop(me, local, shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        TaskPool {
+            shared,
+            threads: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.active_jobs.load(Ordering::Acquire)
+    }
+
+    /// Submit a job; its window-0 roots become stealable immediately.
+    ///
+    /// An empty graph completes synchronously (hooks still run).
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let n = spec.graph.len();
+        let state = Arc::new(JobState {
+            tag: spec.tag,
+            graph: spec.graph,
+            gate: spec.gate,
+            work: spec.work,
+            on_window: spec.on_window,
+            on_done: Mutex::new(spec.on_done),
+            pending: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            remaining: AtomicUsize::new(0),
+            window: AtomicU32::new(0),
+            gate_wait: AtomicU64::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        if n == 0 {
+            if let Some(cb) = state.on_done.lock().expect("on_done slot").take() {
+                cb();
+            }
+            *state.done.lock().expect("job done flag") = true;
+            return JobHandle { state };
+        }
+        self.shared.active_jobs.fetch_add(1, Ordering::AcqRel);
+        // Seed window 0 (skipping leading empty windows, which only a
+        // degenerate graph has).
+        let mut w = 0u32;
+        loop {
+            let tasks = state.graph.window_tasks(w);
+            if !tasks.is_empty() {
+                state.window.store(w, Ordering::Relaxed);
+                let mut roots = Vec::new();
+                for &t in &tasks {
+                    let p = state.in_window_preds(t, w);
+                    state.pending[t.index()].store(p, Ordering::Relaxed);
+                    if p == 0 {
+                        roots.push(t);
+                    }
+                }
+                state.remaining.store(tasks.len(), Ordering::Release);
+                for t in roots {
+                    self.shared.injector.push((Arc::clone(&state), t));
+                }
+                break;
+            }
+            w += 1;
+            debug_assert!(w < state.graph.window_count(), "graph has tasks");
+        }
+        JobHandle {
+            state: Arc::clone(&state),
+        }
+    }
+
+    /// Stop the workers and return lifetime statistics.
+    ///
+    /// Waits for all active jobs to drain first, so no submitted work is
+    /// abandoned.
+    pub fn shutdown(self) -> PoolStats {
+        let backoff = Backoff::new();
+        while self.shared.active_jobs.load(Ordering::Acquire) > 0 {
+            if backoff.is_completed() {
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                backoff.snooze();
+            }
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.threads {
+            let _ = h.join();
+        }
+        PoolStats {
+            tasks_executed: self.shared.tasks_executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            jobs_completed: self.shared.jobs_completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn worker_loop(me: usize, local: Worker<Unit>, shared: Arc<PoolShared>) {
+    let backoff = Backoff::new();
+    loop {
+        let unit = local.pop().or_else(|| {
+            std::iter::repeat_with(|| {
+                shared.injector.steal_batch_and_pop(&local).or_else(|| {
+                    shared
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != me)
+                        .map(|(_, s)| s.steal())
+                        .collect()
+                })
+            })
+            .find(|s| !s.is_retry())
+            .and_then(|s| {
+                let got = s.success();
+                if got.is_some() {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                got
+            })
+        });
+        match unit {
+            Some((job, tid)) => {
+                backoff.reset();
+                run_task(me, job, tid, &local, &shared);
+            }
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                // Long-lived pool: back off to a real sleep when idle
+                // instead of spinning forever.
+                if backoff.is_completed() {
+                    std::thread::sleep(Duration::from_micros(200));
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+fn run_task(me: usize, job: Arc<JobState>, tid: TaskId, local: &Worker<Unit>, shared: &PoolShared) {
+    let spec = job.graph.task(tid);
+    let waited = job.gate.wait_ready(spec);
+    if waited > 0.0 {
+        job.gate_wait.fetch_add(waited as u64, Ordering::Relaxed);
+    }
+    (job.work)(me, job.tag, spec);
+    shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    let w = job.window.load(Ordering::Relaxed);
+    for &s in job.graph.succs(tid) {
+        if job.graph.task(s).window != w {
+            // Later-window successor: seeded when its window opens.
+            continue;
+        }
+        // Release our writes; the zero-observer acquires them.
+        if job.pending[s.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+            local.push((Arc::clone(&job), s));
+        }
+    }
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        advance(job, shared);
+    }
+}
+
+/// Cross the job's window barrier: run the `on_window` hook, seed the
+/// next non-empty window, or retire the job. Only the worker that
+/// retired the window's last task gets here, so the seeding is
+/// single-threaded per job.
+fn advance(job: Arc<JobState>, shared: &PoolShared) {
+    let mut next = job.window.load(Ordering::Relaxed) + 1;
+    while next < job.graph.window_count() {
+        let tasks = job.graph.window_tasks(next);
+        if tasks.is_empty() {
+            next += 1;
+            continue;
+        }
+        job.window.store(next, Ordering::Relaxed);
+        if let Some(cb) = &job.on_window {
+            cb(next);
+        }
+        let mut roots = Vec::new();
+        for &t in &tasks {
+            let p = job.in_window_preds(t, next);
+            job.pending[t.index()].store(p, Ordering::Relaxed);
+            if p == 0 {
+                roots.push(t);
+            }
+        }
+        job.remaining.store(tasks.len(), Ordering::Release);
+        for t in roots {
+            shared.injector.push((Arc::clone(&job), t));
+        }
+        return;
+    }
+    // No windows left: the job is complete.
+    if let Some(cb) = job.on_done.lock().expect("on_done slot").take() {
+        cb();
+    }
+    shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    shared.active_jobs.fetch_sub(1, Ordering::AcqRel);
+    let mut done = job.done.lock().expect("job done flag");
+    *done = true;
+    job.done_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{AccessMode, TaskAccess};
+    use crate::wsexec::NoGate;
+    use std::sync::atomic::AtomicI64;
+    use tahoe_hms::{AccessProfile, ObjectId};
+
+    fn wr(o: u32) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), AccessMode::Write, AccessProfile::EMPTY)
+    }
+
+    fn rd(o: u32) -> TaskAccess {
+        TaskAccess::new(ObjectId(o), AccessMode::Read, AccessProfile::EMPTY)
+    }
+
+    fn job(graph: TaskGraph, tag: u32, work: Arc<PoolWork>) -> JobSpec {
+        JobSpec {
+            tag,
+            graph: Arc::new(graph),
+            gate: Arc::new(NoGate),
+            work,
+            on_window: None,
+            on_done: None,
+        }
+    }
+
+    #[test]
+    fn two_jobs_interleave_and_both_complete() {
+        let pool = TaskPool::new(2);
+        let counts: Vec<AtomicU64> = (0..2).map(|_| AtomicU64::new(0)).collect();
+        let counts = Arc::new(counts);
+        let handles: Vec<JobHandle> = (0..2u32)
+            .map(|tag| {
+                let mut g = TaskGraph::new();
+                let c = g.class("x");
+                for i in 0..100 {
+                    g.add_task(c, vec![wr(i)], 0.0);
+                }
+                let counts = Arc::clone(&counts);
+                pool.submit(job(
+                    g,
+                    tag,
+                    Arc::new(move |_, t, _| {
+                        counts[t as usize].fetch_add(1, Ordering::Relaxed);
+                    }),
+                ))
+            })
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        assert_eq!(counts[0].load(Ordering::Relaxed), 100);
+        assert_eq!(counts[1].load(Ordering::Relaxed), 100);
+        let stats = pool.shutdown();
+        assert_eq!(stats.tasks_executed, 200);
+        assert_eq!(stats.jobs_completed, 2);
+    }
+
+    #[test]
+    fn tag_reaches_every_work_call() {
+        let pool = TaskPool::new(2);
+        let bad = Arc::new(AtomicU64::new(0));
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..50 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let bad2 = Arc::clone(&bad);
+        let h = pool.submit(job(
+            g,
+            7,
+            Arc::new(move |_, tag, _| {
+                if tag != 7 {
+                    bad2.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        ));
+        h.wait();
+        assert_eq!(h.tag(), 7);
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dependence_chain_order_is_respected() {
+        let pool = TaskPool::new(4);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for _ in 0..64 {
+            // Read-write on one object: a total chain.
+            g.add_task(
+                c,
+                vec![TaskAccess::new(
+                    ObjectId(0),
+                    AccessMode::ReadWrite,
+                    AccessProfile::EMPTY,
+                )],
+                0.0,
+            );
+        }
+        let log2 = Arc::clone(&log);
+        let h = pool.submit(job(
+            g,
+            0,
+            Arc::new(move |_, _, t| {
+                log2.lock().push(t.id.0);
+            }),
+        ));
+        h.wait();
+        let expect: Vec<u32> = (0..64).collect();
+        assert_eq!(*log.lock(), expect);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn window_barrier_is_per_job_and_on_window_fires() {
+        let pool = TaskPool::new(4);
+        // Job with 3 windows of 8 tasks; each window reads the previous
+        // window's objects.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..8 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        g.mark_window();
+        for i in 0..8 {
+            g.add_task(c, vec![rd(i), wr(8 + i)], 0.0);
+        }
+        g.mark_window();
+        for i in 0..8 {
+            g.add_task(c, vec![rd(8 + i), wr(16 + i)], 0.0);
+        }
+        let windows_seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order_ok = Arc::new(AtomicU64::new(1));
+        let max_done_window = Arc::new(AtomicI64::new(-1));
+        let ws = Arc::clone(&windows_seen);
+        let ok = Arc::clone(&order_ok);
+        let mx = Arc::clone(&max_done_window);
+        let h = pool.submit(JobSpec {
+            tag: 0,
+            graph: Arc::new(g),
+            gate: Arc::new(NoGate),
+            work: Arc::new(move |_, _, t| {
+                // A task of window w must never run before every task of
+                // window w-1 finished; track the highest fully-started
+                // window crudely via the barrier hook order instead.
+                let entered = ws.lock().len() as i64;
+                if (t.window as i64) > entered {
+                    ok.store(0, Ordering::Relaxed);
+                }
+                mx.fetch_max(t.window as i64, Ordering::Relaxed);
+            }),
+            on_window: Some(Box::new(move |w| {
+                windows_seen.lock().push(w);
+            })),
+            on_done: None,
+        });
+        h.wait();
+        assert_eq!(order_ok.load(Ordering::Relaxed), 1, "barrier violated");
+        assert_eq!(max_done_window.load(Ordering::Relaxed), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn on_done_runs_before_wait_returns() {
+        let pool = TaskPool::new(2);
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..10 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let h = pool.submit(JobSpec {
+            tag: 0,
+            graph: Arc::new(g),
+            gate: Arc::new(NoGate),
+            work: Arc::new(|_, _, _| {}),
+            on_window: None,
+            on_done: Some(Box::new(move || {
+                f2.store(1, Ordering::Release);
+            })),
+        });
+        h.wait();
+        assert_eq!(flag.load(Ordering::Acquire), 1);
+        assert!(h.is_done());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_graph_completes_synchronously() {
+        let pool = TaskPool::new(1);
+        let h = pool.submit(job(TaskGraph::new(), 0, Arc::new(|_, _, _| {})));
+        assert!(h.is_done());
+        h.wait();
+        let stats = pool.shutdown();
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    fn gate_waits_are_summed_per_job() {
+        struct FixedGate;
+        impl DataGate for FixedGate {
+            fn wait_ready(&self, _t: &TaskSpec) -> f64 {
+                3.0
+            }
+        }
+        let pool = TaskPool::new(2);
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        for i in 0..20 {
+            g.add_task(c, vec![wr(i)], 0.0);
+        }
+        let h = pool.submit(JobSpec {
+            tag: 0,
+            graph: Arc::new(g),
+            gate: Arc::new(FixedGate),
+            work: Arc::new(|_, _, _| {}),
+            on_window: None,
+            on_done: None,
+        });
+        h.wait();
+        assert_eq!(h.gate_wait_ns(), 60.0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn many_jobs_from_many_submitter_threads() {
+        let pool = Arc::new(TaskPool::new(4));
+        let total = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for tag in 0..8u32 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let mut g = TaskGraph::new();
+                        let c = g.class("x");
+                        for i in 0..25 {
+                            g.add_task(c, vec![wr(i)], 0.0);
+                        }
+                        let total = Arc::clone(&total);
+                        let h = pool.submit(JobSpec {
+                            tag,
+                            graph: Arc::new(g),
+                            gate: Arc::new(NoGate),
+                            work: Arc::new(move |_, _, _| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }),
+                            on_window: None,
+                            on_done: None,
+                        });
+                        h.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 4 * 25);
+        let stats = Arc::try_unwrap(pool).ok().expect("sole owner").shutdown();
+        assert_eq!(stats.jobs_completed, 32);
+    }
+}
