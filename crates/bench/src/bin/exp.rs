@@ -19,6 +19,13 @@ fn real_dir() -> String {
     std::env::var("REAL_DIR").unwrap_or_else(|_| "target/real-artifact".to_string())
 }
 
+/// Output directory for the 3-tier `real --tiers 3` artifact (override
+/// with `REAL3_DIR`). Separate from `real_dir` so the two sweeps'
+/// `BENCH_real.json` files never clobber each other.
+fn real3_dir() -> String {
+    std::env::var("REAL3_DIR").unwrap_or_else(|_| "target/real3-artifact".to_string())
+}
+
 /// Output directory for the `par` artifact (override with `PAR_DIR`).
 fn par_dir() -> String {
     std::env::var("PAR_DIR").unwrap_or_else(|_| "target/par-artifact".to_string())
@@ -43,9 +50,19 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     args.retain(|a| a != "--smoke");
+    // `--tiers N` (default 2) selects the platform depth of `real`.
+    let mut tiers = 2usize;
+    if let Some(i) = args.iter().position(|a| a == "--tiers") {
+        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--tiers requires a numeric argument");
+            return ExitCode::FAILURE;
+        };
+        tiers = v;
+        args.drain(i..=i + 1);
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant> [--smoke] [more experiments]"
+            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant> [--smoke] [--tiers N] [more experiments]"
         );
         return ExitCode::FAILURE;
     }
@@ -59,7 +76,8 @@ fn main() -> ExitCode {
                 }
             }
             "real" => {
-                if let Err(e) = tahoe_bench::real(smoke, &real_dir()) {
+                let dir = if tiers >= 3 { real3_dir() } else { real_dir() };
+                if let Err(e) = tahoe_bench::real(smoke, tiers, &dir) {
                     eprintln!("real experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }

@@ -7,9 +7,19 @@
 //! * `tahoe-bench-obs/v1` — the simulated capture is deterministic, so
 //!   the digest must match the baseline **exactly** (event counts per
 //!   kind, task count, makespan).
-//! * `tahoe-bench-real/v1` — wall clocks vary per machine; the gate
-//!   checks the consistency flags and that the DRAM/NVM throughput
-//!   ratio stays within a tolerance band of the baseline's ratio.
+//! * `tahoe-bench-real/v1` and `/v2` — wall clocks vary per machine;
+//!   the gate checks the consistency flags and that the DRAM/NVM
+//!   throughput ratio stays within a tolerance band of the baseline's
+//!   ratio. A committed v1 baseline may gate a v2 fresh artifact (v2
+//!   is a superset: it adds the `tiers` table, per-policy
+//!   `final_tier_objects`, and — for 3-tier sweeps — `plan`/`modelled`
+//!   blocks), so the schema bump does not orphan old baselines. When
+//!   the fresh artifact carries a `modelled` block the gate also
+//!   re-derives the 3-tier case: the middle tier holds a latency-bound
+//!   object, the 3-tier modelled runtime beats both 2-tier
+//!   degenerations, and — the modelled numbers being calibration-free
+//!   and deterministic — a baseline `modelled` block must be
+//!   reproduced to float round-off.
 //! * `tahoe-bench-par/v1` — consistency flags, Tahoe still migrates at
 //!   ≥2 workers, the best migration overlap has not collapsed relative
 //!   to the baseline, and — when the fresh machine actually has ≥2
@@ -40,6 +50,12 @@ pub const OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 /// Multiplicative tolerance band for the real-mode throughput ratio.
 pub const REAL_RATIO_BAND: f64 = 2.5;
+
+/// Relative tolerance for the deterministic 3-tier `modelled` block:
+/// the numbers derive from preset tier specs and the task graph alone
+/// (no machine calibration), so baseline and fresh must agree to float
+/// round-off.
+pub const REAL3_MODEL_TOL: f64 = 1e-9;
 
 /// Fresh best-overlap must retain at least this fraction of baseline's.
 pub const PAR_OVERLAP_RETENTION: f64 = 0.2;
@@ -96,12 +112,18 @@ fn schema_of(v: &Value) -> Result<&str, String> {
 pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
     let bs = schema_of(baseline)?;
     let fs = schema_of(fresh)?;
+    // Migration shim: a committed `tahoe-bench-real/v1` baseline still
+    // gates a v2 fresh artifact — every field the v1 comparison reads
+    // survives unchanged in v2, which only adds blocks.
+    if bs == "tahoe-bench-real/v1" && fs == "tahoe-bench-real/v2" {
+        return compare_real_any(baseline, fresh);
+    }
     if bs != fs {
         return Err(format!("schema mismatch: baseline `{bs}` vs fresh `{fs}`"));
     }
     match bs {
         "tahoe-bench-obs/v1" => compare_obs(baseline, fresh),
-        "tahoe-bench-real/v1" => compare_real(baseline, fresh),
+        "tahoe-bench-real/v1" | "tahoe-bench-real/v2" => compare_real_any(baseline, fresh),
         "tahoe-bench-par/v1" => compare_par(baseline, fresh),
         "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
         "tahoe-bench-sanitize/v1" => compare_sanitize(baseline, fresh),
@@ -158,6 +180,17 @@ fn real_throughput(v: &Value, policy: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("policy `{policy}` missing from `policies`"))
 }
 
+/// The real-mode comparison across schema versions: the v1 checks
+/// always apply; a fresh artifact carrying the 3-tier `modelled` block
+/// additionally gets the N-tier case re-derived.
+fn compare_real_any(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = compare_real(baseline, fresh)?;
+    if fresh.get("modelled").is_some() {
+        violations.extend(compare_real3(baseline, fresh)?);
+    }
+    Ok(violations)
+}
+
 fn compare_real(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
     let mut violations = Vec::new();
     for path in [
@@ -188,6 +221,63 @@ fn compare_real(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> 
         violations.push(format!(
             "NVM slowdown ratio {f_ratio:.3} outside [{lo:.3}, {hi:.3}] (baseline {b_ratio:.3})"
         ));
+    }
+    Ok(violations)
+}
+
+/// 3-tier extras for `tahoe-bench-real/v2` artifacts with a `modelled`
+/// block: self-validation flags hold, the middle tier earned its keep
+/// (holds ≥1 object, ≥1 of them latency-bound), the 3-tier modelled
+/// runtime beats both 2-tier degenerations, and — when the baseline
+/// also carries the block — the deterministic numbers are reproduced
+/// to round-off.
+fn compare_real3(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    for path in [
+        ["consistency", "mid_tier_wins_latency_bound"].as_slice(),
+        &["consistency", "three_tier_beats_both_two_tier"],
+        &["consistency", "tahoe_uses_mid_tier"],
+    ] {
+        if !flag(fresh, path)? {
+            violations.push(format!("fresh `{}` is false", path.join(".")));
+        }
+    }
+    let t3 = num(fresh, &["modelled", "tahoe3_ns"])?;
+    let t2_nvm = num(fresh, &["modelled", "two_tier_dram_nvm_ns"])?;
+    let t2_cxl = num(fresh, &["modelled", "two_tier_dram_cxl_ns"])?;
+    let eps = 1.0 + REAL3_MODEL_TOL;
+    if t3 > t2_nvm * eps {
+        violations.push(format!(
+            "3-tier modelled runtime {t3:.1} ns worse than 2-tier DRAM+NVM {t2_nvm:.1} ns"
+        ));
+    }
+    if t3 > t2_cxl * eps {
+        violations.push(format!(
+            "3-tier modelled runtime {t3:.1} ns worse than 2-tier DRAM+CXL {t2_cxl:.1} ns"
+        ));
+    }
+    if num(fresh, &["modelled", "mid_tier_objects"])? < 1.0 {
+        violations.push("3-tier plan left the middle tier empty".into());
+    }
+    if num(fresh, &["modelled", "mid_tier_latency_bound_objects"])? < 1.0 {
+        violations.push("no latency-bound object won the middle tier".into());
+    }
+    if baseline.get("modelled").is_some() {
+        for name in [
+            "tahoe3_ns",
+            "two_tier_dram_nvm_ns",
+            "two_tier_dram_cxl_ns",
+            "mid_tier_objects",
+            "mid_tier_latency_bound_objects",
+        ] {
+            let b = num(baseline, &["modelled", name])?;
+            let f = num(fresh, &["modelled", name])?;
+            if (b - f).abs() > REAL3_MODEL_TOL * b.abs().max(1.0) {
+                violations.push(format!(
+                    "deterministic `modelled.{name}` drifted: baseline {b} vs fresh {f}"
+                ));
+            }
+        }
     }
     Ok(violations)
 }
@@ -455,6 +545,49 @@ mod tests {
         )
     }
 
+    /// A v2 real artifact. With `modelled: true` it carries the 3-tier
+    /// plan/modelled blocks (a `--tiers 3` sweep); otherwise it is the
+    /// plain 2-tier sweep under the bumped schema.
+    fn real_v2_doc(
+        dram_thr: f64,
+        nvm_thr: f64,
+        modelled: Option<(f64, f64, f64, u64, u64)>,
+        flags_true: bool,
+    ) -> String {
+        let mut extra = String::new();
+        let mut flags =
+            String::from(r#""all_policies_match_reference": true, "dram_throughput_ge_nvm": true"#);
+        if let Some((t3, t2n, t2c, mid, midlat)) = modelled {
+            extra = format!(
+                r#""plan": [{{"object": 0, "name": "p0", "bytes": 16384, "tier": 1, "tier_name": "CXL", "latency_bound": true}}],
+                   "modelled": {{"tahoe3_ns": {t3}, "two_tier_dram_nvm_ns": {t2n}, "two_tier_dram_cxl_ns": {t2c},
+                                 "mid_tier_objects": {mid}, "mid_tier_latency_bound_objects": {midlat}}},"#
+            );
+            flags.push_str(&format!(
+                r#", "mid_tier_wins_latency_bound": {flags_true}, "three_tier_beats_both_two_tier": {flags_true}, "tahoe_uses_mid_tier": {flags_true}"#
+            ));
+        }
+        format!(
+            r#"{{"schema": "tahoe-bench-real/v2",
+                "tiers": [
+                  {{"index": 0, "name": "DRAM", "capacity_bytes": 40960}},
+                  {{"index": 1, "name": "CXL", "capacity_bytes": 262144}},
+                  {{"index": 2, "name": "Optane PMM", "capacity_bytes": 5242880}}
+                ],
+                "policies": [
+                  {{"policy": "DRAM-only", "throughput_gbps": {dram_thr}, "final_tier_objects": [20, 0, 0]}},
+                  {{"policy": "NVM-only", "throughput_gbps": {nvm_thr}, "final_tier_objects": [0, 0, 20]}},
+                  {{"policy": "tahoe", "throughput_gbps": {dram_thr}, "final_tier_objects": [2, 14, 4]}}
+                ],
+                {extra}
+                "consistency": {{{flags}}}}}"#
+        )
+    }
+
+    fn healthy_real3_doc() -> String {
+        real_v2_doc(7.0, 3.0, Some((2.3e6, 2.9e6, 2.9e6, 14, 2)), true)
+    }
+
     fn par_doc(overlap: f64, migrations: u64) -> String {
         format!(
             r#"{{"schema": "tahoe-bench-par/v1",
@@ -636,6 +769,64 @@ mod tests {
         // Mild drift within the band passes.
         let v = compare_text(&real_doc(8.0, 2.0), &real_doc(8.0, 3.0)).unwrap();
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn real_v2_artifacts_pass_and_v1_baselines_still_gate_them() {
+        // v2 vs v2, with and without the 3-tier blocks.
+        for doc in [real_v2_doc(8.0, 2.0, None, true), healthy_real3_doc()] {
+            let v = compare_text(&doc, &doc).expect("well-formed");
+            assert!(v.is_empty(), "unexpected violations: {v:?}");
+        }
+        // Migration shim: the committed v1 baseline gates a v2 fresh.
+        let v = compare_text(&real_doc(8.0, 2.0), &real_v2_doc(8.0, 3.0, None, true)).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // ...and still catches a throughput inversion in the v2 fresh.
+        let v = compare_text(&real_doc(8.0, 2.0), &real_v2_doc(2.0, 3.0, None, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("below NVM-emulated")), "{v:?}");
+        // No reverse shim: a v2 baseline cannot gate a v1 fresh.
+        let err =
+            compare_text(&real_v2_doc(8.0, 2.0, None, true), &real_doc(8.0, 2.0)).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn real3_gate_rederives_the_middle_tier_case() {
+        let base = healthy_real3_doc();
+        // 3-tier modelled runtime losing to a 2-tier degeneration fails.
+        let v = compare_text(
+            &base,
+            &real_v2_doc(7.0, 3.0, Some((3.0e6, 2.9e6, 2.9e6, 14, 2)), true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("worse than 2-tier")), "{v:?}");
+        // An empty middle tier, or one without a latency-bound winner, fails.
+        let v = compare_text(
+            &base,
+            &real_v2_doc(7.0, 3.0, Some((2.3e6, 2.9e6, 2.9e6, 0, 0)), true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("middle tier empty")), "{v:?}");
+        let v = compare_text(
+            &base,
+            &real_v2_doc(7.0, 3.0, Some((2.3e6, 2.9e6, 2.9e6, 14, 0)), true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("latency-bound")), "{v:?}");
+        // The modelled numbers are deterministic: drift vs baseline fails.
+        let v = compare_text(
+            &base,
+            &real_v2_doc(7.0, 3.0, Some((2.2e6, 2.9e6, 2.9e6, 14, 2)), true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("drifted")), "{v:?}");
+        // A fresh run that failed its own self-validation always fails.
+        let v = compare_text(
+            &base,
+            &real_v2_doc(7.0, 3.0, Some((2.3e6, 2.9e6, 2.9e6, 14, 2)), false),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("tahoe_uses_mid_tier")), "{v:?}");
     }
 
     #[test]

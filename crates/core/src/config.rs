@@ -27,13 +27,19 @@ impl std::fmt::Display for RuntimeMode {
     }
 }
 
-/// The simulated hardware platform: the two tiers plus the copy engine.
+/// The simulated hardware platform: an ordered tier list plus the copy
+/// engine. `dram` is the fastest tier, `nvm` the slowest (spill) tier,
+/// and `mids` holds any middle tiers (e.g. CXL-attached memory) in
+/// fastest-first order between them.
 #[derive(Debug, Clone)]
 pub struct Platform {
     /// DRAM tier spec (capacity = the scarce fast-tier budget).
     pub dram: TierSpec,
     /// NVM tier spec.
     pub nvm: TierSpec,
+    /// Middle tiers between DRAM and NVM, fastest first. Empty for the
+    /// classic two-tier platforms.
+    pub mids: Vec<TierSpec>,
     /// Copy-channel (helper thread) bandwidth in GB/s. The paper's
     /// migrations run over ordinary memcpy; a mid-range value between the
     /// two tiers' bandwidths is the realistic default.
@@ -41,13 +47,45 @@ pub struct Platform {
 }
 
 impl Platform {
-    /// A platform from explicit tier specs.
+    /// A two-tier platform from explicit tier specs.
     pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Self {
         Platform {
             dram,
             nvm,
+            mids: Vec::new(),
             copy_bw_gbps,
         }
+    }
+
+    /// Insert a middle tier after any existing middle tiers (so calls
+    /// list tiers fastest-first, matching the ordered tier list).
+    pub fn with_mid_tier(mut self, spec: TierSpec) -> Self {
+        self.mids.push(spec);
+        self
+    }
+
+    /// Three-tier DRAM / CXL / Optane-PMM platform. CXL sits between the
+    /// endpoints on latency and inverts Optane's bandwidth asymmetry
+    /// (symmetric 2.5 GB/s vs Optane's 3.9 read / 1.3 write), so
+    /// latency-bound and write-heavy objects that miss the DRAM budget
+    /// prefer the middle tier while read-streaming objects still favor
+    /// Optane.
+    pub fn optane_cxl(dram_capacity: u64, cxl_capacity: u64, nvm_capacity: u64) -> Self {
+        Platform::optane(dram_capacity, nvm_capacity).with_mid_tier(presets::cxl(cxl_capacity))
+    }
+
+    /// Number of tiers (2 + middle tiers).
+    pub fn n_tiers(&self) -> usize {
+        2 + self.mids.len()
+    }
+
+    /// The full ordered tier list, fastest first.
+    pub fn tier_specs(&self) -> Vec<TierSpec> {
+        let mut v = Vec::with_capacity(self.n_tiers());
+        v.push(self.dram.clone());
+        v.extend(self.mids.iter().cloned());
+        v.push(self.nvm.clone());
+        v
     }
 
     /// Quartz-style bandwidth-limited NVM: `bw_frac` of DRAM bandwidth.
@@ -84,10 +122,14 @@ impl Platform {
         Platform::new(dram, nvm, copy)
     }
 
-    /// The HMS configuration for this platform. Fails if either tier
-    /// spec or the copy bandwidth fails validation.
+    /// The HMS configuration for this platform. Fails if any tier spec
+    /// or the copy bandwidth fails validation.
     pub fn hms_config(&self) -> Result<HmsConfig, HmsError> {
-        HmsConfig::new(self.dram.clone(), self.nvm.clone(), self.copy_bw_gbps)
+        if self.mids.is_empty() {
+            HmsConfig::new(self.dram.clone(), self.nvm.clone(), self.copy_bw_gbps)
+        } else {
+            HmsConfig::with_tiers(self.tier_specs(), self.copy_bw_gbps)
+        }
     }
 
     /// A copy with a different DRAM capacity (sensitivity sweeps).
@@ -167,6 +209,23 @@ mod tests {
         assert_eq!(q.dram.capacity, 1 << 22);
         assert_eq!(q.dram.read_lat_ns, p.dram.read_lat_ns);
         assert_eq!(q.nvm.capacity, p.nvm.capacity);
+    }
+
+    #[test]
+    fn three_tier_platform_builds_an_ordered_hms_config() {
+        let p = Platform::optane_cxl(1 << 20, 4 << 20, 1 << 30);
+        assert_eq!(p.n_tiers(), 3);
+        let specs = p.tier_specs();
+        assert_eq!(specs[0].name, "DRAM");
+        assert_eq!(specs[1].name, "CXL");
+        assert_eq!(specs[2].name, "Optane PMM");
+        let cfg = p.hms_config().unwrap();
+        assert_eq!(cfg.n_tiers(), 3);
+        assert_eq!(cfg.tier_specs()[1].name, "CXL");
+        // Two-tier platforms are unchanged by the generalization.
+        let two = Platform::optane(1 << 20, 1 << 30);
+        assert_eq!(two.n_tiers(), 2);
+        assert_eq!(two.hms_config().unwrap().n_tiers(), 2);
     }
 
     #[test]

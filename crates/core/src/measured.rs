@@ -27,11 +27,12 @@
 
 use std::time::Instant;
 
-use tahoe_hms::{Hms, HmsConfig, ObjectId, TierKind};
+use tahoe_hms::{Hms, HmsConfig, ObjectId, TierId, TierKind, TierSpec};
 use tahoe_memprof::wallclock::{
-    fit_calibration, measure_tier, WallClockCalibration, WallClockConfig,
+    derive_scaled_spec, fit_calibration, measure_tier, WallClockCalibration, WallClockConfig,
 };
 use tahoe_obs::{Emitter, Event, Metrics, Tier};
+use tahoe_placement::{solve_mck, MckAssignment, MckItem};
 use tahoe_realmem::{traffic, MmapArena, RealBackend};
 
 use crate::app::App;
@@ -89,6 +90,9 @@ pub struct MeasuredPolicyReport {
     pub copy_wall_ns: f64,
     /// Objects resident in DRAM when the run finished.
     pub final_dram_objects: usize,
+    /// Objects resident on each tier (fastest first) when the run
+    /// finished. Length = tier count; `[0]` equals `final_dram_objects`.
+    pub final_tier_objects: Vec<usize>,
 }
 
 /// A full measured-mode comparison across policies.
@@ -115,6 +119,12 @@ pub(crate) struct PreparedRun {
     pub(crate) hms: Hms,
     pub(crate) ids: Vec<ObjectId>,
     pub(crate) tahoe_plan: Option<tahoe_placement::Solution>,
+    /// Tahoe's full N-tier assignment on platforms with middle tiers
+    /// (`None` on two-tier platforms, where `tahoe_plan` is the whole
+    /// story). When present, `tahoe_plan` is its binary projection —
+    /// tier 0 vs everything else — so two-tier consumers (the parallel
+    /// runtime's migrator, the model audit) keep working unchanged.
+    pub(crate) tahoe_assignment: Option<MckAssignment>,
     pub(crate) copy_cfg: tahoe_realmem::CopyConfig,
     /// Tahoe's per-object knapsack value (predicted ns saved by DRAM
     /// residence over the whole run); `None` for non-Tahoe policies.
@@ -228,7 +238,25 @@ impl MeasuredRuntime {
         }
         nvm_spec.capacity = nvm_spec.capacity.max(2 * footprint);
         let copy_bw = nvm_spec.write_bw_gbps.min(dram_spec.read_bw_gbps) * 0.8;
-        let config = HmsConfig::new(dram_spec, nvm_spec, copy_bw).map_err(|e| e.to_string())?;
+        let config = if self.platform.mids.is_empty() {
+            HmsConfig::new(dram_spec, nvm_spec, copy_bw).map_err(|e| e.to_string())?
+        } else {
+            // Middle tiers get the same treatment as NVM: the fitted
+            // DRAM spec scaled by the reference preset's ratios, at the
+            // platform's middle-tier capacity.
+            let mut specs = Vec::with_capacity(self.platform.n_tiers());
+            specs.push(dram_spec.clone());
+            for mid in &self.platform.mids {
+                specs.push(derive_scaled_spec(
+                    &cal.dram,
+                    &self.platform.dram,
+                    mid,
+                    mid.capacity,
+                ));
+            }
+            specs.push(nvm_spec);
+            HmsConfig::with_tiers(specs, copy_bw).map_err(|e| e.to_string())?
+        };
 
         let backend =
             RealBackend::with_observability(&config, self.emitter.clone(), self.metrics.clone())?;
@@ -259,9 +287,14 @@ impl MeasuredRuntime {
 
         // Tahoe's plan: value of DRAM residence per object over the
         // whole run, from the ground-truth profiles on the fitted specs.
+        // Two-tier platforms keep the exact binary-knapsack path; with
+        // middle tiers the multiple-choice knapsack assigns every object
+        // one tier, and the binary projection (tier 0 vs the rest) is
+        // kept alongside for two-tier consumers.
         let mut plan_values: Option<Vec<f64>> = None;
+        let mut tahoe_assignment: Option<MckAssignment> = None;
         let tahoe_plan: Option<tahoe_placement::Solution> = match policy {
-            PolicyKind::Tahoe(_) => {
+            PolicyKind::Tahoe(_) if config.n_tiers() == 2 => {
                 let mut value = vec![0.0f64; app.objects.len()];
                 for t in app.graph.tasks() {
                     for a in &t.accesses {
@@ -286,6 +319,45 @@ impl MeasuredRuntime {
                 plan_values = Some(value);
                 Some(solution)
             }
+            PolicyKind::Tahoe(_) => {
+                let specs: Vec<TierSpec> = config.tier_specs().into_iter().cloned().collect();
+                let n = specs.len();
+                let mut values = vec![vec![0.0f64; n]; app.objects.len()];
+                for t in app.graph.tasks() {
+                    for a in &t.accesses {
+                        let on_last = a.profile.mem_time_ns(&specs[n - 1])
+                            * cf(cal, &a.profile, &specs[n - 1]);
+                        for (ti, spec) in specs.iter().enumerate().take(n - 1) {
+                            let on_tier = a.profile.mem_time_ns(spec) * cf(cal, &a.profile, spec);
+                            values[a.object.index()][ti] += (on_last - on_tier).max(0.0);
+                        }
+                    }
+                }
+                let items: Vec<MckItem> = app
+                    .objects
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| MckItem {
+                        id: ObjectId(i as u32),
+                        size: o.size,
+                        values: values[i].clone(),
+                    })
+                    .collect();
+                let caps: Vec<u64> = specs.iter().map(|s| s.capacity).collect();
+                let assignment = solve_mck(&items, &caps)?;
+                // Binary projection for the two-tier facade: objects the
+                // MCK put on tier 0 are "chosen", with their DRAM value.
+                let chosen = assignment.objects_on(&items, 0);
+                let total_size = chosen.iter().map(|o| app.objects[o.index()].size).sum();
+                let total_value = chosen.iter().map(|o| values[o.index()][0]).sum();
+                tahoe_assignment = Some(assignment);
+                plan_values = Some(values.iter().map(|v| v[0]).collect());
+                Some(tahoe_placement::Solution {
+                    chosen,
+                    total_value,
+                    total_size,
+                })
+            }
             _ => None,
         };
 
@@ -294,6 +366,7 @@ impl MeasuredRuntime {
             hms,
             ids,
             tahoe_plan,
+            tahoe_assignment,
             copy_cfg,
             plan_values,
         })
@@ -313,6 +386,7 @@ impl MeasuredRuntime {
             mut hms,
             ids,
             tahoe_plan,
+            tahoe_assignment,
             ..
         } = self.prepare(app, policy, cal)?;
 
@@ -335,12 +409,25 @@ impl MeasuredRuntime {
 
         for w in 0..app.windows() {
             // Tahoe migrates its plan in after the profiling windows —
-            // real throttled copies through the backend.
-            if let (Some(plan), true) = (&tahoe_plan, w == profile_windows) {
-                for oid in &plan.chosen {
-                    let id = ids[oid.index()];
-                    if hms.tier_of(id).map_err(|e| e.to_string())? == TierKind::Nvm {
-                        let _ = hms.move_object(id, TierKind::Dram);
+            // real throttled copies through the backend. With an N-tier
+            // assignment every object walks to its assigned tier (the
+            // per-pair copy config throttles each hop); the two-tier
+            // plan keeps promoting the chosen set into DRAM.
+            if w == profile_windows {
+                if let Some(assignment) = &tahoe_assignment {
+                    for (i, &t) in assignment.tiers.iter().enumerate() {
+                        let id = ids[i];
+                        let target = TierId(t);
+                        if hms.tier_index_of(id).map_err(|e| e.to_string())? != target {
+                            let _ = hms.move_object_to(id, target);
+                        }
+                    }
+                } else if let Some(plan) = &tahoe_plan {
+                    for oid in &plan.chosen {
+                        let id = ids[oid.index()];
+                        if hms.tier_of(id).map_err(|e| e.to_string())? == TierKind::Nvm {
+                            let _ = hms.move_object(id, TierKind::Dram);
+                        }
                     }
                 }
             }
@@ -348,16 +435,18 @@ impl MeasuredRuntime {
                 let task = app.graph.task(tid);
                 for (ai, access) in task.accesses.iter().enumerate() {
                     let id = ids[access.object.index()];
-                    let tier = hms.tier_of(id).map_err(|e| e.to_string())?;
-                    // Quartz-style software NVM emulation: the access
-                    // runs at native speed, then NVM residence injects
-                    // the cf-corrected model *difference* between the
-                    // slow and fast device. Injecting the delta (rather
-                    // than flooring to an absolute model time) keeps the
-                    // asymmetry honest whatever the native kernels cost.
-                    let inject_ns = if tier == TierKind::Nvm {
-                        let slow = access.profile.mem_time_ns(&config.nvm)
-                            * cf(cal, &access.profile, &config.nvm);
+                    let tier = hms.tier_index_of(id).map_err(|e| e.to_string())?;
+                    // Quartz-style software emulation: the access runs
+                    // at native speed, then residence on any tier slower
+                    // than DRAM injects the cf-corrected model
+                    // *difference* between that device and the fast one.
+                    // Injecting the delta (rather than flooring to an
+                    // absolute model time) keeps the asymmetry honest
+                    // whatever the native kernels cost.
+                    let inject_ns = if tier != TierId::FASTEST {
+                        let resident = config.tier_spec_at(tier);
+                        let slow = access.profile.mem_time_ns(resident)
+                            * cf(cal, &access.profile, resident);
                         let fast = access.profile.mem_time_ns(&config.dram)
                             * cf(cal, &access.profile, &config.dram);
                         (slow - fast).max(0.0)
@@ -386,6 +475,11 @@ impl MeasuredRuntime {
 
         let stats = hms.backend_stats();
         let final_dram_objects = hms.objects_on(TierKind::Dram).len();
+        let mut final_tier_objects = vec![0usize; config.n_tiers()];
+        for id in &ids {
+            let t = hms.tier_index_of(*id).map_err(|e| e.to_string())?;
+            final_tier_objects[t.index()] += 1;
+        }
         Ok(MeasuredPolicyReport {
             policy: policy.name(),
             wall_ns,
@@ -396,6 +490,7 @@ impl MeasuredRuntime {
             migrated_bytes: stats.copied_bytes,
             copy_wall_ns: stats.copy_wall_ns,
             final_dram_objects,
+            final_tier_objects,
         })
     }
 
@@ -435,6 +530,84 @@ pub fn cf(
     } else {
         cal.cf_lat
     }
+}
+
+/// Build multiple-choice knapsack items for `app` over an ordered tier
+/// list (fastest first): `values[t]` = modelled ns saved over the whole
+/// run by residence on tier `t` instead of the slowest tier (the last
+/// entry is therefore 0). Pure model — no wall-clock correction — so
+/// the numbers are deterministic across machines and usable in
+/// self-validated artifacts.
+pub fn mck_items_for(app: &App, specs: &[TierSpec]) -> Vec<MckItem> {
+    let n = specs.len();
+    let mut values = vec![vec![0.0f64; n]; app.objects.len()];
+    for t in app.graph.tasks() {
+        for a in &t.accesses {
+            let on_last = a.profile.mem_time_ns(&specs[n - 1]);
+            for (ti, spec) in specs.iter().enumerate().take(n - 1) {
+                values[a.object.index()][ti] += (on_last - a.profile.mem_time_ns(spec)).max(0.0);
+            }
+        }
+    }
+    let mut values = values.into_iter();
+    app.objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| MckItem {
+            id: ObjectId(i as u32),
+            size: o.size,
+            values: values.next().expect("one value row per object"),
+        })
+        .collect()
+}
+
+/// Modelled memory time of the whole run with object `i` pinned to tier
+/// `tiers[i]` of `specs` throughout (no migrations, no correction
+/// factors). The deterministic cost the bench's tier-sweep rows compare.
+pub fn modelled_total_ns(app: &App, specs: &[TierSpec], tiers: &[u8]) -> f64 {
+    let mut total = 0.0;
+    for t in app.graph.tasks() {
+        for a in &t.accesses {
+            total += a
+                .profile
+                .mem_time_ns(&specs[tiers[a.object.index()] as usize]);
+        }
+    }
+    total
+}
+
+/// Per-object latency-boundedness on `spec`: `true` when most of the
+/// object's modelled access time comes from latency-limited
+/// (dependent-load) accesses rather than bandwidth-limited streams.
+/// This is the classification under which a middle tier like CXL — low
+/// latency, modest bandwidth — wins over NVM.
+pub fn object_latency_bound(app: &App, spec: &TierSpec) -> Vec<bool> {
+    let mut lat = vec![0.0f64; app.objects.len()];
+    let mut bw = vec![0.0f64; app.objects.len()];
+    for t in app.graph.tasks() {
+        for a in &t.accesses {
+            let ns = a.profile.mem_time_ns(spec);
+            if a.profile.bandwidth_limited_on(spec) {
+                bw[a.object.index()] += ns;
+            } else {
+                lat[a.object.index()] += ns;
+            }
+        }
+    }
+    lat.iter().zip(&bw).map(|(l, b)| l > b).collect()
+}
+
+/// Solve the placement over an ordered tier list and price the result:
+/// the multiple-choice knapsack assignment plus the modelled run cost
+/// under it. With two specs this is exactly the binary Tahoe plan (the
+/// solver delegates), so `modelled_plan` prices 3-tier and 2-tier
+/// configurations on an equal footing.
+pub fn modelled_plan(app: &App, specs: &[TierSpec]) -> Result<(MckAssignment, f64), String> {
+    let items = mck_items_for(app, specs);
+    let caps: Vec<u64> = specs.iter().map(|s| s.capacity).collect();
+    let plan = solve_mck(&items, &caps)?;
+    let total = modelled_total_ns(app, specs, &plan.tiers);
+    Ok((plan, total))
 }
 
 /// Execute the app's traffic on plain heap buffers, no tiers, no pacing:

@@ -302,11 +302,16 @@ impl MeasuredRuntime {
         run_seed: u64,
         hook: &S,
     ) -> Result<ParallelPolicyReport, String> {
+        // The parallel runtime migrates through the two-tier facade
+        // (SharedHms's lock-free words encode DRAM/NVM), so on N-tier
+        // platforms it uses the plan's binary projection and ignores
+        // the full assignment; the sequential measured path honors it.
         let PreparedRun {
             config,
             hms,
             ids,
             tahoe_plan,
+            tahoe_assignment: _,
             copy_cfg,
             plan_values,
         } = self.prepare(app, policy, cal)?;

@@ -101,6 +101,46 @@ fn tahoe_migrates_and_still_matches_reference() {
 }
 
 #[test]
+fn three_tier_platform_runs_every_policy_bit_for_bit() {
+    let app = test_app();
+    // DRAM holds one hot object, CXL adds room for one more, the rest
+    // spills to emulated Optane.
+    let p = Platform::optane_cxl(112 << 10, 256 << 10, 4 * app.footprint());
+    let rt = MeasuredRuntime::new(p, WallClockConfig::smoke());
+    let cal = rt.calibrate().expect("calibration runs unprivileged");
+    let expected = reference_checksum(&app);
+    for policy in [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::tahoe(),
+    ] {
+        let r = rt.run_policy(&app, &policy, &cal).expect("policy runs");
+        assert_eq!(
+            r.checksum, expected,
+            "{}: 3-tier measured traffic must equal the reference",
+            r.policy
+        );
+        assert_eq!(r.final_tier_objects.len(), 3, "{}", r.policy);
+        assert_eq!(
+            r.final_tier_objects.iter().sum::<usize>(),
+            app.objects.len(),
+            "{}: every object sits on exactly one tier",
+            r.policy
+        );
+        assert_eq!(
+            r.final_tier_objects[0], r.final_dram_objects,
+            "{}",
+            r.policy
+        );
+    }
+    let tahoe = rt
+        .run_policy(&app, &PolicyKind::tahoe(), &cal)
+        .expect("tahoe runs");
+    assert!(tahoe.migrations > 0, "tahoe migrates its N-tier plan in");
+}
+
+#[test]
 fn unsupported_policies_are_rejected() {
     let app = test_app();
     let rt = MeasuredRuntime::new(platform(&app), WallClockConfig::smoke());

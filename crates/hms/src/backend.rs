@@ -14,7 +14,7 @@
 //! backend only has to translate `(tier, addr)` to bytes and execute
 //! inter-tier copies.
 
-use crate::tier::TierKind;
+use crate::tier::TierId;
 
 /// What one inter-tier copy cost on the backing substrate.
 ///
@@ -49,7 +49,7 @@ pub struct BackendStats {
     pub copy_throttle_ns: f64,
 }
 
-/// A physical (or null) substrate for the two tiers.
+/// A physical (or null) substrate for the ordered tier list.
 ///
 /// Addresses handed to the backend are the allocator's tier-local byte
 /// offsets in `[0, capacity)`; a real backend resolves them against its
@@ -66,14 +66,14 @@ pub trait TierBackend: std::fmt::Debug + Send {
     /// Resolve `len` bytes at tier-local `addr` to a raw pointer, or
     /// `None` if the backend has no bytes (virtual substrate) or the
     /// range is out of bounds.
-    fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8>;
+    fn data_ptr(&mut self, tier: TierId, addr: u64, len: u64) -> Option<*mut u8>;
 
     /// An object was allocated at `[addr, addr+len)` on `tier` (hook for
     /// `madvise`-style residency hints).
-    fn on_alloc(&mut self, _tier: TierKind, _addr: u64, _len: u64) {}
+    fn on_alloc(&mut self, _tier: TierId, _addr: u64, _len: u64) {}
 
     /// An object at `[addr, addr+len)` on `tier` was freed.
-    fn on_free(&mut self, _tier: TierKind, _addr: u64, _len: u64) {}
+    fn on_free(&mut self, _tier: TierId, _addr: u64, _len: u64) {}
 
     /// Copy `len` object bytes from `(from, from_addr)` to
     /// `(to, to_addr)` — called by [`Hms::move_object`](crate::Hms)
@@ -82,9 +82,9 @@ pub trait TierBackend: std::fmt::Debug + Send {
     fn copy(
         &mut self,
         _object: u32,
-        _from: TierKind,
+        _from: TierId,
         _from_addr: u64,
-        _to: TierKind,
+        _to: TierId,
         _to_addr: u64,
         len: u64,
     ) -> CopyOutcome {
@@ -102,8 +102,8 @@ pub trait TierBackend: std::fmt::Debug + Send {
     fn record_external_copy(
         &mut self,
         _object: u32,
-        _from: TierKind,
-        _to: TierKind,
+        _from: TierId,
+        _to: TierId,
         _outcome: &CopyOutcome,
     ) {
     }
@@ -126,7 +126,7 @@ impl TierBackend for VirtualBackend {
         "virtual"
     }
 
-    fn data_ptr(&mut self, _tier: TierKind, _addr: u64, _len: u64) -> Option<*mut u8> {
+    fn data_ptr(&mut self, _tier: TierId, _addr: u64, _len: u64) -> Option<*mut u8> {
         None
     }
 }
@@ -139,8 +139,8 @@ mod tests {
     fn virtual_backend_has_no_bytes_and_free_copies() {
         let mut b = VirtualBackend;
         assert_eq!(b.name(), "virtual");
-        assert!(b.data_ptr(TierKind::Dram, 0, 64).is_none());
-        let out = b.copy(0, TierKind::Nvm, 0, TierKind::Dram, 0, 4096);
+        assert!(b.data_ptr(TierId(0), 0, 64).is_none());
+        let out = b.copy(0, TierId(1), 0, TierId(0), 0, 4096);
         assert_eq!(out.bytes, 4096);
         assert_eq!(out.wall_ns, 0.0);
         assert!(!b.stats().is_real);

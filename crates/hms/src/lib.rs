@@ -53,7 +53,7 @@ pub use memory::{Hms, HmsConfig, MoveTicket, ResidencySnapshot};
 pub use migrate::{CopyChannel, MigrationRecord, MigrationStats};
 pub use object::{ObjectId, ObjectMeta};
 pub use sync::{ContentionStats, MoveObserver, PinnedObject, SharedHms, StartedMove, TaskPins};
-pub use tier::{TierKind, TierSpec};
+pub use tier::{TierId, TierKind, TierSpec};
 pub use timing::AccessProfile;
 pub use wear::WearStats;
 

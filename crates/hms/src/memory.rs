@@ -1,5 +1,12 @@
-//! The heterogeneous memory manager: object-granularity placement over a
-//! DRAM tier and an NVM tier, each backed by a real allocator.
+//! The heterogeneous memory manager: object-granularity placement over
+//! an ordered list of memory tiers, each backed by a real allocator.
+//!
+//! The paper's HMS is a DRAM/NVM pair; this module generalizes it to N
+//! ordered tiers (fastest first), with the two-tier [`TierKind`] API
+//! preserved as a facade: `Dram` is tier 0 and `Nvm` is the *last*
+//! tier, so existing two-tier callers (the virtual simulator, the
+//! parallel measured path, the background migrator) compile and behave
+//! unchanged while N-tier callers address tiers by [`TierId`].
 
 use std::collections::HashMap;
 
@@ -7,22 +14,36 @@ use crate::alloc::TierAllocator;
 use crate::backend::{BackendStats, CopyOutcome, TierBackend, VirtualBackend};
 use crate::error::HmsError;
 use crate::object::{ObjectId, ObjectMeta};
-use crate::tier::{TierKind, TierSpec};
+use crate::tier::{TierId, TierKind, TierSpec};
 
-/// Configuration of the two-tier memory system.
+/// Configuration of the tiered memory system.
+///
+/// The ordered tier list is `[dram, mids…, nvm]` — `dram` is always the
+/// fastest tier and `nvm` the slowest (the spill tier). `mids` is empty
+/// in the classic two-tier setup; a 3-tier DRAM/CXL/NVM platform puts
+/// the CXL spec there.
 #[derive(Debug, Clone)]
 pub struct HmsConfig {
-    /// Fast-tier device model.
+    /// Fast-tier device model (tier 0).
     pub dram: TierSpec,
-    /// Slow-tier device model.
+    /// Slow-tier device model (the last tier; the spill tier).
     pub nvm: TierSpec,
-    /// Bandwidth of the inter-tier copy engine (helper thread), GB/s.
+    /// Bandwidth of the DRAM↔spill inter-tier copy engine (helper
+    /// thread), GB/s. Per-pair bandwidths, when configured, live in the
+    /// copy matrix and are read through [`HmsConfig::copy_bw_between`].
     pub copy_bw_gbps: f64,
+    /// Middle tiers between `dram` and `nvm`, fastest first (empty in
+    /// the two-tier setup).
+    pub mids: Vec<TierSpec>,
+    /// Row-major n×n copy-bandwidth matrix, GB/s: entry `[from][to]` is
+    /// the modelled bandwidth of a `from`→`to` migration. `None` falls
+    /// back to the scalar `copy_bw_gbps` for every pair.
+    copy_matrix: Option<Vec<f64>>,
 }
 
 impl HmsConfig {
-    /// Convenience constructor validating both tiers and the copy
-    /// engine's bandwidth.
+    /// Convenience constructor for the classic two-tier system,
+    /// validating both tiers and the copy engine's bandwidth.
     pub fn new(dram: TierSpec, nvm: TierSpec, copy_bw_gbps: f64) -> Result<Self, HmsError> {
         dram.validate()?;
         nvm.validate()?;
@@ -35,10 +56,133 @@ impl HmsConfig {
             dram,
             nvm,
             copy_bw_gbps,
+            mids: Vec::new(),
+            copy_matrix: None,
         })
     }
 
-    /// The spec of one tier.
+    /// Construct an N-tier system from an ordered tier list (fastest
+    /// first, at least two tiers). `copy_bw_gbps` sets the DRAM↔spill
+    /// pair; every other pair's copy bandwidth defaults to
+    /// `0.8 × min(src read BW, dst write BW)` — the copy streams out of
+    /// the source and into the destination, so the slower side of that
+    /// pipe bounds it (the same derivation the two-tier presets use).
+    pub fn with_tiers(mut tiers: Vec<TierSpec>, copy_bw_gbps: f64) -> Result<Self, HmsError> {
+        if tiers.len() < 2 {
+            return Err(HmsError::InvalidConfig(format!(
+                "a tier list needs at least 2 tiers, got {}",
+                tiers.len()
+            )));
+        }
+        if tiers.len() > u8::MAX as usize {
+            return Err(HmsError::InvalidConfig(format!(
+                "at most {} tiers are supported, got {}",
+                u8::MAX,
+                tiers.len()
+            )));
+        }
+        for t in &tiers {
+            t.validate()?;
+        }
+        let nvm = tiers.pop().expect("len >= 2");
+        let dram = tiers.remove(0);
+        let mids = tiers;
+        let mut cfg = HmsConfig::new(dram, nvm, copy_bw_gbps)?;
+        cfg.mids = mids;
+        let n = cfg.n_tiers();
+        let mut matrix = vec![0.0; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    continue;
+                }
+                let src = cfg.tier_spec_at(TierId(from as u8));
+                let dst = cfg.tier_spec_at(TierId(to as u8));
+                matrix[from * n + to] = 0.8 * src.read_bw_gbps.min(dst.write_bw_gbps);
+            }
+        }
+        matrix[n - 1] = copy_bw_gbps; // [0][last]
+        matrix[(n - 1) * n] = copy_bw_gbps; // [last][0]
+        cfg.copy_matrix = Some(matrix);
+        Ok(cfg)
+    }
+
+    /// Number of tiers (≥ 2).
+    pub fn n_tiers(&self) -> usize {
+        2 + self.mids.len()
+    }
+
+    /// The ordered tier list, fastest first.
+    pub fn tier_specs(&self) -> Vec<&TierSpec> {
+        let mut v = Vec::with_capacity(self.n_tiers());
+        v.push(&self.dram);
+        v.extend(self.mids.iter());
+        v.push(&self.nvm);
+        v
+    }
+
+    /// The spec of the tier at `id`. Panics on an out-of-range index.
+    pub fn tier_spec_at(&self, id: TierId) -> &TierSpec {
+        let i = id.index();
+        let n = self.n_tiers();
+        assert!(i < n, "tier index {i} out of range (n_tiers = {n})");
+        if i == 0 {
+            &self.dram
+        } else if i == n - 1 {
+            &self.nvm
+        } else {
+            &self.mids[i - 1]
+        }
+    }
+
+    /// The [`TierId`] a two-tier [`TierKind`] maps to in this config.
+    pub fn tier_id(&self, kind: TierKind) -> TierId {
+        TierId::from_kind(kind, self.n_tiers())
+    }
+
+    /// The last (slowest, spill) tier.
+    pub fn last_tier(&self) -> TierId {
+        TierId((self.n_tiers() - 1) as u8)
+    }
+
+    /// Modelled copy bandwidth of a `from`→`to` migration, GB/s. Falls
+    /// back to the scalar `copy_bw_gbps` when no matrix is configured.
+    pub fn copy_bw_between(&self, from: TierId, to: TierId) -> f64 {
+        match &self.copy_matrix {
+            Some(m) => {
+                let n = self.n_tiers();
+                assert!(
+                    from.index() < n && to.index() < n,
+                    "tier index out of range"
+                );
+                m[from.index() * n + to.index()]
+            }
+            None => self.copy_bw_gbps,
+        }
+    }
+
+    /// Override one pair's copy bandwidth (builds the matrix from the
+    /// scalar default on first use).
+    pub fn set_copy_bw(&mut self, from: TierId, to: TierId, bw_gbps: f64) -> Result<(), HmsError> {
+        if !(bw_gbps > 0.0 && bw_gbps.is_finite()) {
+            return Err(HmsError::InvalidConfig(format!(
+                "copy bandwidth must be positive and finite, got {bw_gbps} GB/s"
+            )));
+        }
+        let n = self.n_tiers();
+        if from.index() >= n || to.index() >= n {
+            return Err(HmsError::InvalidConfig(format!(
+                "tier pair ({from}, {to}) out of range for {n} tiers"
+            )));
+        }
+        let m = self
+            .copy_matrix
+            .get_or_insert_with(|| vec![self.copy_bw_gbps; n * n]);
+        m[from.index() * n + to.index()] = bw_gbps;
+        Ok(())
+    }
+
+    /// The spec of one tier through the two-tier facade.
     pub fn tier(&self, kind: TierKind) -> &TierSpec {
         match kind {
             TierKind::Dram => &self.dram,
@@ -47,11 +191,27 @@ impl HmsConfig {
     }
 }
 
+/// Gauge names for up to four middle tiers (the metrics registry keys on
+/// `&'static str`; platforms with more middle tiers than this publish
+/// gauges for the first four only).
+const MID_CAPACITY_GAUGES: [&str; 4] = [
+    "hms.tier1.capacity_bytes",
+    "hms.tier2.capacity_bytes",
+    "hms.tier3.capacity_bytes",
+    "hms.tier4.capacity_bytes",
+];
+const MID_USED_GAUGES: [&str; 4] = [
+    "hms.tier1.used_bytes",
+    "hms.tier2.used_bytes",
+    "hms.tier3.used_bytes",
+    "hms.tier4.used_bytes",
+];
+
 /// Where each live object currently resides, with allocator state.
 #[derive(Debug)]
 struct ObjectRecord {
     meta: ObjectMeta,
-    tier: TierKind,
+    tier: TierId,
     addr: u64,
     /// Number of in-flight tasks touching the object (pins block moves).
     pins: u32,
@@ -72,9 +232,9 @@ struct ObjectRecord {
 #[must_use = "resolve with commit_move or abort_move"]
 pub struct MoveTicket {
     object: ObjectId,
-    from: TierKind,
+    from: TierId,
     from_addr: u64,
-    to: TierKind,
+    to: TierId,
     to_addr: u64,
     size: u64,
 }
@@ -85,13 +245,24 @@ impl MoveTicket {
         self.object
     }
 
-    /// Source tier.
+    /// Source tier through the two-tier facade (middle tiers present as
+    /// NVM); [`MoveTicket::from_tier`] has the exact index.
     pub fn from(&self) -> TierKind {
+        self.from.kind()
+    }
+
+    /// Destination tier through the two-tier facade.
+    pub fn to(&self) -> TierKind {
+        self.to.kind()
+    }
+
+    /// Exact source tier index.
+    pub fn from_tier(&self) -> TierId {
         self.from
     }
 
-    /// Destination tier.
-    pub fn to(&self) -> TierKind {
+    /// Exact destination tier index.
+    pub fn to_tier(&self) -> TierId {
         self.to
     }
 
@@ -104,32 +275,36 @@ impl MoveTicket {
 /// Snapshot of tier residency, for assertions and reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResidencySnapshot {
-    /// Objects currently in DRAM.
+    /// Objects currently in DRAM (tier 0).
     pub dram: Vec<ObjectId>,
-    /// Objects currently in NVM.
+    /// Objects currently in NVM (the last tier).
     pub nvm: Vec<ObjectId>,
+    /// Objects on middle tiers, ascending (empty in two-tier configs).
+    pub mid: Vec<ObjectId>,
     /// Bytes used in DRAM.
     pub dram_used: u64,
     /// Bytes used in NVM.
     pub nvm_used: u64,
+    /// Bytes used across all middle tiers.
+    pub mid_used: u64,
 }
 
 /// The heterogeneous memory system: object table plus one allocator per
 /// tier.
 ///
 /// This is the paper's user-level DRAM management service generalized to
-/// both tiers. All placement changes go through [`Hms::move_object`], which
-/// enforces pinning (never move an object while a task that declared it is
-/// in flight) and capacity (allocation in the destination must succeed
-/// before the source copy is released).
+/// every tier. All placement changes go through [`Hms::move_object`] /
+/// [`Hms::move_object_to`], which enforce pinning (never move an object
+/// while a task that declared it is in flight) and capacity (allocation
+/// in the destination must succeed before the source copy is released).
 #[derive(Debug)]
 pub struct Hms {
     config: HmsConfig,
-    dram: TierAllocator,
-    nvm: TierAllocator,
+    /// One allocator per tier, fastest first.
+    tiers: Vec<TierAllocator>,
     objects: HashMap<ObjectId, ObjectRecord>,
     next_id: u32,
-    /// Count of failed DRAM allocations that fell back to NVM.
+    /// Count of failed DRAM allocations that fell back to a slower tier.
     pub dram_fallbacks: u64,
     metrics: tahoe_obs::Metrics,
     backend: Box<dyn TierBackend>,
@@ -138,12 +313,14 @@ pub struct Hms {
 impl Hms {
     /// Create an empty memory system.
     pub fn new(config: HmsConfig) -> Self {
-        let dram = TierAllocator::new(config.dram.capacity);
-        let nvm = TierAllocator::new(config.nvm.capacity);
+        let tiers = config
+            .tier_specs()
+            .iter()
+            .map(|spec| TierAllocator::new(spec.capacity))
+            .collect();
         Hms {
             config,
-            dram,
-            nvm,
+            tiers,
             objects: HashMap::new(),
             next_id: 0,
             dram_fallbacks: 0,
@@ -195,21 +372,33 @@ impl Hms {
     /// Attach a metrics registry. Capacities are published immediately as
     /// gauges; occupancy gauges (`hms.<tier>.used_bytes`) and transition
     /// counters (`hms.moves`, `hms.allocs`, `hms.dram_fallbacks`) update
-    /// as the object table changes.
+    /// as the object table changes. Middle tiers publish under
+    /// `hms.tier<i>.*`.
     pub fn set_metrics(&mut self, metrics: tahoe_obs::Metrics) {
         self.metrics = metrics;
         self.metrics
             .gauge_set("hms.dram.capacity_bytes", self.config.dram.capacity as f64);
         self.metrics
             .gauge_set("hms.nvm.capacity_bytes", self.config.nvm.capacity as f64);
+        for (i, spec) in self.config.mids.iter().enumerate() {
+            if let Some(name) = MID_CAPACITY_GAUGES.get(i) {
+                self.metrics.gauge_set(name, spec.capacity as f64);
+            }
+        }
         self.publish_occupancy();
     }
 
     fn publish_occupancy(&self) {
+        let last = self.tiers.len() - 1;
         self.metrics
-            .gauge_set("hms.dram.used_bytes", self.dram.used() as f64);
+            .gauge_set("hms.dram.used_bytes", self.tiers[0].used() as f64);
         self.metrics
-            .gauge_set("hms.nvm.used_bytes", self.nvm.used() as f64);
+            .gauge_set("hms.nvm.used_bytes", self.tiers[last].used() as f64);
+        for i in 1..last {
+            if let Some(name) = MID_USED_GAUGES.get(i - 1) {
+                self.metrics.gauge_set(name, self.tiers[i].used() as f64);
+            }
+        }
     }
 
     /// The configuration this system was built with.
@@ -217,29 +406,32 @@ impl Hms {
         &self.config
     }
 
+    /// Number of tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
     /// The device spec of `kind`.
     pub fn tier_spec(&self, kind: TierKind) -> &TierSpec {
         self.config.tier(kind)
     }
 
-    fn allocator(&mut self, kind: TierKind) -> &mut TierAllocator {
-        match kind {
-            TierKind::Dram => &mut self.dram,
-            TierKind::Nvm => &mut self.nvm,
-        }
+    fn to_id(&self, kind: TierKind) -> TierId {
+        self.config.tier_id(kind)
     }
 
-    fn allocator_ref(&self, kind: TierKind) -> &TierAllocator {
-        match kind {
-            TierKind::Dram => &self.dram,
-            TierKind::Nvm => &self.nvm,
-        }
+    fn allocator(&mut self, tier: TierId) -> &mut TierAllocator {
+        &mut self.tiers[tier.index()]
+    }
+
+    fn allocator_ref(&self, tier: TierId) -> &TierAllocator {
+        &self.tiers[tier.index()]
     }
 
     /// Allocate a new data object on `preferred`, falling back to the
     /// other tier if `fallback` is set and the preferred tier is full
     /// (the paper's default: everything that does not fit in DRAM starts
-    /// in NVM).
+    /// in NVM). Two-tier facade over [`Hms::alloc_object_on`].
     pub fn alloc_object(
         &mut self,
         name: &str,
@@ -247,36 +439,60 @@ impl Hms {
         preferred: TierKind,
         fallback: bool,
     ) -> Result<ObjectId, HmsError> {
+        let preferred = self.to_id(preferred);
+        self.alloc_object_on(name, size, preferred, fallback)
+    }
+
+    /// Allocate a new data object on tier `preferred`. With `fallback`
+    /// the allocation cascades: first every *slower* tier in order
+    /// (spill down, the paper's overflow direction), then faster tiers
+    /// (a full slow tier overflows upward rather than failing).
+    pub fn alloc_object_on(
+        &mut self,
+        name: &str,
+        size: u64,
+        preferred: TierId,
+        fallback: bool,
+    ) -> Result<ObjectId, HmsError> {
         if size == 0 {
             return Err(HmsError::ZeroSizeAllocation);
         }
-        let (tier, addr) = match self.allocator(preferred).alloc(size) {
-            Some(addr) => (preferred, addr),
-            None if fallback => {
-                if preferred == TierKind::Dram {
-                    self.dram_fallbacks += 1;
-                    self.metrics.inc("hms.dram_fallbacks");
-                }
-                let other = preferred.other();
-                match self.allocator(other).alloc(size) {
-                    Some(addr) => (other, addr),
-                    None => {
-                        return Err(HmsError::OutOfMemory {
-                            tier: other,
-                            requested: size,
-                            largest_free: self.allocator_ref(other).largest_free_block(),
-                        })
-                    }
+        let n = self.tiers.len();
+        assert!(preferred.index() < n, "tier {preferred} out of range");
+        let mut placed = None;
+        if let Some(addr) = self.allocator(preferred).alloc(size) {
+            placed = Some((preferred, addr));
+        } else if fallback {
+            if preferred == TierId::FASTEST {
+                self.dram_fallbacks += 1;
+                self.metrics.inc("hms.dram_fallbacks");
+            }
+            // Slower tiers first, then faster ones.
+            let order = (preferred.index() + 1..n).chain((0..preferred.index()).rev());
+            let mut last_tried = preferred;
+            for i in order {
+                let t = TierId(i as u8);
+                last_tried = t;
+                if let Some(addr) = self.allocator(t).alloc(size) {
+                    placed = Some((t, addr));
+                    break;
                 }
             }
-            None => {
+            if placed.is_none() {
                 return Err(HmsError::OutOfMemory {
-                    tier: preferred,
+                    tier: last_tried.kind(),
                     requested: size,
-                    largest_free: self.allocator_ref(preferred).largest_free_block(),
-                })
+                    largest_free: self.allocator_ref(last_tried).largest_free_block(),
+                });
             }
-        };
+        } else {
+            return Err(HmsError::OutOfMemory {
+                tier: preferred.kind(),
+                requested: size,
+                largest_free: self.allocator_ref(preferred).largest_free_block(),
+            });
+        }
+        let (tier, addr) = placed.expect("placed or returned above");
         let id = ObjectId(self.next_id);
         self.next_id += 1;
         self.objects.insert(
@@ -337,8 +553,14 @@ impl Hms {
         Ok(())
     }
 
-    /// Current tier of an object.
+    /// Current tier of an object through the two-tier facade (middle
+    /// tiers present as NVM); [`Hms::tier_index_of`] has the exact index.
     pub fn tier_of(&self, id: ObjectId) -> Result<TierKind, HmsError> {
+        self.tier_index_of(id).map(TierId::kind)
+    }
+
+    /// Exact tier index of an object.
+    pub fn tier_index_of(&self, id: ObjectId) -> Result<TierId, HmsError> {
         self.objects
             .get(&id)
             .map(|r| r.tier)
@@ -393,15 +615,22 @@ impl Hms {
             .ok_or(HmsError::NoSuchObject(id))
     }
 
-    /// Move an object to `to`, synchronously. Returns the number of
-    /// bytes moved.
+    /// Move an object to `to`, synchronously. Two-tier facade over
+    /// [`Hms::move_object_to`].
+    pub fn move_object(&mut self, id: ObjectId, to: TierKind) -> Result<u64, HmsError> {
+        let to = self.to_id(to);
+        self.move_object_to(id, to)
+    }
+
+    /// Move an object to the tier at `to`, synchronously. Returns the
+    /// number of bytes moved.
     ///
     /// The destination allocation is obtained before the source is freed,
     /// as a real runtime must (the copy needs both resident). Fails if the
     /// object is pinned, mid-move, missing, already there, or the
     /// destination can't hold it.
-    pub fn move_object(&mut self, id: ObjectId, to: TierKind) -> Result<u64, HmsError> {
-        let ticket = self.begin_move(id, to)?;
+    pub fn move_object_to(&mut self, id: ObjectId, to: TierId) -> Result<u64, HmsError> {
+        let ticket = self.begin_move_to(id, to)?;
         // Physical copy while both ranges are reserved: destination is
         // allocated, source not yet released.
         self.backend.copy(
@@ -415,6 +644,13 @@ impl Hms {
         Ok(self.finish_move(ticket))
     }
 
+    /// Phase one of a two-phase move (two-tier facade over
+    /// [`Hms::begin_move_to`]).
+    pub fn begin_move(&mut self, id: ObjectId, to: TierKind) -> Result<MoveTicket, HmsError> {
+        let to = self.to_id(to);
+        self.begin_move_to(id, to)
+    }
+
     /// Phase one of a two-phase move: reserve the destination and mark
     /// the object mid-move, without copying anything.
     ///
@@ -424,13 +660,14 @@ impl Hms {
     /// retakes it for [`Hms::commit_move`]. While the ticket is
     /// outstanding the object rejects pins, frees, and further moves, so
     /// no task can observe half-copied bytes.
-    pub fn begin_move(&mut self, id: ObjectId, to: TierKind) -> Result<MoveTicket, HmsError> {
+    pub fn begin_move_to(&mut self, id: ObjectId, to: TierId) -> Result<MoveTicket, HmsError> {
+        assert!(to.index() < self.tiers.len(), "tier {to} out of range");
         let (size, from, from_addr, pins, moving) = {
             let rec = self.objects.get(&id).ok_or(HmsError::NoSuchObject(id))?;
             (rec.meta.size, rec.tier, rec.addr, rec.pins, rec.moving)
         };
         if from == to {
-            return Err(HmsError::AlreadyResident(id, to));
+            return Err(HmsError::AlreadyResident(id, to.kind()));
         }
         if pins > 0 {
             return Err(HmsError::Pinned(id));
@@ -442,7 +679,7 @@ impl Hms {
             .allocator(to)
             .alloc(size)
             .ok_or_else(|| HmsError::OutOfMemory {
-                tier: to,
+                tier: to.kind(),
                 requested: size,
                 largest_free: self.allocator_ref(to).largest_free_block(),
             })?;
@@ -545,27 +782,42 @@ impl Hms {
         Ok(self
             .backend
             .data_ptr(tier, addr, size)
-            .map(|p| (p, size, tier)))
+            .map(|p| (p, size, tier.kind())))
     }
 
     /// Whether `bytes` more would fit on `tier` right now.
     pub fn can_fit(&self, tier: TierKind, bytes: u64) -> bool {
+        self.can_fit_at(self.to_id(tier), bytes)
+    }
+
+    /// Whether `bytes` more would fit on the tier at `tier` right now.
+    pub fn can_fit_at(&self, tier: TierId, bytes: u64) -> bool {
         self.allocator_ref(tier).can_fit(bytes)
     }
 
     /// Bytes used on `tier`.
     pub fn used(&self, tier: TierKind) -> u64 {
+        self.used_at(self.to_id(tier))
+    }
+
+    /// Bytes used on the tier at `tier`.
+    pub fn used_at(&self, tier: TierId) -> u64 {
         self.allocator_ref(tier).used()
     }
 
     /// Bytes free on `tier`.
     pub fn free_bytes(&self, tier: TierKind) -> u64 {
+        self.free_bytes_at(self.to_id(tier))
+    }
+
+    /// Bytes free on the tier at `tier`.
+    pub fn free_bytes_at(&self, tier: TierId) -> u64 {
         self.allocator_ref(tier).free_bytes()
     }
 
     /// External fragmentation of `tier`.
     pub fn fragmentation(&self, tier: TierKind) -> f64 {
-        self.allocator_ref(tier).fragmentation()
+        self.allocator_ref(self.to_id(tier)).fragmentation()
     }
 
     /// One past the highest object id ever allocated (ids are dense and
@@ -582,8 +834,15 @@ impl Hms {
         v
     }
 
-    /// Ids of objects resident on `tier`, ascending.
+    /// Ids of objects resident on `tier`, ascending. Through the facade
+    /// `Dram` means tier 0 and `Nvm` the last tier — objects on middle
+    /// tiers appear in neither view (use [`Hms::objects_on_tier`]).
     pub fn objects_on(&self, tier: TierKind) -> Vec<ObjectId> {
+        self.objects_on_tier(self.to_id(tier))
+    }
+
+    /// Ids of objects resident on the tier at `tier`, ascending.
+    pub fn objects_on_tier(&self, tier: TierId) -> Vec<ObjectId> {
         let mut v: Vec<ObjectId> = self
             .objects
             .iter()
@@ -596,11 +855,24 @@ impl Hms {
 
     /// Residency snapshot for reporting.
     pub fn snapshot(&self) -> ResidencySnapshot {
+        let last = self.config.last_tier();
+        let mut mid: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, r)| r.tier != TierId::FASTEST && r.tier != last)
+            .map(|(id, _)| *id)
+            .collect();
+        mid.sort();
+        let mid_used = (1..self.tiers.len() - 1)
+            .map(|i| self.tiers[i].used())
+            .sum();
         ResidencySnapshot {
-            dram: self.objects_on(TierKind::Dram),
-            nvm: self.objects_on(TierKind::Nvm),
-            dram_used: self.used(TierKind::Dram),
-            nvm_used: self.used(TierKind::Nvm),
+            dram: self.objects_on_tier(TierId::FASTEST),
+            nvm: self.objects_on_tier(last),
+            mid,
+            dram_used: self.used_at(TierId::FASTEST),
+            nvm_used: self.used_at(last),
+            mid_used,
         }
     }
 
@@ -611,27 +883,20 @@ impl Hms {
 
     /// Check cross-structure invariants (object table vs allocators).
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.dram.check_invariants()?;
-        self.nvm.check_invariants()?;
-        let mut dram_bytes = 0;
-        let mut nvm_bytes = 0;
+        for alloc in &self.tiers {
+            alloc.check_invariants()?;
+        }
+        let mut per_tier = vec![0u64; self.tiers.len()];
         for rec in self.objects.values() {
-            match rec.tier {
-                TierKind::Dram => dram_bytes += rec.meta.size,
-                TierKind::Nvm => nvm_bytes += rec.meta.size,
+            per_tier[rec.tier.index()] += rec.meta.size;
+        }
+        for (i, (bytes, alloc)) in per_tier.iter().zip(self.tiers.iter()).enumerate() {
+            if *bytes != alloc.used() {
+                return Err(format!(
+                    "tier{i} object bytes {bytes} != allocator used {}",
+                    alloc.used()
+                ));
             }
-        }
-        if dram_bytes != self.dram.used() {
-            return Err(format!(
-                "DRAM object bytes {dram_bytes} != allocator used {}",
-                self.dram.used()
-            ));
-        }
-        if nvm_bytes != self.nvm.used() {
-            return Err(format!(
-                "NVM object bytes {nvm_bytes} != allocator used {}",
-                self.nvm.used()
-            ));
         }
         Ok(())
     }
@@ -646,6 +911,20 @@ mod tests {
         Hms::new(
             HmsConfig::new(presets::dram(dram_cap), presets::optane_pmm(nvm_cap), 5.0)
                 .expect("valid test config"),
+        )
+    }
+
+    fn three_tier_hms(dram_cap: u64, mid_cap: u64, nvm_cap: u64) -> Hms {
+        Hms::new(
+            HmsConfig::with_tiers(
+                vec![
+                    presets::dram(dram_cap),
+                    presets::cxl(mid_cap),
+                    presets::optane_pmm(nvm_cap),
+                ],
+                5.0,
+            )
+            .expect("valid 3-tier config"),
         )
     }
 
@@ -772,8 +1051,10 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.dram, vec![a]);
         assert_eq!(snap.nvm, vec![b]);
+        assert!(snap.mid.is_empty());
         assert_eq!(snap.dram_used, 100);
         assert_eq!(snap.nvm_used, 200);
+        assert_eq!(snap.mid_used, 0);
         assert_eq!(h.footprint(), 300);
     }
 
@@ -878,5 +1159,112 @@ mod tests {
         assert_eq!(snap.gauge("hms.dram.capacity_bytes"), Some(1024.0));
         h.free_object(a).unwrap();
         assert_eq!(m.snapshot().gauge("hms.dram.used_bytes"), Some(0.0));
+    }
+
+    // --- N-tier behaviour ------------------------------------------------
+
+    #[test]
+    fn three_tier_config_exposes_ordered_specs() {
+        let cfg = HmsConfig::with_tiers(
+            vec![
+                presets::dram(1024),
+                presets::cxl(2048),
+                presets::optane_pmm(4096),
+            ],
+            5.0,
+        )
+        .unwrap();
+        assert_eq!(cfg.n_tiers(), 3);
+        assert_eq!(cfg.tier_spec_at(TierId(0)).name, "DRAM");
+        assert_eq!(cfg.tier_spec_at(TierId(1)).name, "CXL");
+        assert_eq!(cfg.tier_spec_at(TierId(2)).name, "Optane PMM");
+        assert_eq!(cfg.tier_id(TierKind::Dram), TierId(0));
+        assert_eq!(cfg.tier_id(TierKind::Nvm), TierId(2));
+        assert_eq!(cfg.last_tier(), TierId(2));
+        // DRAM↔spill keeps the explicit scalar; other pairs are derived.
+        assert_eq!(cfg.copy_bw_between(TierId(0), TierId(2)), 5.0);
+        assert_eq!(cfg.copy_bw_between(TierId(2), TierId(0)), 5.0);
+        let d_to_c = cfg.copy_bw_between(TierId(0), TierId(1));
+        assert!(d_to_c > 0.0 && d_to_c.is_finite());
+        // CXL write BW bounds the DRAM→CXL copy pipe.
+        let cxl = presets::cxl(2048);
+        assert!((d_to_c - 0.8 * cxl.write_bw_gbps.min(presets::dram(1).read_bw_gbps)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_tiers_rejects_degenerate_lists() {
+        assert!(HmsConfig::with_tiers(vec![presets::dram(1024)], 5.0).is_err());
+        assert!(HmsConfig::with_tiers(vec![], 5.0).is_err());
+    }
+
+    #[test]
+    fn alloc_cascades_down_then_up_across_three_tiers() {
+        let mut h = three_tier_hms(100, 100, 64);
+        // Fill DRAM; next preferred-DRAM alloc lands on the middle tier.
+        let _a = h.alloc_object_on("a", 100, TierId(0), true).unwrap();
+        let b = h.alloc_object_on("b", 60, TierId(0), true).unwrap();
+        assert_eq!(h.tier_index_of(b).unwrap(), TierId(1));
+        assert_eq!(h.dram_fallbacks, 1);
+        // Middle tier nearly full: the next one spills to NVM.
+        let c = h.alloc_object_on("c", 60, TierId(0), true).unwrap();
+        assert_eq!(h.tier_index_of(c).unwrap(), TierId(2));
+        // The spill tier is full now (60 of 64): preferring it overflows
+        // *upward* to the middle tier rather than failing.
+        let d = h.alloc_object_on("d", 30, TierId(2), true).unwrap();
+        assert_eq!(h.tier_index_of(d).unwrap(), TierId(1));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mid_tier_presents_as_nvm_through_the_facade() {
+        let mut h = three_tier_hms(1024, 1024, 1024);
+        let m = h.alloc_object_on("m", 64, TierId(1), false).unwrap();
+        assert_eq!(h.tier_index_of(m).unwrap(), TierId(1));
+        assert_eq!(h.tier_of(m).unwrap(), TierKind::Nvm);
+        // Facade views see tier 0 and the *last* tier only.
+        assert!(h.objects_on(TierKind::Dram).is_empty());
+        assert!(h.objects_on(TierKind::Nvm).is_empty());
+        assert_eq!(h.objects_on_tier(TierId(1)), vec![m]);
+        let snap = h.snapshot();
+        assert_eq!(snap.mid, vec![m]);
+        assert_eq!(snap.mid_used, 64);
+    }
+
+    #[test]
+    fn tier_to_tier_moves_walk_the_ladder() {
+        let mut h = three_tier_hms(1024, 1024, 1024);
+        let a = h.alloc_object_on("a", 256, TierId(2), false).unwrap();
+        assert_eq!(h.move_object_to(a, TierId(1)).unwrap(), 256);
+        assert_eq!(h.tier_index_of(a).unwrap(), TierId(1));
+        assert_eq!(h.used_at(TierId(2)), 0);
+        assert_eq!(h.used_at(TierId(1)), 256);
+        let t = h.begin_move_to(a, TierId(0)).unwrap();
+        assert_eq!((t.from_tier(), t.to_tier()), (TierId(1), TierId(0)));
+        let moved = h.commit_move(t, &crate::CopyOutcome::default());
+        assert_eq!(moved, 256);
+        assert_eq!(h.tier_index_of(a).unwrap(), TierId(0));
+        assert_eq!(
+            h.move_object_to(a, TierId(0)),
+            Err(HmsError::AlreadyResident(a, TierKind::Dram))
+        );
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn copy_bw_override_is_per_pair() {
+        let mut cfg = HmsConfig::with_tiers(
+            vec![
+                presets::dram(1024),
+                presets::cxl(2048),
+                presets::optane_pmm(4096),
+            ],
+            5.0,
+        )
+        .unwrap();
+        cfg.set_copy_bw(TierId(1), TierId(2), 1.25).unwrap();
+        assert_eq!(cfg.copy_bw_between(TierId(1), TierId(2)), 1.25);
+        assert_eq!(cfg.copy_bw_between(TierId(0), TierId(2)), 5.0);
+        assert!(cfg.set_copy_bw(TierId(0), TierId(3), 1.0).is_err());
+        assert!(cfg.set_copy_bw(TierId(0), TierId(1), f64::NAN).is_err());
     }
 }

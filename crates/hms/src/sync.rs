@@ -749,6 +749,7 @@ mod tests {
     use super::*;
     use crate::memory::HmsConfig;
     use crate::presets;
+    use crate::tier::TierId;
     use std::sync::Arc;
 
     // A minimal byte-backed test substrate (heap, not mmap — tahoe-realmem
@@ -778,10 +779,10 @@ mod tests {
             "heap-test"
         }
 
-        fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8> {
+        fn data_ptr(&mut self, tier: TierId, addr: u64, len: u64) -> Option<*mut u8> {
             let buf = match tier {
-                TierKind::Dram => &mut self.dram,
-                TierKind::Nvm => &mut self.nvm,
+                TierId(0) => &mut self.dram,
+                _ => &mut self.nvm,
             };
             if addr.checked_add(len)? > buf.len() as u64 {
                 return None;
@@ -793,8 +794,8 @@ mod tests {
         fn record_external_copy(
             &mut self,
             _object: u32,
-            _from: TierKind,
-            _to: TierKind,
+            _from: TierId,
+            _to: TierId,
             outcome: &CopyOutcome,
         ) {
             self.stats.copies += 1;

@@ -41,6 +41,58 @@ impl fmt::Display for TierKind {
     }
 }
 
+/// Index of one tier in an ordered tier list, fastest first.
+///
+/// The N-tier generalization of [`TierKind`]: tier 0 is always the
+/// fastest, smallest tier (DRAM) and the highest index is the slowest,
+/// largest tier (the spill tier, NVM in the paper's setup). Middle
+/// indices are intermediate tiers such as CXL-attached memory.
+///
+/// [`TierKind`] remains the two-tier facade: `Dram` maps to tier 0 and
+/// `Nvm` maps to the *last* tier of the configured list, so every
+/// two-tier caller keeps working unchanged against an N-tier `Hms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// The fastest tier (always index 0; DRAM in every preset).
+    pub const FASTEST: TierId = TierId(0);
+
+    /// The tier's position in the ordered list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The [`TierKind`] facade for this index given an `n`-tier list:
+    /// index 0 is `Dram`, everything else presents as `Nvm` (middle
+    /// tiers are "not DRAM" to two-tier observers).
+    #[inline]
+    pub fn kind(self) -> TierKind {
+        if self.0 == 0 {
+            TierKind::Dram
+        } else {
+            TierKind::Nvm
+        }
+    }
+
+    /// Map a [`TierKind`] onto an `n`-tier list: `Dram` → tier 0,
+    /// `Nvm` → the last tier.
+    #[inline]
+    pub fn from_kind(kind: TierKind, n_tiers: usize) -> TierId {
+        match kind {
+            TierKind::Dram => TierId(0),
+            TierKind::Nvm => TierId(n_tiers.saturating_sub(1) as u8),
+        }
+    }
+}
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tier{}", self.0)
+    }
+}
+
 /// Performance and capacity specification of one memory tier.
 ///
 /// Latencies are per *dependent* cache-line access; bandwidths are the
@@ -180,6 +232,20 @@ mod tests {
     fn display_names() {
         assert_eq!(TierKind::Dram.to_string(), "DRAM");
         assert_eq!(TierKind::Nvm.to_string(), "NVM");
+    }
+
+    #[test]
+    fn tier_id_kind_round_trip() {
+        assert_eq!(TierId(0).kind(), TierKind::Dram);
+        assert_eq!(TierId(1).kind(), TierKind::Nvm);
+        assert_eq!(TierId(2).kind(), TierKind::Nvm);
+        for n in 2..5 {
+            assert_eq!(TierId::from_kind(TierKind::Dram, n), TierId(0));
+            assert_eq!(TierId::from_kind(TierKind::Nvm, n), TierId((n - 1) as u8));
+        }
+        assert_eq!(TierId(3).to_string(), "tier3");
+        assert_eq!(TierId(1).index(), 1);
+        assert_eq!(TierId::FASTEST, TierId(0));
     }
 
     #[test]

@@ -134,7 +134,7 @@ mod hammer {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    use tahoe_hms::{presets, Hms, HmsConfig, SharedHms, TierKind};
+    use tahoe_hms::{presets, Hms, HmsConfig, SharedHms, TierId, TierKind};
 
     #[derive(Debug)]
     struct HeapBackend {
@@ -147,10 +147,10 @@ mod hammer {
             "heap-hammer"
         }
 
-        fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8> {
+        fn data_ptr(&mut self, tier: TierId, addr: u64, len: u64) -> Option<*mut u8> {
             let buf = match tier {
-                TierKind::Dram => &mut self.dram,
-                TierKind::Nvm => &mut self.nvm,
+                TierId(0) => &mut self.dram,
+                _ => &mut self.nvm,
             };
             if addr.checked_add(len)? > buf.len() as u64 {
                 return None;

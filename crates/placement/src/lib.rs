@@ -18,6 +18,10 @@
 //!   gain comparison that picks between them.
 //! * [`chunk`] — large-object decomposition, so part of an object bigger
 //!   than DRAM can still be placed.
+//! * [`mck`] — the N-tier generalization: a multiple-choice knapsack
+//!   where each object picks exactly one tier of an ordered tier list
+//!   (DRAM / CXL / … / NVM) under per-tier capacities. At two tiers it
+//!   delegates to [`knapsack::solve`], so binary plans are unchanged.
 
 // Pure combinatorial-optimization logic: no raw-memory access anywhere.
 #![forbid(unsafe_code)]
@@ -25,12 +29,14 @@
 pub mod bnb;
 pub mod chunk;
 pub mod knapsack;
+pub mod mck;
 pub mod plan;
 pub mod search;
 pub mod weight;
 
 pub use bnb::solve_bnb;
 pub use knapsack::{solve, Item, Solution};
+pub use mck::{solve_mck, solve_mck_bnb, solve_mck_dp, solve_mck_greedy, MckAssignment, MckItem};
 pub use plan::{Plan, PlanKind, WindowPlan};
 pub use search::{choose_plan, global_plan, local_plan};
 pub use weight::{ObjectCandidate, WeighCtx};

@@ -1,0 +1,125 @@
+//! Cross-solver property tests for the multiple-choice knapsack.
+//!
+//! * At unit grain (every paid capacity below the cell budget) the
+//!   multi-dimensional DP is exact, so it and branch-and-bound must
+//!   reach the same optimal value.
+//! * The greedy upgrade loop must respect every paid tier's capacity on
+//!   arbitrary instances — it is capacity-safe by construction.
+//! * At `N = 2` the MCK collapses to the existing binary knapsack:
+//!   `solve_mck` must produce the *bit-identical* plan (same chosen
+//!   set, value and bytes) as `knapsack::solve`, because it delegates.
+
+use proptest::prelude::*;
+
+use tahoe_hms::ObjectId;
+use tahoe_placement::{
+    knapsack, solve_mck, solve_mck_bnb, solve_mck_dp, solve_mck_greedy, Item, MckItem,
+};
+
+/// Random positive-value MCK instances over `tiers` tiers. Values are
+/// sorted descending per item (faster tier ⇒ larger saving, with the
+/// slowest tier at 0), matching how the runtime builds benefits.
+fn mck_items(n: usize, max_size: u64, tiers: usize) -> impl Strategy<Value = Vec<MckItem>> {
+    proptest::collection::vec(
+        (
+            1..max_size + 1,
+            proptest::collection::vec(0.0f64..100.0, tiers - 1..tiers),
+        ),
+        1..n + 1,
+    )
+    .prop_map(move |raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (size, mut vals))| {
+                vals.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+                vals.push(0.0);
+                MckItem {
+                    id: ObjectId(i as u32),
+                    size,
+                    values: vals,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mck_dp_and_bnb_agree_exactly_at_unit_grain(
+        items in mck_items(10, 64, 3),
+        cap0 in 1u64..200,
+        cap1 in 1u64..200,
+    ) {
+        // Both paid capacities stay far below the DP cell budget, so the
+        // per-dimension grain is 1 and the DP is exact.
+        let caps = [cap0, cap1, u64::MAX];
+        let dp = solve_mck_dp(&items, &caps).unwrap();
+        let bnb = solve_mck_bnb(&items, &caps).unwrap().expect("≤ 16 items");
+        prop_assert!(
+            (dp.total_value - bnb.total_value).abs() <= 1e-9 * bnb.total_value.max(1.0),
+            "DP {} vs B&B {}", dp.total_value, bnb.total_value
+        );
+        prop_assert!(dp.respects(&caps));
+        prop_assert!(bnb.respects(&caps));
+    }
+
+    #[test]
+    fn mck_greedy_respects_every_paid_capacity(
+        items in mck_items(24, 1 << 16, 4),
+        cap0 in 1u64..(1 << 18),
+        cap1 in 1u64..(1 << 18),
+        cap2 in 1u64..(1 << 18),
+    ) {
+        let caps = [cap0, cap1, cap2, u64::MAX];
+        let sol = solve_mck_greedy(&items, &caps).unwrap();
+        prop_assert!(sol.respects(&caps), "per-tier bytes {:?} caps {:?}", sol.per_tier_bytes, caps);
+        // The assignment is complete: every item sits on exactly one tier.
+        prop_assert_eq!(sol.tiers.len(), items.len());
+        prop_assert_eq!(
+            sol.per_tier_bytes.iter().sum::<u64>(),
+            items.iter().map(|it| it.size).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn mck_at_two_tiers_is_bit_identical_to_the_binary_solver(
+        items in mck_items(16, 512, 2),
+        capacity in 1u64..8193,
+    ) {
+        let bin: Vec<Item> = items
+            .iter()
+            .map(|it| Item {
+                id: it.id,
+                size: it.size,
+                value: it.values[0] - it.values[1],
+            })
+            .collect();
+        let expect = knapsack::solve(&bin, capacity);
+        let got = solve_mck(&items, &[capacity, u64::MAX]).unwrap();
+        // Same chosen set (bitwise), same value, same bytes on tier 0.
+        prop_assert_eq!(got.objects_on(&items, 0), expect.chosen);
+        prop_assert_eq!(got.total_value.to_bits(), expect.total_value.to_bits());
+        prop_assert_eq!(got.per_tier_bytes[0], expect.total_size);
+    }
+
+    #[test]
+    fn mck_solve_dominates_every_component(
+        items in mck_items(10, 64, 3),
+        cap0 in 1u64..200,
+        cap1 in 1u64..200,
+    ) {
+        let caps = [cap0, cap1, u64::MAX];
+        let combined = solve_mck(&items, &caps).unwrap();
+        let greedy = solve_mck_greedy(&items, &caps).unwrap().total_value;
+        let dp = solve_mck_dp(&items, &caps).unwrap().total_value;
+        let bnb = solve_mck_bnb(&items, &caps).unwrap().expect("≤ 16 items").total_value;
+        let floor = greedy.max(dp).max(bnb) - 1e-9;
+        prop_assert!(
+            combined.total_value >= floor,
+            "solve_mck {} below best component {}", combined.total_value, floor
+        );
+        prop_assert!(combined.respects(&caps));
+    }
+}

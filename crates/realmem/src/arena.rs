@@ -7,14 +7,15 @@
 //! pointer. Allocation policy stays in `tahoe_hms::alloc::TierAllocator`;
 //! the arena only owns the bytes and the residency hints.
 
-use tahoe_hms::TierKind;
+use tahoe_hms::{TierId, TierKind};
 
 use crate::sys::{self, Advice, Mapping};
 
 /// A page-aligned, capacity-tracked mapping backing one memory tier.
 #[derive(Debug)]
 pub struct MmapArena {
-    tier: TierKind,
+    tier: TierId,
+    label: String,
     mapping: Mapping,
     capacity: u64,
     /// Bytes currently covered by live allocations (hint bookkeeping).
@@ -23,18 +24,27 @@ pub struct MmapArena {
 }
 
 impl MmapArena {
-    /// Map an arena of at least `capacity` bytes for `tier`. The mapped
-    /// length is `capacity` rounded up to a whole page.
+    /// Map an arena of at least `capacity` bytes for a classic two-tier
+    /// `tier` (DRAM = tier 0, NVM = tier 1). The mapped length is
+    /// `capacity` rounded up to a whole page.
     pub fn new(tier: TierKind, capacity: u64) -> Result<Self, String> {
+        Self::new_at(TierId::from_kind(tier, 2), &tier.to_string(), capacity)
+    }
+
+    /// Map an arena of at least `capacity` bytes for the tier at index
+    /// `tier` with a human-readable `label` (the tier spec's device
+    /// name), for N-tier backends.
+    pub fn new_at(tier: TierId, label: &str, capacity: u64) -> Result<Self, String> {
         if capacity == 0 {
-            return Err(format!("{tier} arena capacity must be nonzero"));
+            return Err(format!("{label} arena capacity must be nonzero"));
         }
         let ps = sys::page_size();
         let mapped = capacity.div_ceil(ps) * ps;
         let mapping =
-            sys::map_anonymous(mapped as usize).map_err(|e| format!("{tier} arena: {e}"))?;
+            sys::map_anonymous(mapped as usize).map_err(|e| format!("{label} arena: {e}"))?;
         Ok(MmapArena {
             tier,
+            label: label.to_string(),
             mapping,
             capacity,
             live_bytes: 0,
@@ -42,9 +52,14 @@ impl MmapArena {
         })
     }
 
-    /// Tier this arena backs.
-    pub fn tier(&self) -> TierKind {
+    /// Index of the tier this arena backs.
+    pub fn tier(&self) -> TierId {
         self.tier
+    }
+
+    /// Human-readable device label of the tier this arena backs.
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Usable capacity in bytes (what the allocator sees).
@@ -146,5 +161,19 @@ mod tests {
     #[test]
     fn zero_capacity_is_rejected() {
         assert!(MmapArena::new(TierKind::Dram, 0).is_err());
+        assert!(MmapArena::new_at(TierId(1), "CXL", 0).is_err());
+    }
+
+    #[test]
+    fn indexed_arena_carries_tier_and_label() {
+        let a = MmapArena::new_at(TierId(1), "CXL", 4096).unwrap();
+        assert_eq!(a.tier(), TierId(1));
+        assert_eq!(a.label(), "CXL");
+        let d = MmapArena::new(TierKind::Dram, 4096).unwrap();
+        assert_eq!(d.tier(), TierId(0));
+        assert_eq!(d.label(), "DRAM");
+        let n = MmapArena::new(TierKind::Nvm, 4096).unwrap();
+        assert_eq!(n.tier(), TierId(1));
+        assert_eq!(n.label(), "NVM");
     }
 }

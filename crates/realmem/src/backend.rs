@@ -1,35 +1,49 @@
 //! [`RealBackend`]: the `mmap` implementation of `tahoe_hms::TierBackend`.
 //!
-//! Both tiers get an arena sized to their spec's capacity. Inter-tier
-//! copies run through the throttled copy engine with a configuration
-//! derived from the tier specs (copy bandwidth bounded by the slower
-//! endpoint, startup latency from the NVM device). If the machine has a
-//! second NUMA node the NVM arena is bound to it best-effort; otherwise
-//! the software throttle alone carries the DRAM/NVM asymmetry.
+//! Every tier in the config's ordered list gets an arena sized to its
+//! spec's capacity. Tier-to-tier copies run through the throttled copy
+//! engine with a per-(src,dst)-pair configuration derived from the
+//! config's copy-bandwidth matrix (startup latency from the slower
+//! endpoint's write latency). If the machine has a second NUMA node the
+//! spill-tier arena is bound to it best-effort; otherwise the software
+//! throttle alone carries the tier asymmetry.
 
 use std::time::Instant;
 
-use tahoe_hms::{BackendStats, CopyOutcome, HmsConfig, TierBackend, TierKind};
+use tahoe_hms::{BackendStats, CopyOutcome, HmsConfig, TierBackend, TierId};
 use tahoe_obs::{Emitter, Event, Metrics, Tier};
 
 use crate::arena::MmapArena;
 use crate::copy::{throttled_copy, CopyConfig, DEFAULT_CHUNK};
 use crate::numa;
 
-fn obs_tier(t: TierKind) -> Tier {
-    match t {
-        TierKind::Dram => Tier::Dram,
-        TierKind::Nvm => Tier::Nvm,
+/// The observability event stream stays two-tier: tier 0 is DRAM and
+/// everything slower presents as NVM (middle tiers are "not DRAM" to
+/// two-tier observers).
+fn obs_tier(t: TierId) -> Tier {
+    if t == TierId::FASTEST {
+        Tier::Dram
+    } else {
+        Tier::Nvm
     }
 }
 
+/// Gauge names for the first arenas (metrics keys are `&'static str`).
+const MAPPED_GAUGES: [&str; 4] = [
+    "realmem.dram.mapped_bytes",
+    "realmem.tier1.mapped_bytes",
+    "realmem.tier2.mapped_bytes",
+    "realmem.tier3.mapped_bytes",
+];
+
 /// Real-memory substrate: one [`MmapArena`] per tier plus the throttled
-/// copy engine.
+/// copy engine with one throttle per (src, dst) tier pair.
 #[derive(Debug)]
 pub struct RealBackend {
-    dram: MmapArena,
-    nvm: MmapArena,
-    copy_cfg: CopyConfig,
+    /// One arena per tier, fastest first.
+    arenas: Vec<MmapArena>,
+    /// Row-major n×n copy-engine configs; entry `[from][to]`.
+    copy_cfgs: Vec<CopyConfig>,
     epoch: Instant,
     emitter: Emitter,
     metrics: Metrics,
@@ -37,10 +51,11 @@ pub struct RealBackend {
 }
 
 impl RealBackend {
-    /// Map both arenas for `config`'s tiers and derive the copy-engine
-    /// throttle from the specs: bandwidth is the platform's copy-channel
-    /// bandwidth, startup latency is the NVM write latency (every
-    /// migration touches NVM on one end; its device latency dominates).
+    /// Map an arena per tier of `config` and derive each pair's
+    /// copy-engine throttle from the specs: bandwidth from the config's
+    /// copy matrix (the scalar copy-channel bandwidth in the two-tier
+    /// case), startup latency from the slower endpoint's write latency
+    /// (every migration touches its slowest device on one end).
     pub fn new(config: &HmsConfig) -> Result<Self, String> {
         Self::with_observability(config, Emitter::disabled(), Metrics::disabled())
     }
@@ -52,28 +67,50 @@ impl RealBackend {
         metrics: Metrics,
     ) -> Result<Self, String> {
         let epoch = Instant::now();
-        let mut dram = MmapArena::new(TierKind::Dram, config.dram.capacity)?;
-        let mut nvm = MmapArena::new(TierKind::Nvm, config.nvm.capacity)?;
+        let specs = config.tier_specs();
+        let n = specs.len();
+        let mut arenas = Vec::with_capacity(n);
+        for (i, spec) in specs.iter().enumerate() {
+            arenas.push(MmapArena::new_at(
+                TierId(i as u8),
+                &spec.name,
+                spec.capacity,
+            )?);
+        }
 
-        // Best-effort hardware asymmetry: DRAM on node 0, NVM on the
-        // highest node — only when a remote node actually exists.
+        // Best-effort hardware asymmetry: DRAM on node 0, the spill tier
+        // on the highest node — only when a remote node actually exists.
+        // Middle tiers stay unbound; their asymmetry is software-only.
         let topo = numa::probe();
         if let Some(remote) = topo.nvm_node() {
-            if let Some(n) = numa::bind_to_node(dram.base_ptr(), dram.mapped_len() as usize, 0) {
-                dram.set_numa_node(n as i64);
+            let (first, rest) = arenas.split_first_mut().expect("n >= 2 tiers");
+            if let Some(nd) = numa::bind_to_node(first.base_ptr(), first.mapped_len() as usize, 0) {
+                first.set_numa_node(nd as i64);
             }
-            if let Some(n) = numa::bind_to_node(nvm.base_ptr(), nvm.mapped_len() as usize, remote) {
-                nvm.set_numa_node(n as i64);
+            let last = rest.last_mut().expect("n >= 2 tiers");
+            if let Some(nd) =
+                numa::bind_to_node(last.base_ptr(), last.mapped_len() as usize, remote)
+            {
+                last.set_numa_node(nd as i64);
             }
         }
 
-        let copy_cfg = CopyConfig {
-            bandwidth_gbps: config.copy_bw_gbps,
-            latency_ns: config.nvm.write_lat_ns,
-            chunk_bytes: DEFAULT_CHUNK,
-        };
+        let mut copy_cfgs = Vec::with_capacity(n * n);
+        for from in 0..n {
+            for to in 0..n {
+                copy_cfgs.push(CopyConfig {
+                    bandwidth_gbps: if from == to {
+                        f64::INFINITY
+                    } else {
+                        config.copy_bw_between(TierId(from as u8), TierId(to as u8))
+                    },
+                    latency_ns: specs[from].write_lat_ns.max(specs[to].write_lat_ns),
+                    chunk_bytes: DEFAULT_CHUNK,
+                });
+            }
+        }
 
-        for arena in [&dram, &nvm] {
+        for arena in &arenas {
             let t = epoch.elapsed().as_nanos() as f64;
             emitter.emit(|| Event::ArenaMapped {
                 t,
@@ -83,13 +120,17 @@ impl RealBackend {
             });
         }
         metrics.gauge_set("realmem.numa_nodes", topo.nodes as f64);
-        metrics.gauge_set("realmem.dram.mapped_bytes", dram.mapped_len() as f64);
-        metrics.gauge_set("realmem.nvm.mapped_bytes", nvm.mapped_len() as f64);
+        for (i, arena) in arenas.iter().enumerate() {
+            if i == n - 1 {
+                metrics.gauge_set("realmem.nvm.mapped_bytes", arena.mapped_len() as f64);
+            } else if let Some(name) = MAPPED_GAUGES.get(i) {
+                metrics.gauge_set(name, arena.mapped_len() as f64);
+            }
+        }
 
         Ok(RealBackend {
-            dram,
-            nvm,
-            copy_cfg,
+            arenas,
+            copy_cfgs,
             epoch,
             emitter,
             metrics,
@@ -100,38 +141,55 @@ impl RealBackend {
         })
     }
 
-    fn arena(&self, tier: TierKind) -> &MmapArena {
-        match tier {
-            TierKind::Dram => &self.dram,
-            TierKind::Nvm => &self.nvm,
-        }
+    fn n(&self) -> usize {
+        self.arenas.len()
     }
 
-    fn arena_mut(&mut self, tier: TierKind) -> &mut MmapArena {
-        match tier {
-            TierKind::Dram => &mut self.dram,
-            TierKind::Nvm => &mut self.nvm,
-        }
+    fn arena(&self, tier: TierId) -> &MmapArena {
+        &self.arenas[tier.index()]
     }
 
-    /// The copy-engine throttle in force.
+    fn arena_mut(&mut self, tier: TierId) -> &mut MmapArena {
+        &mut self.arenas[tier.index()]
+    }
+
+    /// The copy-engine throttle of the DRAM↔spill pair (what the
+    /// background migrator, a two-tier consumer, runs with).
     pub fn copy_config(&self) -> CopyConfig {
-        self.copy_cfg
+        self.copy_config_between(TierId::FASTEST, TierId((self.n() - 1) as u8))
     }
 
-    /// Override the copy-engine throttle (tests, calibration sweeps).
+    /// The copy-engine throttle of one (src, dst) tier pair.
+    pub fn copy_config_between(&self, from: TierId, to: TierId) -> CopyConfig {
+        self.copy_cfgs[from.index() * self.n() + to.index()]
+    }
+
+    /// Override the copy-engine throttle for *every* tier pair (tests,
+    /// calibration sweeps).
     pub fn set_copy_config(&mut self, cfg: CopyConfig) {
-        self.copy_cfg = cfg;
+        for c in &mut self.copy_cfgs {
+            *c = cfg;
+        }
     }
 
-    /// NUMA node of each tier's arena (`-1` = unbound, pure emulation).
+    /// Override one (src, dst) pair's copy-engine throttle.
+    pub fn set_copy_config_between(&mut self, from: TierId, to: TierId, cfg: CopyConfig) {
+        let n = self.n();
+        self.copy_cfgs[from.index() * n + to.index()] = cfg;
+    }
+
+    /// NUMA node of the fastest and spill arenas (`-1` = unbound, pure
+    /// emulation).
     pub fn numa_nodes(&self) -> (i64, i64) {
-        (self.dram.numa_node(), self.nvm.numa_node())
+        (
+            self.arenas[0].numa_node(),
+            self.arenas[self.n() - 1].numa_node(),
+        )
     }
 
     /// Fold one completed copy (in-backend or external) into stats,
     /// metrics, and the event stream.
-    fn account_copy(&mut self, object: u32, from: TierKind, to: TierKind, out: &CopyOutcome) {
+    fn account_copy(&mut self, object: u32, from: TierId, to: TierId, out: &CopyOutcome) {
         self.stats.copies += 1;
         self.stats.copied_bytes += out.bytes;
         self.stats.copy_wall_ns += out.wall_ns;
@@ -159,24 +217,24 @@ impl TierBackend for RealBackend {
         "mmap"
     }
 
-    fn data_ptr(&mut self, tier: TierKind, addr: u64, len: u64) -> Option<*mut u8> {
+    fn data_ptr(&mut self, tier: TierId, addr: u64, len: u64) -> Option<*mut u8> {
         self.arena(tier).data_ptr(addr, len)
     }
 
-    fn on_alloc(&mut self, tier: TierKind, addr: u64, len: u64) {
+    fn on_alloc(&mut self, tier: TierId, addr: u64, len: u64) {
         self.arena_mut(tier).on_alloc(addr, len);
     }
 
-    fn on_free(&mut self, tier: TierKind, addr: u64, len: u64) {
+    fn on_free(&mut self, tier: TierId, addr: u64, len: u64) {
         self.arena_mut(tier).on_free(addr, len);
     }
 
     fn copy(
         &mut self,
         object: u32,
-        from: TierKind,
+        from: TierId,
         from_addr: u64,
-        to: TierKind,
+        to: TierId,
         to_addr: u64,
         len: u64,
     ) -> CopyOutcome {
@@ -187,10 +245,11 @@ impl TierBackend for RealBackend {
             debug_assert!(false, "copy range out of arena bounds");
             return CopyOutcome::default();
         };
+        let cfg = self.copy_config_between(from, to);
         // SAFETY: both ranges were bounds-checked against their arenas,
-        // and the two tiers are distinct mappings, so they cannot
+        // and distinct tiers are distinct mappings, so they cannot
         // overlap.
-        let out = unsafe { throttled_copy(src, dst, len, &self.copy_cfg) };
+        let out = unsafe { throttled_copy(src, dst, len, &cfg) };
         self.account_copy(object, from, to, &out);
         out
     }
@@ -198,8 +257,8 @@ impl TierBackend for RealBackend {
     fn record_external_copy(
         &mut self,
         object: u32,
-        from: TierKind,
-        to: TierKind,
+        from: TierId,
+        to: TierId,
         outcome: &CopyOutcome,
     ) {
         self.account_copy(object, from, to, outcome);
@@ -213,21 +272,33 @@ impl TierBackend for RealBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tahoe_hms::{presets, Hms};
+    use tahoe_hms::{presets, Hms, TierKind};
 
     fn config() -> HmsConfig {
         HmsConfig::new(presets::dram(1 << 20), presets::optane_pmm(1 << 22), 5.0)
             .expect("valid test config")
     }
 
+    fn three_tier_config() -> HmsConfig {
+        HmsConfig::with_tiers(
+            vec![
+                presets::dram(1 << 20),
+                presets::cxl(1 << 21),
+                presets::optane_pmm(1 << 22),
+            ],
+            5.0,
+        )
+        .expect("valid 3-tier config")
+    }
+
     #[test]
     fn backend_resolves_pointers_per_tier() {
         let mut b = RealBackend::new(&config()).unwrap();
         assert_eq!(b.name(), "mmap");
-        let d = b.data_ptr(TierKind::Dram, 0, 64).unwrap();
-        let n = b.data_ptr(TierKind::Nvm, 0, 64).unwrap();
+        let d = b.data_ptr(TierId(0), 0, 64).unwrap();
+        let n = b.data_ptr(TierId(1), 0, 64).unwrap();
         assert_ne!(d, n, "tiers must be distinct mappings");
-        assert!(b.data_ptr(TierKind::Dram, 1 << 20, 1).is_none());
+        assert!(b.data_ptr(TierId(0), 1 << 20, 1).is_none());
         assert!(b.stats().is_real);
     }
 
@@ -235,12 +306,12 @@ mod tests {
     fn copy_moves_bytes_between_tiers_and_counts() {
         let mut b = RealBackend::new(&config()).unwrap();
         b.set_copy_config(CopyConfig::unthrottled());
-        let src = b.data_ptr(TierKind::Nvm, 128, 4096).unwrap();
+        let src = b.data_ptr(TierId(1), 128, 4096).unwrap();
         // SAFETY: `data_ptr` bounds-checked 4096 writable bytes at `src`.
         unsafe { src.write_bytes(0x77, 4096) };
-        let out = b.copy(1, TierKind::Nvm, 128, TierKind::Dram, 256, 4096);
+        let out = b.copy(1, TierId(1), 128, TierId(0), 256, 4096);
         assert_eq!(out.bytes, 4096);
-        let dst = b.data_ptr(TierKind::Dram, 256, 4096).unwrap();
+        let dst = b.data_ptr(TierId(0), 256, 4096).unwrap();
         // SAFETY: `data_ptr` bounds-checked 4096 readable bytes at `dst`.
         let got = unsafe { std::slice::from_raw_parts(dst, 4096) };
         assert!(got.iter().all(|&x| x == 0x77));
@@ -275,7 +346,7 @@ mod tests {
         let mut b =
             RealBackend::with_observability(&config(), emitter, Metrics::enabled()).unwrap();
         b.set_copy_config(CopyConfig::unthrottled());
-        b.copy(9, TierKind::Dram, 0, TierKind::Nvm, 0, 1024);
+        b.copy(9, TierId(0), 0, TierId(1), 0, 1024);
         let events = buffer.drain();
         let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(
@@ -289,5 +360,53 @@ mod tests {
             }
             ref other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn three_tier_backend_maps_and_copies_every_pair() {
+        let mut b = RealBackend::new(&three_tier_config()).unwrap();
+        b.set_copy_config(CopyConfig::unthrottled());
+        // Three distinct mappings.
+        let p0 = b.data_ptr(TierId(0), 0, 64).unwrap();
+        let p1 = b.data_ptr(TierId(1), 0, 64).unwrap();
+        let p2 = b.data_ptr(TierId(2), 0, 64).unwrap();
+        assert!(p0 != p1 && p1 != p2 && p0 != p2);
+        // Walk bytes down the ladder: DRAM → CXL → NVM.
+        // SAFETY: `data_ptr` bounds-checked 512 writable bytes at `p0`.
+        unsafe { p0.write_bytes(0x42, 512) };
+        b.copy(1, TierId(0), 0, TierId(1), 0, 512);
+        b.copy(1, TierId(1), 0, TierId(2), 0, 512);
+        // SAFETY: `data_ptr` bounds-checked 512 readable bytes at `p2`.
+        let got = unsafe { std::slice::from_raw_parts(p2, 512) };
+        assert!(got.iter().all(|&x| x == 0x42));
+        assert_eq!(b.stats().copies, 2);
+    }
+
+    #[test]
+    fn per_pair_copy_configs_derive_from_the_matrix() {
+        let cfg = three_tier_config();
+        let b = RealBackend::new(&cfg).unwrap();
+        // DRAM↔spill keeps the scalar copy bandwidth.
+        let dn = b.copy_config_between(TierId(0), TierId(2));
+        assert_eq!(dn.bandwidth_gbps, 5.0);
+        // Startup latency comes from the slower endpoint's write side.
+        assert_eq!(dn.latency_ns, presets::optane_pmm(1).write_lat_ns);
+        let dc = b.copy_config_between(TierId(0), TierId(1));
+        assert_eq!(dc.bandwidth_gbps, cfg.copy_bw_between(TierId(0), TierId(1)));
+        assert_eq!(dc.latency_ns, presets::cxl(1).write_lat_ns);
+        // The legacy accessor is the DRAM↔spill pair.
+        assert_eq!(b.copy_config(), dn);
+    }
+
+    #[test]
+    fn pair_override_is_local() {
+        let mut b = RealBackend::new(&three_tier_config()).unwrap();
+        let before = b.copy_config_between(TierId(0), TierId(2));
+        b.set_copy_config_between(TierId(1), TierId(2), CopyConfig::unthrottled());
+        assert_eq!(
+            b.copy_config_between(TierId(1), TierId(2)),
+            CopyConfig::unthrottled()
+        );
+        assert_eq!(b.copy_config_between(TierId(0), TierId(2)), before);
     }
 }
