@@ -46,6 +46,11 @@ fn tenant_dir() -> String {
     std::env::var("TENANT_DIR").unwrap_or_else(|_| "target/tenant-artifact".to_string())
 }
 
+/// Output directory for the `blame` artifact (override with `BLAME_DIR`).
+fn blame_dir() -> String {
+    std::env::var("BLAME_DIR").unwrap_or_else(|_| "target/blame-artifact".to_string())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -62,7 +67,7 @@ fn main() -> ExitCode {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant> [--smoke] [--tiers N] [more experiments]"
+            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant|blame> [--smoke] [--tiers N] [more experiments]"
         );
         return ExitCode::FAILURE;
     }
@@ -103,6 +108,12 @@ fn main() -> ExitCode {
             "tenant" => {
                 if let Err(e) = tahoe_bench::tenant(smoke, &tenant_dir()) {
                     eprintln!("tenant experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "blame" => {
+                if let Err(e) = tahoe_bench::blame(smoke, &blame_dir()) {
+                    eprintln!("blame experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

@@ -39,6 +39,15 @@
 //!   free-for-all, the Jain fairness index clears its floor (and does
 //!   not collapse relative to the baseline), the quota arbiter
 //!   preempted while free-for-all never does, and the burst shed.
+//! * `tahoe-bench-blame/v1` — the causal profiler's self-consistency is
+//!   machine-independent even though the walls are not: the
+//!   critical-path length stays within its band of the observed span,
+//!   the blame table's aggregate overlap reconciles with the engine's
+//!   (re-derived from the fresh numbers, never trusted from the flags),
+//!   the blame table covers every committed migration, what-if signs
+//!   agree with the knapsack, the flight recorder dropped nothing, and
+//!   a telemetry plane that served must have matched the shutdown
+//!   report bit for bit.
 //!
 //! [`compare`] returns the list of violations (empty = gate passes);
 //! structural problems (unparseable JSON, schema mismatch) are `Err`.
@@ -77,6 +86,14 @@ pub const TENANT_THROUGHPUT_RETENTION: f64 = 0.9;
 
 /// Fresh quota-mode Jain may not drop more than this below baseline's.
 pub const TENANT_JAIN_DRIFT: f64 = 0.05;
+
+/// Critical-path length must land within this percentage of the
+/// observed execution span.
+pub const BLAME_CRIT_BAND_PCT: f64 = 5.0;
+
+/// Blame-side aggregate `%overlap` must reconcile with the migration
+/// engine's `pct_overlap` within this many percentage points.
+pub const BLAME_OVERLAP_BAND_PCT: f64 = 1.0;
 
 fn field<'v>(v: &'v Value, path: &[&str]) -> Result<&'v Value, String> {
     let mut cur = v;
@@ -128,6 +145,7 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
         "tahoe-bench-sanitize/v1" => compare_sanitize(baseline, fresh),
         "tahoe-bench-tenant/v1" => compare_tenant(baseline, fresh),
+        "tahoe-bench-blame/v1" => compare_blame(baseline, fresh),
         other => Err(format!("unknown artifact schema `{other}`")),
     }
 }
@@ -150,6 +168,7 @@ fn compare_obs(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         &["events", "total"],
         &["makespan_ns"],
         &["migrations"],
+        &["ring_dropped"],
     ] {
         let b = field(baseline, path)?;
         let f = field(fresh, path)?;
@@ -165,6 +184,15 @@ fn compare_obs(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
     if b_kinds != f_kinds {
         violations.push(format!(
             "obs per-kind event counts changed: baseline {b_kinds:?} vs fresh {f_kinds:?}"
+        ));
+    }
+    // Beyond matching the baseline, the drop counter must be absolutely
+    // zero: a saturated recorder silently truncates the event stream
+    // every downstream consumer (exporters, crit-path, blame) trusts.
+    if num(fresh, &["ring_dropped"])? != 0.0 {
+        violations.push(format!(
+            "flight recorder dropped {} events during the obs artifact run",
+            num(fresh, &["ring_dropped"])?
         ));
     }
     Ok(violations)
@@ -520,17 +548,133 @@ fn compare_tenant(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String
     Ok(violations)
 }
 
+fn compare_blame(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    // Self-reported consistency flags must hold on the fresh run.
+    for name in ["checksum_matches_reference", "blame_covers_all_migrations"] {
+        if !flag(fresh, &["consistency", name])? {
+            violations.push(format!("fresh `consistency.{name}` is false"));
+        }
+    }
+    // Same workload family as the committed baseline, or the bands
+    // below gate numbers that were never comparable.
+    let b_name = field(baseline, &["workload", "name"])?;
+    let f_name = field(fresh, &["workload", "name"])?;
+    if b_name != f_name {
+        violations.push(format!(
+            "workload changed under the baseline: {b_name:?} vs {f_name:?}"
+        ));
+    }
+    // Re-derive every band from the fresh numbers — never trust the
+    // artifact's own pass/fail verdicts.
+    let crit_pct = num(fresh, &["critpath", "crit_vs_span_pct"])?;
+    if crit_pct > BLAME_CRIT_BAND_PCT {
+        violations.push(format!(
+            "critical path strayed {crit_pct:.2}% from the observed span \
+             (band {BLAME_CRIT_BAND_PCT:.1}%)"
+        ));
+    }
+    let blame_ov = num(fresh, &["reconciliation", "blame_pct_overlap"])?;
+    let engine_ov = num(fresh, &["reconciliation", "engine_pct_overlap"])?;
+    let delta = (blame_ov - engine_ov).abs();
+    if delta > BLAME_OVERLAP_BAND_PCT {
+        violations.push(format!(
+            "blame overlap {blame_ov:.3}% vs engine overlap {engine_ov:.3}% \
+             (delta {delta:.3}%, band {BLAME_OVERLAP_BAND_PCT:.1}%)"
+        ));
+    }
+    if num(fresh, &["run", "migrations"])? < 1.0 {
+        violations.push("blame run performed no migrations".into());
+    }
+    let blamed = num(fresh, &["reconciliation", "blamed_migrations"])?;
+    let committed = num(fresh, &["reconciliation", "engine_migrations"])?;
+    if blamed != committed {
+        violations.push(format!(
+            "blame table covers {blamed} migrations, engine committed {committed}"
+        ));
+    }
+    if num(fresh, &["run", "ring_dropped"])? != 0.0 {
+        violations.push(format!(
+            "flight recorder dropped {} events; the blame table is incomplete",
+            num(fresh, &["run", "ring_dropped"])?
+        ));
+    }
+    let checked = num(fresh, &["consistency", "whatif_checked"])?;
+    let agreeing = num(fresh, &["consistency", "whatif_agreeing"])?;
+    if agreeing != checked {
+        violations.push(format!(
+            "what-if sign agreement {agreeing}/{checked}: model and knapsack disagree"
+        ));
+    }
+    // The telemetry plane may be unavailable (no loopback sockets), but
+    // when it served, the scrape must have matched the shutdown report.
+    if flag(fresh, &["telemetry", "served"])?
+        && !flag(fresh, &["telemetry", "scrape_matches_report"])?
+    {
+        violations.push("telemetry served but its scrape diverged from the shutdown report".into());
+    }
+    Ok(violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn obs_doc(total: u64, makespan: f64) -> String {
+        obs_doc_drops(total, makespan, 0)
+    }
+
+    fn obs_doc_drops(total: u64, makespan: f64, dropped: u64) -> String {
         format!(
             r#"{{"schema": "tahoe-bench-obs/v1",
                 "workload": {{"name": "stream", "footprint_bytes": 786432, "windows": 6, "tasks": 24}},
                 "events": {{"total": {total}, "by_kind": {{"migration_issued": 4, "worker_task": 24}}}},
-                "makespan_ns": {makespan}, "migrations": 4}}"#
+                "makespan_ns": {makespan}, "migrations": 4, "ring_dropped": {dropped}}}"#
         )
+    }
+
+    /// A blame artifact with tunable band-relevant numbers; everything
+    /// else stays at healthy fixed values.
+    #[allow(clippy::too_many_arguments)]
+    fn blame_doc(
+        crit_pct: f64,
+        blame_ov: f64,
+        engine_ov: f64,
+        blamed: u64,
+        committed: u64,
+        ring_dropped: u64,
+        whatif_agreeing: u64,
+        served: bool,
+        scrape_matches: bool,
+    ) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-blame/v1",
+                "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "cpus": 2, "smoke": true}},
+                "workload": {{"name": "stream", "footprint_bytes": 786432, "windows": 4, "tasks": 16}},
+                "run": {{"policy": "tahoe", "workers": 2, "seed": 7, "wall_ns": 3.2e6,
+                         "checksum": "261b4ff712b71cae", "migrations": {committed}, "migrated_bytes": 786432,
+                         "pct_overlap": {engine_ov}, "gate_wait_ns": 2724.0, "ring_dropped": {ring_dropped}}},
+                "critpath": {{"crit_total_ns": 2.36e6, "span_ns": 2.36e6, "exec_wall_ns": 2.58e6,
+                              "compute_ns": 1.5e6, "stall_ns": 2763.0, "idle_ns": 8.5e5,
+                              "segments": 41, "tasks_on_path": 14, "crit_vs_span_pct": {crit_pct}}},
+                "blame": [{{"object": 0, "tier": "dram", "migrations": {blamed}, "bytes": 786432,
+                            "overlapped_ns": 4.6e4, "exposed_ns": 0.0, "gate_wait_ns": 0.0,
+                            "chosen": true, "predicted_benefit_ns": 79872.1}}],
+                "reconciliation": {{"blame_pct_overlap": {blame_ov}, "engine_pct_overlap": {engine_ov},
+                                    "delta_pct": 0.0, "blamed_migrations": {blamed},
+                                    "engine_migrations": {committed}, "unattributed_wait_ns": 3154.0}},
+                "whatif": [],
+                "telemetry": {{"served": {served}, "scrape_matches_report": {scrape_matches},
+                               "tenants": 2, "completed_total": 2, "blame_samples": 20}},
+                "consistency": {{"checksum_matches_reference": true, "crit_band_pct": 5.0,
+                                 "overlap_band_pct": 1.0, "blame_covers_all_migrations": true,
+                                 "whatif_checked": 3, "whatif_agreeing": {whatif_agreeing},
+                                 "ring_dropped": {ring_dropped}}}}}"#
+        )
+    }
+
+    fn healthy_blame_doc() -> String {
+        blame_doc(0.1, 99.8, 100.0, 12, 12, 0, 3, true, true)
     }
 
     fn real_doc(dram_thr: f64, nvm_thr: f64) -> String {
@@ -692,10 +836,65 @@ mod tests {
             audit_doc(40.0, 100.0, 1.0),
             sanitize_doc(216, 1, true),
             healthy_tenant_doc(),
+            healthy_blame_doc(),
         ] {
             let v = compare_text(&doc, &doc).expect("well-formed");
             assert!(v.is_empty(), "unexpected violations: {v:?}");
         }
+    }
+
+    #[test]
+    fn blame_gate_rederives_every_band() {
+        let base = healthy_blame_doc();
+        // Critical path drifting past the 5% band fails.
+        let v = compare_text(
+            &base,
+            &blame_doc(7.0, 99.8, 100.0, 12, 12, 0, 3, true, true),
+        )
+        .unwrap();
+        assert!(
+            v.iter().any(|m| m.contains("critical path strayed")),
+            "{v:?}"
+        );
+        // Blame overlap diverging from the engine's by more than 1 point
+        // fails, re-derived from the numbers (the delta field says 0.0).
+        let v = compare_text(
+            &base,
+            &blame_doc(0.1, 95.0, 100.0, 12, 12, 0, 3, true, true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("engine overlap")), "{v:?}");
+        // A blame table that lost migrations fails.
+        let v = compare_text(&base, &blame_doc(0.1, 99.8, 100.0, 9, 12, 0, 3, true, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("engine committed")), "{v:?}");
+        // Recorder drops invalidate the whole profile.
+        let v = compare_text(
+            &base,
+            &blame_doc(0.1, 99.8, 100.0, 12, 12, 5, 3, true, true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("dropped")), "{v:?}");
+        // What-if signs disagreeing with the knapsack fails.
+        let v = compare_text(
+            &base,
+            &blame_doc(0.1, 99.8, 100.0, 12, 12, 0, 2, true, true),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("sign agreement")), "{v:?}");
+        // A served-but-divergent telemetry plane fails...
+        let v = compare_text(
+            &base,
+            &blame_doc(0.1, 99.8, 100.0, 12, 12, 0, 3, true, false),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("telemetry served")), "{v:?}");
+        // ...but a plane that could not bind at all is tolerated.
+        let v = compare_text(
+            &base,
+            &blame_doc(0.1, 99.8, 100.0, 12, 12, 0, 3, false, false),
+        )
+        .unwrap();
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
@@ -756,6 +955,13 @@ mod tests {
         assert!(v.iter().any(|m| m.contains("events.total")), "{v:?}");
         let v = compare_text(&obs_doc(40, 123456.0), &obs_doc(40, 123457.0)).unwrap();
         assert!(v.iter().any(|m| m.contains("makespan_ns")), "{v:?}");
+        // A nonzero drop counter fails even if both sides agree on it.
+        let v = compare_text(
+            &obs_doc_drops(40, 123456.0, 3),
+            &obs_doc_drops(40, 123456.0, 3),
+        )
+        .unwrap();
+        assert!(v.iter().any(|m| m.contains("dropped 3 events")), "{v:?}");
     }
 
     #[test]

@@ -544,9 +544,14 @@ pub fn obs_artifact(dir: &str) -> Result<(), String> {
         summary.push_str(&format!("{}\"{kind}\": {n}", if i > 0 { ", " } else { "" }));
     }
     summary.push_str("}},\n");
+    // The simulated path records through an unbounded buffer, so the
+    // drop counter must read zero; surfacing it here lets the gate
+    // assert "no drops" instead of inferring it from an absent key.
     summary.push_str(&format!(
-        "  \"makespan_ns\": {:.1},\n  \"migrations\": {}\n}}\n",
-        report.makespan_ns, report.migrations.count
+        "  \"makespan_ns\": {:.1},\n  \"migrations\": {},\n  \"ring_dropped\": {}\n}}\n",
+        report.makespan_ns,
+        report.migrations.count,
+        report.metrics.counter("obs.ring_dropped").unwrap_or(0)
     ));
     json::parse(&summary).map_err(|e| format!("BENCH_obs.json self-check: {e}"))?;
 
@@ -1361,6 +1366,402 @@ pub fn par(smoke: bool, dir: &str) -> Result<(), String> {
     std::fs::write(path.join("BENCH_par.json"), &out)
         .map_err(|e| format!("write BENCH_par.json: {e}"))?;
     println!("  -> {dir}/BENCH_par.json");
+    Ok(())
+}
+
+/// One raw `GET /metrics` over a std `TcpStream` — no curl, no client
+/// crate; the same access path the CI endpoint smoke test uses.
+fn scrape_metrics(addr: std::net::SocketAddr) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: bench\r\n\r\n")
+        .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    if !head.lines().next().unwrap_or("").contains("200") {
+        return Err(format!(
+            "non-200 response: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// `exp blame`: the causal-profiler artifact. Runs the parallel measured
+/// Tahoe policy with the flight recorder on, reconstructs the critical
+/// path and the exposed-stall blame table from the merged event stream,
+/// prices COZ-style what-if estimates in the CF-free model, then boots a
+/// small two-tenant server and scrapes its live telemetry plane. Every
+/// claim is self-validated before `BENCH_blame.json` (schema
+/// `tahoe-bench-blame/v1`) is written:
+///
+/// * critical-path segments tile their interval exactly and land within
+///   5% of the observed execution span;
+/// * the blame table's aggregate `%overlap` reconciles with the
+///   migration engine's own [`MigrationStats::pct_overlap`] within 1%;
+/// * what-if savings agree in sign with the knapsack's predicted
+///   benefits on every object the planner priced;
+/// * the flight recorder dropped zero events;
+/// * the telemetry scrape's completion counters equal the shutdown
+///   report bit for bit (skipped gracefully where loopback sockets are
+///   unavailable).
+///
+/// [`MigrationStats::pct_overlap`]: tahoe_hms::MigrationStats::pct_overlap
+pub fn blame(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::{reference_checksum_seeded, MeasuredRuntime};
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::{json, Emitter, Metrics};
+    use tahoe_server::{
+        ArbiterMode, QuotaPolicy, ServerConfig, TahoeServer, TelemetryConfig, TenantSpec,
+    };
+
+    banner(if smoke {
+        "BLAME causal profiler (smoke): critical path + stall blame + live telemetry"
+    } else {
+        "BLAME causal profiler: critical path + stall blame + live telemetry"
+    });
+    let (app, cfg, workers) = if smoke {
+        (stream::app(Scale::Test), WallClockConfig::smoke(), 2)
+    } else {
+        (stream::app(Scale::Bench), WallClockConfig::full(), 4)
+    };
+    let seed = 7u64;
+    let platform = platform_bw(&app, 0.25);
+    let (emitter, _buf) = Emitter::buffered();
+    let rt = MeasuredRuntime::new(platform, cfg).with_observability(emitter, Metrics::enabled());
+    let cal = rt.calibrate()?;
+    println!(
+        "  fitted DRAM {:.2} GB/s / {:.1} ns, emulated NVM {:.2} GB/s / {:.1} ns",
+        cal.dram.read_bw_gbps, cal.dram.read_lat_ns, cal.nvm.read_bw_gbps, cal.nvm.read_lat_ns
+    );
+
+    let r = rt.run_policy_parallel(&app, &PolicyKind::tahoe(), &cal, workers, seed)?;
+    let reference = reference_checksum_seeded(&app, seed);
+    if r.checksum != reference {
+        return Err(format!(
+            "checksum {:016x} != reference {reference:016x}",
+            r.checksum
+        ));
+    }
+    let crit = r
+        .crit
+        .as_ref()
+        .ok_or("observed run produced no crit digest")?;
+
+    println!(
+        "  critical path {:.3} ms = compute {:.3} + stall {:.3} + idle {:.3} ({} segments, {} tasks; span {:.3} ms, delta {:.2}%)",
+        crit.crit_total_ns / 1e6,
+        crit.compute_ns / 1e6,
+        crit.stall_ns / 1e6,
+        crit.idle_ns / 1e6,
+        crit.segments,
+        crit.tasks_on_path,
+        crit.span_ns / 1e6,
+        crit.crit_vs_span_pct
+    );
+    println!(
+        "  {:<7} {:>5} {:>5} {:>12} {:>12} {:>12} {:>7}",
+        "object", "tier", "migr", "exposed ms", "overlap ms", "gate ms", "chosen"
+    );
+    for e in crit.blame.iter().take(8) {
+        println!(
+            "  {:<7} {:>5} {:>5} {:>12.3} {:>12.3} {:>12.3} {:>7}",
+            e.object,
+            e.tier.tag(),
+            e.migrations,
+            e.exposed_ns / 1e6,
+            e.overlapped_ns / 1e6,
+            e.gate_wait_ns / 1e6,
+            e.chosen
+        );
+    }
+
+    // ---- acceptance invariants ------------------------------------
+    if r.obs_ring_dropped != 0 {
+        return Err(format!(
+            "flight recorder dropped {} events; blame is incomplete",
+            r.obs_ring_dropped
+        ));
+    }
+    let tiling = crit.compute_ns + crit.stall_ns + crit.idle_ns;
+    if (crit.crit_total_ns - tiling).abs() > 1e-6 * crit.crit_total_ns.max(1.0) {
+        return Err(format!(
+            "chain does not tile its interval: {} vs {} + {} + {}",
+            crit.crit_total_ns, crit.compute_ns, crit.stall_ns, crit.idle_ns
+        ));
+    }
+    if crit.crit_vs_span_pct > 5.0 {
+        return Err(format!(
+            "critical path {:.1} ns strayed {:.2}% from the observed span {:.1} ns (band 5%)",
+            crit.crit_total_ns, crit.crit_vs_span_pct, crit.span_ns
+        ));
+    }
+    if r.migration.count == 0 {
+        return Err("the plan triggered no migrations: nothing to blame".into());
+    }
+    let overlap_delta = (crit.blame_pct_overlap - r.migration.pct_overlap()).abs();
+    if overlap_delta > 1.0 {
+        return Err(format!(
+            "blame overlap {:.3}% vs engine overlap {:.3}% (band 1%)",
+            crit.blame_pct_overlap,
+            r.migration.pct_overlap()
+        ));
+    }
+    let blamed_migrations: u64 = crit.blame.iter().map(|e| e.migrations).sum();
+    if blamed_migrations != r.migration.count {
+        return Err(format!(
+            "blame table covers {blamed_migrations} migrations, engine committed {}",
+            r.migration.count
+        ));
+    }
+    let whatif_checked = crit
+        .whatif
+        .iter()
+        .filter(|w| w.predicted_benefit_ns != 0.0)
+        .count();
+    let whatif_agreeing = crit
+        .whatif
+        .iter()
+        .filter(|w| w.predicted_benefit_ns != 0.0 && w.sign_agrees)
+        .count();
+    if whatif_agreeing != whatif_checked {
+        return Err(format!(
+            "what-if sign agreement {whatif_agreeing}/{whatif_checked}: model and knapsack disagree"
+        ));
+    }
+    for w in &crit.whatif {
+        if w.whatif_wall_ns > crit.exec_wall_ns {
+            return Err(format!(
+                "what-if wall {} ns exceeds the measured wall {} ns",
+                w.whatif_wall_ns, crit.exec_wall_ns
+            ));
+        }
+        if w.modelled_saving_ns < 0.0 {
+            return Err(format!(
+                "object {}: DRAM residence cannot cost time in the model ({} ns)",
+                w.object, w.modelled_saving_ns
+            ));
+        }
+    }
+    println!(
+        "  reconciliation: blame overlap {:.2}% vs engine {:.2}% (delta {:.3}%), {} what-if estimates, {}/{} signs agree",
+        crit.blame_pct_overlap,
+        r.migration.pct_overlap(),
+        overlap_delta,
+        crit.whatif.len(),
+        whatif_agreeing,
+        whatif_checked
+    );
+
+    // ---- live telemetry plane ---------------------------------------
+    // A small two-tenant server: the same counters the shutdown report
+    // snapshots must be scrapeable over HTTP while the server is idle.
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    let mk_tenant_app = |name: &str| {
+        let mut b = AppBuilder::new(name);
+        let x = b.object("x", 8 << 10);
+        let y = b.object("y", 8 << 10);
+        let c = b.class("step");
+        b.task(c)
+            .read_streaming(x, 32)
+            .write_streaming(y, 32)
+            .submit();
+        b.task(c).update_streaming(y, 32).submit();
+        b.build()
+    };
+    let srv = TahoeServer::new(
+        ServerConfig {
+            workers: 2,
+            dram_budget: 24 << 10,
+            nvm_capacity: 1 << 24,
+            mode: ArbiterMode::Quota(QuotaPolicy::DemandProportional { floor_frac: 0.5 }),
+            max_queue: 2,
+        },
+        cal.clone(),
+        Emitter::disabled(),
+        Metrics::disabled(),
+    )
+    .map_err(|e| format!("server boot: {e}"))?;
+    let t0 = srv
+        .register_tenant(TenantSpec::new("alice", 1.0), mk_tenant_app("a"))
+        .map_err(|e| format!("register alice: {e}"))?;
+    let t1 = srv
+        .register_tenant(TenantSpec::new("bob", 1.0), mk_tenant_app("b"))
+        .map_err(|e| format!("register bob: {e}"))?;
+    let tele = srv
+        .serve_telemetry(TelemetryConfig {
+            journal: Some(path.join("telemetry.jsonl")),
+            ..TelemetryConfig::default()
+        })
+        .ok();
+    let (o0, o1) = (
+        t0.submit(7).ticket().ok_or("alice shed")?.wait(),
+        t1.submit(9).ticket().ok_or("bob shed")?.wait(),
+    );
+    if o0.checksum != reference_checksum_seeded(&mk_tenant_app("a"), 7)
+        || o1.checksum != reference_checksum_seeded(&mk_tenant_app("b"), 9)
+    {
+        return Err("tenant checksum diverged from its solo reference".into());
+    }
+    let scrape = tele.as_ref().map(|h| scrape_metrics(h.addr()));
+    let telemetry_served = scrape.as_ref().is_some_and(|s| s.is_ok());
+    let scraped_body = match scrape {
+        Some(Ok(body)) => body,
+        Some(Err(e)) => {
+            println!("  telemetry scrape unavailable ({e}); recording served=false");
+            String::new()
+        }
+        None => {
+            println!("  telemetry endpoint could not bind; recording served=false");
+            String::new()
+        }
+    };
+    if let Some(h) = tele {
+        h.stop();
+    }
+    let sreport = srv.shutdown();
+    let blame_lines = scraped_body
+        .lines()
+        .filter(|l| l.starts_with("tahoe_blame_"))
+        .count();
+    let scrape_matches = telemetry_served;
+    if telemetry_served {
+        // Bit-for-bit: the scraped integer strings must equal the
+        // shutdown report's counters.
+        for t in &sreport.tenants {
+            for (family, want) in [
+                ("tahoe_tenant_submitted_total", t.submitted),
+                ("tahoe_tenant_completed_total", t.completed),
+                ("tahoe_tenant_shed_total", t.shed),
+            ] {
+                let needle = format!(
+                    "{family}{{tenant=\"{}\",name=\"{}\"}} {want}",
+                    t.tenant, t.name
+                );
+                if !scraped_body.lines().any(|l| l == needle) {
+                    return Err(format!("scrape missing exact sample `{needle}`"));
+                }
+            }
+        }
+        println!(
+            "  telemetry: scrape matches the shutdown report on {} tenants; {blame_lines} blame samples",
+            sreport.tenants.len()
+        );
+    }
+
+    // ---- BENCH_blame.json -------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-blame/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"cpus\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        cpus,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"name\": \"{}\", \"footprint_bytes\": {}, \"windows\": {}, \"tasks\": {}}},\n",
+        app.name,
+        app.footprint(),
+        app.windows(),
+        app.graph.len()
+    ));
+    out.push_str(&format!(
+        "  \"calibration\": {{\"dram_bw_gbps\": {:.6}, \"dram_lat_ns\": {:.6}, \"nvm_bw_gbps\": {:.6}, \"nvm_lat_ns\": {:.6}, \"cf_bw\": {:.6}, \"cf_lat\": {:.6}}},\n",
+        cal.dram.read_bw_gbps,
+        cal.dram.read_lat_ns,
+        cal.nvm.read_bw_gbps,
+        cal.nvm.read_lat_ns,
+        cal.cf_bw,
+        cal.cf_lat
+    ));
+    out.push_str(&format!(
+        "  \"run\": {{\"policy\": \"{}\", \"workers\": {}, \"seed\": {seed}, \"wall_ns\": {:.1}, \"checksum\": \"{:016x}\", \"migrations\": {}, \"migrated_bytes\": {}, \"pct_overlap\": {:.6}, \"gate_wait_ns\": {:.1}, \"ring_dropped\": {}}},\n",
+        r.policy,
+        r.workers,
+        r.wall_ns,
+        r.checksum,
+        r.migration.count,
+        r.migration.bytes,
+        r.migration.pct_overlap(),
+        r.gate_wait_ns,
+        r.obs_ring_dropped
+    ));
+    out.push_str(&format!(
+        "  \"critpath\": {{\"crit_total_ns\": {:.1}, \"span_ns\": {:.1}, \"exec_wall_ns\": {:.1}, \"compute_ns\": {:.1}, \"stall_ns\": {:.1}, \"idle_ns\": {:.1}, \"segments\": {}, \"tasks_on_path\": {}, \"crit_vs_span_pct\": {:.6}}},\n",
+        crit.crit_total_ns,
+        crit.span_ns,
+        crit.exec_wall_ns,
+        crit.compute_ns,
+        crit.stall_ns,
+        crit.idle_ns,
+        crit.segments,
+        crit.tasks_on_path,
+        crit.crit_vs_span_pct
+    ));
+    out.push_str("  \"blame\": [\n");
+    for (i, e) in crit.blame.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"object\": {}, \"tier\": \"{}\", \"migrations\": {}, \"bytes\": {}, \"overlapped_ns\": {:.1}, \"exposed_ns\": {:.1}, \"gate_wait_ns\": {:.1}, \"chosen\": {}, \"predicted_benefit_ns\": {:.1}}}{}\n",
+            e.object,
+            e.tier.tag(),
+            e.migrations,
+            e.bytes,
+            e.overlapped_ns,
+            e.exposed_ns,
+            e.gate_wait_ns,
+            e.chosen,
+            e.predicted_benefit_ns,
+            if i + 1 < crit.blame.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"reconciliation\": {{\"blame_pct_overlap\": {:.6}, \"engine_pct_overlap\": {:.6}, \"delta_pct\": {:.6}, \"blamed_migrations\": {blamed_migrations}, \"engine_migrations\": {}, \"unattributed_wait_ns\": {:.1}}},\n",
+        crit.blame_pct_overlap,
+        r.migration.pct_overlap(),
+        overlap_delta,
+        r.migration.count,
+        crit.unattributed_wait_ns
+    ));
+    out.push_str("  \"whatif\": [\n");
+    for (i, w) in crit.whatif.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"object\": {}, \"exposed_ns\": {:.1}, \"whatif_wall_ns\": {:.1}, \"modelled_saving_ns\": {:.1}, \"predicted_benefit_ns\": {:.1}, \"sign_agrees\": {}}}{}\n",
+            w.object,
+            w.exposed_ns,
+            w.whatif_wall_ns,
+            w.modelled_saving_ns,
+            w.predicted_benefit_ns,
+            w.sign_agrees,
+            if i + 1 < crit.whatif.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"telemetry\": {{\"served\": {telemetry_served}, \"scrape_matches_report\": {scrape_matches}, \"tenants\": {}, \"completed_total\": {}, \"blame_samples\": {blame_lines}}},\n",
+        sreport.tenants.len(),
+        sreport.completed_total()
+    ));
+    out.push_str(&format!(
+        "  \"consistency\": {{\"checksum_matches_reference\": true, \"crit_band_pct\": 5.0, \"overlap_band_pct\": 1.0, \"blame_covers_all_migrations\": true, \"whatif_checked\": {whatif_checked}, \"whatif_agreeing\": {whatif_agreeing}, \"ring_dropped\": {}}}\n}}\n",
+        r.obs_ring_dropped
+    ));
+    json::parse(&out).map_err(|e| format!("BENCH_blame.json self-check: {e}"))?;
+
+    std::fs::write(path.join("BENCH_blame.json"), &out)
+        .map_err(|e| format!("write BENCH_blame.json: {e}"))?;
+    println!("  -> {dir}/BENCH_blame.json");
     Ok(())
 }
 

@@ -80,7 +80,7 @@ use std::time::Instant;
 
 use tahoe_hms::{MigrationStats, ObjectId, SharedHms, TierKind};
 use tahoe_memprof::wallclock::WallClockCalibration;
-use tahoe_obs::{Emitter, Event, FlightRecorder};
+use tahoe_obs::{BlameTable, CritPath, CritPathDigest, Emitter, Event, FlightRecorder, WhatIf};
 use tahoe_realmem::{traffic, BackgroundMigrator};
 use tahoe_sanitize::{AccessSanitizer, ExtraAccess, NoSanitize, SanitizeHook, SanitizeReport};
 use tahoe_taskrt::{DataGate, TaskSpec, WsExecutor};
@@ -180,6 +180,10 @@ pub struct ParallelPolicyReport {
     /// Contention counters of the lock-free pin/move state machines
     /// (CAS retries, shard parks/unparks, mid-move waits).
     pub contention: tahoe_hms::ContentionStats,
+    /// Causal-profile digest: critical path, exposed-stall blame and
+    /// per-object what-if estimates reconstructed from the merged
+    /// flight-recorder stream. `None` on unobserved runs (no recorder).
+    pub crit: Option<CritPathDigest>,
 }
 
 /// Static counter key for a violation-kind tag (the metrics registry
@@ -540,6 +544,9 @@ impl MeasuredRuntime {
                 return Err(e);
             }
         }
+        // Execution-phase stamp on the event clock (the epoch the
+        // recorder's timestamps share), before the post-run drain.
+        let exec_wall_ns = shared.now_ns();
         let wall_ns = (start.elapsed().as_nanos() as f64).max(1.0);
 
         // Close the migration queue; anything still copying completes
@@ -561,17 +568,55 @@ impl MeasuredRuntime {
         // into one timestamp-merged stream, append it to the shared
         // emitter, and fold the per-lane histograms into metrics.
         let mut obs_ring_dropped = 0u64;
+        let mut crit: Option<CritPathDigest> = None;
         if let Some(rec) = &recorder {
             let cap = rec.drain();
             obs_ring_dropped = cap.total_dropped;
+            // Causal profile: reconstruct the critical path and the
+            // exposed-stall blame table from the merged stream before
+            // it is handed to the emitter. Blame labels objects by HMS
+            // id, the model by app index; `prepare` allocates app
+            // objects in order into a fresh heap, so the two agree.
+            debug_assert!(ids.iter().enumerate().all(|(i, id)| id.0 as usize == i));
+            let path = CritPath::from_events(&cap.events);
+            let blame = BlameTable::from_events(&cap.events);
+            let mut digest = CritPathDigest::new(&path, &blame);
+            digest.exec_wall_ns = exec_wall_ns;
+            // COZ-style what-if per blamed object: price whole-run DRAM
+            // residence with the CF-free model, pair it with the
+            // knapsack's prediction, and bound the wall-clock win of an
+            // earlier migration by the stall the object exposed.
+            let specs = [config.dram.clone(), config.nvm.clone()];
+            let base_tiers = vec![1u8; ids.len()];
+            let modelled_base = crate::measured::modelled_total_ns(app, &specs, &base_tiers);
+            for e in blame.entries.iter().filter(|e| e.exposed_ns > 0.0) {
+                let i = e.object as usize;
+                if i >= ids.len() {
+                    continue;
+                }
+                let mut tiers = base_tiers.clone();
+                tiers[i] = 0;
+                let modelled_saving_ns =
+                    modelled_base - crate::measured::modelled_total_ns(app, &specs, &tiers);
+                let predicted_benefit_ns = plan_values.as_ref().map_or(0.0, |v| v[i]);
+                digest.whatif.push(WhatIf {
+                    object: e.object,
+                    exposed_ns: e.exposed_ns,
+                    whatif_wall_ns: (exec_wall_ns - e.exposed_ns).max(0.0),
+                    modelled_saving_ns,
+                    predicted_benefit_ns,
+                    sign_agrees: (modelled_saving_ns > 0.0) == (predicted_benefit_ns > 0.0),
+                });
+            }
+            crit = Some(digest);
             self.emitter.emit_many(cap.events);
             for (key, data) in &cap.hists {
                 self.metrics.hist_fold(key, data);
             }
-            if obs_ring_dropped > 0 {
-                self.metrics.add("obs.ring_dropped", obs_ring_dropped);
-            }
         }
+        // Surfaced even when zero, so artifacts can assert "no drops"
+        // instead of inferring it from a missing counter key.
+        self.metrics.add("obs.ring_dropped", obs_ring_dropped);
 
         // ---- canonical re-fold ---------------------------------------
         let mut checksum = 0u64;
@@ -620,6 +665,7 @@ impl MeasuredRuntime {
             access_timing,
             obs_ring_dropped,
             contention,
+            crit,
         })
     }
 }
@@ -723,6 +769,60 @@ mod tests {
             r.migration.overlapped_ns + r.migration.exposed_ns > 0.0,
             "wall-clock accounting must be populated"
         );
+    }
+
+    #[test]
+    fn observed_run_carries_a_reconciling_crit_digest() {
+        let app = stream_app(4, 32 << 10, 4);
+        let footprint = app.footprint();
+        let cal = test_cal(footprint / 3, 4 * footprint);
+        let (emitter, _buf) = Emitter::buffered();
+        let rt = runtime().with_observability(emitter, tahoe_obs::Metrics::enabled());
+        let r = rt
+            .run_policy_parallel(&app, &PolicyKind::tahoe(), &cal, 2, 7)
+            .expect("observed parallel tahoe");
+        let crit = r.crit.as_ref().expect("observed runs carry a digest");
+
+        // The chain tiles its interval and reaches the whole span.
+        assert!(crit.crit_total_ns > 0.0);
+        assert!(
+            (crit.crit_total_ns - (crit.compute_ns + crit.stall_ns + crit.idle_ns)).abs()
+                < 1e-6 * crit.crit_total_ns.max(1.0)
+        );
+        assert!(
+            crit.crit_vs_span_pct <= 5.0,
+            "critical path ({} ns) strayed {}% from the observed span ({} ns)",
+            crit.crit_total_ns,
+            crit.crit_vs_span_pct,
+            crit.span_ns
+        );
+        assert!(crit.exec_wall_ns >= crit.span_ns);
+
+        // Blame reconciles with the engine's own overlap accounting:
+        // same records, same arithmetic.
+        assert!(r.migration.count > 0, "plan must trigger migrations");
+        assert!(
+            (crit.blame_pct_overlap - r.migration.pct_overlap()).abs() <= 1.0,
+            "blame overlap {} vs engine overlap {}",
+            crit.blame_pct_overlap,
+            r.migration.pct_overlap()
+        );
+        let blamed_migrations: u64 = crit.blame.iter().map(|e| e.migrations).sum();
+        assert_eq!(blamed_migrations, r.migration.count);
+
+        // What-if estimates are bounded and sign-consistent with the
+        // knapsack: DRAM residence can only help in the model.
+        for w in &crit.whatif {
+            assert!(w.exposed_ns > 0.0);
+            assert!(w.whatif_wall_ns <= crit.exec_wall_ns);
+            assert!(w.modelled_saving_ns >= 0.0);
+        }
+
+        // Unobserved runs carry no digest.
+        let plain = runtime()
+            .run_policy_parallel(&app, &PolicyKind::tahoe(), &cal, 2, 7)
+            .expect("unobserved run");
+        assert!(plain.crit.is_none());
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! become `"X"` complete events laid out on greedily-assigned lanes
 //! (reconstructing virtual workers from span overlap), migrations become
 //! `"X"` spans on a dedicated copy-channel track, and window / planning /
-//! profiling / replan markers become `"i"` instants. Timestamps convert
-//! from virtual ns to the format's µs.
+//! profiling / replan markers become `"i"` instants. When a worker-task
+//! span opens with a gate wait that a migration's finish unblocked, the
+//! exporter adds an `"s"`/`"f"` flow pair from the copy channel to the
+//! stalled worker lane so exposed stalls are visually traceable to the
+//! copy that caused them. Timestamps convert from virtual ns to the
+//! format's µs.
 //!
 //! [Perfetto]: https://ui.perfetto.dev
 
@@ -443,6 +447,17 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
     let migration_tid = n_lanes;
     let marker_tid = n_lanes + 1;
 
+    // Copy intervals for flow-arrow pairing: a gate wait is linked to
+    // the migration whose finish fell inside it (that finish is what
+    // opened the gate).
+    let mut migs: Vec<(u32, f64)> = Vec::new(); // (object, finish)
+    for e in events {
+        if let Event::MigrationIssued { object, finish, .. } = *e {
+            migs.push((object, finish));
+        }
+    }
+    let mut flow_id = 0usize;
+
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -494,6 +509,41 @@ pub fn to_chrome_trace(events: &[Event]) -> String {
                     fnum(wall_ns / NS_PER_US),
                     fnum(gate_wait_ns)
                 );
+                // Flow arrow: copy-channel finish -> gate-wait end on
+                // the stalled worker lane. Latest finish inside the
+                // stall wins; smallest object id breaks ties.
+                let gate = gate_wait_ns.clamp(0.0, wall_ns.max(0.0));
+                let stall_start = t - wall_ns.max(0.0);
+                let stall_end = stall_start + gate;
+                if gate > 0.0 {
+                    let mut unblocker: Option<(f64, u32)> = None;
+                    for &(object, m_finish) in &migs {
+                        if m_finish > stall_start && m_finish <= stall_end {
+                            let better = match unblocker {
+                                None => true,
+                                Some((f, o)) => m_finish > f || (m_finish == f && object < o),
+                            };
+                            if better {
+                                unblocker = Some((m_finish, object));
+                            }
+                        }
+                    }
+                    if let Some((m_finish, object)) = unblocker {
+                        flow_id += 1;
+                        sep(&mut out);
+                        let _ = write!(
+                            out,
+                            "{{\"name\":\"unblock obj {object}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{flow_id},\"pid\":1,\"tid\":{migration_tid},\"ts\":{}}}",
+                            fnum(m_finish / NS_PER_US)
+                        );
+                        sep(&mut out);
+                        let _ = write!(
+                            out,
+                            "{{\"name\":\"unblock obj {object}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"pid\":1,\"tid\":{worker},\"ts\":{}}}",
+                            fnum(stall_end / NS_PER_US)
+                        );
+                    }
+                }
             }
             Event::MigrationIssued {
                 object,
@@ -839,7 +889,7 @@ mod tests {
                     }
                 }
                 "i" => instants += 1,
-                "M" => {}
+                "M" | "s" | "f" => {}
                 other => panic!("unexpected ph {other:?}"),
             }
             assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
@@ -847,6 +897,82 @@ mod tests {
         assert_eq!(task_spans, 2);
         assert_eq!(migration_spans, 1);
         assert!(instants >= 1);
+    }
+
+    #[test]
+    fn flow_pair_links_migration_finish_to_the_stall_it_unblocks() {
+        // Worker 0 runs [1000, 3000] and spends its first 500ns in the
+        // gate; object 7's copy finishes at 1400, inside that stall.
+        let events = vec![
+            Event::MigrationIssued {
+                t: 200.0,
+                object: 7,
+                bytes: 4096,
+                from: Tier::Nvm,
+                to: Tier::Dram,
+                start: 200.0,
+                finish: 1400.0,
+                queue_depth: 0,
+            },
+            Event::WorkerTask {
+                t: 3000.0,
+                tenant: 0,
+                worker: 0,
+                task: 4,
+                window: 1,
+                wall_ns: 2000.0,
+                gate_wait_ns: 500.0,
+            },
+        ];
+        let trace = to_chrome_trace(&events);
+        let parsed = crate::json::parse(&trace).expect("valid JSON");
+        let tev = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        let start = tev
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("s"))
+            .expect("flow start");
+        let finish = tev
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("f"))
+            .expect("flow finish");
+        // Same id, copy channel -> stalled worker lane, ns -> µs.
+        assert_eq!(
+            start.get("id").and_then(|v| v.as_f64()),
+            finish.get("id").and_then(|v| v.as_f64())
+        );
+        assert_eq!(start.get("tid").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(start.get("ts").and_then(|v| v.as_f64()), Some(1.4));
+        assert_eq!(finish.get("tid").and_then(|v| v.as_f64()), Some(0.0));
+        assert_eq!(finish.get("ts").and_then(|v| v.as_f64()), Some(1.5));
+        assert_eq!(finish.get("bp").and_then(|v| v.as_str()), Some("e"));
+        assert_eq!(
+            start.get("name").and_then(|v| v.as_str()),
+            Some("unblock obj 7")
+        );
+
+        // A stall no copy finish falls inside gets no arrow.
+        let no_match = to_chrome_trace(&[Event::WorkerTask {
+            t: 3000.0,
+            tenant: 0,
+            worker: 0,
+            task: 4,
+            window: 1,
+            wall_ns: 2000.0,
+            gate_wait_ns: 500.0,
+        }]);
+        let parsed = crate::json::parse(&no_match).expect("valid JSON");
+        assert!(parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .all(|e| {
+                let ph = e.get("ph").and_then(|v| v.as_str()).unwrap();
+                ph != "s" && ph != "f"
+            }));
     }
 
     #[test]

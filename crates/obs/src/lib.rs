@@ -25,7 +25,12 @@
 //!   feeds the same exporters.
 //! * [`export`] — two exporters: deterministic JSONL (one event per line,
 //!   fixed field order — byte-identical across identical seeded runs) and
-//!   Chrome `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//!   Chrome `trace_event` JSON loadable in `chrome://tracing` / Perfetto,
+//!   with flow arrows linking each migration span to the stall it
+//!   unblocks.
+//! * [`critpath`] / [`blame`] — the causal profiler: critical-path
+//!   reconstruction, exposed-stall blame attribution and COZ-style
+//!   what-if digests, all computed from the same merged stream.
 //! * [`json`] — a minimal JSON parser used by tests and tools to validate
 //!   exporter output without external dependencies.
 //!
@@ -37,6 +42,8 @@
 // every site carries a scoped `#[allow(unsafe_code)]` + SAFETY comment.
 #![deny(unsafe_code)]
 
+pub mod blame;
+pub mod critpath;
 pub mod emit;
 pub mod event;
 pub mod export;
@@ -45,6 +52,8 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 
+pub use blame::{BlameEntry, BlameTable};
+pub use critpath::{CritPath, CritPathDigest, Segment, SegmentKind, WhatIf};
 pub use emit::{Emitter, EventBuffer, Sink, VecSink};
 pub use event::{Event, OverheadKind, ReplanReason, Tier};
 pub use export::{to_chrome_trace, to_jsonl, JsonlSink};

@@ -7,7 +7,7 @@
 //! so format changes must be deliberate. To re-bless after an intended
 //! change, update the golden file to the `got` output the failure prints.
 
-use tahoe_obs::{to_jsonl, Event, OverheadKind, ReplanReason, Tier};
+use tahoe_obs::{to_chrome_trace, to_jsonl, Event, OverheadKind, ReplanReason, Tier};
 
 /// One event of every kind, with values exercising the number formatter
 /// (integral floats, fractional floats, zero).
@@ -188,6 +188,67 @@ fn jsonl_matches_golden_file() {
     assert_eq!(
         got, want,
         "JSONL wire format drifted from tests/golden/events.jsonl; \
+         if the change is intended, re-bless the golden file"
+    );
+}
+
+/// A tiny fixed scenario for the Chrome-trace golden: two workers, one
+/// migration whose finish unblocks worker 1's gate wait — so the golden
+/// pins the `"X"` span layout, the instants, the metadata records *and*
+/// the `"s"`/`"f"` flow pair linking the copy channel to the stall.
+fn trace_events() -> Vec<Event> {
+    vec![
+        Event::WindowStart { t: 0.0, window: 0 },
+        Event::MigrationIssued {
+            t: 100.0,
+            object: 3,
+            bytes: 4096,
+            from: Tier::Nvm,
+            to: Tier::Dram,
+            start: 100.0,
+            finish: 1600.0,
+            queue_depth: 1,
+        },
+        Event::WorkerTask {
+            t: 2000.0,
+            tenant: 0,
+            worker: 0,
+            task: 1,
+            window: 0,
+            wall_ns: 1800.0,
+            gate_wait_ns: 0.0,
+        },
+        Event::WorkerTask {
+            t: 4000.0,
+            tenant: 0,
+            worker: 1,
+            task: 2,
+            window: 0,
+            wall_ns: 3000.0,
+            gate_wait_ns: 750.0,
+        },
+        Event::MigrationCompleted {
+            t: 1600.0,
+            object: 3,
+            bytes: 4096,
+            overlap_ns: 1200.0,
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let got = to_chrome_trace(&trace_events());
+    // `BLESS=1 cargo test -p tahoe-obs --test golden` rewrites the file.
+    if std::env::var_os("BLESS").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace.json");
+        std::fs::write(path, &got).expect("bless golden file");
+        return;
+    }
+    let want = include_str!("golden/trace.json");
+    assert_eq!(
+        got, want,
+        "Chrome trace format drifted from tests/golden/trace.json; \
          if the change is intended, re-bless the golden file"
     );
 }

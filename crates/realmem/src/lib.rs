@@ -43,5 +43,5 @@ pub mod traffic;
 pub use arena::MmapArena;
 pub use backend::RealBackend;
 pub use copy::{throttled_copy, throttled_copy_cancellable, CopyConfig};
-pub use migrator::{BackgroundMigrator, MigrationRequest, MigratorReport};
+pub use migrator::{BackgroundMigrator, MigrationObserver, MigrationRequest, MigratorReport};
 pub use numa::NumaTopology;

@@ -25,6 +25,13 @@ use tahoe_obs::{Emitter, Event, FlightHandle, Tier};
 
 use crate::copy::{throttled_copy_observed, CopyConfig};
 
+/// Callback invoked by the engine thread for every *committed*
+/// migration, with the final [`MigrationRecord`] (stamps, tiers,
+/// `needed_at`). Runs on the engine thread right after commit — keep it
+/// cheap (a counter fold, a board update); long work belongs in a
+/// drain-time consumer. Skipped and cancelled requests do not fire it.
+pub type MigrationObserver = Arc<dyn Fn(&MigrationRecord) + Send + Sync>;
+
 /// One queued migration: move `object` to tier `to`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MigrationRequest {
@@ -84,13 +91,27 @@ impl BackgroundMigrator {
         emitter: Emitter,
         flight: Option<FlightHandle>,
     ) -> Self {
+        Self::spawn_observed(shared, copy_cfg, emitter, flight, None)
+    }
+
+    /// [`spawn_traced`](Self::spawn_traced) with an optional
+    /// per-commit [`MigrationObserver`] — live consumers (the server's
+    /// telemetry blame board) see each committed record as it happens
+    /// instead of waiting for [`finish`](Self::finish).
+    pub fn spawn_observed(
+        shared: Arc<SharedHms>,
+        copy_cfg: CopyConfig,
+        emitter: Emitter,
+        flight: Option<FlightHandle>,
+        observer: Option<MigrationObserver>,
+    ) -> Self {
         let (tx, rx) = mpsc::channel::<MigrationRequest>();
         let pending = Arc::new(AtomicUsize::new(0));
         let cancel = Arc::new(AtomicBool::new(false));
         let (p, c) = (Arc::clone(&pending), Arc::clone(&cancel));
         let handle = std::thread::Builder::new()
             .name("tahoe-migrator".into())
-            .spawn(move || run_engine(shared, rx, copy_cfg, emitter, flight, p, c))
+            .spawn(move || run_engine(shared, rx, copy_cfg, emitter, flight, observer, p, c))
             .expect("spawn migration thread");
         BackgroundMigrator {
             tx,
@@ -147,12 +168,14 @@ fn obs_tier(t: TierKind) -> Tier {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_engine(
     shared: Arc<SharedHms>,
     rx: mpsc::Receiver<MigrationRequest>,
     copy_cfg: CopyConfig,
     emitter: Emitter,
     flight: Option<FlightHandle>,
+    observer: Option<MigrationObserver>,
     pending: Arc<AtomicUsize>,
     cancel: Arc<AtomicBool>,
 ) -> MigratorReport {
@@ -213,6 +236,9 @@ fn run_engine(
                             emitter.emit(|| issued);
                             emitter.emit(|| done);
                         }
+                    }
+                    if let Some(obs) = &observer {
+                        obs(&rec);
                     }
                     report.stats.record(&rec);
                     report.records.push(rec);
@@ -371,6 +397,31 @@ mod tests {
             .find(|(k, _)| *k == "mig_chunk_ns")
             .expect("chunk histogram recorded");
         assert_eq!(chunks.count(), 4, "16 KiB / 4 KiB chunks");
+    }
+
+    #[test]
+    fn observer_sees_each_committed_record_but_not_skips() {
+        let sh = shared(1 << 20, 1 << 22);
+        let a = sh.with(|h| h.alloc_object("a", 16 << 10, TierKind::Nvm, false).unwrap());
+        let d = sh.with(|h| h.alloc_object("d", 4096, TierKind::Dram, false).unwrap());
+        let seen: Arc<std::sync::Mutex<Vec<(u32, u64)>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        let eng = BackgroundMigrator::spawn_observed(
+            Arc::clone(&sh),
+            CopyConfig::unthrottled(),
+            Emitter::disabled(),
+            None,
+            Some(Arc::new(move |rec: &MigrationRecord| {
+                sink.lock().unwrap().push((rec.object.0, rec.bytes));
+            })),
+        );
+        eng.enqueue(a, TierKind::Dram);
+        eng.enqueue(d, TierKind::Dram); // moot: already resident
+        let report = eng.finish();
+        assert_eq!(report.stats.count, 1);
+        assert_eq!(report.skipped, 1);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[(a.0, 16 << 10)]);
     }
 
     #[test]

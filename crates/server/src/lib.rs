@@ -24,6 +24,12 @@
 //!   experiments.
 //! * [`compose`] — interleave tenant apps into one graph for the
 //!   access sanitizer's schedule fuzz.
+//! * [`telemetry`] — the live telemetry plane: a std-`TcpListener`
+//!   Prometheus-style `/metrics` endpoint serving per-tenant counters,
+//!   quota state and the rolling migration blame top-K (fed by the
+//!   engine's commit observer), with optional periodic JSONL snapshot
+//!   journaling. Idle-state counters match the eventual
+//!   [`ServerReport`] bit for bit.
 //!
 //! Determinism survives multi-tenancy: each tenant's per-graph
 //! checksum is bit-identical to the same app running alone, whatever
@@ -101,6 +107,7 @@ pub mod compose;
 pub mod driver;
 pub mod namespace;
 pub mod server;
+pub mod telemetry;
 
 pub use arbiter::{jain, QuotaPolicy, TenantDemand};
 pub use compose::interleave;
@@ -109,3 +116,4 @@ pub use server::{
     ArbiterMode, GraphOutcome, GraphTicket, ServerConfig, ServerReport, Submission, TahoeServer,
     TenantHandle, TenantReport, TenantSpec,
 };
+pub use telemetry::{BlameBoard, BlameLine, TelemetryConfig, TelemetryHandle};

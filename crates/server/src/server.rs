@@ -40,7 +40,8 @@ use std::time::{Duration, Instant};
 use tahoe_core::app::App;
 use tahoe_core::measured::{cf, fold, init_seed, site_seed};
 use tahoe_hms::{
-    ContentionStats, Hms, HmsConfig, MigrationStats, Ns, ObjectId, SharedHms, TierKind,
+    ContentionStats, Hms, HmsConfig, MigrationRecord, MigrationStats, Ns, ObjectId, SharedHms,
+    TierKind,
 };
 use tahoe_memprof::wallclock::WallClockCalibration;
 use tahoe_obs::{Emitter, Event, HistData, Histogram, Metrics};
@@ -50,6 +51,7 @@ use tahoe_taskrt::{DataGate, JobSpec, TaskGraph, TaskPool, TaskSpec};
 
 use crate::arbiter::{self, QuotaPolicy, TenantDemand};
 use crate::namespace::{self, AdmitError, Namespace};
+use crate::telemetry::BlameBoard;
 
 /// How the server arbitrates the shared DRAM budget across tenants.
 #[derive(Debug, Clone, PartialEq)]
@@ -262,7 +264,7 @@ struct Inner {
     seq: u64,
 }
 
-struct ServerShared {
+pub(crate) struct ServerShared {
     cfg: ServerConfig,
     cal: WallClockCalibration,
     hms_cfg: HmsConfig,
@@ -271,6 +273,9 @@ struct ServerShared {
     metrics: Metrics,
     pool: Mutex<Option<TaskPool>>,
     migrator: Mutex<Option<BackgroundMigrator>>,
+    /// Rolling per-(object, tier) blame, fed by the migration engine's
+    /// commit observer — readable while the server runs.
+    blame: Arc<BlameBoard>,
     inner: Mutex<Inner>,
 }
 
@@ -374,7 +379,7 @@ impl DataGate for ServerGate {
 
 /// The long-lived multi-tenant runtime server.
 pub struct TahoeServer {
-    sh: Arc<ServerShared>,
+    pub(crate) sh: Arc<ServerShared>,
 }
 
 /// A tenant's submission interface. Clone-free by design: one handle
@@ -406,8 +411,18 @@ impl TahoeServer {
         let mut hms = Hms::new(hms_cfg.clone());
         hms.set_backend(Box::new(backend));
         let hms = Arc::new(SharedHms::new(hms));
-        let migrator =
-            BackgroundMigrator::spawn_traced(Arc::clone(&hms), copy_cfg, emitter.clone(), None);
+        // The engine's commit observer feeds the live blame board: the
+        // telemetry plane sees each migration's overlap split the
+        // moment it commits, not at shutdown.
+        let blame = Arc::new(BlameBoard::new());
+        let board = Arc::clone(&blame);
+        let migrator = BackgroundMigrator::spawn_observed(
+            Arc::clone(&hms),
+            copy_cfg,
+            emitter.clone(),
+            None,
+            Some(Arc::new(move |rec: &MigrationRecord| board.record(rec))),
+        );
         let pool = TaskPool::new(cfg.workers);
         Ok(TahoeServer {
             sh: Arc::new(ServerShared {
@@ -419,6 +434,7 @@ impl TahoeServer {
                 metrics,
                 pool: Mutex::new(Some(pool)),
                 migrator: Mutex::new(Some(migrator)),
+                blame,
                 inner: Mutex::new(Inner {
                     tenants: Vec::new(),
                     namespace: Namespace::new(),
@@ -651,7 +667,182 @@ impl TenantHandle {
     }
 }
 
+/// Escape a tenant name for embedding in a Prometheus label value or a
+/// JSON string (both use backslash escapes for `"` and `\`).
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 impl ServerShared {
+    /// Render the Prometheus-style text exposition served on the
+    /// telemetry endpoint's `/metrics` path: per-tenant counters and
+    /// quota state (bit-identical to what the final [`ServerReport`]
+    /// will carry for the same instant), latency digests, server-wide
+    /// totals, and the rolling blame top-`blame_top_k`.
+    pub(crate) fn telemetry_text(&self, blame_top_k: usize) -> String {
+        use std::fmt::Write as _;
+        let now = self.hms.now_ns();
+        let inner = self.inner.lock().expect("server state");
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# TYPE tahoe_server_uptime_ns gauge");
+        let _ = writeln!(out, "tahoe_server_uptime_ns {now}");
+        let _ = writeln!(out, "# TYPE tahoe_server_tenants gauge");
+        let _ = writeln!(out, "tahoe_server_tenants {}", inner.tenants.len());
+
+        // Per-tenant counter families. Values are the same u64s the
+        // end-of-run TenantReport snapshots — integer-formatted, so a
+        // scrape taken while the server is idle matches the report bit
+        // for bit.
+        struct Family {
+            name: &'static str,
+            kind: &'static str,
+            get: fn(&TenantState) -> u64,
+        }
+        let families: &[Family] = &[
+            Family {
+                name: "tahoe_tenant_submitted_total",
+                kind: "counter",
+                get: |t| t.submitted,
+            },
+            Family {
+                name: "tahoe_tenant_completed_total",
+                kind: "counter",
+                get: |t| t.completed,
+            },
+            Family {
+                name: "tahoe_tenant_shed_total",
+                kind: "counter",
+                get: |t| t.shed,
+            },
+            Family {
+                name: "tahoe_tenant_preempted_total",
+                kind: "counter",
+                get: |t| t.preempted,
+            },
+            Family {
+                name: "tahoe_tenant_promoted_bytes_total",
+                kind: "counter",
+                get: |t| t.promoted_bytes,
+            },
+            Family {
+                name: "tahoe_tenant_demoted_bytes_total",
+                kind: "counter",
+                get: |t| t.demoted_bytes,
+            },
+            Family {
+                name: "tahoe_tenant_quota_bytes",
+                kind: "gauge",
+                get: |t| t.last_quota,
+            },
+        ];
+        for f in families {
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind);
+            for t in &inner.tenants {
+                let _ = writeln!(
+                    out,
+                    "{}{{tenant=\"{}\",name=\"{}\"}} {}",
+                    f.name,
+                    t.info.id,
+                    label_escape(&t.info.name),
+                    (f.get)(t)
+                );
+            }
+        }
+
+        // Latency digests from the same log-bucketed histograms the
+        // report embeds.
+        let _ = writeln!(out, "# TYPE tahoe_tenant_latency_ns summary");
+        for t in &inner.tenants {
+            let s = t.hist.data().summary();
+            let labels = format!(
+                "tenant=\"{}\",name=\"{}\"",
+                t.info.id,
+                label_escape(&t.info.name)
+            );
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                let _ = writeln!(
+                    out,
+                    "tahoe_tenant_latency_ns{{{labels},quantile=\"{q}\"}} {v}"
+                );
+            }
+            let _ = writeln!(out, "tahoe_tenant_latency_ns_count{{{labels}}} {}", s.count);
+            let _ = writeln!(out, "tahoe_tenant_latency_ns_max{{{labels}}} {}", s.max);
+        }
+        drop(inner);
+
+        // Rolling blame top-K: worst exposed stall time first, labelled
+        // by global HMS object id and destination tier.
+        let top = self.blame.top_k(blame_top_k);
+        for (name, kind) in [
+            ("tahoe_blame_migrations_total", "counter"),
+            ("tahoe_blame_bytes_total", "counter"),
+            ("tahoe_blame_overlapped_ns_total", "counter"),
+            ("tahoe_blame_exposed_ns_total", "counter"),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for e in &top {
+                let labels = format!("object=\"{}\",tier=\"{}\"", e.object, e.tier_tag);
+                let v: String = match name {
+                    "tahoe_blame_migrations_total" => e.migrations.to_string(),
+                    "tahoe_blame_bytes_total" => e.bytes.to_string(),
+                    "tahoe_blame_overlapped_ns_total" => format!("{}", e.overlapped_ns),
+                    _ => format!("{}", e.exposed_ns),
+                };
+                let _ = writeln!(out, "{name}{{{labels}}} {v}");
+            }
+        }
+        out
+    }
+
+    /// One JSONL snapshot line for the telemetry journal: the same
+    /// per-tenant counters and blame top-K as the text exposition, as a
+    /// single self-contained JSON object.
+    pub(crate) fn telemetry_json(&self, blame_top_k: usize) -> String {
+        use std::fmt::Write as _;
+        let now = self.hms.now_ns();
+        let inner = self.inner.lock().expect("server state");
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"tahoe-telemetry/v1\",\"t_ns\":{now},\"tenants\":["
+        );
+        for (i, t) in inner.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = t.hist.data().summary();
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"name\":\"{}\",\"submitted\":{},\"completed\":{},\"shed\":{},\"preempted\":{},\"promoted_bytes\":{},\"demoted_bytes\":{},\"quota_bytes\":{},\"latency_p50_ns\":{},\"latency_p99_ns\":{}}}",
+                t.info.id,
+                label_escape(&t.info.name),
+                t.submitted,
+                t.completed,
+                t.shed,
+                t.preempted,
+                t.promoted_bytes,
+                t.demoted_bytes,
+                t.last_quota,
+                s.p50,
+                s.p99
+            );
+        }
+        drop(inner);
+        out.push_str("],\"blame\":[");
+        for (i, e) in self.blame.top_k(blame_top_k).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"object\":{},\"tier\":\"{}\",\"migrations\":{},\"bytes\":{},\"overlapped_ns\":{},\"exposed_ns\":{}}}",
+                e.object, e.tier_tag, e.migrations, e.bytes, e.overlapped_ns, e.exposed_ns
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Arbitrate and plan one admission. Caller holds the server lock
     /// and has verified the tenant is not busy; this marks it busy,
     /// recomputes quotas, re-plans the tenant's placement within its

@@ -1,0 +1,324 @@
+//! The live telemetry plane: observe a running server, not just its
+//! shutdown report.
+//!
+//! Two pieces:
+//!
+//! * [`BlameBoard`] — a rolling per-(object, destination-tier) blame
+//!   table fed by the migration engine's commit observer
+//!   ([`tahoe_realmem::MigrationObserver`]). Every committed copy's
+//!   overlapped/exposed split lands here the moment it commits, so the
+//!   worst stall-causing objects are visible *while* tenants run.
+//! * [`TahoeServer::serve_telemetry`] — a `std::net::TcpListener`
+//!   text-exposition endpoint (Prometheus style, zero dependencies):
+//!   `GET /metrics` returns per-tenant counters, quota state, latency
+//!   digests and the blame top-K. On the idle counters the exposition
+//!   is bit-identical to what [`ServerReport`](crate::ServerReport)
+//!   will snapshot at shutdown. Optionally the serving thread also
+//!   journals one `telemetry_json`
+//!   snapshot line to a JSONL file on a fixed period, giving
+//!   after-the-fact runs a time series without a scraper.
+//!
+//! The endpoint speaks just enough HTTP/1.0 for `curl`, Prometheus and
+//! a bare `TcpStream` to read it: request line parsed for the path,
+//! headers ignored, `Connection: close` on every response.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tahoe_hms::{MigrationRecord, TierKind};
+
+use crate::server::{ServerShared, TahoeServer};
+
+/// Blame accumulated against one (object, destination tier) pair on the
+/// live board. Mirrors `tahoe_obs::BlameEntry`'s copy-accounting fields
+/// (the gate-wait attribution needs the full event stream and stays a
+/// drain-time product).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameLine {
+    /// Global HMS object id.
+    pub object: u32,
+    /// Destination tier tag, `"dram"` or `"nvm"`.
+    pub tier_tag: &'static str,
+    /// Committed migrations of this object into this tier.
+    pub migrations: u64,
+    /// Bytes those migrations moved.
+    pub bytes: u64,
+    /// Copy time hidden behind compute, ns.
+    pub overlapped_ns: f64,
+    /// Copy time paid as exposed stalls, ns.
+    pub exposed_ns: f64,
+}
+
+/// Rolling blame table fed from the migration engine's commit observer.
+///
+/// `record` runs on the engine thread per committed copy (one mutex
+/// acquisition, one map update); readers snapshot through
+/// [`top_k`](BlameBoard::top_k).
+#[derive(Debug, Default)]
+pub struct BlameBoard {
+    cells: Mutex<std::collections::BTreeMap<(u32, u8), BlameLine>>,
+}
+
+impl BlameBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one committed migration record into the board.
+    pub fn record(&self, rec: &MigrationRecord) {
+        let (tier, tag): (u8, &'static str) = match rec.to {
+            TierKind::Dram => (0, "dram"),
+            TierKind::Nvm => (1, "nvm"),
+        };
+        let mut cells = self.cells.lock().expect("blame board");
+        let line = cells
+            .entry((rec.object.0, tier))
+            .or_insert_with(|| BlameLine {
+                object: rec.object.0,
+                tier_tag: tag,
+                migrations: 0,
+                bytes: 0,
+                overlapped_ns: 0.0,
+                exposed_ns: 0.0,
+            });
+        line.migrations += 1;
+        line.bytes += rec.bytes;
+        line.overlapped_ns += rec.overlapped_ns();
+        line.exposed_ns += rec.exposed_ns();
+    }
+
+    /// The `k` worst lines by exposed stall time (object id, then tier,
+    /// breaks ties — deterministic output for identical histories).
+    pub fn top_k(&self, k: usize) -> Vec<BlameLine> {
+        let cells = self.cells.lock().expect("blame board");
+        let mut lines: Vec<BlameLine> = cells.values().cloned().collect();
+        lines.sort_by(|a, b| {
+            b.exposed_ns
+                .total_cmp(&a.exposed_ns)
+                .then(a.object.cmp(&b.object))
+                .then(a.tier_tag.cmp(b.tier_tag))
+        });
+        lines.truncate(k);
+        lines
+    }
+
+    /// Total committed migrations the board has seen.
+    pub fn migrations(&self) -> u64 {
+        let cells = self.cells.lock().expect("blame board");
+        cells.values().map(|l| l.migrations).sum()
+    }
+}
+
+/// Telemetry endpoint configuration.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Bind address. The default `127.0.0.1:0` asks the OS for a free
+    /// loopback port; read the actual one from
+    /// [`TelemetryHandle::addr`].
+    pub addr: String,
+    /// When set, append one `telemetry_json` snapshot line to this
+    /// JSONL file every `journal_every` (plus a final line at stop).
+    pub journal: Option<PathBuf>,
+    /// Journal snapshot period.
+    pub journal_every: Duration,
+    /// Blame entries exposed per scrape/snapshot.
+    pub blame_top_k: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            addr: "127.0.0.1:0".to_string(),
+            journal: None,
+            journal_every: Duration::from_millis(100),
+            blame_top_k: 10,
+        }
+    }
+}
+
+/// Handle to a running telemetry endpoint. Stop it explicitly with
+/// [`stop`](TelemetryHandle::stop); dropping without stopping leaves
+/// the serving thread running until the process exits (it holds only an
+/// `Arc` on the server state, never a lock across accepts).
+pub struct TelemetryHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TelemetryHandle {
+    /// The address the endpoint actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signal the serving thread and join it. Idempotent-safe: the
+    /// handle is consumed.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl TahoeServer {
+    /// Start the live telemetry endpoint: bind `cfg.addr`, serve
+    /// `GET /metrics` text exposition (404 elsewhere), and — when
+    /// `cfg.journal` is set — append periodic JSONL snapshots. Returns
+    /// the handle with the bound address; call
+    /// [`TelemetryHandle::stop`] before or after
+    /// [`shutdown`](TahoeServer::shutdown) (the plane reads shared
+    /// state and does not pin the server's lifetime).
+    pub fn serve_telemetry(&self, cfg: TelemetryConfig) -> std::io::Result<TelemetryHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let sh = Arc::clone(&self.sh);
+        let join = std::thread::Builder::new()
+            .name("tahoe-telemetry".into())
+            .spawn(move || serve(sh, listener, cfg, flag))?;
+        Ok(TelemetryHandle {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+}
+
+fn serve(
+    sh: Arc<ServerShared>,
+    listener: TcpListener,
+    cfg: TelemetryConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let mut journal = cfg.journal.as_ref().and_then(|p| {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(p)
+            .ok()
+    });
+    let mut last_snapshot = Instant::now();
+    // First snapshot immediately: short-lived runs get at least one line.
+    if let Some(j) = &mut journal {
+        let _ = writeln!(j, "{}", sh.telemetry_json(cfg.blame_top_k));
+    }
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(&sh, stream, cfg.blame_top_k),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+        if journal.is_some() && last_snapshot.elapsed() >= cfg.journal_every {
+            last_snapshot = Instant::now();
+            if let Some(j) = &mut journal {
+                let _ = writeln!(j, "{}", sh.telemetry_json(cfg.blame_top_k));
+            }
+        }
+    }
+    // Final snapshot so the journal's last line reflects the end state.
+    if let Some(j) = &mut journal {
+        let _ = writeln!(j, "{}", sh.telemetry_json(cfg.blame_top_k));
+        let _ = j.flush();
+    }
+}
+
+/// Serve one connection: parse the request line just enough to get the
+/// path, answer `/metrics` with the exposition, 404 anything else.
+fn handle_conn(sh: &Arc<ServerShared>, mut stream: TcpStream, blame_top_k: usize) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 2048];
+    let mut used = 0usize;
+    // Read until the end of the request head (or the buffer fills —
+    // longer requests cannot change the answer).
+    while used < buf.len() {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        ("200 OK", sh.telemetry_text(blame_top_k))
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::ObjectId;
+
+    fn rec(
+        object: u32,
+        bytes: u64,
+        to: TierKind,
+        start: f64,
+        finish: f64,
+        needed: f64,
+    ) -> MigrationRecord {
+        MigrationRecord {
+            object: ObjectId(object),
+            bytes,
+            from: match to {
+                TierKind::Dram => TierKind::Nvm,
+                TierKind::Nvm => TierKind::Dram,
+            },
+            to,
+            issued_at: start,
+            start,
+            finish,
+            needed_at: Some(needed),
+        }
+    }
+
+    #[test]
+    fn board_accumulates_and_ranks_by_exposed() {
+        let b = BlameBoard::new();
+        // Object 1: needed at 50 of [0,100] -> 50 overlapped, 50 exposed.
+        b.record(&rec(1, 10, TierKind::Dram, 0.0, 100.0, 50.0));
+        // Object 2: needed at 10 of [0,100] -> 10 overlapped, 90 exposed.
+        b.record(&rec(2, 20, TierKind::Dram, 0.0, 100.0, 10.0));
+        // Object 1 again, demotion direction: separate line.
+        b.record(&rec(1, 10, TierKind::Nvm, 0.0, 30.0, 100.0));
+        let top = b.top_k(10);
+        assert_eq!(top.len(), 3);
+        assert_eq!((top[0].object, top[0].tier_tag), (2, "dram"));
+        assert!((top[0].exposed_ns - 90.0).abs() < 1e-9);
+        assert_eq!(b.migrations(), 3);
+        assert_eq!(b.top_k(1).len(), 1);
+        // needed_at after finish: fully overlapped demotion.
+        let demo = top.iter().find(|l| l.tier_tag == "nvm").unwrap();
+        assert_eq!(demo.exposed_ns, 0.0);
+    }
+}

@@ -8,7 +8,8 @@ use tahoe_hms::{AccessProfile, ObjectId, TierSpec};
 use tahoe_memprof::wallclock::{MeasuredTier, WallClockCalibration};
 use tahoe_obs::{Emitter, Metrics};
 use tahoe_server::{
-    driver, AdmitError, ArbiterMode, QuotaPolicy, ServerConfig, TahoeServer, TenantSpec,
+    driver, AdmitError, ArbiterMode, QuotaPolicy, ServerConfig, TahoeServer, TelemetryConfig,
+    TenantSpec,
 };
 use tahoe_taskrt::{AccessMode, TaskAccess, TaskGraph};
 
@@ -299,6 +300,113 @@ fn submission_sequence_numbers_are_unique_and_outcomes_consistent() {
         assert!(o.admitted_ns >= o.submitted_ns);
     }
     srv.shutdown();
+}
+
+/// One raw-HTTP request over a std `TcpStream` — the test doubles as
+/// proof the endpoint needs no client library (no curl in CI).
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect telemetry endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn telemetry_scrape_matches_shutdown_report_bit_for_bit() {
+    let srv = server(config(quota_mode(), 48 << 10, 2));
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            srv.register_tenant(
+                TenantSpec::new(&format!("tele{i}"), 1.0),
+                tenant_app(&format!("tele{i}"), 8 << 10, 1, 2, 2),
+            )
+            .expect("register")
+        })
+        .collect();
+
+    let journal =
+        std::env::temp_dir().join(format!("tahoe-telemetry-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let tele = match srv.serve_telemetry(TelemetryConfig {
+        journal: Some(journal.clone()),
+        ..TelemetryConfig::default()
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            // Sandboxes without loopback sockets: the plane is optional
+            // there, so the test is too.
+            eprintln!("skipping: cannot bind telemetry endpoint: {e}");
+            srv.shutdown();
+            return;
+        }
+    };
+    let addr = tele.addr();
+
+    // Run work to completion; every counter below settles synchronously
+    // at admission/completion, so the post-wait scrape is stable.
+    let outcomes = driver::closed_loop(&handles.iter().collect::<Vec<_>>(), 3, 17);
+    assert_eq!(outcomes.len(), 6);
+
+    let (status, body) = scrape(addr, "/metrics");
+    assert!(status.contains("200"), "status line: {status}");
+    let (nf_status, _) = scrape(addr, "/nope");
+    assert!(nf_status.contains("404"), "status line: {nf_status}");
+
+    // Parse the exposition: `name{labels} value` per sample line.
+    let samples: std::collections::HashMap<&str, &str> = body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter_map(|l| l.rsplit_once(' '))
+        .collect();
+    assert_eq!(samples["tahoe_server_tenants"], "2");
+
+    tele.stop();
+    let report = srv.shutdown();
+
+    // Bit-for-bit: the scraped integer strings equal the report's u64s.
+    for t in &report.tenants {
+        let labels = format!("{{tenant=\"{}\",name=\"{}\"}}", t.tenant, t.name);
+        let get = |family: &str| -> u64 {
+            let key = format!("{family}{labels}");
+            samples
+                .get(key.as_str())
+                .unwrap_or_else(|| panic!("missing sample {key}"))
+                .parse()
+                .expect("integer sample")
+        };
+        assert_eq!(get("tahoe_tenant_submitted_total"), t.submitted);
+        assert_eq!(get("tahoe_tenant_completed_total"), t.completed);
+        assert_eq!(get("tahoe_tenant_shed_total"), t.shed);
+        assert_eq!(get("tahoe_tenant_preempted_total"), t.preempted);
+        assert_eq!(get("tahoe_tenant_promoted_bytes_total"), t.promoted_bytes);
+        assert_eq!(get("tahoe_tenant_demoted_bytes_total"), t.demoted_bytes);
+        assert_eq!(get("tahoe_tenant_quota_bytes"), t.last_quota);
+        assert_eq!(
+            get("tahoe_tenant_latency_ns_count"),
+            t.completed,
+            "latency summary count tracks completions"
+        );
+    }
+
+    // The journal got at least the immediate first snapshot plus the
+    // final one at stop, every line a self-identifying JSON object.
+    let journal_text = std::fs::read_to_string(&journal).expect("journal written");
+    let lines: Vec<&str> = journal_text.lines().collect();
+    assert!(lines.len() >= 2, "first + final snapshot at minimum");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"schema\":\"tahoe-telemetry/v1\""),
+            "journal line is a schema-tagged object: {line}"
+        );
+        assert!(line.ends_with('}'), "journal line is complete: {line}");
+    }
+    let _ = std::fs::remove_file(&journal);
 }
 
 #[test]
