@@ -41,6 +41,11 @@ fn sanitize_dir() -> String {
     std::env::var("SANITIZE_DIR").unwrap_or_else(|_| "target/sanitize-artifact".to_string())
 }
 
+/// Output directory for the `verify` artifact (override with `VERIFY_DIR`).
+fn verify_dir() -> String {
+    std::env::var("VERIFY_DIR").unwrap_or_else(|_| "target/verify-artifact".to_string())
+}
+
 /// Output directory for the `tenant` artifact (override with `TENANT_DIR`).
 fn tenant_dir() -> String {
     std::env::var("TENANT_DIR").unwrap_or_else(|_| "target/tenant-artifact".to_string())
@@ -67,7 +72,7 @@ fn main() -> ExitCode {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|tenant|blame> [--smoke] [--tiers N] [more experiments]"
+            "usage: exp <all|e1|e2|...|e13|obs|real|par|audit|sanitize|verify|tenant|blame> [--smoke] [--tiers N] [more experiments]"
         );
         return ExitCode::FAILURE;
     }
@@ -102,6 +107,12 @@ fn main() -> ExitCode {
             "sanitize" => {
                 if let Err(e) = tahoe_bench::sanitize(smoke, &sanitize_dir()) {
                     eprintln!("sanitize experiment failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "verify" => {
+                if let Err(e) = tahoe_bench::verify(smoke, &verify_dir()) {
+                    eprintln!("verify experiment failed: {e}");
                     return ExitCode::FAILURE;
                 }
             }

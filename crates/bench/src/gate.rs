@@ -19,7 +19,9 @@
 //!   object, the 3-tier modelled runtime beats both 2-tier
 //!   degenerations, and — the modelled numbers being calibration-free
 //!   and deterministic — a baseline `modelled` block must be
-//!   reproduced to float round-off.
+//!   reproduced to float round-off. A fresh `sweep` block (the
+//!   middle-tier capacity study) is re-derived for monotonicity and
+//!   reproduced against a baseline sweep the same way.
 //! * `tahoe-bench-par/v1` — consistency flags, Tahoe still migrates at
 //!   ≥2 workers, the best migration overlap has not collapsed relative
 //!   to the baseline, and — when the fresh machine actually has ≥2
@@ -32,6 +34,13 @@
 //!   construction (schedule-independent reports), so the whole digest
 //!   — fuzz coverage, static pass, per-fixture violation sets — must
 //!   match the baseline **exactly**.
+//! * `tahoe-bench-verify/v1` — everything the plan auditor and the
+//!   protocol model checker report is a pure function of the code (no
+//!   wall clocks, no calibration), so the whole digest must match the
+//!   baseline **exactly**: solver-plan audit counts, preflight
+//!   coverage, per-fixture diagnostic sets, and — the canary for any
+//!   change to the word algebra or the checker — the pinned
+//!   explored-state and transition counts of the certification sweep.
 //! * `tahoe-bench-tenant/v1` — walls are machine-dependent, so the gate
 //!   re-derives the arbiter's case from the fresh run's own numbers:
 //!   checksums match the solo references, quota mode beats free-for-all
@@ -144,6 +153,7 @@ pub fn compare(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
         "tahoe-bench-par/v1" => compare_par(baseline, fresh),
         "tahoe-bench-audit/v1" => compare_audit(baseline, fresh),
         "tahoe-bench-sanitize/v1" => compare_sanitize(baseline, fresh),
+        "tahoe-bench-verify/v1" => compare_verify(baseline, fresh),
         "tahoe-bench-tenant/v1" => compare_tenant(baseline, fresh),
         "tahoe-bench-blame/v1" => compare_blame(baseline, fresh),
         other => Err(format!("unknown artifact schema `{other}`")),
@@ -304,6 +314,64 @@ fn compare_real3(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String>
                 violations.push(format!(
                     "deterministic `modelled.{name}` drifted: baseline {b} vs fresh {f}"
                 ));
+            }
+        }
+    }
+    // Middle-tier capacity sweep: monotonicity is re-derived from the
+    // fresh rows (never trusted from the flag), and a baseline sweep —
+    // the numbers being calibration-free — must be reproduced to
+    // round-off.
+    if let Some(sweep) = fresh.get("sweep") {
+        if !flag(fresh, &["consistency", "sweep_monotone"])? {
+            violations.push("fresh `consistency.sweep_monotone` is false".into());
+        }
+        let rows = sweep.as_array().ok_or("`sweep` is not an array")?;
+        if rows.len() < 4 {
+            violations.push(format!(
+                "middle-tier sweep covers only {} capacities (need >= 4)",
+                rows.len()
+            ));
+        }
+        let row_ns = |r: &Value| {
+            r.get("modelled_ns")
+                .and_then(|n| n.as_f64())
+                .ok_or("sweep row missing `modelled_ns`".to_string())
+        };
+        for pair in rows.windows(2) {
+            let (prev, next) = (row_ns(&pair[0])?, row_ns(&pair[1])?);
+            if next > prev * (1.0 + REAL3_MODEL_TOL) {
+                violations.push(format!(
+                    "middle-tier sweep not monotone: {next:.1} ns after {prev:.1} ns"
+                ));
+            }
+        }
+        if let Some(bsweep) = baseline.get("sweep") {
+            let brows = bsweep
+                .as_array()
+                .ok_or("baseline `sweep` is not an array")?;
+            if brows.len() != rows.len() {
+                violations.push(format!(
+                    "sweep length changed: baseline {} rows vs fresh {}",
+                    brows.len(),
+                    rows.len()
+                ));
+            }
+            for (i, (b, f)) in brows.iter().zip(rows).enumerate() {
+                for name in ["cxl_capacity_bytes", "mid_tier_objects"] {
+                    if b.get(name) != f.get(name) {
+                        violations.push(format!(
+                            "sweep[{i}].{name} changed: baseline {:?} vs fresh {:?}",
+                            b.get(name),
+                            f.get(name)
+                        ));
+                    }
+                }
+                let (bn, fn_) = (row_ns(b)?, row_ns(f)?);
+                if (bn - fn_).abs() > REAL3_MODEL_TOL * bn.abs().max(1.0) {
+                    violations.push(format!(
+                        "deterministic `sweep[{i}].modelled_ns` drifted: baseline {bn} vs fresh {fn_}"
+                    ));
+                }
             }
         }
     }
@@ -475,6 +543,45 @@ fn compare_sanitize(baseline: &Value, fresh: &Value) -> Result<Vec<String>, Stri
         if b != f {
             violations.push(format!(
                 "sanitize digest `{}` changed: baseline {b:?} vs fresh {f:?}",
+                path.join(".")
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+fn compare_verify(baseline: &Value, fresh: &Value) -> Result<Vec<String>, String> {
+    let mut violations = Vec::new();
+    // Self-reported health flags must hold on the fresh run.
+    for path in [
+        ["plans", "clean"].as_slice(),
+        &["preflight", "clean"],
+        &["mcheck", "clean"],
+        &["consistency", "solver_plans_clean"],
+        &["consistency", "preflight_clean"],
+        &["consistency", "fixtures_exact"],
+        &["consistency", "protocol_certified"],
+        &["consistency", "bugs_all_caught"],
+    ] {
+        if !flag(fresh, path)? {
+            violations.push(format!("fresh `{}` is false", path.join(".")));
+        }
+    }
+    // The auditor and the model checker are deterministic pure
+    // functions — no tolerance bands, the digest matches exactly or
+    // something changed. In particular `mcheck.configs[*].states` /
+    // `transitions` pin the certification sweep's explored state space.
+    for path in [
+        ["plans"].as_slice(),
+        &["preflight"],
+        &["fixtures"],
+        &["mcheck"],
+    ] {
+        let b = field(baseline, path)?;
+        let f = field(fresh, path)?;
+        if b != f {
+            violations.push(format!(
+                "verify digest `{}` changed: baseline {b:?} vs fresh {f:?}",
                 path.join(".")
             ));
         }
@@ -702,13 +809,23 @@ mod tests {
         let mut flags =
             String::from(r#""all_policies_match_reference": true, "dram_throughput_ge_nvm": true"#);
         if let Some((t3, t2n, t2c, mid, midlat)) = modelled {
+            // The sweep rows shrink from t3 as the CXL tier doubles.
             extra = format!(
                 r#""plan": [{{"object": 0, "name": "p0", "bytes": 16384, "tier": 1, "tier_name": "CXL", "latency_bound": true}}],
                    "modelled": {{"tahoe3_ns": {t3}, "two_tier_dram_nvm_ns": {t2n}, "two_tier_dram_cxl_ns": {t2c},
-                                 "mid_tier_objects": {mid}, "mid_tier_latency_bound_objects": {midlat}}},"#
+                                 "mid_tier_objects": {mid}, "mid_tier_latency_bound_objects": {midlat}}},
+                   "sweep": [
+                     {{"cxl_capacity_bytes": 131072, "modelled_ns": {a}, "mid_tier_objects": 8}},
+                     {{"cxl_capacity_bytes": 262144, "modelled_ns": {t3}, "mid_tier_objects": {mid}}},
+                     {{"cxl_capacity_bytes": 524288, "modelled_ns": {b}, "mid_tier_objects": 16}},
+                     {{"cxl_capacity_bytes": 1048576, "modelled_ns": {c}, "mid_tier_objects": 18}}
+                   ],"#,
+                a = t3 * 1.25,
+                b = t3 * 0.875,
+                c = t3 * 0.75
             );
             flags.push_str(&format!(
-                r#", "mid_tier_wins_latency_bound": {flags_true}, "three_tier_beats_both_two_tier": {flags_true}, "tahoe_uses_mid_tier": {flags_true}"#
+                r#", "mid_tier_wins_latency_bound": {flags_true}, "three_tier_beats_both_two_tier": {flags_true}, "tahoe_uses_mid_tier": {flags_true}, "sweep_monotone": {flags_true}"#
             ));
         }
         format!(
@@ -781,7 +898,7 @@ mod tests {
         format!(
             r#"{{"schema": "tahoe-bench-sanitize/v1",
                 "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "smoke": true}},
-                "static": {{"workloads_verified": 12, "clean": true}},
+                "static": {{"workloads_verified": 12, "plans_audited": 12, "clean": true}},
                 "fuzz": {{"workloads": 1, "workers": [1, 2, 4], "seeds": [0, 1, 2],
                           "runs": 9, "accesses_checked": {accesses}, "clean": true}},
                 "fixtures": [
@@ -790,6 +907,29 @@ mod tests {
                 ],
                 "consistency": {{"correct_workloads_clean": true, "fixtures_exact": {fixtures_exact}}}}}"#
         )
+    }
+
+    /// A verify artifact with a tunable pinned state count, fixture
+    /// diagnostic count, and health flags.
+    fn verify_doc(states2: u64, race_count: u64, flags_true: bool) -> String {
+        format!(
+            r#"{{"schema": "tahoe-bench-verify/v1",
+                "machine": {{"arch": "x86_64", "os": "linux", "numa_nodes": 1, "smoke": true}},
+                "plans": {{"workloads": 12, "tier_depths": [2, 3], "audited": 24, "steps_total": 61, "clean": true}},
+                "preflight": {{"workloads": 2, "policies": 4, "runs": 8, "clean": true}},
+                "fixtures": [
+                  {{"name": "plan_move_races_reader", "violations": {{"plan_move_race": {race_count}}}, "exact": true}}
+                ],
+                "mcheck": {{"configs": [
+                  {{"pinners": 2, "pin_cycles": 2, "moves": 2, "states": {states2}, "transitions": 560, "terminals": 1, "deadlocks": 0}},
+                  {{"pinners": 3, "pin_cycles": 2, "moves": 2, "states": 1031, "transitions": 2040, "terminals": 1, "deadlocks": 0}}
+                ], "bugs_injected": 4, "bugs_caught": 4, "clean": true}},
+                "consistency": {{"solver_plans_clean": true, "preflight_clean": true, "fixtures_exact": {flags_true}, "protocol_certified": {flags_true}, "bugs_all_caught": true}}}}"#
+        )
+    }
+
+    fn healthy_verify_doc() -> String {
+        verify_doc(320, 1, true)
     }
 
     /// A tenant artifact with tunable quota-side numbers; the
@@ -835,12 +975,32 @@ mod tests {
             par_doc(60.0, 4),
             audit_doc(40.0, 100.0, 1.0),
             sanitize_doc(216, 1, true),
+            healthy_verify_doc(),
             healthy_tenant_doc(),
             healthy_blame_doc(),
         ] {
             let v = compare_text(&doc, &doc).expect("well-formed");
             assert!(v.is_empty(), "unexpected violations: {v:?}");
         }
+    }
+
+    #[test]
+    fn verify_gate_pins_the_whole_digest() {
+        let base = healthy_verify_doc();
+        // A drifted explored-state count is the canary for any change
+        // to the word algebra, the protocol model, or the checker.
+        let v = compare_text(&base, &verify_doc(321, 1, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("`mcheck` changed")), "{v:?}");
+        // A fixture whose diagnostic set drifted fails exactly.
+        let v = compare_text(&base, &verify_doc(320, 2, true)).unwrap();
+        assert!(v.iter().any(|m| m.contains("`fixtures` changed")), "{v:?}");
+        // Self-reported health flags must hold on the fresh artifact.
+        let v = compare_text(&base, &verify_doc(320, 1, false)).unwrap();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("`consistency.protocol_certified` is false")),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -994,6 +1154,26 @@ mod tests {
         let err =
             compare_text(&real_v2_doc(8.0, 2.0, None, true), &real_doc(8.0, 2.0)).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn real3_sweep_gate_rederives_monotonicity() {
+        let base = healthy_real3_doc();
+        // A sweep row that worsens as the middle tier grows fails the
+        // re-derived monotonicity check (t3*0.75 is the largest-cap row).
+        let fresh = base.replace("\"modelled_ns\": 1725000", "\"modelled_ns\": 99725000");
+        assert_ne!(base, fresh, "fixture row not found");
+        let v = compare_text(&base, &fresh).unwrap();
+        assert!(v.iter().any(|m| m.contains("not monotone")), "{v:?}");
+        // A deterministic sweep number drifting from the baseline fails
+        // even while staying monotone.
+        let fresh = base.replace("\"modelled_ns\": 2012500", "\"modelled_ns\": 2012400");
+        assert_ne!(base, fresh, "fixture row not found");
+        let v = compare_text(&base, &fresh).unwrap();
+        assert!(
+            v.iter().any(|m| m.contains("sweep[2].modelled_ns")),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -966,6 +966,10 @@ fn real_two(smoke: bool, dir: &str) -> Result<(), String> {
 /// 2. **modelled** — the 3-tier plan's modelled runtime beats the best
 ///    2-tier plan on *both* degenerate platforms (DRAM+Optane and
 ///    DRAM+CXL) with the same DRAM budget.
+/// 3. **sweep** — growing the CXL tier through four capacities
+///    (half / headline / double / quadruple) must monotonically
+///    improve (never worsen) the modelled runtime: the knapsack only
+///    relaxes as the middle tier grows.
 ///
 /// The measured run then executes all four headline policies on the
 /// real 3-tier arena stack and checks the usual bit-for-bit reference
@@ -1041,6 +1045,43 @@ fn real_three(smoke: bool, dir: &str) -> Result<(), String> {
         return Err(format!(
             "3-tier modelled runtime {t3_ns:.1} ns worse than 2-tier DRAM+CXL {t2_cxl_ns:.1} ns"
         ));
+    }
+
+    // ---- middle-tier capacity sweep (deterministic) -----------------
+    // Grow the CXL tier through 4 sizes around the headline capacity.
+    // More middle-tier room can only relax the knapsack, so the
+    // modelled runtime must be non-increasing along the sweep — the
+    // calibration-free counterpart of the paper's capacity-sensitivity
+    // study, and the check that the solver actually uses the room.
+    struct SweepRow {
+        cxl_cap: u64,
+        modelled_ns: f64,
+        mid_objects: usize,
+    }
+    let mut sweep_rows: Vec<SweepRow> = Vec::new();
+    for cap in [cxl_cap / 2, cxl_cap, 2 * cxl_cap, 4 * cxl_cap] {
+        let specs = Platform::optane_cxl(dram_cap, cap, nvm_cap).tier_specs();
+        let (plan, ns) = modelled_plan(&app, &specs)?;
+        let mid_objects = plan.tiers.iter().filter(|t| **t == 1).count();
+        if let Some(prev) = sweep_rows.last() {
+            if ns > prev.modelled_ns * eps {
+                return Err(format!(
+                    "middle-tier sweep is not monotone: {} B -> {:.1} ns after {} B -> {:.1} ns",
+                    cap, ns, prev.cxl_cap, prev.modelled_ns
+                ));
+            }
+        }
+        println!(
+            "  sweep: CXL {:>10} B -> modelled {:.3} ms, {} objects on the middle tier",
+            cap,
+            ns / 1e6,
+            mid_objects
+        );
+        sweep_rows.push(SweepRow {
+            cxl_cap: cap,
+            modelled_ns: ns,
+            mid_objects,
+        });
     }
 
     // ---- measured run on the 3-tier arena stack ---------------------
@@ -1173,8 +1214,19 @@ fn real_three(smoke: bool, dir: &str) -> Result<(), String> {
         mid_objects.len(),
         mid_lat_bound
     ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, r) in sweep_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cxl_capacity_bytes\": {}, \"modelled_ns\": {:.6}, \"mid_tier_objects\": {}}}{}\n",
+            r.cxl_cap,
+            r.modelled_ns,
+            r.mid_objects,
+            if i + 1 < sweep_rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"consistency\": {{\"reference_checksum\": \"{reference:016x}\", \"all_policies_match_reference\": true, \"dram_throughput_ge_nvm\": true, \"mid_tier_wins_latency_bound\": true, \"three_tier_beats_both_two_tier\": true, \"tahoe_uses_mid_tier\": true}}\n}}\n"
+        "  \"consistency\": {{\"reference_checksum\": \"{reference:016x}\", \"all_policies_match_reference\": true, \"dram_throughput_ge_nvm\": true, \"mid_tier_wins_latency_bound\": true, \"three_tier_beats_both_two_tier\": true, \"tahoe_uses_mid_tier\": true, \"sweep_monotone\": true}}\n}}\n"
     ));
     json::parse(&out).map_err(|e| format!("BENCH_real.json self-check: {e}"))?;
 
@@ -1784,7 +1836,9 @@ fn sanitize_counts_match(
 /// schedule fuzzing. Three passes:
 ///
 /// 1. **Static** — the graph verifier must find nothing wrong with any
-///    real workload's declared DAG.
+///    real workload's declared DAG, and the plan auditor must find the
+///    solver's own migration plan sound for each graph (the two-tenant
+///    interleave included).
 /// 2. **Fuzz** — correct workloads execute in sanitize mode across
 ///    worker counts × seeds; every run must report *zero* violations
 ///    and still reproduce the sequential reference checksum.
@@ -1837,8 +1891,13 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
         tahoe_server::interleave(&[(&a, "t0"), (&b, "t1")])
     };
 
-    // ---- pass 1: static graph verification --------------------------
+    // ---- pass 1: static graph verification + plan audit -------------
+    // The static pass is two verifiers deep: the graph checker, and the
+    // plan auditor over the solver's own migration plan for the same
+    // platform — including the cross-tenant interleave, where a move
+    // scheduled against one tenant's windows could race the other's.
     let mut static_verified = 0u64;
+    let mut plans_audited = 0u64;
     for app in all_workloads(Scale::Test)
         .iter()
         .chain(std::iter::once(&two_tenant))
@@ -1851,8 +1910,12 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
             ));
         }
         static_verified += 1;
+        audit_solver_plan(app, &platform_bw(app, 0.25).tier_specs())?;
+        plans_audited += 1;
     }
-    println!("  static: {static_verified} workload graphs verified clean");
+    println!(
+        "  static: {static_verified} workload graphs verified clean, {plans_audited} solver plans audited sound"
+    );
 
     // ---- pass 2: schedule fuzz over correct workloads ----------------
     let apps: Vec<App> = if smoke {
@@ -1983,7 +2046,7 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
         smoke
     ));
     out.push_str(&format!(
-        "  \"static\": {{\"workloads_verified\": {static_verified}, \"clean\": true}},\n"
+        "  \"static\": {{\"workloads_verified\": {static_verified}, \"plans_audited\": {plans_audited}, \"clean\": true}},\n"
     ));
     let fmt_list = |v: &[u64]| {
         v.iter()
@@ -2025,6 +2088,292 @@ pub fn sanitize(smoke: bool, dir: &str) -> Result<(), String> {
         "  {} fuzz runs clean ({} accesses shadowed), {} fixtures exact -> {dir}/BENCH_sanitize.json",
         fuzz_runs,
         accesses_checked,
+        rows.len()
+    );
+    Ok(())
+}
+
+/// The migration plan a solver assignment implies under the Tahoe
+/// convention: every object starts on the slowest (spill) tier and is
+/// promoted to its assigned tier at the same profile-window boundary
+/// `run_policy*` migrates at.
+fn assignment_plan(app: &App, tiers: &[u8], n_tiers: usize) -> tahoe_core::MigrationPlan {
+    let last = (n_tiers - 1) as u8;
+    let boundary = app.windows().saturating_sub(1).min(2);
+    tahoe_core::MigrationPlan {
+        initial_tiers: vec![last; app.objects.len()],
+        steps: tiers
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != last)
+            .map(|(i, &t)| tahoe_core::PlanStep {
+                object: i as u32,
+                to_tier: t,
+                window: boundary,
+            })
+            .collect(),
+    }
+}
+
+/// Solve the placement over `specs` and run the static plan auditor on
+/// the implied migration plan; errs if the auditor flags anything.
+/// Returns the number of migration steps the audited plan carries.
+fn audit_solver_plan(app: &App, specs: &[tahoe_hms::TierSpec]) -> Result<u64, String> {
+    use tahoe_core::measured::modelled_plan;
+    let (assignment, _) = modelled_plan(app, specs)?;
+    let plan = assignment_plan(app, &assignment.tiers, specs.len());
+    let ctx = tahoe_core::PlanContext::new(app.objects.iter().map(|o| o.size).collect());
+    let rep = tahoe_core::audit_plan(&app.graph, &plan, specs, &ctx);
+    if !rep.is_clean() {
+        return Err(format!(
+            "{} ({} tiers): solver-produced plan failed its own audit: {:?}",
+            app.name,
+            specs.len(),
+            rep.violations
+        ));
+    }
+    Ok(plan.steps.len() as u64)
+}
+
+/// `exp verify`: the static plan-soundness auditor and the lock-free
+/// pin/move protocol model checker, as one self-validated artifact.
+/// Four passes:
+///
+/// 1. **Plans** — every workload's solver-produced migration plan (the
+///    multiple-choice knapsack over preset 2- and 3-tier platforms)
+///    must audit clean: per-prefix tier capacity, schedule-universal
+///    move safety, target validity, object liveness, no double moves,
+///    and modelled-cost non-regression. Pure model, no calibration —
+///    the counts are identical on every machine.
+/// 2. **Preflight** — [`MeasuredRuntime::verify_plan`] (the same audit
+///    `run_policy`/`run_policy_parallel` enforce before executing
+///    anything) must pass for every headline policy over the real
+///    allocator's placements.
+/// 3. **Fixtures** — the committed buggy plans must reproduce their
+///    *exact* expected diagnostic sets, nothing more, nothing less.
+/// 4. **Mcheck** — the bounded exhaustive interleaving checker
+///    certifies the pin/move word protocol clean at *pinned*
+///    explored-state counts, and each of the four injected protocol
+///    bugs (dropped wakes, unannounced park, pin through MOVING) is
+///    caught.
+///
+/// The summary lands in `BENCH_verify.json`
+/// (`tahoe-bench-verify/v1`), gated by `benchgate` with exact equality.
+pub fn verify(smoke: bool, dir: &str) -> Result<(), String> {
+    use tahoe_core::measured::MeasuredRuntime;
+    use tahoe_memprof::wallclock::WallClockConfig;
+    use tahoe_obs::json;
+    use tahoe_sanitize::mcheck::{certify, check};
+    use tahoe_sanitize::McheckConfig;
+    use tahoe_workloads::fixtures::all_plan_fixtures;
+
+    banner(if smoke {
+        "VERIFY plan auditor + protocol model checker (smoke)"
+    } else {
+        "VERIFY plan auditor + protocol model checker"
+    });
+
+    // ---- pass 1: solver plans audit clean ---------------------------
+    let apps = all_workloads(Scale::Test);
+    let mut plans_audited = 0u64;
+    let mut steps_total = 0u64;
+    for app in &apps {
+        let fp = app.footprint();
+        let two = Platform::optane(dram_budget(app), 4 * fp).tier_specs();
+        let three = Platform::optane_cxl(dram_budget(app), fp / 2, 4 * fp).tier_specs();
+        for specs in [&two, &three] {
+            steps_total += audit_solver_plan(app, specs)?;
+            plans_audited += 1;
+        }
+    }
+    println!(
+        "  plans: {plans_audited} solver plans over {} workloads audited sound ({steps_total} migration steps)",
+        apps.len()
+    );
+
+    // ---- pass 2: measured-run preflight ------------------------------
+    let preflight_apps: Vec<App> = if smoke {
+        vec![stream::app(Scale::Test), cg::app(Scale::Test)]
+    } else {
+        all_workloads(Scale::Test)
+    };
+    let policies = [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::FirstTouch,
+        PolicyKind::tahoe(),
+    ];
+    let mut preflight_runs = 0u64;
+    for app in &preflight_apps {
+        let cfg = if smoke {
+            WallClockConfig::smoke()
+        } else {
+            WallClockConfig::full()
+        };
+        let rt = MeasuredRuntime::new(platform_bw(app, 0.25), cfg);
+        let cal = rt.calibrate()?;
+        for p in &policies {
+            let rep = rt.verify_plan(app, p, &cal)?;
+            if !rep.is_clean() {
+                return Err(format!(
+                    "{} under {}: preflight audit flagged the runtime's own plan: {:?}",
+                    app.name,
+                    p.name(),
+                    rep.violations
+                ));
+            }
+            preflight_runs += 1;
+        }
+    }
+    println!(
+        "  preflight: {preflight_runs} policy plans over {} workloads verified clean",
+        preflight_apps.len()
+    );
+
+    // ---- pass 3: committed buggy-plan fixtures -----------------------
+    struct FixtureRow {
+        name: &'static str,
+        by_kind: Vec<(&'static str, u64)>,
+    }
+    let mut rows = Vec::new();
+    for f in all_plan_fixtures() {
+        let rep = tahoe_core::audit_plan(&f.app.graph, &f.plan, &f.specs, &f.context());
+        let got: Vec<(&'static str, u64)> =
+            rep.by_kind().into_iter().filter(|&(_, n)| n > 0).collect();
+        println!(
+            "  fixture: {:<26} {} violation(s), {}",
+            f.name,
+            rep.violations.len(),
+            if got == f.expected_audit {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+        );
+        if got != f.expected_audit {
+            return Err(format!(
+                "plan fixture {} deviated from its expected diagnostic set: want {:?}, got {:?}",
+                f.name, f.expected_audit, rep.violations
+            ));
+        }
+        rows.push(FixtureRow {
+            name: f.name,
+            by_kind: rep.by_kind(),
+        });
+    }
+
+    // ---- pass 4: protocol model checker ------------------------------
+    let sweep = certify();
+    for r in &sweep {
+        if !r.ok() {
+            return Err(format!(
+                "protocol certification failed at {} pinners: {:?} ({} deadlocks)",
+                r.config.pinners, r.violations, r.deadlocks
+            ));
+        }
+        println!(
+            "  mcheck: {} pinners x {} moves certified clean — {} states, {} transitions",
+            r.config.pinners, r.config.moves, r.states, r.transitions
+        );
+    }
+    // Negative controls: each seeded protocol bug must be caught, or
+    // the checker's clean verdicts above mean nothing.
+    let bug_configs: Vec<(&str, McheckConfig)> = {
+        let base = McheckConfig::new(2, 1, 1);
+        let with = |f: fn(&mut McheckConfig)| {
+            let mut c = base;
+            f(&mut c);
+            c
+        };
+        vec![
+            ("skip_unpin_wake", with(|c| c.bugs.skip_unpin_wake = true)),
+            (
+                "skip_release_wake",
+                with(|c| c.bugs.skip_release_wake = true),
+            ),
+            ("skip_parked_bit", with(|c| c.bugs.skip_parked_bit = true)),
+            (
+                "pin_ignores_moving",
+                with(|c| c.bugs.pin_ignores_moving = true),
+            ),
+        ]
+    };
+    let bugs_injected = bug_configs.len() as u64;
+    let mut bugs_caught = 0u64;
+    for (name, cfg) in &bug_configs {
+        let r = check(*cfg);
+        if r.ok() {
+            return Err(format!(
+                "injected protocol bug `{name}` escaped the model checker"
+            ));
+        }
+        bugs_caught += 1;
+    }
+    println!("  mcheck: {bugs_caught}/{bugs_injected} injected protocol bugs caught");
+
+    // ---- BENCH_verify.json -------------------------------------------
+    let topo = tahoe_realmem::numa::probe();
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"tahoe-bench-verify/v1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"arch\": \"{}\", \"os\": \"{}\", \"numa_nodes\": {}, \"smoke\": {}}},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        topo.nodes,
+        smoke
+    ));
+    out.push_str(&format!(
+        "  \"plans\": {{\"workloads\": {}, \"tier_depths\": [2, 3], \"audited\": {plans_audited}, \"steps_total\": {steps_total}, \"clean\": true}},\n",
+        apps.len()
+    ));
+    out.push_str(&format!(
+        "  \"preflight\": {{\"workloads\": {}, \"policies\": {}, \"runs\": {preflight_runs}, \"clean\": true}},\n",
+        preflight_apps.len(),
+        policies.len()
+    ));
+    out.push_str("  \"fixtures\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"violations\": {{",
+            r.name
+        ));
+        for (j, (tag, n)) in r.by_kind.iter().enumerate() {
+            out.push_str(&format!("{}\"{tag}\": {n}", if j > 0 { ", " } else { "" }));
+        }
+        out.push_str(&format!(
+            "}}, \"exact\": true}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"mcheck\": {\"configs\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pinners\": {}, \"pin_cycles\": {}, \"moves\": {}, \"states\": {}, \"transitions\": {}, \"terminals\": {}, \"deadlocks\": {}}}{}\n",
+            r.config.pinners,
+            r.config.pin_cycles,
+            r.config.moves,
+            r.states,
+            r.transitions,
+            r.terminals,
+            r.deadlocks,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ], \"bugs_injected\": {bugs_injected}, \"bugs_caught\": {bugs_caught}, \"clean\": true}},\n"
+    ));
+    out.push_str(
+        "  \"consistency\": {\"solver_plans_clean\": true, \"preflight_clean\": true, \"fixtures_exact\": true, \"protocol_certified\": true, \"bugs_all_caught\": true}\n}\n",
+    );
+    json::parse(&out).map_err(|e| format!("BENCH_verify.json self-check: {e}"))?;
+
+    let path = std::path::Path::new(dir);
+    std::fs::create_dir_all(path).map_err(|e| format!("create {dir}: {e}"))?;
+    std::fs::write(path.join("BENCH_verify.json"), &out)
+        .map_err(|e| format!("write BENCH_verify.json: {e}"))?;
+    println!(
+        "  {plans_audited} plans + {preflight_runs} preflights clean, {} fixtures exact, protocol certified -> {dir}/BENCH_verify.json",
         rows.len()
     );
     Ok(())

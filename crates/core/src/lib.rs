@@ -90,7 +90,10 @@ pub use parallel::{AccessTierTiming, ParallelPolicyReport};
 pub use policy::{PolicyKind, TahoeOptions};
 pub use report::RunReport;
 pub use runtime::{ObsCapture, Runtime};
-pub use tahoe_sanitize::{ExtraAccess, SanitizeReport, Violation, ViolationKind};
+pub use tahoe_sanitize::{
+    audit_plan, ExtraAccess, MigrationPlan, PlanContext, PlanStep, SanitizeReport, Violation,
+    ViolationKind,
+};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {

@@ -34,6 +34,7 @@ use tahoe_memprof::wallclock::{
 use tahoe_obs::{Emitter, Event, Metrics, Tier};
 use tahoe_placement::{solve_mck, MckAssignment, MckItem};
 use tahoe_realmem::{traffic, MmapArena, RealBackend};
+use tahoe_sanitize::{audit_plan, MigrationPlan, PlanContext, PlanStep, SanitizeReport};
 
 use crate::app::App;
 use crate::config::Platform;
@@ -206,8 +207,39 @@ impl MeasuredRuntime {
 
     /// Shared setup of a measured policy run: validate, derive the HMS
     /// configuration, install a [`RealBackend`], allocate every object on
-    /// its policy-chosen tier, and (for Tahoe) compute the knapsack plan.
+    /// its policy-chosen tier, and (for Tahoe) compute the knapsack plan
+    /// — then refuse to hand the run over unless the static plan auditor
+    /// certifies the plan sound. Both the sequential `run_policy` and
+    /// `run_policy_parallel` pass through here, so no unsound plan can
+    /// reach either executor.
     pub(crate) fn prepare(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+    ) -> Result<PreparedRun, String> {
+        let prepared = self.prepare_unaudited(app, policy, cal)?;
+        let report = Self::audit_prepared(app, &prepared);
+        if !report.is_clean() {
+            let kinds: Vec<String> = report
+                .by_kind()
+                .into_iter()
+                .filter(|(_, n)| *n > 0)
+                .map(|(tag, n)| format!("{tag}={n}"))
+                .collect();
+            return Err(format!(
+                "refusing to run {}: plan audit found {} violation(s) [{}]; first: {}",
+                policy.name(),
+                report.violations.len(),
+                kinds.join(", "),
+                report.violations[0].detail
+            ));
+        }
+        Ok(prepared)
+    }
+
+    /// [`MeasuredRuntime::prepare`] without the audit gate.
+    fn prepare_unaudited(
         &self,
         app: &App,
         policy: &PolicyKind,
@@ -370,6 +402,75 @@ impl MeasuredRuntime {
             copy_cfg,
             plan_values,
         })
+    }
+
+    /// The [`MigrationPlan`] a prepared run will execute: where the
+    /// allocator actually placed every object, plus the moves the
+    /// Tahoe plan will issue at the profile-window boundary (the same
+    /// boundary `run_policy`/`run_policy_parallel` migrate at).
+    pub(crate) fn planned_migration(app: &App, prepared: &PreparedRun) -> MigrationPlan {
+        let initial_tiers: Vec<u8> = prepared
+            .ids
+            .iter()
+            .map(|&id| {
+                prepared
+                    .hms
+                    .tier_index_of(id)
+                    .map(|t| t.0)
+                    .unwrap_or_else(|_| (prepared.config.n_tiers() - 1) as u8)
+            })
+            .collect();
+        let boundary = app.windows().saturating_sub(1).min(2);
+        let mut steps = Vec::new();
+        if let Some(assignment) = &prepared.tahoe_assignment {
+            for (i, &t) in assignment.tiers.iter().enumerate() {
+                if t != initial_tiers[i] {
+                    steps.push(PlanStep {
+                        object: i as u32,
+                        to_tier: t,
+                        window: boundary,
+                    });
+                }
+            }
+        } else if let Some(plan) = &prepared.tahoe_plan {
+            for o in &plan.chosen {
+                if initial_tiers[o.index()] != 0 {
+                    steps.push(PlanStep {
+                        object: o.0,
+                        to_tier: 0,
+                        window: boundary,
+                    });
+                }
+            }
+        }
+        MigrationPlan {
+            initial_tiers,
+            steps,
+        }
+    }
+
+    /// Run the static plan auditor over a prepared run.
+    pub(crate) fn audit_prepared(app: &App, prepared: &PreparedRun) -> SanitizeReport {
+        let plan = Self::planned_migration(app, prepared);
+        let specs: Vec<TierSpec> = prepared.config.tier_specs().into_iter().cloned().collect();
+        let ctx = PlanContext::new(app.objects.iter().map(|o| o.size).collect());
+        audit_plan(&app.graph, &plan, &specs, &ctx)
+    }
+
+    /// Pre-flight a policy's migration plan without executing anything:
+    /// prepare the run exactly as `run_policy` would (same allocator
+    /// decisions, same solver) and return the static auditor's report.
+    /// `run_policy` and `run_policy_parallel` enforce the same audit
+    /// internally, erroring on an unsound plan; this entry point exposes
+    /// the full diagnostic set.
+    pub fn verify_plan(
+        &self,
+        app: &App,
+        policy: &PolicyKind,
+        cal: &WallClockCalibration,
+    ) -> Result<SanitizeReport, String> {
+        let prepared = self.prepare_unaudited(app, policy, cal)?;
+        Ok(Self::audit_prepared(app, &prepared))
     }
 
     /// Execute `app` under `policy` on arena-backed objects with the

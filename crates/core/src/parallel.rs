@@ -200,6 +200,12 @@ fn violation_counter_key(tag: &str) -> &'static str {
         "write_under_read" => "sanitize.violations.write_under_read",
         "mid_move_access" => "sanitize.violations.mid_move_access",
         "pinned_copy" => "sanitize.violations.pinned_copy",
+        "plan_over_capacity" => "sanitize.violations.plan_over_capacity",
+        "plan_move_race" => "sanitize.violations.plan_move_race",
+        "plan_unknown_tier" => "sanitize.violations.plan_unknown_tier",
+        "plan_dead_object" => "sanitize.violations.plan_dead_object",
+        "plan_double_move" => "sanitize.violations.plan_double_move",
+        "plan_cost_regression" => "sanitize.violations.plan_cost_regression",
         _ => "sanitize.violations.other",
     }
 }

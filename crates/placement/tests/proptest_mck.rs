@@ -8,13 +8,69 @@
 //! * At `N = 2` the MCK collapses to the existing binary knapsack:
 //!   `solve_mck` must produce the *bit-identical* plan (same chosen
 //!   set, value and bytes) as `knapsack::solve`, because it delegates.
+//! * Every assignment a solver hands back, lowered to the
+//!   promote-from-spill migration plan the runtime executes, must pass
+//!   the static plan auditor — the auditor is a postcondition of the
+//!   solver contract, not just a bench-time check.
 
 use proptest::prelude::*;
 
-use tahoe_hms::ObjectId;
+use tahoe_hms::{AccessProfile, ObjectId, TierSpec};
 use tahoe_placement::{
     knapsack, solve_mck, solve_mck_bnb, solve_mck_dp, solve_mck_greedy, Item, MckItem,
 };
+use tahoe_sanitize::plan::{audit_plan, MigrationPlan, PlanContext, PlanStep};
+use tahoe_taskrt::{AccessMode, TaskAccess, TaskGraph};
+
+/// Lower a solver assignment over random MCK items to a migration plan
+/// (everything starts on the spill tier, promotions at window 0 of a
+/// one-task graph touching every item) and run the static plan auditor
+/// on it. Panics on any violation: capacity safety under transient
+/// double-residency, target validity, no double moves, and cost
+/// non-regression must hold for *every* solution a solver returns.
+fn assert_plan_audits_clean(items: &[MckItem], tiers: &[u8], caps: &[u64]) {
+    // Ordered tier list, fastest first, strictly slower down the list,
+    // capacities taken from the solver's own constraint vector.
+    let specs: Vec<TierSpec> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| TierSpec::symmetric("tier", 50.0 * (i + 1) as f64, 40.0 / (i + 1) as f64, c))
+        .collect();
+    let mut g = TaskGraph::new();
+    let c = g.class("touch");
+    let accesses: Vec<TaskAccess> = items
+        .iter()
+        .map(|it| {
+            TaskAccess::new(
+                it.id,
+                AccessMode::ReadWrite,
+                AccessProfile::streaming(1 << 12, 1 << 6),
+            )
+        })
+        .collect();
+    g.add_task(c, accesses, 1.0);
+    let last = (specs.len() - 1) as u8;
+    let plan = MigrationPlan {
+        initial_tiers: vec![last; items.len()],
+        steps: tiers
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != last)
+            .map(|(i, &t)| PlanStep {
+                object: i as u32,
+                to_tier: t,
+                window: 0,
+            })
+            .collect(),
+    };
+    let ctx = PlanContext::new(items.iter().map(|it| it.size).collect());
+    let rep = audit_plan(&g, &plan, &specs, &ctx);
+    assert!(
+        rep.is_clean(),
+        "solver assignment failed the plan audit: {:?}",
+        rep.violations
+    );
+}
 
 /// Random positive-value MCK instances over `tiers` tiers. Values are
 /// sorted descending per item (faster tier ⇒ larger saving, with the
@@ -81,6 +137,7 @@ proptest! {
             sol.per_tier_bytes.iter().sum::<u64>(),
             items.iter().map(|it| it.size).sum::<u64>()
         );
+        assert_plan_audits_clean(&items, &sol.tiers, &caps);
     }
 
     #[test]
@@ -121,5 +178,6 @@ proptest! {
             "solve_mck {} below best component {}", combined.total_value, floor
         );
         prop_assert!(combined.respects(&caps));
+        assert_plan_audits_clean(&items, &combined.tiers, &caps);
     }
 }

@@ -103,6 +103,13 @@ impl HappensBefore {
     pub fn ordered(&self, a: TaskId, b: TaskId) -> bool {
         self.happens_before(a, b) || self.happens_before(b, a)
     }
+
+    /// Window of task `t` (0 for relations built edges-only). The plan
+    /// auditor uses this to order plan steps — issued at a window
+    /// boundary — against accesses of earlier windows.
+    pub fn window(&self, t: TaskId) -> u32 {
+        self.window[t.index()]
+    }
 }
 
 #[cfg(test)]

@@ -25,19 +25,37 @@
 //!   accesses, writes under `Read` declarations, accesses to mid-move
 //!   objects, and migrator copies of pinned objects.
 //!
+//! * **Plan auditor** ([`plan`]): symbolically executes a migration
+//!   plan against the task graph and the ordered tier list, proving
+//!   per-prefix capacity feasibility (with transient double-residency),
+//!   schedule-universal migration safety, target-tier validity,
+//!   liveness of moved objects, and modelled-cost non-regression —
+//!   rejecting an unsound plan in microseconds, before a byte moves.
+//!
+//! * **Protocol model checker** ([`mcheck`]): exhaustively explores
+//!   every bounded interleaving of the lock-free pin/move word protocol
+//!   (`tahoe_hms::lockfree::word`) with N pinners and a migrator,
+//!   certifying that pins drain, epochs are monotonic, no pin survives
+//!   a committed move, and no wake-up is lost — the invariant the plan
+//!   auditor's move-safety rule leans on.
+//!
 //! Violations are typed ([`ViolationKind`]) and summarized in a
 //! [`SanitizeReport`] whose ordering and counts are deterministic across
 //! schedules, worker counts and seeds — the property the schedule fuzzer
-//! (`exp sanitize`) gates on.
+//! (`exp sanitize`) and the plan-audit gate (`exp verify`) gate on.
 
 #![forbid(unsafe_code)]
 
 pub mod dynamic;
 pub mod hb;
+pub mod mcheck;
+pub mod plan;
 pub mod report;
 pub mod verify;
 
 pub use dynamic::{AccessSanitizer, ExtraAccess, NoSanitize, SanitizeHook};
 pub use hb::HappensBefore;
+pub use mcheck::{BugInjection, McheckConfig, McheckReport};
+pub use plan::{audit_plan, MigrationPlan, PlanContext, PlanStep};
 pub use report::{SanitizeReport, Violation, ViolationKind};
 pub use verify::{find_cycle, verify_graph, StaticContext};

@@ -1,0 +1,587 @@
+//! Bounded exhaustive model checker for the lock-free pin/move protocol.
+//!
+//! [`tahoe_hms::lockfree::word`] expresses every state transition of the
+//! per-object word as a pure function, and `SharedHms` CAS-loops those
+//! functions. Hammer tests and proptests sample schedules; this module
+//! *enumerates* them: a vendored mini-loom that walks every reachable
+//! interleaving of N pinner threads and one migrator over a single
+//! object word, asserting the protocol invariants in each.
+//!
+//! # The model
+//!
+//! Each modeled atomic step corresponds to one linearization point of
+//! the real protocol in `hms/src/sync.rs`:
+//!
+//! * a successful `pin`/`unpin`/`begin_move`/`end_move` CAS is one
+//!   atomic read-modify-write (the CAS retry loop collapses — a failed
+//!   CAS re-reads and re-decides, which the explorer covers by
+//!   scheduling the same step later);
+//! * the event-count parker's "re-check the predicate under the lock,
+//!   then sleep" is one atomic predicate check (`park_while` holds the
+//!   sequence lock across exactly that pair, and `notify` bumps the
+//!   sequence under the same lock, so the pair really is atomic
+//!   w.r.t. wake-ups);
+//! * a woken thread re-enters the top of its outer retry loop, exactly
+//!   as `park_while` returning re-enters `wait_not_moving` /
+//!   `begin_move_blocking`;
+//! * `notify` wakes every sleeper on the shard (the parker is
+//!   `notify_all`).
+//!
+//! One deliberate tightening: the worker's `WAITERS` announcement is
+//! folded into its atomic predicate-check-and-sleep step. The real
+//! code announces *before* entering the parker, which leaves a window
+//! where a completing move consumes the announcement and a second move
+//! begins before the worker sleeps; that window is closed in practice
+//! by the timed-park backstop (every park has a timeout), which a
+//! no-timeout model cannot represent without forfeiting deadlock
+//! detection. The model therefore certifies the un-timed protocol with
+//! the announcement at its linearization point. The migrator's
+//! `PARKED` announcement needs no such fold — nothing consumes it
+//! while the move is still unclaimed — so it stays where the real code
+//! puts it, before the predicate check.
+//!
+//! The model covers one object (one word, one shard parker) — the
+//! protocol invariants are per-word; the multi-object all-or-nothing
+//! rollback of `pin_for_task` composes per-word transitions and is
+//! exercised by the hammer suite instead.
+//!
+//! **Pinner program** (× `pin_cycles`): try to pin (on `MOVING`:
+//! announce `WAITERS`, park while moving), hold, unpin (an
+//! unpin-to-zero with `PARKED` set wakes the shard).
+//! **Migrator program** (× `moves`): begin the move (on live pins:
+//! announce `PARKED`, park while pinned), copy, end the move (waking
+//! the shard when `WAITERS` is set).
+//!
+//! # Invariants asserted in every explored state
+//!
+//! * pins never exceed the pinner count, and never coexist with
+//!   `MOVING` (a pin that survived into a move would be copied from
+//!   under the task);
+//! * the move epoch is monotonic, advancing exactly once per
+//!   `end_move`;
+//! * no transition returns an unexpected [`word::WordError`] (illegal
+//!   transitions are unreachable);
+//! * every schedule drains: all threads finish with a zero-pin,
+//!   flag-free word and `epoch == moves` (pins drain to zero);
+//! * no deadlock: a non-final state always has an enabled transition —
+//!   a parked thread whose wake-up was lost fails this loudly.
+//!
+//! # Reductions
+//!
+//! Exploration is a DFS over canonical states with two sound
+//! reductions: *symmetry* (pinners run identical programs, so states
+//! are canonicalized by sorting pinner-local states — the word cannot
+//! distinguish which pinner holds a pin) and a singleton *ample set*
+//! for invisible steps (a thread whose next step is purely local —
+//! holding a pin, copying — neither reads nor writes the shared word,
+//! so it is explored alone: a textbook stubborn/persistent-set
+//! argument). The resulting distinct-state count is deterministic and
+//! pinned in CI: any drift in the word algebra *or* in the checker
+//! itself fails loudly.
+//!
+//! # Bug injection
+//!
+//! [`BugInjection`] re-introduces the classic mistakes the protocol
+//! exists to prevent (skipping the unpin-to-zero wake, skipping the
+//! release wake, parking without announcing `PARKED`, pinning through
+//! `MOVING`); the tests assert each is caught, so the checker's teeth
+//! are themselves regression-tested.
+
+use std::collections::HashSet;
+
+use tahoe_hms::lockfree::word;
+
+/// Which protocol mistakes to inject (all `false` = the real protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugInjection {
+    /// Unpin-to-zero does not wake a parked migrator (lost wake-up).
+    pub skip_unpin_wake: bool,
+    /// `end_move` does not wake parked workers (lost wake-up).
+    pub skip_release_wake: bool,
+    /// The migrator parks without announcing `PARKED`, so the
+    /// unpin-to-zero wake condition never fires (lost wake-up).
+    pub skip_parked_bit: bool,
+    /// `pin` ignores `MOVING` and pins through an in-flight move.
+    pub pin_ignores_moving: bool,
+}
+
+/// Bounds and variant of one model-checking run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McheckConfig {
+    /// Number of pinner threads (the paper's workers), 1..=3 useful.
+    pub pinners: usize,
+    /// Pin/unpin cycles each pinner performs.
+    pub pin_cycles: u8,
+    /// Two-phase moves the migrator performs.
+    pub moves: u8,
+    /// Injected protocol mistakes (none for certification runs).
+    pub bugs: BugInjection,
+}
+
+impl McheckConfig {
+    /// The real protocol with the given bounds.
+    pub fn new(pinners: usize, pin_cycles: u8, moves: u8) -> Self {
+        McheckConfig {
+            pinners,
+            pin_cycles,
+            moves,
+            bugs: BugInjection::default(),
+        }
+    }
+}
+
+/// Outcome of a bounded exhaustive exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McheckReport {
+    /// The bounds explored.
+    pub config: McheckConfig,
+    /// Distinct canonical states visited — the deterministic number CI
+    /// pins.
+    pub states: u64,
+    /// Transitions executed (≥ states − 1).
+    pub transitions: u64,
+    /// Schedules that drained completely (reached the all-done state).
+    pub terminals: u64,
+    /// Non-final states with no enabled transition (lost wake-ups).
+    pub deadlocks: u64,
+    /// Distinct invariant violations, canonically sorted (empty =
+    /// certified within the bounds).
+    pub violations: Vec<String>,
+}
+
+impl McheckReport {
+    /// Whether the bounded state space is certified clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.deadlocks == 0 && self.terminals > 0
+    }
+}
+
+/// Pinner-local program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Pc {
+    /// About to attempt the pin CAS.
+    TryPin,
+    /// Holding the seq lock: re-check "still moving?" then sleep.
+    ParkCheck,
+    /// Parked; only a shard wake re-enables.
+    Sleeping,
+    /// Pin held; the task's access runs here (invisible step).
+    Hold,
+    /// About to attempt the unpin CAS.
+    Unpin,
+    /// All cycles finished.
+    Done,
+}
+
+/// Migrator-local program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum MigPc {
+    /// About to attempt the begin-move CAS.
+    TryBegin,
+    /// Holding the seq lock: re-check "pins still live?" then sleep.
+    ParkCheck,
+    /// Parked; only a shard wake re-enables.
+    Sleeping,
+    /// Move claimed; the copy runs here (invisible step).
+    Copying,
+    /// About to attempt the end-move CAS.
+    Release,
+    /// All moves finished.
+    Done,
+}
+
+/// One canonical global state: the word plus every thread's local
+/// state. Pinners are kept sorted (symmetry reduction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    word: u64,
+    pinners: Vec<(Pc, u8)>,
+    mig: (MigPc, u8),
+}
+
+impl State {
+    fn canonical(mut self) -> State {
+        self.pinners.sort_unstable();
+        self
+    }
+
+    fn all_done(&self) -> bool {
+        self.mig.0 == MigPc::Done && self.pinners.iter().all(|&(pc, _)| pc == Pc::Done)
+    }
+}
+
+/// Wake every sleeper on the shard (the parker is `notify_all`); woken
+/// threads re-enter the top of their retry loops.
+fn notify_all(s: &mut State) {
+    for p in &mut s.pinners {
+        if p.0 == Pc::Sleeping {
+            p.0 = Pc::TryPin;
+        }
+    }
+    if s.mig.0 == MigPc::Sleeping {
+        s.mig.0 = MigPc::TryBegin;
+    }
+}
+
+/// The explorer: DFS over canonical states with invariant checks on
+/// every transition.
+struct Explorer {
+    cfg: McheckConfig,
+    visited: HashSet<State>,
+    transitions: u64,
+    terminals: u64,
+    deadlocks: u64,
+    violations: HashSet<String>,
+}
+
+impl Explorer {
+    /// Check word invariants across one transition; record violations.
+    fn check_word(&mut self, old: u64, new: u64) {
+        let (np, nm) = (word::pins(new), word::is_moving(new));
+        if np as usize > self.cfg.pinners {
+            self.violations
+                .insert(format!("pin count {np} exceeds pinner count"));
+        }
+        if nm && np > 0 {
+            self.violations.insert(format!(
+                "{np} pin(s) coexist with MOVING: copy races access"
+            ));
+        }
+        let (oe, ne) = (word::epoch(old), word::epoch(new));
+        if ne < oe || ne > oe + 1 {
+            self.violations
+                .insert(format!("epoch not monotonic: {oe} -> {ne}"));
+        }
+        if ne == oe + 1 && !word::is_moving(old) {
+            self.violations
+                .insert("epoch advanced outside end_move".to_string());
+        }
+    }
+
+    /// Successor states of one pinner step; `None` when the thread has
+    /// no enabled transition (sleeping or done).
+    fn step_pinner(&mut self, s: &State, i: usize) -> Option<State> {
+        let (pc, left) = s.pinners[i];
+        let w = s.word;
+        let mut n = s.clone();
+        match pc {
+            Pc::Done | Pc::Sleeping => return None,
+            Pc::TryPin => {
+                match word::pin(w) {
+                    Ok(nw) => {
+                        n.word = nw;
+                        n.pinners[i].0 = Pc::Hold;
+                    }
+                    Err(word::WordError::Moving) if self.cfg.bugs.pin_ignores_moving => {
+                        // The injected bug pins straight through.
+                        n.word = w + 1;
+                        n.pinners[i].0 = Pc::Hold;
+                    }
+                    Err(word::WordError::Moving) => {
+                        // `try_pin` failed; fall into `wait_not_moving`'s
+                        // park check.
+                        n.pinners[i].0 = Pc::ParkCheck;
+                    }
+                    Err(e) => {
+                        self.violations.insert(format!("pin failed: {e:?}"));
+                        n.pinners[i].0 = Pc::Done;
+                    }
+                }
+            }
+            Pc::ParkCheck => {
+                // Atomic under the parker's sequence lock; the WAITERS
+                // announcement rides the same linearization point (see
+                // module docs).
+                if word::is_moving(w) {
+                    n.word = word::set_waiters(w);
+                    n.pinners[i].0 = Pc::Sleeping;
+                } else {
+                    n.pinners[i].0 = Pc::TryPin;
+                }
+            }
+            Pc::Hold => {
+                n.pinners[i].0 = Pc::Unpin;
+            }
+            Pc::Unpin => match word::unpin(w) {
+                Ok(nw) => {
+                    n.word = nw;
+                    if word::pins(nw) == 0 && word::is_parked(nw) && !self.cfg.bugs.skip_unpin_wake
+                    {
+                        notify_all(&mut n);
+                    }
+                    let left = left - 1;
+                    n.pinners[i] = if left == 0 {
+                        (Pc::Done, 0)
+                    } else {
+                        (Pc::TryPin, left)
+                    };
+                }
+                Err(e) => {
+                    self.violations.insert(format!("unpin failed: {e:?}"));
+                    n.pinners[i].0 = Pc::Done;
+                }
+            },
+        }
+        self.check_word(s.word, n.word);
+        Some(n.canonical())
+    }
+
+    /// Successor of the migrator's step, if enabled.
+    fn step_migrator(&mut self, s: &State) -> Option<State> {
+        let (pc, left) = s.mig;
+        let w = s.word;
+        let mut n = s.clone();
+        match pc {
+            MigPc::Done | MigPc::Sleeping => return None,
+            MigPc::TryBegin => match word::begin_move(w) {
+                Ok(nw) => {
+                    n.word = nw;
+                    n.mig.0 = MigPc::Copying;
+                }
+                Err(word::WordError::Pinned(_)) => {
+                    // One iteration of `begin_move_blocking`: announce
+                    // PARKED (CAS) and fall into the park check.
+                    if !self.cfg.bugs.skip_parked_bit {
+                        n.word = word::set_parked(w);
+                    }
+                    n.mig.0 = MigPc::ParkCheck;
+                }
+                Err(e) => {
+                    self.violations.insert(format!("begin_move failed: {e:?}"));
+                    n.mig.0 = MigPc::Done;
+                }
+            },
+            MigPc::ParkCheck => {
+                n.mig.0 = if word::pins(w) > 0 {
+                    MigPc::Sleeping
+                } else {
+                    MigPc::TryBegin
+                };
+            }
+            MigPc::Copying => {
+                n.mig.0 = MigPc::Release;
+            }
+            MigPc::Release => match word::end_move(w) {
+                Ok(nw) => {
+                    n.word = nw;
+                    if word::has_waiters(w) && !self.cfg.bugs.skip_release_wake {
+                        notify_all(&mut n);
+                    }
+                    let left = left - 1;
+                    n.mig = if left == 0 {
+                        (MigPc::Done, 0)
+                    } else {
+                        (MigPc::TryBegin, left)
+                    };
+                }
+                Err(word::WordError::Pinned(p)) => {
+                    self.violations
+                        .insert(format!("{p} pin(s) survived into a committed move"));
+                    n.mig.0 = MigPc::Done;
+                }
+                Err(e) => {
+                    self.violations.insert(format!("end_move failed: {e:?}"));
+                    n.mig.0 = MigPc::Done;
+                }
+            },
+        }
+        self.check_word(s.word, n.word);
+        Some(n.canonical())
+    }
+
+    /// All successors of `s`, applying the ample-set reduction: a
+    /// thread whose next step is invisible (Hold, Copying — touches
+    /// neither word nor parker) is explored alone.
+    fn successors(&mut self, s: &State) -> Vec<State> {
+        if let Some(i) = s.pinners.iter().position(|&(pc, _)| pc == Pc::Hold) {
+            return self.step_pinner(s, i).into_iter().collect();
+        }
+        if s.mig.0 == MigPc::Copying {
+            return self.step_migrator(s).into_iter().collect();
+        }
+        let mut out = Vec::new();
+        // Symmetric pinners in identical local states yield identical
+        // successors; step one representative of each distinct state.
+        let mut seen_local: Vec<(Pc, u8)> = Vec::new();
+        for i in 0..s.pinners.len() {
+            if seen_local.contains(&s.pinners[i]) {
+                continue;
+            }
+            seen_local.push(s.pinners[i]);
+            if let Some(n) = self.step_pinner(s, i) {
+                out.push(n);
+            }
+        }
+        if let Some(n) = self.step_migrator(s) {
+            out.push(n);
+        }
+        out
+    }
+}
+
+/// Exhaustively explore the protocol within `cfg`'s bounds.
+pub fn check(cfg: McheckConfig) -> McheckReport {
+    let pinner0 = if cfg.pin_cycles == 0 {
+        (Pc::Done, 0)
+    } else {
+        (Pc::TryPin, cfg.pin_cycles)
+    };
+    let mig0 = if cfg.moves == 0 {
+        (MigPc::Done, 0)
+    } else {
+        (MigPc::TryBegin, cfg.moves)
+    };
+    let init = State {
+        word: 0,
+        pinners: vec![pinner0; cfg.pinners],
+        mig: mig0,
+    }
+    .canonical();
+    let mut ex = Explorer {
+        cfg,
+        visited: HashSet::new(),
+        transitions: 0,
+        terminals: 0,
+        deadlocks: 0,
+        violations: HashSet::new(),
+    };
+    let mut stack = vec![init.clone()];
+    ex.visited.insert(init);
+    while let Some(s) = stack.pop() {
+        if s.all_done() {
+            ex.terminals += 1;
+            // Pins drained, flags clear, epoch counts every move.
+            let expect = word::pack(0, false, false, false, u32::from(cfg.moves));
+            if s.word != expect {
+                ex.violations.insert(format!(
+                    "final word {:#x} != drained word {expect:#x}",
+                    s.word
+                ));
+            }
+            continue;
+        }
+        let succs = ex.successors(&s);
+        ex.transitions += succs.len() as u64;
+        if succs.is_empty() {
+            // Someone is parked forever: a lost wake-up.
+            ex.deadlocks += 1;
+            ex.violations.insert(format!(
+                "deadlock: no enabled transition with word {:#x} (lost wake-up)",
+                s.word
+            ));
+            continue;
+        }
+        for n in succs {
+            if ex.visited.insert(n.clone()) {
+                stack.push(n);
+            }
+        }
+    }
+    let mut violations: Vec<String> = ex.violations.into_iter().collect();
+    violations.sort();
+    McheckReport {
+        config: cfg,
+        states: ex.visited.len() as u64,
+        transitions: ex.transitions,
+        terminals: ex.terminals,
+        deadlocks: ex.deadlocks,
+        violations,
+    }
+}
+
+/// The certification sweep `exp verify` runs and CI pins: 2 and 3
+/// pinners, two pin cycles each, against a two-move migrator.
+pub fn certify() -> Vec<McheckReport> {
+    vec![
+        check(McheckConfig::new(2, 2, 2)),
+        check(McheckConfig::new(3, 2, 2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_certifies_clean_at_all_bounds() {
+        for pinners in 1..=3 {
+            for moves in 1..=2 {
+                let r = check(McheckConfig::new(pinners, 2, moves));
+                assert!(
+                    r.ok(),
+                    "pinners={pinners} moves={moves}: {:?} deadlocks={}",
+                    r.violations,
+                    r.deadlocks
+                );
+                assert!(r.terminals > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn state_count_is_deterministic() {
+        let a = check(McheckConfig::new(3, 2, 2));
+        let b = check(McheckConfig::new(3, 2, 2));
+        assert_eq!(a, b);
+        assert!(a.states > 100, "bounded space should be non-trivial");
+    }
+
+    /// The certification sweep's explored-state counts, pinned. A
+    /// change here means the word algebra, the protocol model, or the
+    /// checker itself changed — re-bless deliberately, together with
+    /// `baselines/BENCH_verify.smoke.json` (CI pins the same numbers).
+    #[test]
+    fn certification_sweep_state_counts_are_pinned() {
+        let sweep = certify();
+        let got: Vec<(usize, u64, u64)> = sweep
+            .iter()
+            .map(|r| (r.config.pinners, r.states, r.transitions))
+            .collect();
+        assert_eq!(got, vec![(2, 320, 560), (3, 1031, 2040)]);
+        assert!(sweep.iter().all(McheckReport::ok));
+    }
+
+    #[test]
+    fn skipped_unpin_wake_is_a_lost_wakeup() {
+        let mut cfg = McheckConfig::new(2, 1, 1);
+        cfg.bugs.skip_unpin_wake = true;
+        let r = check(cfg);
+        assert!(r.deadlocks > 0, "migrator parks forever: {r:?}");
+    }
+
+    #[test]
+    fn skipped_release_wake_is_a_lost_wakeup() {
+        let mut cfg = McheckConfig::new(2, 1, 1);
+        cfg.bugs.skip_release_wake = true;
+        let r = check(cfg);
+        assert!(r.deadlocks > 0, "workers park forever: {r:?}");
+    }
+
+    #[test]
+    fn unannounced_park_is_a_lost_wakeup() {
+        let mut cfg = McheckConfig::new(2, 1, 1);
+        cfg.bugs.skip_parked_bit = true;
+        let r = check(cfg);
+        assert!(r.deadlocks > 0, "unpin-to-zero never notifies: {r:?}");
+    }
+
+    #[test]
+    fn pin_through_moving_is_caught() {
+        let mut cfg = McheckConfig::new(2, 1, 1);
+        cfg.bugs.pin_ignores_moving = true;
+        let r = check(cfg);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("MOVING") || v.contains("survived")),
+            "pin racing the copy must be flagged: {r:?}"
+        );
+    }
+
+    #[test]
+    fn no_migrator_reduces_to_pure_counting() {
+        let r = check(McheckConfig::new(3, 2, 0));
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.deadlocks, 0);
+    }
+}

@@ -1,0 +1,662 @@
+//! Static migration-plan auditor: a symbolic executor that proves (or
+//! refutes) the soundness of a placement plan before a single byte
+//! moves.
+//!
+//! The MCK solver emits a *plan* — an initial placement plus timed
+//! tier-to-tier moves — and until now the runtime trusted it blindly.
+//! This pass replays the plan symbolically against the task graph and
+//! the ordered tier list and reports, through the same
+//! [`SanitizeReport`] machinery as the graph verifier:
+//!
+//! * **Capacity feasibility** ([`ViolationKind::PlanOverCapacity`]):
+//!   every paid tier stays within capacity at every prefix of the plan
+//!   schedule, *including the transient double-residency of the
+//!   two-phase copy* (an object occupies both source and destination
+//!   until the move commits). The last tier is the unbounded spill
+//!   tier, matching the knapsack convention.
+//! * **Schedule-universal migration safety**
+//!   ([`ViolationKind::PlanMoveRace`]): a move issued at window `w` is
+//!   safe against an access iff the access is barrier-ordered before it
+//!   (its task's window precedes `w` in the happens-before relation) or
+//!   the access is *declared* — the lock-free pin/move protocol
+//!   serializes declared accesses against moves under every legal
+//!   interleaving, the exact invariant [`crate::mcheck`] certifies
+//!   exhaustively. Undeclared accesses carry no pin, so a move
+//!   unordered against one races it under *some* schedule.
+//! * **Target validity** ([`ViolationKind::PlanUnknownTier`]): initial
+//!   tiers and step targets index into the configured tier list.
+//! * **Liveness** ([`ViolationKind::PlanDeadObject`],
+//!   [`ViolationKind::PlanDoubleMove`]): no step moves an object that
+//!   was never allocated or is freed before the step's window, and no
+//!   object moves twice within one window (the second copy would race
+//!   the first).
+//! * **Cost non-regression** ([`ViolationKind::PlanCostRegression`]):
+//!   the contention-free modelled memory time under the plan's final
+//!   placement must not exceed the no-plan baseline (the initial
+//!   placement). This is the same pure `mem_time_ns` pricing the MCK
+//!   items are built from, so a solver-produced plan always passes and
+//!   a hand-edited plan that demotes hot objects is rejected.
+
+use std::collections::HashMap;
+
+use tahoe_hms::TierSpec;
+use tahoe_taskrt::TaskGraph;
+
+use crate::dynamic::ExtraAccess;
+use crate::hb::HappensBefore;
+use crate::report::{SanitizeReport, Violation, ViolationKind};
+
+/// One planned migration: move `object` to `to_tier` at the barrier
+/// that opens `window`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStep {
+    /// App index of the object to move.
+    pub object: u32,
+    /// Destination tier (index into the ordered tier list).
+    pub to_tier: u8,
+    /// The move is issued when this window opens; every task of earlier
+    /// windows is barrier-ordered before the copy.
+    pub window: u32,
+}
+
+/// A full migration plan: where every object starts and every move the
+/// runtime will issue. This is the unit the auditor certifies and the
+/// shape replanning (ROADMAP item 5) will mutate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Initial tier of object `i` (index into the ordered tier list).
+    pub initial_tiers: Vec<u8>,
+    /// Timed moves; within one window, vector order is issue order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl MigrationPlan {
+    /// A no-move plan with every object on `tier`.
+    pub fn resident(n_objects: usize, tier: u8) -> Self {
+        MigrationPlan {
+            initial_tiers: vec![tier; n_objects],
+            steps: Vec::new(),
+        }
+    }
+}
+
+/// Allocation- and execution-side facts the plan alone cannot know.
+#[derive(Debug, Clone, Default)]
+pub struct PlanContext {
+    /// Size of object `i` in bytes; a step on an index past the end
+    /// moves an object that was never allocated.
+    pub object_sizes: Vec<u64>,
+    /// `object index → window`: the object is freed before this window
+    /// starts, so a move issued at that window or later copies dead
+    /// memory.
+    pub freed_before_window: HashMap<u32, u32>,
+    /// Undeclared accesses known statically (sanitizer feedback or
+    /// fixture injection). Declared accesses are pinned and therefore
+    /// move-safe; these are not.
+    pub extra: Vec<ExtraAccess>,
+}
+
+impl PlanContext {
+    /// Context for an app whose objects all live for the whole run and
+    /// whose tasks touch only what they declare.
+    pub fn new(object_sizes: Vec<u64>) -> Self {
+        PlanContext {
+            object_sizes,
+            ..Default::default()
+        }
+    }
+
+    /// Mark object `object` as freed before window `window`.
+    pub fn free_before_window(mut self, object: u32, window: u32) -> Self {
+        self.freed_before_window.insert(object, window);
+        self
+    }
+
+    /// Add undeclared accesses the dynamic layer knows about.
+    pub fn with_extra(mut self, extra: Vec<ExtraAccess>) -> Self {
+        self.extra = extra;
+        self
+    }
+}
+
+/// Audit `plan` for `g` over the ordered tier list `specs` (fastest
+/// first, last = unbounded spill tier) and return the canonical report.
+pub fn audit_plan(
+    g: &TaskGraph,
+    plan: &MigrationPlan,
+    specs: &[TierSpec],
+    ctx: &PlanContext,
+) -> SanitizeReport {
+    let n_tiers = specs.len();
+    let n_objects = ctx.object_sizes.len();
+    let mut violations = Vec::new();
+
+    // ---- target-tier validity ----------------------------------------
+    for (obj, &t) in plan.initial_tiers.iter().enumerate() {
+        if (t as usize) >= n_tiers {
+            violations.push(Violation {
+                kind: ViolationKind::PlanUnknownTier,
+                task: None,
+                object: Some(obj as u32),
+                detail: format!(
+                    "initial placement puts object {obj} on tier {t}, but only {n_tiers} tiers are configured"
+                ),
+            });
+        }
+    }
+    for s in &plan.steps {
+        if (s.to_tier as usize) >= n_tiers {
+            violations.push(Violation {
+                kind: ViolationKind::PlanUnknownTier,
+                task: None,
+                object: Some(s.object),
+                detail: format!(
+                    "step moves object {} to tier {}, but only {n_tiers} tiers are configured",
+                    s.object, s.to_tier
+                ),
+            });
+        }
+    }
+
+    // ---- dead objects ------------------------------------------------
+    for s in &plan.steps {
+        if (s.object as usize) >= n_objects {
+            violations.push(Violation {
+                kind: ViolationKind::PlanDeadObject,
+                task: None,
+                object: Some(s.object),
+                detail: format!(
+                    "step moves object {}, which was never allocated (only {n_objects} objects exist)",
+                    s.object
+                ),
+            });
+        } else if let Some(&freed) = ctx.freed_before_window.get(&s.object) {
+            if s.window >= freed {
+                violations.push(Violation {
+                    kind: ViolationKind::PlanDeadObject,
+                    task: None,
+                    object: Some(s.object),
+                    detail: format!(
+                        "step at window {} moves object {}, freed before window {freed}",
+                        s.window, s.object
+                    ),
+                });
+            }
+        }
+    }
+
+    // ---- double moves within one window ------------------------------
+    {
+        let mut seen: HashMap<(u32, u32), u8> = HashMap::new();
+        for s in &plan.steps {
+            if let Some(&first_to) = seen.get(&(s.object, s.window)) {
+                violations.push(Violation {
+                    kind: ViolationKind::PlanDoubleMove,
+                    task: None,
+                    object: Some(s.object),
+                    detail: format!(
+                        "object {} moved twice in window {} (to tier {first_to}, then tier {}): the second copy races the first",
+                        s.object, s.window, s.to_tier
+                    ),
+                });
+            } else {
+                seen.insert((s.object, s.window), s.to_tier);
+            }
+        }
+    }
+
+    // ---- per-prefix capacity feasibility -----------------------------
+    // Symbolically replay the schedule: steps execute in (window, issue
+    // order). An object occupies its destination *and* its source while
+    // the two-phase copy is in flight, so the destination is charged
+    // before the source is released. The spill tier (last) is never
+    // capacity-constrained.
+    if n_tiers > 0 {
+        let spill = (n_tiers - 1) as u8;
+        let tier_of = |obj: usize, tiers: &[u8]| -> u8 {
+            let t = tiers.get(obj).copied().unwrap_or(spill);
+            if (t as usize) < n_tiers {
+                t
+            } else {
+                spill
+            }
+        };
+        let mut cur: Vec<u8> = (0..n_objects)
+            .map(|o| tier_of(o, &plan.initial_tiers))
+            .collect();
+        let mut usage = vec![0u64; n_tiers];
+        for (o, &t) in cur.iter().enumerate() {
+            usage[t as usize] += ctx.object_sizes[o];
+        }
+        let flag_over = |tier: usize, used: u64, when: String, violations: &mut Vec<Violation>| {
+            violations.push(Violation {
+                kind: ViolationKind::PlanOverCapacity,
+                task: None,
+                object: None,
+                detail: format!(
+                    "tier {tier} ({}) holds {used} B but caps at {} B {when}",
+                    specs[tier].name, specs[tier].capacity
+                ),
+            });
+        };
+        for (t, spec) in specs.iter().enumerate().take(n_tiers - 1) {
+            if usage[t] > spec.capacity {
+                flag_over(
+                    t,
+                    usage[t],
+                    "in the initial placement".to_string(),
+                    &mut violations,
+                );
+            }
+        }
+        let mut order: Vec<usize> = (0..plan.steps.len()).collect();
+        order.sort_by_key(|&i| plan.steps[i].window);
+        for i in order {
+            let s = &plan.steps[i];
+            if (s.object as usize) >= n_objects || (s.to_tier as usize) >= n_tiers {
+                continue; // already reported as dead/unknown
+            }
+            let from = cur[s.object as usize];
+            if from == s.to_tier {
+                continue; // no-op move: nothing is copied
+            }
+            let size = ctx.object_sizes[s.object as usize];
+            usage[s.to_tier as usize] += size;
+            if s.to_tier != spill && usage[s.to_tier as usize] > specs[s.to_tier as usize].capacity
+            {
+                flag_over(
+                    s.to_tier as usize,
+                    usage[s.to_tier as usize],
+                    format!(
+                        "while copying object {} from tier {from} (window {})",
+                        s.object, s.window
+                    ),
+                    &mut violations,
+                );
+            }
+            usage[from as usize] -= size;
+            cur[s.object as usize] = s.to_tier;
+        }
+    }
+
+    // ---- schedule-universal migration safety -------------------------
+    // A move at window w is barrier-ordered after every task of windows
+    // < w. Declared accesses of any window are pinned, so the word
+    // protocol serializes them against the copy (certified exhaustively
+    // by the mcheck pass). Undeclared accesses in windows >= w have
+    // neither ordering nor pin: the copy races them under some legal
+    // schedule.
+    if !ctx.extra.is_empty() {
+        let hb = HappensBefore::from_graph(g);
+        for s in &plan.steps {
+            for e in &ctx.extra {
+                if e.object != s.object || (e.task as usize) >= hb.len() {
+                    continue;
+                }
+                if hb.window(tahoe_taskrt::TaskId(e.task)) >= s.window {
+                    violations.push(Violation {
+                        kind: ViolationKind::PlanMoveRace,
+                        task: Some(e.task),
+                        object: Some(s.object),
+                        detail: format!(
+                            "move of object {} at window {} races t{}'s undeclared {} (no pin, no ordering path)",
+                            s.object,
+                            s.window,
+                            e.task,
+                            if e.writes { "write" } else { "read" },
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- modelled-cost non-regression --------------------------------
+    // Price the final placement against the initial one with the same
+    // pure per-access memory-time model the MCK items use. A plan that
+    // makes the modelled run *slower* is feasible but counterproductive
+    // — almost always a mutated or stale plan.
+    if n_tiers > 0 {
+        let spill = (n_tiers - 1) as u8;
+        let clamp = |t: u8| -> usize {
+            if (t as usize) < n_tiers {
+                t as usize
+            } else {
+                spill as usize
+            }
+        };
+        let mut final_tiers: Vec<u8> = (0..n_objects)
+            .map(|o| plan.initial_tiers.get(o).copied().unwrap_or(spill))
+            .collect();
+        let mut order: Vec<usize> = (0..plan.steps.len()).collect();
+        order.sort_by_key(|&i| plan.steps[i].window);
+        for i in order {
+            let s = &plan.steps[i];
+            if (s.object as usize) < n_objects && (s.to_tier as usize) < n_tiers {
+                final_tiers[s.object as usize] = s.to_tier;
+            }
+        }
+        let price = |tiers: &[u8]| -> f64 {
+            let mut total = 0.0;
+            for t in g.tasks() {
+                for a in &t.accesses {
+                    let obj = a.object.index();
+                    let tier = clamp(tiers.get(obj).copied().unwrap_or(spill));
+                    total += a.profile.mem_time_ns(&specs[tier]);
+                }
+            }
+            total
+        };
+        let before = price(
+            &(0..n_objects)
+                .map(|o| plan.initial_tiers.get(o).copied().unwrap_or(spill))
+                .collect::<Vec<_>>(),
+        );
+        let after = price(&final_tiers);
+        if after > before * (1.0 + 1e-9) {
+            violations.push(Violation {
+                kind: ViolationKind::PlanCostRegression,
+                task: None,
+                object: None,
+                detail: format!(
+                    "plan regresses modelled memory time: {after:.1} ns with the plan vs {before:.1} ns without"
+                ),
+            });
+        }
+    }
+
+    SanitizeReport::new(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tahoe_hms::{AccessProfile, ObjectId};
+    use tahoe_taskrt::{AccessMode, TaskAccess};
+
+    fn specs2(dram_cap: u64) -> Vec<TierSpec> {
+        vec![
+            TierSpec::symmetric("DRAM", 80.0, 30.0, dram_cap),
+            TierSpec::symmetric("NVM", 300.0, 5.0, 1 << 40),
+        ]
+    }
+
+    fn acc(o: u32) -> TaskAccess {
+        TaskAccess::new(
+            ObjectId(o),
+            AccessMode::ReadWrite,
+            AccessProfile::streaming(1 << 16, 1 << 10),
+        )
+    }
+
+    /// Two windows, two objects, every access declared.
+    fn two_window_app() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0), acc(1)], 1.0);
+        g.mark_window();
+        g.add_task(c, vec![acc(0)], 1.0);
+        g.add_task(c, vec![acc(1)], 1.0);
+        g
+    }
+
+    #[test]
+    fn solver_shaped_plan_is_clean() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![
+                PlanStep {
+                    object: 0,
+                    to_tier: 0,
+                    window: 1,
+                },
+                PlanStep {
+                    object: 1,
+                    to_tier: 0,
+                    window: 1,
+                },
+            ],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    }
+
+    #[test]
+    fn no_move_plan_is_clean() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let r = audit_plan(&g, &MigrationPlan::resident(2, 1), &specs2(1 << 20), &ctx);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn flags_over_capacity_step_and_initial() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![60 << 10, 60 << 10]);
+        // DRAM holds 80 KiB; each object is 60 KiB. Moving both in
+        // overflows on the second step.
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![
+                PlanStep {
+                    object: 0,
+                    to_tier: 0,
+                    window: 1,
+                },
+                PlanStep {
+                    object: 1,
+                    to_tier: 0,
+                    window: 1,
+                },
+            ],
+        };
+        let r = audit_plan(&g, &plan, &specs2(80 << 10), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanOverCapacity), 1);
+        // An initial placement that already overflows is flagged too.
+        let r2 = audit_plan(&g, &MigrationPlan::resident(2, 0), &specs2(80 << 10), &ctx);
+        assert_eq!(r2.count(ViolationKind::PlanOverCapacity), 1);
+        assert!(r2.violations[0].detail.contains("initial placement"));
+    }
+
+    #[test]
+    fn transient_double_residency_is_charged() {
+        // A swap whose *final* state fits but whose copies transiently
+        // overflow: each paid slot fits exactly one object.
+        let mut g = TaskGraph::new();
+        let c = g.class("x");
+        g.add_task(c, vec![acc(0), acc(1)], 1.0);
+        g.mark_window();
+        g.add_task(c, vec![acc(0), acc(1)], 1.0);
+        let specs = vec![
+            TierSpec::symmetric("DRAM", 80.0, 30.0, 4096),
+            TierSpec::symmetric("CXL", 150.0, 15.0, 8192),
+            TierSpec::symmetric("NVM", 300.0, 5.0, 1 << 40),
+        ];
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![0, 1],
+            // Move o1 CXL->DRAM while o0 still resides in DRAM: the
+            // copy holds both in DRAM at once.
+            steps: vec![
+                PlanStep {
+                    object: 1,
+                    to_tier: 0,
+                    window: 1,
+                },
+                PlanStep {
+                    object: 0,
+                    to_tier: 1,
+                    window: 1,
+                },
+            ],
+        };
+        let r = audit_plan(&g, &plan, &specs, &ctx);
+        assert_eq!(r.count(ViolationKind::PlanOverCapacity), 1);
+        assert!(r.violations[0].detail.contains("while copying"));
+        // The reverse issue order evicts before promoting: clean.
+        let mut rev = plan.clone();
+        rev.steps.reverse();
+        assert!(audit_plan(&g, &rev, &specs, &ctx).is_clean());
+    }
+
+    #[test]
+    fn flags_unknown_tier() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 7,
+                window: 1,
+            }],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanUnknownTier), 1);
+        assert_eq!(r.violations[0].object, Some(0));
+    }
+
+    #[test]
+    fn flags_dead_object_moves() {
+        let g = two_window_app();
+        // Never-allocated object.
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 9,
+                to_tier: 0,
+                window: 1,
+            }],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanDeadObject), 1);
+        // Freed-before-window object.
+        let ctx2 = PlanContext::new(vec![4096, 4096]).free_before_window(0, 1);
+        let plan2 = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 0,
+                window: 1,
+            }],
+        };
+        let r2 = audit_plan(&g, &plan2, &specs2(1 << 20), &ctx2);
+        assert_eq!(r2.count(ViolationKind::PlanDeadObject), 1);
+        // A move strictly before the free is legal.
+        let plan3 = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 0,
+                window: 0,
+            }],
+        };
+        let r3 = audit_plan(&g, &plan3, &specs2(1 << 20), &ctx2);
+        assert_eq!(r3.count(ViolationKind::PlanDeadObject), 0);
+    }
+
+    #[test]
+    fn flags_double_move_in_one_window() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let step = |to: u8, w: u32| PlanStep {
+            object: 0,
+            to_tier: to,
+            window: w,
+        };
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![step(0, 1), step(1, 1)],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanDoubleMove), 1);
+        // Same object, different windows: legal replanning.
+        let plan2 = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![step(0, 0), step(1, 1)],
+        };
+        let r2 = audit_plan(&g, &plan2, &specs2(1 << 20), &ctx);
+        assert_eq!(r2.count(ViolationKind::PlanDoubleMove), 0);
+    }
+
+    #[test]
+    fn flags_move_racing_undeclared_access() {
+        let g = two_window_app();
+        // t1 (window 1) also touches object 1 without declaring it.
+        let ctx = PlanContext::new(vec![4096, 4096]).with_extra(vec![ExtraAccess {
+            task: 1,
+            object: 1,
+            writes: false,
+        }]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 1,
+                to_tier: 0,
+                window: 1,
+            }],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanMoveRace), 1);
+        assert_eq!(r.violations[0].task, Some(1));
+        // The same undeclared access in window 0 is barrier-ordered
+        // before a window-1 move: clean.
+        let ctx2 = PlanContext::new(vec![4096, 4096]).with_extra(vec![ExtraAccess {
+            task: 0,
+            object: 1,
+            writes: true,
+        }]);
+        let r2 = audit_plan(&g, &plan, &specs2(1 << 20), &ctx2);
+        assert_eq!(r2.count(ViolationKind::PlanMoveRace), 0);
+        // Declared accesses never race: t1/t2 read objects 0 and 1 in
+        // window 1 while the plan moves both there, and the pin
+        // protocol covers them (the clean-plan test above).
+    }
+
+    #[test]
+    fn flags_cost_regression() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        // Demote a hot object from DRAM to NVM: feasible, but slower.
+        let plan = MigrationPlan {
+            initial_tiers: vec![0, 0],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 1,
+                window: 1,
+            }],
+        };
+        let r = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(r.count(ViolationKind::PlanCostRegression), 1);
+        assert!(r.violations[0].detail.contains("regresses"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let g = two_window_app();
+        let ctx = PlanContext::new(vec![4096, 4096]);
+        let plan = MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![
+                PlanStep {
+                    object: 9,
+                    to_tier: 7,
+                    window: 1,
+                },
+                PlanStep {
+                    object: 0,
+                    to_tier: 0,
+                    window: 1,
+                },
+            ],
+        };
+        let a = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        let b = audit_plan(&g, &plan, &specs2(1 << 20), &ctx);
+        assert_eq!(a, b);
+        assert_eq!(a.count(ViolationKind::PlanUnknownTier), 1);
+        assert_eq!(a.count(ViolationKind::PlanDeadObject), 1);
+    }
+}

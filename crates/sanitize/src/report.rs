@@ -3,9 +3,11 @@
 /// Classification of a sanitizer finding.
 ///
 /// The first five kinds are produced by the static graph verifier
-/// ([`crate::verify`]); the last four by the dynamic access sanitizer
-/// ([`crate::dynamic`]). Tags are stable snake_case strings used in obs
-/// events, `BENCH_sanitize.json` and the benchgate schema.
+/// ([`crate::verify`]); the next four by the dynamic access sanitizer
+/// ([`crate::dynamic`]); the final six by the static plan auditor
+/// ([`crate::plan`]). Tags are stable snake_case strings used in obs
+/// events, `BENCH_sanitize.json`, `BENCH_verify.json` and the benchgate
+/// schemas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ViolationKind {
     /// The graph's dependence edges form a cycle: execution would
@@ -34,11 +36,31 @@ pub enum ViolationKind {
     MidMoveAccess,
     /// The migrator started copying an object that still had live pins.
     PinnedCopy,
+    /// A plan step (or the initial placement) overflows a paid tier's
+    /// capacity at some point of the plan schedule, counting the
+    /// transient double-residency of the two-phase copy.
+    PlanOverCapacity,
+    /// A planned move is not happens-before-ordered against an
+    /// undeclared access of the same object: under some legal
+    /// interleaving the copy races the access.
+    PlanMoveRace,
+    /// A plan step targets a tier index outside the configured tier
+    /// list.
+    PlanUnknownTier,
+    /// A plan step moves an object that was never allocated or is freed
+    /// before the step's window.
+    PlanDeadObject,
+    /// A plan moves the same object more than once within one window:
+    /// the second move races the first's two-phase copy.
+    PlanDoubleMove,
+    /// The plan's modelled (contention-free) runtime exceeds the
+    /// no-plan baseline: the plan is feasible but counterproductive.
+    PlanCostRegression,
 }
 
 impl ViolationKind {
     /// Every kind, in canonical (report/JSON) order.
-    pub const ALL: [ViolationKind; 9] = [
+    pub const ALL: [ViolationKind; 15] = [
         ViolationKind::DependencyCycle,
         ViolationKind::UnorderedConflict,
         ViolationKind::UseAfterFree,
@@ -48,6 +70,12 @@ impl ViolationKind {
         ViolationKind::WriteUnderRead,
         ViolationKind::MidMoveAccess,
         ViolationKind::PinnedCopy,
+        ViolationKind::PlanOverCapacity,
+        ViolationKind::PlanMoveRace,
+        ViolationKind::PlanUnknownTier,
+        ViolationKind::PlanDeadObject,
+        ViolationKind::PlanDoubleMove,
+        ViolationKind::PlanCostRegression,
     ];
 
     /// Stable snake_case tag.
@@ -62,6 +90,12 @@ impl ViolationKind {
             ViolationKind::WriteUnderRead => "write_under_read",
             ViolationKind::MidMoveAccess => "mid_move_access",
             ViolationKind::PinnedCopy => "pinned_copy",
+            ViolationKind::PlanOverCapacity => "plan_over_capacity",
+            ViolationKind::PlanMoveRace => "plan_move_race",
+            ViolationKind::PlanUnknownTier => "plan_unknown_tier",
+            ViolationKind::PlanDeadObject => "plan_dead_object",
+            ViolationKind::PlanDoubleMove => "plan_double_move",
+            ViolationKind::PlanCostRegression => "plan_cost_regression",
         }
     }
 }
@@ -190,9 +224,11 @@ mod tests {
     fn by_kind_has_fixed_keys_with_zeros() {
         let r = SanitizeReport::default();
         let counts = r.by_kind();
-        assert_eq!(counts.len(), 9);
+        assert_eq!(counts.len(), 15);
         assert!(counts.iter().all(|(_, n)| *n == 0));
         assert_eq!(counts[0].0, "dependency_cycle");
+        assert_eq!(counts[9].0, "plan_over_capacity");
+        assert_eq!(counts[14].0, "plan_cost_regression");
     }
 
     #[test]

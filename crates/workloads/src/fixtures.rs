@@ -23,8 +23,8 @@
 //! here is reachable from [`crate::all_workloads`].
 
 use tahoe_core::app::{App, AppBuilder};
-use tahoe_core::ExtraAccess;
-use tahoe_hms::AccessProfile;
+use tahoe_core::{ExtraAccess, MigrationPlan, PlanContext, PlanStep};
+use tahoe_hms::{AccessProfile, TierSpec};
 use tahoe_taskrt::AccessMode;
 
 /// One buggy workload plus its expected sanitizer findings.
@@ -149,6 +149,164 @@ pub fn all_fixtures() -> Vec<Fixture> {
     ]
 }
 
+/// One deliberately *unsound migration plan* plus the exact diagnostic
+/// set the static plan auditor must report for it. The plans are never
+/// executed — they exist to prove the auditor rejects exactly what it
+/// should, mirroring the sanitizer-fixture contract above.
+#[derive(Debug)]
+pub struct PlanFixture {
+    /// Stable fixture name (appears in `BENCH_verify.json`).
+    pub name: &'static str,
+    /// The (correct) app the buggy plan was written against.
+    pub app: App,
+    /// Ordered tier list the plan is audited under, fastest first.
+    pub specs: Vec<TierSpec>,
+    /// The plan with the injected defect.
+    pub plan: MigrationPlan,
+    /// `(object, window)` free points fed to the audit context.
+    pub freed_before_window: Vec<(u32, u32)>,
+    /// Undeclared accesses fed to the audit context (never executed).
+    pub extra: Vec<ExtraAccess>,
+    /// Exact nonzero `(kind tag, count)` pairs the auditor must report
+    /// (all other kinds must be zero).
+    pub expected_audit: Vec<(&'static str, u64)>,
+}
+
+impl PlanFixture {
+    /// The audit context this fixture is checked under.
+    pub fn context(&self) -> PlanContext {
+        let mut ctx = PlanContext::new(self.app.objects.iter().map(|o| o.size).collect());
+        for &(o, w) in &self.freed_before_window {
+            ctx = ctx.free_before_window(o, w);
+        }
+        ctx.with_extra(self.extra.clone())
+    }
+}
+
+/// DRAM (capped) over an effectively unbounded NVM spill tier.
+fn plan_specs(dram_cap: u64) -> Vec<TierSpec> {
+    vec![
+        TierSpec::symmetric("DRAM", 80.0, 30.0, dram_cap),
+        TierSpec::symmetric("NVM", 300.0, 5.0, 1 << 40),
+    ]
+}
+
+/// Two windows over two objects, everything declared.
+fn plan_app(name: &str, obj_bytes: u64) -> App {
+    let mut b = AppBuilder::new(name);
+    let x = b.object("x", obj_bytes);
+    let y = b.object("y", obj_bytes);
+    let c = b.class("step");
+    b.task(c)
+        .write_streaming(x, 64)
+        .write_streaming(y, 64)
+        .submit();
+    b.next_window();
+    b.task(c).read_streaming(x, 64).submit();
+    b.task(c).read_streaming(y, 64).submit();
+    b.build()
+}
+
+/// The plan promotes both objects into a DRAM that only fits one: the
+/// second copy overflows the tier mid-schedule.
+fn plan_over_capacity_step() -> PlanFixture {
+    let to_dram = |o: u32| PlanStep {
+        object: o,
+        to_tier: 0,
+        window: 1,
+    };
+    PlanFixture {
+        name: "plan_over_capacity_step",
+        app: plan_app("fx-plan-over-capacity", 60 << 10),
+        specs: plan_specs(80 << 10),
+        plan: MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![to_dram(0), to_dram(1)],
+        },
+        freed_before_window: vec![],
+        extra: vec![],
+        expected_audit: vec![("plan_over_capacity", 1)],
+    }
+}
+
+/// The plan moves an object at the same window an *undeclared* reader
+/// touches it: no pin, no ordering path — the copy races the read
+/// under some schedule.
+fn plan_move_races_reader() -> PlanFixture {
+    PlanFixture {
+        name: "plan_move_races_reader",
+        app: plan_app("fx-plan-move-race", 8 << 10),
+        specs: plan_specs(1 << 20),
+        plan: MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 0,
+                window: 1,
+            }],
+        },
+        freed_before_window: vec![],
+        // t2 (window 1) declares only y but also reads x.
+        extra: vec![ExtraAccess {
+            task: 2,
+            object: 0,
+            writes: false,
+        }],
+        expected_audit: vec![("plan_move_race", 1)],
+    }
+}
+
+/// The plan targets tier 7 of a two-tier list.
+fn plan_move_to_unknown_tier() -> PlanFixture {
+    PlanFixture {
+        name: "plan_move_to_unknown_tier",
+        app: plan_app("fx-plan-unknown-tier", 8 << 10),
+        specs: plan_specs(1 << 20),
+        plan: MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 0,
+                to_tier: 7,
+                window: 1,
+            }],
+        },
+        freed_before_window: vec![],
+        extra: vec![],
+        expected_audit: vec![("plan_unknown_tier", 1)],
+    }
+}
+
+/// The plan moves an object at window 1 that is freed before window 1
+/// starts: the copy walks dead memory.
+fn plan_move_of_freed_object() -> PlanFixture {
+    PlanFixture {
+        name: "plan_move_of_freed_object",
+        app: plan_app("fx-plan-freed-object", 8 << 10),
+        specs: plan_specs(1 << 20),
+        plan: MigrationPlan {
+            initial_tiers: vec![1, 1],
+            steps: vec![PlanStep {
+                object: 1,
+                to_tier: 0,
+                window: 1,
+            }],
+        },
+        freed_before_window: vec![(1, 1)],
+        extra: vec![],
+        expected_audit: vec![("plan_dead_object", 1)],
+    }
+}
+
+/// Every committed plan fixture, in a fixed order.
+pub fn all_plan_fixtures() -> Vec<PlanFixture> {
+    vec![
+        plan_over_capacity_step(),
+        plan_move_races_reader(),
+        plan_move_to_unknown_tier(),
+        plan_move_of_freed_object(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +346,44 @@ mod tests {
             if hidden_stores {
                 assert_eq!(f.max_workers, 1, "{} must stay sequential", f.name);
             }
+        }
+    }
+
+    #[test]
+    fn plan_fixtures_reproduce_their_exact_diagnostic_set() {
+        let fixtures = all_plan_fixtures();
+        let mut names: Vec<&str> = fixtures.iter().map(|f| f.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        for f in fixtures {
+            f.app
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert!(!f.expected_audit.is_empty(), "{} injects no defect", f.name);
+            let report = tahoe_core::audit_plan(&f.app.graph, &f.plan, &f.specs, &f.context());
+            let got: Vec<(&'static str, u64)> = report
+                .by_kind()
+                .into_iter()
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            assert_eq!(got, f.expected_audit, "{} diagnostic set drifted", f.name);
+        }
+    }
+
+    #[test]
+    fn plan_fixture_apps_are_clean_without_the_buggy_plan() {
+        // The defect lives in the *plan*, not the app: auditing a
+        // no-move plan over the same app and tiers must be clean.
+        for f in all_plan_fixtures() {
+            let benign = MigrationPlan {
+                initial_tiers: f.plan.initial_tiers.clone(),
+                steps: vec![],
+            };
+            let ctx = PlanContext::new(f.app.objects.iter().map(|o| o.size).collect());
+            let report = tahoe_core::audit_plan(&f.app.graph, &benign, &f.specs, &ctx);
+            assert!(report.is_clean(), "{}: {:?}", f.name, report.violations);
         }
     }
 
